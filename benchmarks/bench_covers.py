@@ -1,0 +1,69 @@
+"""E5 — Theorem 8.1: sparse (r, 2r)-neighbourhood covers.
+
+Paper claim: on nowhere dense classes one can compute, in time
+f(r, eps) * n^(1+eps), an (r, 2r)-neighbourhood cover of maximum degree at
+most n^eps.
+
+Measured shape: construction time on sparse families grows near-linearly;
+the cover's maximum degree stays small on trees/grids/bounded-degree
+graphs, while on the dense control the *cluster size* explodes (one cluster
+swallows the whole graph) — locality buys nothing there.
+"""
+
+import pytest
+
+from repro.sparse.classes import (
+    bounded_degree_graph,
+    dense_random_graph,
+    nearly_square_grid,
+    random_tree,
+)
+from repro.sparse.covers import cover_statistics, sparse_cover, trivial_cover
+
+FAMILIES = {
+    "grid": lambda n: nearly_square_grid(n),
+    "tree": lambda n: random_tree(n, seed=5),
+    "bounded_degree": lambda n: bounded_degree_graph(n, 3, seed=5),
+    "dense_gnp": lambda n: dense_random_graph(min(n, 100), 0.5, seed=5),
+}
+
+SIZES = (100, 400, 900)
+RADIUS = 2
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n", SIZES)
+def test_sparse_cover_construction(benchmark, family, n):
+    structure = FAMILIES[family](n)
+    cover = benchmark(sparse_cover, structure, RADIUS)
+    stats = cover_statistics(cover)
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info.update(
+        {k: float(v) for k, v in stats.items()}
+    )
+    # Theorem 8.1's radius guarantee, verified on every run.
+    assert stats["max_cluster_radius"] <= 2 * RADIUS
+
+
+@pytest.mark.parametrize("n", (100, 400))
+def test_trivial_cover_baseline(benchmark, n):
+    """Ablation baseline: X(a) = N_r(a) — more clusters, higher degree."""
+    structure = nearly_square_grid(n)
+    cover = benchmark(trivial_cover, structure, RADIUS)
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["clusters"] = len(cover.clusters)
+    benchmark.extra_info["max_degree"] = cover.max_degree()
+
+
+def test_sparse_families_keep_degree_small():
+    for family in ("grid", "tree", "bounded_degree"):
+        structure = FAMILIES[family](400)
+        stats = cover_statistics(sparse_cover(structure, RADIUS))
+        assert stats["max_degree"] <= 40, family
+
+
+def test_dense_control_has_giant_cluster():
+    structure = FAMILIES["dense_gnp"](100)
+    stats = cover_statistics(sparse_cover(structure, RADIUS))
+    assert stats["largest_cluster"] >= structure.order() * 0.9

@@ -1,0 +1,57 @@
+"""E2 — Theorem 4.3: the graph -> string reduction.
+
+Same measurements as E1, for the word encoding: ``S_G`` construction time
+and quadratic size bound, translation cost, and the evaluation of phi-hat
+on the string structure (equivalence asserted).
+"""
+
+import pytest
+
+from repro.hardness.string_reduction import (
+    build_string,
+    reduce_instance,
+    translate_sentence,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import satisfies
+from repro.logic.syntax import expression_size
+from repro.sparse.classes import sparse_random_graph
+
+HAS_EDGE = parse_formula("exists x. exists y. E(x, y)")
+
+GRAPH_SIZES = (4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("n", GRAPH_SIZES)
+def test_string_construction(benchmark, n):
+    graph = sparse_random_graph(n, 2.0, seed=n)
+    reduction = benchmark(build_string, graph)
+    structure = reduction.string
+    benchmark.extra_info["graph_size"] = graph.size()
+    benchmark.extra_info["word_length"] = len(reduction.word)
+    # |S_G| <= n(n+1) + sum over edges of (j+1) = O(n^2 + m*n)
+    assert len(reduction.word) <= 4 * (n + 1) ** 2
+
+
+@pytest.mark.parametrize("quantifiers", (1, 2, 3))
+def test_sentence_translation(benchmark, quantifiers):
+    prefix = "".join(f"exists x{i}. " for i in range(quantifiers))
+    body = (
+        " & ".join(f"E(x0, x{i})" for i in range(1, quantifiers))
+        or "E(x0, x0)"
+    )
+    sentence = parse_formula(prefix + "(" + body + ")")
+    translated = benchmark(translate_sentence, sentence)
+    benchmark.extra_info["input_size"] = expression_size(sentence)
+    benchmark.extra_info["output_size"] = expression_size(translated)
+
+
+@pytest.mark.parametrize("n", (2, 3, 4))
+def test_equivalence_checking(benchmark, full_foc_engine, n):
+    graph = sparse_random_graph(n, 1.5, seed=n + 20)
+    string, phi_hat = reduce_instance(graph, HAS_EDGE)
+    expected = satisfies(graph, HAS_EDGE)
+    result = benchmark(full_foc_engine.model_check, string, phi_hat)
+    assert result == expected
+    benchmark.extra_info["graph_order"] = graph.order()
+    benchmark.extra_info["string_length"] = string.order()

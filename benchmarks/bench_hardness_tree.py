@@ -1,0 +1,62 @@
+"""E1 — Theorem 4.1: the graph -> tree reduction.
+
+Paper claims measured here:
+
+* ``T_G`` is computable in quadratic time and ``||T_G|| = O(||G||^2)``;
+* ``phi-hat`` is computable in polynomial time with polynomial size;
+* the equivalence ``G |= phi iff T_G |= phi-hat`` holds (asserted).
+
+The AW[*]-hardness itself is a conditional lower bound and not measurable;
+its constructive content is exactly this reduction.
+"""
+
+import pytest
+
+from repro.hardness.tree_reduction import build_tree, reduce_instance, translate_sentence
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import satisfies
+from repro.logic.syntax import expression_size
+from repro.sparse.classes import sparse_random_graph
+
+TRIANGLE = parse_formula(
+    "exists x. exists y. exists z. (E(x, y) & E(y, z) & E(x, z))"
+)
+
+GRAPH_SIZES = (4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("n", GRAPH_SIZES)
+def test_tree_construction(benchmark, n):
+    graph = sparse_random_graph(n, 2.0, seed=n)
+    reduction = benchmark(build_tree, graph)
+    tree = reduction.tree
+    benchmark.extra_info["graph_size"] = graph.size()
+    benchmark.extra_info["tree_size"] = tree.size()
+    benchmark.extra_info["blowup"] = round(tree.size() / graph.size(), 2)
+    # the quadratic bound of Theorem 4.1
+    assert tree.size() <= 25 * graph.size() ** 2
+
+
+@pytest.mark.parametrize("quantifiers", (1, 2, 3, 4))
+def test_sentence_translation(benchmark, quantifiers):
+    prefix = "".join(f"exists x{i}. " for i in range(quantifiers))
+    body = (
+        " & ".join(f"E(x0, x{i})" for i in range(1, quantifiers))
+        or "E(x0, x0)"
+    )
+    sentence = parse_formula(prefix + "(" + body + ")")
+    translated = benchmark(translate_sentence, sentence)
+    benchmark.extra_info["input_size"] = expression_size(sentence)
+    benchmark.extra_info["output_size"] = expression_size(translated)
+
+
+@pytest.mark.parametrize("n", (3, 4, 5))
+def test_equivalence_checking(benchmark, full_foc_engine, n):
+    """Time the *evaluation* of phi-hat on T_G, asserting the equivalence."""
+    graph = sparse_random_graph(n, 1.5, seed=n + 10)
+    tree, phi_hat = reduce_instance(graph, TRIANGLE)
+    expected = satisfies(graph, TRIANGLE)
+    result = benchmark(full_foc_engine.model_check, tree, phi_hat)
+    assert result == expected
+    benchmark.extra_info["graph_order"] = graph.order()
+    benchmark.extra_info["tree_order"] = tree.order()

@@ -1,0 +1,63 @@
+"""E3b — Corollary 5.6, counting side.
+
+Paper claim: the counting problem for FOC1(P) is fixed-parameter almost
+linear on nowhere dense classes; generically it is #W[1]-hard (already for
+acyclic conjunctive queries, [5] in the paper).
+
+Measured shape: counting 2-paths (|phi(A)| for a width-3 formula) grows
+near-linearly with ||A|| for the engine on grids/trees, while brute force
+is Theta(n^3) and only run small.
+"""
+
+import pytest
+
+from repro.logic.parser import parse_formula, parse_term
+from repro.sparse.classes import nearly_square_grid, random_tree
+
+from .conftest import LARGE_SIZES, SMALL_SIZES
+
+TWO_PATHS = parse_formula("E(x, y) & E(y, z) & !(x = z)")
+DEGREE_HISTOGRAM_TERM = parse_term("#(x). @eq(#(y). E(x, y), 4)")
+
+FAMILIES = {
+    "grid": lambda n: nearly_square_grid(n),
+    "tree": lambda n: random_tree(n, seed=3),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n", SMALL_SIZES + LARGE_SIZES)
+def test_engine_counting(benchmark, fast_engine, family, n):
+    structure = FAMILIES[family](n)
+    count = benchmark(fast_engine.count, structure, TWO_PATHS, ["x", "y", "z"])
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["count"] = count
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_brute_force_counting(benchmark, brute_engine, family, n):
+    structure = FAMILIES[family](n)
+    count = benchmark(brute_engine.count, structure, TWO_PATHS, ["x", "y", "z"])
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["count"] = count
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES + LARGE_SIZES)
+def test_engine_ground_term_with_counting_condition(benchmark, fast_engine, n):
+    """A depth-2 FOC1 term: how many vertices have degree exactly 4."""
+    structure = nearly_square_grid(n)
+    value = benchmark(
+        fast_engine.ground_term_value, structure, DEGREE_HISTOGRAM_TERM
+    )
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["degree_4_vertices"] = value
+
+
+def test_counts_agree_between_engines(fast_engine, brute_engine):
+    structure = nearly_square_grid(36)
+    assert fast_engine.count(structure, TWO_PATHS, ["x", "y", "z"]) == (
+        brute_engine.count(structure, TWO_PATHS, ["x", "y", "z"])
+    )

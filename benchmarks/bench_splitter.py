@@ -1,0 +1,60 @@
+"""E6 — the splitter game (Section 8's definition of nowhere dense).
+
+Paper claim: a class is nowhere dense iff Splitter wins the
+(lambda(r), r)-game with lambda depending only on r — i.e. in a *bounded*
+number of rounds, uniformly in |A|.
+
+Measured shape: rounds-to-win stays flat as n grows on trees, grids and
+bounded-degree graphs, and equals ~n on cliques (at radius >= 1 every ball
+is the whole graph, so Splitter removes one vertex per round).
+"""
+
+import pytest
+
+from repro.sparse.classes import bounded_degree_graph, nearly_square_grid, random_tree
+from repro.sparse.splitter import play_splitter_game, rounds_needed
+from repro.structures.builders import complete_graph
+
+SPARSE = {
+    "grid": lambda n: nearly_square_grid(n),
+    "tree": lambda n: random_tree(n, seed=8),
+    "bounded_degree": lambda n: bounded_degree_graph(n, 3, seed=8),
+}
+
+SIZES = (64, 256, 1024)
+RADIUS = 2
+
+
+@pytest.mark.parametrize("family", sorted(SPARSE))
+@pytest.mark.parametrize("n", SIZES)
+def test_sparse_family_rounds(benchmark, family, n):
+    structure = SPARSE[family](n)
+    rounds = benchmark(rounds_needed, structure, RADIUS)
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["rounds"] = rounds
+    # boundedness: the empirical lambda(2) for these families
+    assert rounds <= 8
+
+
+@pytest.mark.parametrize("n", (10, 20, 40))
+def test_clique_rounds_grow_linearly(benchmark, n):
+    structure = complete_graph(n)
+    rounds = benchmark(rounds_needed, structure, 1)
+    benchmark.extra_info["order"] = n
+    benchmark.extra_info["rounds"] = rounds
+    assert rounds == n
+
+
+def test_rounds_flat_in_n_on_grids():
+    counts = [rounds_needed(nearly_square_grid(n), RADIUS) for n in SIZES]
+    assert max(counts) - min(counts) <= 2
+
+
+@pytest.mark.parametrize("radius", (1, 2, 3))
+def test_rounds_vs_radius_on_tree(benchmark, radius):
+    """lambda as a function of r: larger radius may need more rounds."""
+    structure = random_tree(500, seed=8)
+    rounds = benchmark(rounds_needed, structure, radius)
+    benchmark.extra_info["radius"] = radius
+    benchmark.extra_info["rounds"] = rounds

@@ -1,0 +1,87 @@
+"""A guided tour of the Section 8.2 machinery on one concrete input.
+
+Run with:  python examples/main_algorithm_walkthrough.py
+
+Walks through every ingredient of the paper's main algorithm on a random
+tree: the sparse neighbourhood cover (Theorem 8.1), the splitter game
+(Section 8), one removal surgery with the Lemma 7.9 term rewriting, and
+finally the composed loop — checking at each step that the machinery says
+what the theorems promise.
+"""
+
+from repro.core.clterms import BasicClTerm
+from repro.core.local_eval import evaluate_basic_unary
+from repro.core.main_algorithm import (
+    MainAlgorithmStats,
+    evaluate_unary_main_algorithm,
+)
+from repro.core.removal import removal_unary_term, remove_element
+from repro.logic.builder import Rel
+from repro.logic.printer import pretty
+from repro.sparse.classes import random_tree
+from repro.sparse.covers import cover_statistics, sparse_cover
+from repro.sparse.splitter import rounds_needed
+
+E = Rel("E", 2)
+
+
+def main() -> None:
+    structure = random_tree(150, seed=3)
+    print(f"Structure: random tree, {structure.order()} vertices")
+
+    term = BasicClTerm(
+        variables=("y1", "y2"),
+        psi=E("y1", "y2"),
+        psi_radius=0,
+        link_distance=1,
+        edges=frozenset({(1, 2)}),
+        unary=True,
+    )
+    print("Term: u(y1) = #(y2). (E(y1,y2) ∧ delta_connected)   (degree)")
+
+    print("\n-- Step 1: the splitter game certifies sparseness (Section 8)")
+    rounds = rounds_needed(structure, radius=2)
+    print(f"   Splitter wins the radius-2 game in {rounds} rounds (bounded, not ~n)")
+
+    print("\n-- Step 2: a sparse (r, 2r)-neighbourhood cover (Theorem 8.1)")
+    cover = sparse_cover(structure, 2)
+    cover.verify(check_radius=4)
+    stats = cover_statistics(cover)
+    print(f"   {stats['clusters']} clusters, max degree {stats['max_degree']}, "
+          f"max radius {stats['max_cluster_radius']} (bound: 4) — verified")
+
+    print("\n-- Step 3: one removal surgery (Lemmas 7.8/7.9)")
+    d = cover.centres[0]
+    removed = remove_element(structure, d, radius=2)
+    print(f"   removed element {d}: {structure.order()} -> {removed.order()} vertices,")
+    print(f"   signature grew from {len(structure.signature)} to "
+          f"{len(removed.signature)} symbols (the R~_I splits plus S_1, S_2)")
+    ground_parts, unary_parts = removal_unary_term(
+        "y1", ("y2",), term.body(), radius=2
+    )
+    print(f"   Lemma 7.9 rewrites u into {len(unary_parts)} unary + "
+          f"{len(ground_parts)} ground parts, e.g.:")
+    print(f"     {pretty(unary_parts[0].count_term())}")
+
+    print("\n-- Step 4: the composed loop (Section 8.2)")
+    loop_stats = MainAlgorithmStats()
+    values = evaluate_unary_main_algorithm(
+        structure, term, depth=1, small_threshold=8, stats=loop_stats
+    )
+    reference = evaluate_basic_unary(structure, term)
+    assert values == reference
+    print(f"   clusters processed: {loop_stats.clusters_processed}, "
+          f"removals: {loop_stats.removals}, "
+          f"base-case evaluations: {loop_stats.base_case_elements} element-values")
+    print("   result equals direct ball-exploration evaluation: OK")
+
+    degree_histogram = {}
+    for value in values.values():
+        degree_histogram[value] = degree_histogram.get(value, 0) + 1
+    print("\nDegree histogram of the tree (computed by the full pipeline):")
+    for degree in sorted(degree_histogram):
+        print(f"   degree {degree}: {degree_histogram[degree]} vertices")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: FOC1(P) formulas and queries on a small graph.
+
+Run with:  python examples/quickstart.py
+
+Covers the basic workflow: build a structure, write cardinality formulas
+(both through the builder DSL and the text parser), model-check, count, and
+evaluate a query that returns counting terms per answer tuple.
+"""
+
+from repro import (
+    Foc1Evaluator,
+    Foc1Query,
+    Rel,
+    count,
+    exists,
+    graph_structure,
+    parse_formula,
+    pretty,
+    variables,
+)
+
+
+def main() -> None:
+    # A small social graph: edges are directed "follows" relationships.
+    follows = graph_structure(
+        ["ada", "bob", "cyd", "dan", "eve"],
+        [
+            ("ada", "bob"),
+            ("bob", "cyd"),
+            ("cyd", "ada"),
+            ("dan", "ada"),
+            ("dan", "bob"),
+            ("eve", "dan"),
+        ],
+        symmetric=False,
+    )
+    engine = Foc1Evaluator()
+
+    # --- formulas through the builder DSL ------------------------------------
+    E = Rel("E", 2)
+    x, y, z = variables("x y z")
+
+    followers = count([y], E(y, x))           # #(y). E(y, x)
+    follows_two = count([y], E(x, y)).geq1()  # at least one followee
+
+    print("Does everyone follow somebody?")
+    sentence = parse_formula("forall x. @geq1(#(y). E(x, y))")
+    print(" ", pretty(sentence), "->", engine.model_check(follows, sentence))
+
+    print("\nIs there a user with at least 2 followers? (builder DSL)")
+    popular = exists(x, followers.geq1() & count([y], E(y, x)).gt(1))
+    print(" ", pretty(popular), "->", engine.model_check(follows, popular))
+
+    # --- counting --------------------------------------------------------------
+    mutual = parse_formula("E(x, y) & E(y, x)")
+    print("\nMutual-follow pairs:", engine.count(follows, mutual, ["x", "y"]))
+
+    # --- a query returning counting terms ----------------------------------------
+    query = Foc1Query(
+        head_variables=("x",),
+        head_terms=(followers,),
+        condition=follows_two,
+    )
+    print("\nFollower counts for users who follow somebody:")
+    for row in sorted(engine.evaluate_query(follows, query)):
+        print(f"  {row[0]:>4}: {row[1]} follower(s)")
+
+
+if __name__ == "__main__":
+    main()

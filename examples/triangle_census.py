@@ -1,0 +1,72 @@
+"""Example 5.4 end-to-end: the coloured-digraph triangle census.
+
+Run with:  python examples/triangle_census.py
+
+Reproduces the paper's most intricate FOC1(P) example — nested counting
+terms, a derived ground count, and a two-variable query head — on a random
+coloured digraph, comparing the locality-aware engine against brute force.
+"""
+
+import time
+
+from repro.core import BruteForceEvaluator, Foc1Evaluator
+from repro.logic import pretty
+from repro.logic.examples import (
+    blue_neighbour_term,
+    count_phi_triangles_equal_reds,
+    example_5_4_query,
+    phi_blue_balance,
+    red_count_term,
+    triangle_term,
+)
+from repro.sparse import coloured_digraph
+
+
+def main() -> None:
+    # n = 24 keeps the brute-force comparison honest but quick; the engine
+    # itself handles thousands of nodes (see examples/nowhere_dense_scaling.py).
+    graph = coloured_digraph(24, average_out_degree=2.5, seed=7)
+    fast = Foc1Evaluator()
+    brute = BruteForceEvaluator()
+
+    print("Structure: coloured digraph,", graph.order(), "nodes,",
+          len(graph.relation("E")), "edges")
+
+    print("\nPaper terms (Example 5.4):")
+    print("  t_R       =", pretty(red_count_term()))
+    print("  t_Delta(x)=", pretty(triangle_term("x")))
+    print("  t_B(x)    =", pretty(blue_neighbour_term("x")))
+
+    reds = fast.ground_term_value(graph, red_count_term())
+    print("\nTotal red nodes:", reds)
+
+    balanced = fast.ground_term_value(graph, count_phi_triangles_equal_reds())
+    print("Nodes whose triangle count equals the red count:", balanced)
+
+    print("\nphi_{B,Delta,R}(x) =", pretty(phi_blue_balance("x")))
+    witnesses = fast.count(graph, phi_blue_balance("x"), ["x"])
+    print("Witnesses of phi_{B,Delta,R}:", witnesses)
+
+    query = example_5_4_query()
+    start = time.perf_counter()
+    rows_fast = sorted(fast.evaluate_query(graph, query))
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rows_brute = sorted(brute.evaluate_query(graph, query))
+    brute_seconds = time.perf_counter() - start
+
+    assert rows_fast == rows_brute
+    print(f"\nQuery result: {len(rows_fast)} rows")
+    for row in rows_fast[:5]:
+        print("  (x, y, t_B(x)*t_Delta(y)) =", row)
+    if len(rows_fast) > 5:
+        print(f"  ... and {len(rows_fast) - 5} more")
+    print(
+        f"\nEngine: {fast_seconds:.3f}s   brute force: {brute_seconds:.3f}s   "
+        f"speedup: {brute_seconds / max(fast_seconds, 1e-9):.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` works without the wheel package installed."""
+from setuptools import setup
+
+setup()

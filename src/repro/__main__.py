@@ -1,0 +1,133 @@
+"""Command-line interface: evaluate FOC1(P) queries from the shell.
+
+Usage examples::
+
+    # model-check a sentence against a graph given as an edge list
+    python -m repro check graph.txt "forall x. @geq1(#(y). E(x, y))"
+
+    # count the solutions of a formula
+    python -m repro count graph.txt "E(x, y) & E(y, z)" --vars x y z
+
+    # evaluate a ground counting term
+    python -m repro term graph.txt "#(x, y). E(x, y)"
+
+    # per-element values of a unary term
+    python -m repro unary graph.txt "#(y). E(x, y)" --var x
+
+    # inspect a structure / a formula
+    python -m repro info graph.txt
+    python -m repro formula "exists x. @even(#(y). E(x, y))"
+
+Structures come from ``.json`` files (see :mod:`repro.io`) or edge lists.
+Exit code 0 on success (for ``check``: also when the answer is False —
+the answer is printed, not encoded), 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.evaluator import Foc1Evaluator
+from .errors import ReproError
+from .io import load_structure
+from .logic.foc1 import fragment_summary
+from .logic.parser import parse_formula, parse_term
+from .logic.printer import pretty
+from .sparse.measures import sparsity_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FOC1(P) query evaluation (Grohe & Schweikardt, PODS 2018)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="model-check a sentence")
+    check.add_argument("structure")
+    check.add_argument("sentence")
+
+    count = commands.add_parser("count", help="count solutions of a formula")
+    count.add_argument("structure")
+    count.add_argument("formula")
+    count.add_argument("--vars", nargs="+", required=True)
+
+    term = commands.add_parser("term", help="evaluate a ground counting term")
+    term.add_argument("structure")
+    term.add_argument("term")
+
+    unary = commands.add_parser("unary", help="evaluate a unary term everywhere")
+    unary.add_argument("structure")
+    unary.add_argument("term")
+    unary.add_argument("--var", required=True)
+
+    info = commands.add_parser("info", help="summarise a structure")
+    info.add_argument("structure")
+
+    formula = commands.add_parser("formula", help="parse and analyse a formula")
+    formula.add_argument("text")
+
+    for sub in (check, count, term, unary):
+        sub.add_argument(
+            "--no-fragment-check",
+            action="store_true",
+            help="allow full FOC(P) (may be very slow; see Section 4)",
+        )
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "formula":
+        phi = parse_formula(args.text)
+        print(pretty(phi))
+        for key, value in fragment_summary(phi).items():
+            print(f"  {key}: {value}")
+        return 0
+
+    if args.command == "info":
+        structure = load_structure(args.structure)
+        report = sparsity_report(structure)
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+
+    structure = load_structure(args.structure)
+    engine = Foc1Evaluator(check_fragment=not args.no_fragment_check)
+
+    if args.command == "check":
+        sentence = parse_formula(args.sentence)
+        print(engine.model_check(structure, sentence))
+        return 0
+    if args.command == "count":
+        phi = parse_formula(args.formula)
+        print(engine.count(structure, phi, args.vars))
+        return 0
+    if args.command == "term":
+        t = parse_term(args.term)
+        print(engine.ground_term_value(structure, t))
+        return 0
+    if args.command == "unary":
+        t = parse_term(args.term)
+        values = engine.unary_term_values(structure, t, args.var)
+        for element in structure.universe_order:
+            print(f"{element}\t{values[element]}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's contribution: cl-term machinery, decomposition, removal,
+cover evaluation, FOC1(P)-queries, and the evaluation engines."""
+
+from .rank import (
+    QRankReport,
+    admissible_distance_bound,
+    fq,
+    has_q_rank,
+    minimal_level,
+    q_rank_report,
+)
+from .clterms import BasicClTerm, ClPolynomial, CoverTerm
+from .local_eval import (
+    evaluate_basic_ground,
+    evaluate_basic_unary,
+    evaluate_polynomial_ground,
+    evaluate_polynomial_unary,
+    pattern_tuples,
+)
+from .decomposition import (
+    decompose_cover_term,
+    decompose_factored_count,
+    decompose_pattern,
+    is_block_cohesive,
+    split_blocks,
+)
+from .removal import (
+    RemovedGroundTerm,
+    RemovedUnaryTerm,
+    distance_marker_name,
+    remove_element,
+    removal_formula,
+    removal_ground_term,
+    removal_unary_term,
+    removed_relation_name,
+    removed_signature,
+)
+from .cover_eval import (
+    evaluate_basic_cover_unary,
+    evaluate_cover_polynomial_unary,
+    evaluate_cover_term,
+    evaluate_per_cluster,
+)
+from .query import (
+    Foc1Query,
+    eliminate_free_variables,
+    pin_name,
+    pinned_ground_term,
+    pinned_sentence,
+    pinned_structure,
+)
+from .evaluator import Foc1Evaluator
+from .baseline import BruteForceEvaluator
+from .main_algorithm import MainAlgorithmStats, evaluate_unary_main_algorithm
+from .incremental import IncrementalUnaryCache, UpdateStats
+
+__all__ = [name for name in dir() if not name.startswith("_")]
+
+from .ef_games import distinguish, duplicator_wins, is_partial_r_isomorphism
+from .hanf import (
+    PointedBall,
+    TypeCensus,
+    evaluate_basic_unary_hanf,
+    neighbourhood_type_census,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

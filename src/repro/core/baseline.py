@@ -1,0 +1,67 @@
+"""Brute-force baseline evaluator with the same API as
+:class:`repro.core.evaluator.Foc1Evaluator`.
+
+Wraps the literal Definition 3.1 semantics of :mod:`repro.logic.semantics`:
+quantifiers and counting terms scan the full universe, giving the
+``n^width`` behaviour the scaling benchmarks (E3) compare against.  It also
+serves as the correctness oracle in the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..logic.predicates import PredicateCollection, standard_collection
+from ..logic.semantics import count_solutions, evaluate, satisfies, solutions
+from ..logic.syntax import Formula, Term, Variable, free_variables
+from ..structures.structure import Element, Structure
+from .query import Foc1Query
+
+
+class BruteForceEvaluator:
+    """Reference evaluator: same interface, no cleverness whatsoever."""
+
+    def __init__(self, predicates: "Optional[PredicateCollection]" = None):
+        self.predicates = predicates if predicates is not None else standard_collection()
+
+    def model_check(self, structure: Structure, sentence: Formula) -> bool:
+        if free_variables(sentence):
+            raise EvaluationError("model_check expects a sentence")
+        return satisfies(structure, sentence, None, self.predicates)
+
+    def ground_term_value(self, structure: Structure, term: Term) -> int:
+        if free_variables(term):
+            raise EvaluationError("ground_term_value expects a ground term")
+        return evaluate(term, structure, None, self.predicates)
+
+    def unary_term_values(
+        self,
+        structure: Structure,
+        term: Term,
+        variable: Variable,
+        elements: "Optional[Sequence[Element]]" = None,
+    ) -> Dict[Element, int]:
+        extra = free_variables(term) - {variable}
+        if extra:
+            raise EvaluationError(f"term has unexpected free variables {sorted(extra)}")
+        targets = (
+            list(elements) if elements is not None else list(structure.universe_order)
+        )
+        return {
+            a: evaluate(term, structure, {variable: a}, self.predicates)
+            for a in targets
+        }
+
+    def count(
+        self, structure: Structure, formula: Formula, variables: Sequence[Variable]
+    ) -> int:
+        return count_solutions(structure, formula, variables, self.predicates)
+
+    def solutions(
+        self, structure: Structure, formula: Formula, variables: Sequence[Variable]
+    ) -> Iterator[Tuple[Element, ...]]:
+        yield from solutions(structure, formula, variables, self.predicates)
+
+    def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
+        return query.evaluate_naive(structure, self.predicates)

@@ -1,0 +1,286 @@
+"""Connected local terms (Definition 6.2) and cover terms (Definitions 7.4,
+7.5), plus the polynomial algebra over them that Lemmas 6.4 and 7.6 produce.
+
+A *basic cl-term* counts tuples that (a) realise a prescribed connectivity
+pattern ``G`` — encoded by the formula ``delta_G,D`` whose edges mean
+``dist <= D`` and non-edges ``dist > D`` — and (b) satisfy an r-local
+formula ``psi``.  The paper's Definition 6.2 uses the link distance
+``D = 2r + 1``; the cover terms of Section 7 use ``D = r``.  We carry the
+link distance explicitly so one representation serves both sections (and the
+basic-local-sentence translation of Theorem 6.8, which needs ``D = 2r``).
+
+A *cl-term* is an integer polynomial over basic cl-terms; we normalise it to
+a sum of monomials ``coefficient * product(basic terms)``, which makes the
+inclusion–exclusion recursion of Lemma 6.4/7.6 a pure polynomial
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import FormulaError
+from ..logic.locality import delta_formula, graph_components, is_connected_graph
+from ..logic.syntax import (
+    And,
+    CountTerm,
+    Formula,
+    Term,
+    Variable,
+    conjunction,
+    free_variables,
+)
+
+Edges = FrozenSet[Tuple[int, int]]
+
+
+def _check_edges(k: int, edges: Iterable[Tuple[int, int]]) -> Edges:
+    normalised = set()
+    for i, j in edges:
+        if i == j:
+            raise FormulaError("pattern graphs have no self-loops")
+        a, b = min(i, j), max(i, j)
+        if not (1 <= a < b <= k):
+            raise FormulaError(f"edge ({i},{j}) out of range for k={k}")
+        normalised.add((a, b))
+    return frozenset(normalised)
+
+
+@dataclass(frozen=True)
+class BasicClTerm:
+    """A basic cl-term of radius ``psi_radius`` and width ``k`` (Def. 6.2).
+
+    * ``variables = (y1, ..., yk)``;
+    * ``psi`` — an FO formula r-local around the variables;
+    * ``edges`` — a *connected* pattern graph G on [k];
+    * ``link_distance`` — the threshold D of ``delta_G,D`` (paper: 2r+1);
+    * ``unary`` — if True the term is ``#(y2..yk).(psi ∧ delta)`` with free
+      variable y1, otherwise the ground term ``#(y1..yk).(psi ∧ delta)``.
+    """
+
+    variables: Tuple[Variable, ...]
+    psi: Formula
+    psi_radius: int
+    link_distance: int
+    edges: Edges
+    unary: bool
+
+    def __post_init__(self) -> None:
+        k = len(self.variables)
+        if k < 1:
+            raise FormulaError("basic cl-terms have width >= 1")
+        if len(set(self.variables)) != k:
+            raise FormulaError("cl-term variables must be pairwise distinct")
+        object.__setattr__(self, "edges", _check_edges(k, self.edges))
+        if not is_connected_graph(k, self.edges):
+            raise FormulaError("basic cl-terms require a connected pattern graph")
+        if self.psi_radius < 0 or self.link_distance < 0:
+            raise FormulaError("radii must be non-negative")
+        extra = free_variables(self.psi) - set(self.variables)
+        if extra:
+            raise FormulaError(f"psi has unexpected free variables {sorted(extra)}")
+
+    # -- derived data -----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self.variables)
+
+    @property
+    def free_variable(self) -> Optional[Variable]:
+        return self.variables[0] if self.unary else None
+
+    def evaluation_radius(self) -> int:
+        """The exploration radius R of Remark 6.3: a connected pattern keeps
+        all of ``N_r(a-bar)`` inside ``N_R(a_1)`` for
+        ``R = r + (k-1) * link_distance`` (Lemma 6.1)."""
+        return self.psi_radius + (self.width - 1) * self.link_distance
+
+    def delta(self) -> Formula:
+        return delta_formula(self.variables, self.edges, self.link_distance)
+
+    def body(self) -> Formula:
+        """``psi ∧ delta_G,D`` — the counting body."""
+        return And(self.psi, self.delta())
+
+    def count_term(self) -> CountTerm:
+        """The term as a plain FOC(P) counting term (for the naive oracle)."""
+        bound = self.variables[1:] if self.unary else self.variables
+        return CountTerm(tuple(bound), self.body())
+
+    @classmethod
+    def paper(
+        cls,
+        variables: Tuple[Variable, ...],
+        psi: Formula,
+        radius: int,
+        edges: Iterable[Tuple[int, int]],
+        unary: bool = False,
+    ) -> "BasicClTerm":
+        """Definition 6.2's convention: link distance ``2r + 1``."""
+        return cls(
+            tuple(variables), psi, radius, 2 * radius + 1, frozenset(edges), unary
+        )
+
+
+@dataclass(frozen=True)
+class ClPolynomial:
+    """An integer polynomial over basic cl-terms in normal form.
+
+    ``monomials`` maps each multiset of basic terms (stored as a sorted
+    tuple) to its integer coefficient; the empty product is the constant
+    term.  Lemma 6.4's recursion only ever adds, negates and multiplies such
+    polynomials, so this normal form is closed under everything we need.
+    """
+
+    monomials: Tuple[Tuple[Tuple[BasicClTerm, ...], int], ...]
+
+    @staticmethod
+    def _normalise(
+        entries: Iterable[Tuple[Tuple[BasicClTerm, ...], int]]
+    ) -> "ClPolynomial":
+        merged: Dict[Tuple[BasicClTerm, ...], int] = {}
+        for factors, coefficient in entries:
+            key = tuple(sorted(factors, key=repr))
+            merged[key] = merged.get(key, 0) + coefficient
+        cleaned = tuple(
+            sorted(
+                ((k, c) for k, c in merged.items() if c != 0),
+                key=lambda pair: (len(pair[0]), repr(pair[0])),
+            )
+        )
+        return ClPolynomial(cleaned)
+
+    @classmethod
+    def constant(cls, value: int) -> "ClPolynomial":
+        return cls._normalise([((), value)])
+
+    @classmethod
+    def of(cls, term: BasicClTerm) -> "ClPolynomial":
+        return cls._normalise([((term,), 1)])
+
+    def __add__(self, other: "ClPolynomial") -> "ClPolynomial":
+        return self._normalise(list(self.monomials) + list(other.monomials))
+
+    def __neg__(self) -> "ClPolynomial":
+        return self._normalise([(f, -c) for f, c in self.monomials])
+
+    def __sub__(self, other: "ClPolynomial") -> "ClPolynomial":
+        return self + (-other)
+
+    def __mul__(self, other: "ClPolynomial") -> "ClPolynomial":
+        entries = []
+        for factors_a, coefficient_a in self.monomials:
+            for factors_b, coefficient_b in other.monomials:
+                entries.append((factors_a + factors_b, coefficient_a * coefficient_b))
+        return self._normalise(entries)
+
+    def basic_terms(self) -> Tuple[BasicClTerm, ...]:
+        """Distinct basic cl-terms occurring in the polynomial."""
+        seen: Dict[BasicClTerm, None] = {}
+        for factors, _ in self.monomials:
+            for factor in factors:
+                seen.setdefault(factor, None)
+        return tuple(seen)
+
+    def max_width(self) -> int:
+        return max((t.width for t in self.basic_terms()), default=0)
+
+    def max_radius(self) -> int:
+        return max((t.psi_radius for t in self.basic_terms()), default=0)
+
+    def evaluate(self, valuation: Callable[[BasicClTerm], int]) -> int:
+        """Evaluate under a valuation of the basic terms (memoised)."""
+        cache: Dict[BasicClTerm, int] = {}
+
+        def value_of(term: BasicClTerm) -> int:
+            if term not in cache:
+                cache[term] = valuation(term)
+            return cache[term]
+
+        total = 0
+        for factors, coefficient in self.monomials:
+            product = coefficient
+            for factor in factors:
+                product *= value_of(factor)
+                if product == 0:
+                    break
+            total += product
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Cover terms (Definitions 7.4 / 7.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverTerm:
+    """A cover term: pattern graph G on [k] (any), one formula per connected
+    component of G, link distance r, evaluated relative to a neighbourhood
+    cover (Definition 7.5).  When G is connected this is a basic
+    cover-cl-term (Definition 7.4).
+
+    ``component_formulas`` maps each component (frozenset of 1-based
+    positions) to its formula ``psi_I(y-bar_I)``.
+    """
+
+    variables: Tuple[Variable, ...]
+    edges: Edges
+    link_distance: int
+    component_formulas: Tuple[Tuple[FrozenSet[int], Formula], ...]
+    unary: bool
+
+    def __post_init__(self) -> None:
+        k = len(self.variables)
+        if k < 1:
+            raise FormulaError("cover terms have width >= 1")
+        if len(set(self.variables)) != k:
+            raise FormulaError("cover-term variables must be pairwise distinct")
+        object.__setattr__(self, "edges", _check_edges(k, self.edges))
+        components = graph_components(k, self.edges)
+        given = {frozenset(component) for component, _ in self.component_formulas}
+        expected = {frozenset(component) for component in components}
+        if given != expected:
+            raise FormulaError(
+                "component_formulas must cover exactly the components of G; "
+                f"expected {sorted(map(sorted, expected))}, got {sorted(map(sorted, given))}"
+            )
+        for component, formula in self.component_formulas:
+            allowed = {self.variables[i - 1] for i in component}
+            extra = free_variables(formula) - allowed
+            if extra:
+                raise FormulaError(
+                    f"psi for component {sorted(component)} mentions {sorted(extra)}"
+                )
+
+    @property
+    def width(self) -> int:
+        return len(self.variables)
+
+    def components(self) -> Tuple[FrozenSet[int], ...]:
+        return tuple(component for component, _ in self.component_formulas)
+
+    def formula_for(self, component: FrozenSet[int]) -> Formula:
+        for candidate, formula in self.component_formulas:
+            if candidate == component:
+                return formula
+        raise FormulaError(f"no formula for component {sorted(component)}")
+
+    def is_basic(self) -> bool:
+        """Connected pattern — a basic cover-cl-term (Definition 7.4)."""
+        return len(self.component_formulas) == 1
+
+    def body(self) -> Formula:
+        """``delta_G,r ∧ AND_I psi_I`` as a plain FO+ formula (for oracles)."""
+        parts: List[Formula] = [delta_formula(self.variables, self.edges, self.link_distance)]
+        for _, formula in sorted(
+            self.component_formulas, key=lambda pair: sorted(pair[0])
+        ):
+            parts.append(formula)
+        return conjunction(parts)
+
+    def count_term(self) -> CountTerm:
+        bound = self.variables[1:] if self.unary else self.variables
+        return CountTerm(tuple(bound), self.body())

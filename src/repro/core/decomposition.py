@@ -1,0 +1,400 @@
+"""The component-factorization recursion of Lemma 6.4 / Lemma 7.6, and the
+basic-local-sentence translation behind Theorem 6.8.
+
+Given a counting term whose body prescribes a connectivity pattern G and one
+formula per connected component of G (the *cover term* shape of Definition
+7.5), the recursion rewrites it into a polynomial over *basic* cl-terms
+(connected patterns only):
+
+    |S| = |S'| * |S''| - sum over H in cal-H of |T_H|            (Lemma 6.4)
+
+where S' / S'' split off the component containing position 1 and cal-H
+ranges over the pattern graphs H that keep both induced sub-patterns but add
+at least one cross edge.  Each T_H has strictly fewer components, so the
+recursion terminates in basic cl-terms.  This file implements that recursion
+*literally*, at the variable level, including the unary variant (free y1).
+
+On top of it, :func:`decompose_factored_count` handles the Lemma 6.4 use
+case our engine meets in practice: a body that is a conjunction of
+*cohesive* blocks (each block forces its variables close together — e.g. a
+positive relational atom, whose variables are Gaifman-adjacent).  Summing
+the single-pattern recursion over all admissible pattern graphs G in G_k
+yields the full count, with no Feferman–Vaught interpolation needed; the
+paper's general case (arbitrary r-local psi) differs only in *producing* the
+per-component formulas via FV, not in the counting recursion itself (see
+DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import FormulaError
+from ..logic.locality import all_graphs_on, graph_components
+from ..logic.syntax import (
+    And,
+    Atom,
+    DistAtom,
+    Eq,
+    Formula,
+    Top,
+    Variable,
+    conjunction,
+    free_variables,
+)
+from .clterms import BasicClTerm, ClPolynomial, CoverTerm, Edges
+
+Component = FrozenSet[int]
+
+
+def _induced_edges(edges: Edges, positions: Sequence[int]) -> Edges:
+    """Edges of the induced sub-pattern, relabelled to 1..len(positions)
+    following the sorted order of ``positions``."""
+    index = {position: i + 1 for i, position in enumerate(sorted(positions))}
+    return frozenset(
+        (min(index[i], index[j]), max(index[i], index[j]))
+        for i, j in edges
+        if i in index and j in index
+    )
+
+
+def _cross_edge_subsets(left: Sequence[int], right: Sequence[int]) -> Iterable[Edges]:
+    """All non-empty sets of cross edges between the two position sets."""
+    pairs = [
+        (min(i, j), max(i, j)) for i in left for j in right
+    ]
+    for size in range(1, len(pairs) + 1):
+        for subset in itertools.combinations(pairs, size):
+            yield frozenset(subset)
+
+
+def decompose_pattern(
+    variables: Tuple[Variable, ...],
+    edges: Edges,
+    component_formulas: Mapping[Component, Formula],
+    psi_radius: int,
+    link_distance: int,
+    unary: bool,
+) -> ClPolynomial:
+    """The Lemma 6.4 / 7.6 recursion for one fixed pattern graph G.
+
+    Returns a cl-term polynomial equal (for every structure) to the count of
+    tuples whose exact connectivity pattern at ``link_distance`` is G and
+    which satisfy every component formula.  ``unary`` produces the version
+    with ``variables[0]`` free.
+    """
+    k = len(variables)
+    components = [frozenset(c) for c in graph_components(k, edges)]
+    given = {frozenset(c) for c in component_formulas}
+    if given != set(components):
+        raise FormulaError(
+            "component_formulas must be indexed exactly by the components of G"
+        )
+
+    if len(components) == 1:
+        psi = component_formulas[components[0]]
+        return ClPolynomial.of(
+            BasicClTerm(variables, psi, psi_radius, link_distance, edges, unary)
+        )
+
+    # Split off the component V' containing position 1.
+    primary = next(c for c in components if 1 in c)
+    secondary_positions = sorted(set(range(1, k + 1)) - primary)
+    primary_positions = sorted(primary)
+
+    primary_vars = tuple(variables[i - 1] for i in primary_positions)
+    secondary_vars = tuple(variables[i - 1] for i in secondary_positions)
+
+    primary_index = {p: i + 1 for i, p in enumerate(primary_positions)}
+    secondary_index = {p: i + 1 for i, p in enumerate(secondary_positions)}
+
+    term_primary = decompose_pattern(
+        primary_vars,
+        _induced_edges(edges, primary_positions),
+        {frozenset(primary_index[p] for p in primary): component_formulas[primary]},
+        psi_radius,
+        link_distance,
+        unary,
+    )
+    secondary_formulas = {
+        frozenset(secondary_index[p] for p in component): component_formulas[component]
+        for component in components
+        if component != primary
+    }
+    term_secondary = decompose_pattern(
+        secondary_vars,
+        _induced_edges(edges, secondary_positions),
+        secondary_formulas,
+        psi_radius,
+        link_distance,
+        unary=False,
+    )
+
+    result = term_primary * term_secondary
+
+    # Subtract the overcount: patterns H adding cross edges between V' and V''.
+    for extra in _cross_edge_subsets(primary_positions, secondary_positions):
+        h_edges: Edges = edges | extra
+        h_components = [frozenset(c) for c in graph_components(k, h_edges)]
+        merged: Dict[Component, Formula] = {}
+        for h_component in h_components:
+            parts = [
+                component_formulas[c] for c in components if c <= h_component
+            ]
+            covered = frozenset().union(*(c for c in components if c <= h_component)) if parts else frozenset()
+            if covered != h_component:
+                raise FormulaError(
+                    "internal error: H components must be unions of G components"
+                )
+            merged[h_component] = conjunction(parts)
+        result = result - decompose_pattern(
+            variables, h_edges, merged, psi_radius, link_distance, unary
+        )
+    return result
+
+
+def decompose_cover_term(term: CoverTerm, psi_radius: int = 0) -> ClPolynomial:
+    """Lemma 7.6: rewrite a cover term into a cover-cl-term polynomial.
+
+    The returned basic terms carry the cover term's link distance; evaluated
+    against a neighbourhood cover (see :mod:`repro.core.cover_eval`) or
+    plainly (Section 6 semantics) they reproduce the cover term's count.
+    """
+    return decompose_pattern(
+        term.variables,
+        term.edges,
+        dict(term.component_formulas),
+        psi_radius,
+        term.link_distance,
+        term.unary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 6.4 for conjunctions of cohesive blocks
+# ---------------------------------------------------------------------------
+
+
+def _positions_of(block: Formula, variables: Tuple[Variable, ...]) -> FrozenSet[int]:
+    index = {variable: i + 1 for i, variable in enumerate(variables)}
+    positions = set()
+    for variable in free_variables(block):
+        if variable in index:
+            positions.add(index[variable])
+        else:
+            raise FormulaError(
+                f"block mentions {variable!r}, which is not a counted variable"
+            )
+    return frozenset(positions)
+
+
+def _piece_bound(piece: Formula) -> Optional[int]:
+    """Distance bound a single satisfied conjunct forces between its free
+    variables: atoms force co-occurrence (distance <= 1), equalities 0,
+    distance atoms their bound; anything with <= 1 free variable is
+    vacuously cohesive (bound 0).  None = not closeness-entailing."""
+    if len(free_variables(piece)) <= 1:
+        return 0
+    if isinstance(piece, Atom):
+        return 1
+    if isinstance(piece, Eq):
+        return 0
+    if isinstance(piece, DistAtom):
+        return piece.bound
+    return None
+
+
+def is_block_cohesive(block: Formula, link_distance: int) -> bool:
+    """Whether a satisfied block keeps each pair of its variables that must
+    interact within the link distance *and* chains all its variables into one
+    Gaifman-connected group.
+
+    Concretely: flatten the block into conjuncts; every multi-variable
+    conjunct must entail pairwise distance <= link_distance among its own
+    variables, and the union of the conjuncts' variable cliques must connect
+    all of the block's free variables.  Under this condition a tuple
+    satisfying the block always has all block variables in one component of
+    its connectivity pattern at the link distance, which is the exactness
+    precondition of :func:`decompose_factored_count`.
+    """
+    names = sorted(free_variables(block))
+    if len(names) <= 1:
+        return True
+    pieces: List[Formula] = []
+
+    def flatten(formula: Formula) -> None:
+        if isinstance(formula, And):
+            flatten(formula.left)
+            flatten(formula.right)
+        else:
+            pieces.append(formula)
+
+    flatten(block)
+    adjacency: Dict[Variable, set] = {name: set() for name in names}
+    for piece in pieces:
+        piece_names = sorted(free_variables(piece))
+        if len(piece_names) <= 1:
+            continue
+        bound = _piece_bound(piece)
+        if bound is None or bound > link_distance:
+            # Not closeness-entailing: contributes no pattern edges, but the
+            # block may still be glued together by its other conjuncts.
+            continue
+        for a in piece_names:
+            for b in piece_names:
+                if a != b:
+                    adjacency[a].add(b)
+    seen = {names[0]}
+    stack = [names[0]]
+    while stack:
+        node = stack.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return seen == set(names)
+
+
+def split_blocks(body: Formula, variables: Tuple[Variable, ...]) -> List[Formula]:
+    """Flatten a conjunction and regroup conjuncts that share counted
+    variables into blocks (the connected components of the sharing graph)."""
+    conjuncts: List[Formula] = []
+
+    def flatten(formula: Formula) -> None:
+        if isinstance(formula, And):
+            flatten(formula.left)
+            flatten(formula.right)
+        elif not isinstance(formula, Top):
+            conjuncts.append(formula)
+
+    flatten(body)
+    if not conjuncts:
+        return [Top()]
+
+    counted = set(variables)
+    groups: List[Tuple[set, List[Formula]]] = []
+    for conjunct in conjuncts:
+        names = free_variables(conjunct) & counted
+        touching = [g for g in groups if g[0] & names]
+        merged_names = set(names)
+        merged_formulas = [conjunct]
+        for group in touching:
+            merged_names |= group[0]
+            merged_formulas = group[1] + merged_formulas
+            groups.remove(group)
+        groups.append((merged_names, merged_formulas))
+    return [conjunction(formulas) for _, formulas in groups]
+
+
+def decompose_factored_count(
+    variables: Tuple[Variable, ...],
+    body: Formula,
+    psi_radius: int,
+    link_distance: int,
+    unary: bool = False,
+) -> ClPolynomial:
+    """Lemma 6.4 for bodies that split into cohesive blocks.
+
+    Rewrites ``#(variables).body`` (or the unary variant with
+    ``variables[0]`` free) into a cl-term polynomial, summing the
+    single-pattern recursion over every pattern graph G whose components
+    respect the blocks.  Raises :class:`~repro.errors.FormulaError` when a
+    multi-variable block is not cohesive (its satisfaction would not confine
+    its variables within the link distance) — the exactness precondition.
+    """
+    k = len(variables)
+    if k < 1:
+        raise FormulaError("need at least one counted variable")
+    if link_distance < 1:
+        raise FormulaError("the block decomposition needs link distance >= 1")
+    blocks = split_blocks(body, variables)
+
+    block_positions: List[FrozenSet[int]] = []
+    sentence_blocks: List[Formula] = []
+    positional_blocks: List[Tuple[FrozenSet[int], Formula]] = []
+    for block in blocks:
+        positions = _positions_of(block, variables)
+        if not positions:
+            sentence_blocks.append(block)
+            continue
+        if len(positions) > 1 and not is_block_cohesive(block, link_distance):
+            raise FormulaError(
+                "block is not cohesive within the link distance; "
+                "exact factorised decomposition does not apply: "
+                f"{block!r}"
+            )
+        positional_blocks.append((positions, block))
+        block_positions.append(positions)
+
+    result = ClPolynomial.constant(0)
+    for edges in all_graphs_on(k):
+        components = [frozenset(c) for c in graph_components(k, edges)]
+        # admissible: every block lies inside one component
+        placement: Dict[int, Component] = {}
+        admissible = True
+        for positions, _ in positional_blocks:
+            homes = [c for c in components if positions <= c]
+            if not homes:
+                admissible = False
+                break
+        if not admissible:
+            continue
+        component_formulas: Dict[Component, Formula] = {}
+        for component in components:
+            parts = [
+                block for positions, block in positional_blocks if positions <= component
+            ]
+            if 1 in component:
+                parts = list(sentence_blocks) + parts
+            component_formulas[component] = conjunction(parts)
+        result = result + decompose_pattern(
+            tuple(variables), edges, component_formulas, psi_radius, link_distance, unary
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.8: basic local sentences as "g >= 1" statements
+# ---------------------------------------------------------------------------
+
+
+def basic_local_sentence_polynomial(sentence, psi_radius: "Optional[int]" = None) -> ClPolynomial:
+    """Theorem 6.8's key step: translate a basic local sentence
+
+        chi = exists y1..yk ( AND_{i<j} dist(yi, yj) > 2r  AND  psi(yi) )
+
+    into a ground cl-term polynomial ``g-hat`` with ``A |= chi  iff
+    g-hat^A >= 1``.  The scattered tuples are exactly the tuples whose
+    connectivity pattern at link distance 2r is the edgeless graph, so the
+    single-pattern recursion applies with singleton components.
+
+    ``sentence`` is a :class:`repro.logic.locality.ScatteredSentence` whose
+    ``psi`` is ``psi_radius``-local (Definition 6.6's r; for a basic local
+    sentence ``min_distance = 2r``, which is the default when ``psi_radius``
+    is not given).
+    """
+    from ..logic.locality import ScatteredSentence
+    from ..logic.transform import rename_free
+
+    if not isinstance(sentence, ScatteredSentence):
+        raise FormulaError("expected a ScatteredSentence")
+    if psi_radius is None:
+        psi_radius = max(sentence.min_distance // 2, 1)
+    k = sentence.count
+    variables = tuple(f"{sentence.variable}_{i}" for i in range(1, k + 1))
+    component_formulas = {
+        frozenset({i}): rename_free(
+            sentence.psi, {sentence.variable: variables[i - 1]}
+        )
+        for i in range(1, k + 1)
+    }
+    link = max(sentence.min_distance, 1)
+    return decompose_pattern(
+        variables,
+        frozenset(),
+        component_formulas,
+        psi_radius,
+        link,
+        unary=False,
+    )

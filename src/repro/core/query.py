@@ -1,0 +1,207 @@
+"""FOC1(P)-queries (Definition 5.2) and the Section 5 free-variable
+elimination.
+
+A query ``{ (x1..xk, t1..tl) : phi }`` returns, on a structure A, all tuples
+``(a-bar, n-bar)`` with ``A |= phi[a-bar]`` and ``n_j = t_j^A[a-bar]``.
+
+Section 5 reduces evaluating such a query at a fixed tuple ``a-bar`` to
+sentences and ground terms over the expanded signature
+``sigma-tilde = sigma ∪ {X1..Xk}`` where each ``X_i`` is interpreted by the
+singleton ``{a_i}``:
+
+* ``phi-tilde = exists x1..xk (AND X_i(x_i) ∧ phi)``;
+* in each ``t_j``, every top-level counting term ``#y-bar.theta`` becomes
+  ``#y-bar. exists x1..xk (AND X_i(x_i) ∧ theta)``.
+
+Both constructions are implemented literally and property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import FormulaError, FragmentError
+from ..logic.foc1 import assert_foc1
+from ..logic.predicates import PredicateCollection
+from ..logic.semantics import evaluate, satisfies
+from ..logic.syntax import (
+    Add,
+    And,
+    Atom,
+    CountTerm,
+    Exists,
+    Formula,
+    IntTerm,
+    Mul,
+    Term,
+    Variable,
+    conjunction,
+    exists_block,
+    free_variables,
+    is_sentence,
+)
+from ..structures.operations import pin_elements
+from ..structures.structure import Element, Structure
+
+
+def pin_name(variable: Variable) -> str:
+    """The fresh unary symbol ``X_i`` used to pin ``variable``."""
+    return f"X__{variable}"
+
+
+@dataclass(frozen=True)
+class Foc1Query:
+    """``{ (x1..xk, t1..tl) : phi }`` — Definition 5.2.
+
+    ``head_variables`` may be empty (purely aggregating queries, like the
+    two-COUNTs example of 5.3) and ``head_terms`` may be empty (plain
+    relational queries).
+    """
+
+    head_variables: Tuple[Variable, ...]
+    head_terms: Tuple[Term, ...] = ()
+    condition: Formula = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.condition is None:
+            raise FormulaError("a query needs a condition formula")
+        if len(set(self.head_variables)) != len(self.head_variables):
+            raise FormulaError("head variables must be pairwise distinct")
+        head = set(self.head_variables)
+        condition_free = free_variables(self.condition)
+        if condition_free != head:
+            raise FormulaError(
+                f"free(phi) must equal the head variables; phi has "
+                f"{sorted(condition_free)}, head is {sorted(head)}"
+            )
+        for term in self.head_terms:
+            extra = free_variables(term) - head
+            if extra:
+                raise FormulaError(
+                    f"head term mentions non-head variables {sorted(extra)}"
+                )
+
+    def validate_foc1(self) -> None:
+        """Raise :class:`~repro.errors.FragmentError` if any part of the
+        query leaves the FOC1(P) fragment."""
+        assert_foc1(self.condition)
+        for term in self.head_terms:
+            assert_foc1(term)
+
+    # -- naive evaluation (the reference oracle) --------------------------------
+
+    def evaluate_naive(
+        self,
+        structure: Structure,
+        predicates: "Optional[PredicateCollection]" = None,
+    ) -> List[Tuple]:
+        """``q(A)`` by brute-force enumeration of head-variable tuples."""
+        import itertools
+
+        results: List[Tuple] = []
+        universe = list(structure.universe_order)
+        for tup in itertools.product(universe, repeat=len(self.head_variables)):
+            assignment = dict(zip(self.head_variables, tup))
+            if not satisfies(structure, self.condition, assignment, predicates):
+                continue
+            values = tuple(
+                evaluate(term, structure, assignment, predicates)
+                for term in self.head_terms
+            )
+            results.append(tup + values)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Section 5 free-variable elimination
+# ---------------------------------------------------------------------------
+
+
+def pinned_structure(
+    structure: Structure,
+    head_variables: Sequence[Variable],
+    elements: Sequence[Element],
+) -> Structure:
+    """The sigma-tilde expansion: ``X_i`` interpreted as ``{a_i}``."""
+    if len(head_variables) != len(elements):
+        raise FormulaError("one pinned element per head variable, please")
+    return pin_elements(
+        structure,
+        {pin_name(v): a for v, a in zip(head_variables, elements)},
+    )
+
+
+def _pin_guard(head_variables: Sequence[Variable]) -> Formula:
+    return conjunction(
+        Atom(pin_name(variable), (variable,)) for variable in head_variables
+    )
+
+
+def pinned_sentence(formula: Formula, head_variables: Sequence[Variable]) -> Formula:
+    """``phi-tilde := exists x1..xk (AND X_i(x_i) ∧ phi)`` — a sentence over
+    sigma-tilde with ``A-tilde |= phi-tilde iff A |= phi[a-bar]``."""
+    extra = free_variables(formula) - set(head_variables)
+    if extra:
+        raise FormulaError(f"formula has unpinned free variables {sorted(extra)}")
+    body = And(_pin_guard(head_variables), formula) if head_variables else formula
+    return exists_block(head_variables, body)
+
+
+def pinned_ground_term(term: Term, head_variables: Sequence[Variable]) -> Term:
+    """``t-tilde``: wrap every top-level counting term so it is ground.
+
+    Per Section 5, ``#y-bar.theta(x-bar, y-bar)`` becomes
+    ``#y-bar. exists x-bar (AND X_i(x_i) ∧ theta)``.
+    """
+    head = list(head_variables)
+
+    def rewrite(node: Term) -> Term:
+        if isinstance(node, IntTerm):
+            return node
+        if isinstance(node, Add):
+            return Add(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, Mul):
+            return Mul(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, CountTerm):
+            clash = set(node.variables) & set(head)
+            if clash:
+                # A counting term may bind a head-variable name; alpha-rename
+                # its binder so the exists-wrap below cannot capture it.
+                from ..logic.syntax import all_variables
+                from ..logic.transform import fresh_variable, rename_free
+
+                taken = set(all_variables(node)) | set(head)
+                mapping = {}
+                for name in sorted(clash):
+                    fresh = fresh_variable(name, taken)
+                    taken.add(fresh)
+                    mapping[name] = fresh
+                renamed_inner = rename_free(node.inner, mapping)
+                node = CountTerm(
+                    tuple(mapping.get(v, v) for v in node.variables),
+                    renamed_inner,  # type: ignore[arg-type]
+                )
+            body = And(_pin_guard(head), node.inner) if head else node.inner
+            return CountTerm(node.variables, exists_block(head, body))
+        raise FormulaError(f"unexpected term node {type(node).__name__}")
+
+    result = rewrite(term)
+    if free_variables(result):
+        raise FormulaError("pinning failed to close the term")
+    return result
+
+
+def eliminate_free_variables(
+    query: Foc1Query,
+    structure: Structure,
+    elements: Sequence[Element],
+) -> Tuple[Structure, Formula, Tuple[Term, ...]]:
+    """The full Section 5 package for one candidate tuple ``a-bar``:
+    returns ``(A-tilde, phi-tilde, (t-tilde_1, ..., t-tilde_l))``."""
+    expanded = pinned_structure(structure, query.head_variables, elements)
+    sentence = pinned_sentence(query.condition, query.head_variables)
+    terms = tuple(
+        pinned_ground_term(term, query.head_variables) for term in query.head_terms
+    )
+    return expanded, sentence, terms

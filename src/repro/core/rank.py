@@ -1,0 +1,106 @@
+"""The two-parameter q-rank measure for FO+ (Section 7).
+
+The paper fine-tunes how much a distance atom ``dist(x,y) <= d`` may cost:
+an FO+ formula has *q-rank at most l* if its quantifier rank is at most l
+and every distance atom in the scope of ``i <= l`` quantifiers has bound
+``d <= (4q)^(q + l - i)``.  The threshold function is ``f_q(l) = (4q)^(q+l)``.
+
+This module implements the measure exactly, plus helpers the rank-preserving
+machinery (Theorem 7.1, Lemmas 7.8/7.9) uses: checking membership, computing
+the minimal admissible ``l``, and the radius bookkeeping ``r = f_q(l)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import FormulaError
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+
+
+def fq(q: int, level: int) -> int:
+    """``f_q(l) = (4q)^(q+l)`` — the radius scale of Section 7."""
+    if q < 1:
+        raise FormulaError("q must be at least 1")
+    if level < 0:
+        raise FormulaError("level must be non-negative")
+    return (4 * q) ** (q + level)
+
+
+def _walk(formula: Formula, depth: int, record: List[Tuple[int, int]]) -> int:
+    """Return quantifier rank; record (quantifier_depth, bound) per dist atom."""
+    if isinstance(formula, (Eq, Atom, Top, Bottom)):
+        return 0
+    if isinstance(formula, DistAtom):
+        record.append((depth, formula.bound))
+        return 0
+    if isinstance(formula, Not):
+        return _walk(formula.inner, depth, record)
+    if isinstance(formula, (Or, And, Implies, Iff)):
+        return max(
+            _walk(formula.left, depth, record),
+            _walk(formula.right, depth, record),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + _walk(formula.inner, depth + 1, record)
+    raise FormulaError(
+        f"q-rank is defined for FO+ formulas; found {type(formula).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class QRankReport:
+    """Diagnostics for the q-rank check of one formula."""
+
+    quantifier_rank: int
+    distance_atoms: Tuple[Tuple[int, int], ...]  # (scope depth i, bound d)
+    q: int
+    level: int
+    within: bool
+
+
+def q_rank_report(formula: Formula, q: int, level: int) -> QRankReport:
+    """Check whether ``formula`` has q-rank at most ``level`` and report why."""
+    record: List[Tuple[int, int]] = []
+    rank = _walk(formula, 0, record)
+    within = rank <= level and all(
+        depth <= level and bound <= fq(q, level - depth)
+        for depth, bound in record
+    )
+    return QRankReport(rank, tuple(record), q, level, within)
+
+
+def has_q_rank(formula: Formula, q: int, level: int) -> bool:
+    """``formula`` has q-rank at most ``level`` (w.r.t. the parameter q)."""
+    return q_rank_report(formula, q, level).within
+
+
+def minimal_level(formula: Formula, q: int, cap: int = 32) -> Optional[int]:
+    """Smallest l <= cap with q-rank at most l, or None if no l <= cap works."""
+    for level in range(cap + 1):
+        if has_q_rank(formula, q, level):
+            return level
+    return None
+
+
+def admissible_distance_bound(q: int, level: int, depth: int) -> int:
+    """The largest bound a distance atom at quantifier depth ``depth`` may
+    carry inside a formula of q-rank ``level``: ``(4q)^(q + level - depth)``."""
+    if depth > level:
+        raise FormulaError("distance atoms deeper than the rank are inadmissible")
+    return fq(q, level - depth)

@@ -1,0 +1,21 @@
+"""SQL-COUNT facade over relational structures (Example 5.3)."""
+
+from .schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Schema, Table
+from .database import Database, constant_relation_name
+from .sqlcount import (
+    SqlCountQuery,
+    group_by_count,
+    join_group_count,
+    reference_group_by_count,
+    reference_join_group_count,
+    reference_total_counts,
+    total_counts,
+)
+from .aggregates import (
+    AGGREGATES,
+    AggregateQuery,
+    group_by_aggregate,
+    reference_group_by_aggregate,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,145 @@
+"""Beyond COUNT: SUM / AVG / MIN / MAX — the paper's open question (1).
+
+Section 9 asks whether the FOC1(P) approach generalises to further SQL
+aggregates.  Counting is special: ``#y-bar.phi`` is a *logical* term.  SUM
+and friends additionally need the *values* stored in the database, which
+plain relational structures only carry as uninterpreted universe elements.
+
+This module prototypes the natural architecture: the FOC1(P) machinery
+does everything logical (defining the groups and enumerating the witness
+rows via the engine's guarded solution enumeration), and a thin fold on top
+interprets one column's values as integers and aggregates them.  The logic
+stays inside FOC1(P); only the final fold steps outside — which is exactly
+the boundary the open question is about.
+
+Semantics note: structures are *sets* of tuples, so a row is identified by
+its key column (default: the table's first column).  Aggregation is over
+the distinct (key, value) pairs of each group — SQL's bag semantics under
+the usual "key is a key" assumption, same as the COUNT queries of
+Example 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.evaluator import Foc1Evaluator
+from ..errors import EvaluationError, SignatureError
+from ..logic.syntax import Formula, exists_block
+from .database import Database, Value
+from .schema import Table
+from .sqlcount import _table_atom
+
+AGGREGATES: Dict[str, Callable[[List[int]], float]] = {
+    "sum": lambda values: sum(values),
+    "avg": lambda values: sum(values) / len(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+    "count": lambda values: len(values),
+}
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT group_columns, AGG(target_column) FROM table GROUP BY ...``.
+
+    The group condition and the witness enumeration are FOC1(P); the fold
+    over ``target_column`` values is the post-processing layer.
+    """
+
+    table: Table
+    group_columns: Tuple[str, ...]
+    target_column: str
+    operation: str
+    key_column: str
+
+    def __post_init__(self) -> None:
+        if self.operation not in AGGREGATES:
+            raise SignatureError(
+                f"unknown aggregate {self.operation!r}; "
+                f"available: {sorted(AGGREGATES)}"
+            )
+        for column in (*self.group_columns, self.target_column, self.key_column):
+            self.table.position(column)
+        if self.target_column in self.group_columns:
+            raise SignatureError("target column cannot be grouped")
+
+    def witness_formula(self) -> Tuple[Formula, Tuple[str, ...]]:
+        """The FOC1 witness formula phi(g-bar, key, target) and its variable
+        order: one row of the table per solution."""
+        bindings = {column: f"g_{column}" for column in self.group_columns}
+        bindings[self.key_column] = "row_key"
+        bindings[self.target_column] = "row_value"
+        atom, helpers = _table_atom(self.table, bindings)
+        formula = exists_block(helpers, atom)
+        variables = tuple(bindings[c] for c in self.group_columns) + (
+            "row_key",
+            "row_value",
+        )
+        return formula, variables
+
+    def execute(
+        self,
+        database: Database,
+        evaluator: "Optional[Foc1Evaluator]" = None,
+    ) -> List[Tuple]:
+        """Rows ``group_values + (aggregate,)``, sorted by group."""
+        structure = database.to_structure()
+        engine = evaluator if evaluator is not None else Foc1Evaluator()
+        formula, variables = self.witness_formula()
+        groups: Dict[Tuple, Dict[Value, int]] = {}
+        group_arity = len(self.group_columns)
+        for solution in engine.solutions(structure, formula, variables):
+            key = solution[:group_arity]
+            row_key, row_value = solution[group_arity], solution[group_arity + 1]
+            if self.operation != "count" and not isinstance(row_value, int):
+                raise EvaluationError(
+                    f"aggregate {self.operation} needs integer values; "
+                    f"column {self.target_column} holds {row_value!r}"
+                )
+            groups.setdefault(key, {})[row_key] = row_value
+        fold = AGGREGATES[self.operation]
+        return sorted(
+            key + (fold(list(per_row.values())),) for key, per_row in groups.items()
+        )
+
+
+def group_by_aggregate(
+    table: Table,
+    group_columns: Sequence[str],
+    target_column: str,
+    operation: str,
+    key_column: "Optional[str]" = None,
+) -> AggregateQuery:
+    """Build an :class:`AggregateQuery` (key column defaults to the first)."""
+    return AggregateQuery(
+        table=table,
+        group_columns=tuple(group_columns),
+        target_column=target_column,
+        operation=operation,
+        key_column=key_column if key_column is not None else table.columns[0],
+    )
+
+
+def reference_group_by_aggregate(
+    database: Database,
+    table: Table,
+    group_columns: Sequence[str],
+    target_column: str,
+    operation: str,
+    key_column: "Optional[str]" = None,
+) -> List[Tuple]:
+    """Plain-Python oracle with the same (key, value) semantics."""
+    key_column = key_column if key_column is not None else table.columns[0]
+    group_positions = [table.position(c) for c in group_columns]
+    target = table.position(target_column)
+    key = table.position(key_column)
+    groups: Dict[Tuple, Dict[Value, int]] = {}
+    for row in database.rows(table.name):
+        group = tuple(row[p] for p in group_positions)
+        groups.setdefault(group, {})[row[key]] = row[target]
+    fold = AGGREGATES[operation]
+    return sorted(
+        group + (fold(list(per_row.values())),) for group, per_row in groups.items()
+    )

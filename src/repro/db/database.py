@@ -1,0 +1,105 @@
+"""In-memory databases and their encoding as sigma-structures.
+
+A :class:`Database` is a tuple store over a :class:`~repro.db.schema.Schema`
+with set semantics (the paper works with relational structures, i.e. sets of
+tuples).  ``to_structure`` produces the sigma-structure whose universe is
+the active domain, optionally expanded with singleton "constant" relations —
+the paper's ``R_Berlin`` device for expressing ``City = 'Berlin'`` in a
+logic without constants (Example 5.3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import ArityError, SignatureError, UniverseError
+from ..structures.signature import RelationSymbol, Signature
+from ..structures.structure import Structure
+from .schema import Schema
+
+Value = Hashable
+Row = Tuple[Value, ...]
+
+
+def constant_relation_name(value: Value) -> str:
+    """Deterministic, identifier-safe name for the constant relation of a
+    value: ``Const__<sanitised>__<hashless suffix>``."""
+    text = re.sub(r"[^A-Za-z0-9]", "_", str(value))[:24]
+    return f"Const__{text}"
+
+
+class Database:
+    """A mutable tuple store; freeze into a structure with ``to_structure``."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._rows: Dict[str, Set[Row]] = {t.name: set() for t in schema.tables}
+
+    def insert(self, table: str, *rows: Iterable[Value]) -> None:
+        spec = self.schema.table(table)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != spec.arity:
+                raise ArityError(
+                    f"row {tup!r} has {len(tup)} values, table {table} has "
+                    f"{spec.arity} columns"
+                )
+            self._rows[table].add(tup)
+
+    def insert_dicts(self, table: str, *rows: Mapping[str, Value]) -> None:
+        spec = self.schema.table(table)
+        for row in rows:
+            extra = set(row) - set(spec.columns)
+            if extra:
+                raise SignatureError(f"unknown columns {sorted(extra)} for {table}")
+            missing = set(spec.columns) - set(row)
+            if missing:
+                raise SignatureError(f"missing columns {sorted(missing)} for {table}")
+            self.insert(table, tuple(row[c] for c in spec.columns))
+
+    def rows(self, table: str) -> FrozenSet[Row]:
+        self.schema.table(table)
+        return frozenset(self._rows[table])
+
+    def row_count(self, table: str) -> int:
+        return len(self.rows(table))
+
+    def active_domain(self) -> List[Value]:
+        """All values occurring anywhere, in deterministic order."""
+        seen: Dict[Value, None] = {}
+        for table in self.schema.tables:
+            for row in sorted(self._rows[table.name], key=repr):
+                for value in row:
+                    seen.setdefault(value, None)
+        return list(seen)
+
+    def to_structure(self, constants: Iterable[Value] = ()) -> Structure:
+        """Encode as a sigma-structure over the active domain.
+
+        ``constants`` lists values that should additionally get singleton
+        unary relations (named by :func:`constant_relation_name`), so
+        conditions like ``City = 'Berlin'`` become relation atoms.  A
+        requested constant must occur in the database (structures have no
+        interpretation for absent values) — a missing one raises
+        :class:`~repro.errors.UniverseError`.
+        """
+        domain = self.active_domain()
+        if not domain:
+            raise UniverseError("cannot encode an empty database as a structure")
+        domain_set = set(domain)
+        symbols = list(self.schema.signature())
+        relations: Dict[str, Iterable[Row]] = {
+            table.name: self._rows[table.name] for table in self.schema.tables
+        }
+        for value in constants:
+            if value not in domain_set:
+                raise UniverseError(
+                    f"constant {value!r} does not occur in the database"
+                )
+            name = constant_relation_name(value)
+            if any(s.name == name for s in symbols):
+                continue
+            symbols.append(RelationSymbol(name, 1))
+            relations[name] = {(value,)}
+        return Structure(Signature(symbols), domain, relations)

@@ -1,0 +1,79 @@
+"""Relational schemas for the SQL-COUNT facade (Example 5.3).
+
+The paper identifies a database schema with a relational signature; here a
+:class:`Table` adds column *names* on top of a relation symbol so the
+SQL-style helpers in :mod:`repro.db.sqlcount` can speak in terms of columns
+rather than argument positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SignatureError
+from ..structures.signature import RelationSymbol, Signature
+
+
+@dataclass(frozen=True)
+class Table:
+    """A named relation with named columns (set semantics, like the paper)."""
+
+    name: str
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SignatureError(f"table {self.name!r} needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise SignatureError(f"table {self.name!r} has duplicate column names")
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def position(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise SignatureError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"columns are {list(self.columns)}"
+            ) from None
+
+    @property
+    def symbol(self) -> RelationSymbol:
+        return RelationSymbol(self.name, self.arity)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A collection of tables — the paper's database schema."""
+
+    tables: Tuple[Table, ...]
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tables]
+        if len(set(names)) != len(names):
+            raise SignatureError("duplicate table names in schema")
+        object.__setattr__(self, "tables", tuple(self.tables))
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise SignatureError(f"schema has no table {name!r}")
+
+    def signature(self) -> Signature:
+        return Signature(t.symbol for t in self.tables)
+
+
+#: The running schema of Example 5.3.
+CUSTOMER = Table(
+    "Customer", ("Id", "FirstName", "LastName", "City", "Country", "Phone")
+)
+ORDER = Table(
+    "Order_", ("Id", "OrderDate", "OrderNumber", "CustomerId", "TotalAmount")
+)
+EXAMPLE_5_3_SCHEMA = Schema((CUSTOMER, ORDER))

@@ -1,0 +1,260 @@
+"""SQL COUNT idioms compiled to FOC1(P)-queries (Example 5.3).
+
+Three shapes, mirroring the paper's three SQL statements:
+
+* :func:`group_by_count` — ``SELECT g, COUNT(c) FROM T GROUP BY g``;
+* :func:`total_counts` — scalar ``COUNT(*)`` over several tables at once;
+* :func:`join_group_count` — grouped counts over a filtered equi-join
+  (the "orders per customer in Berlin" query).
+
+Each builder returns a :class:`~repro.core.query.Foc1Query` plus enough
+metadata to execute it on a database encoding; the matching
+``reference_*`` functions compute the same answers with plain Python, which
+the tests and benchmark E9 compare against.
+
+Because structures are sets of tuples, the semantics is SQL's under the
+assumption that the counted column is a key (COUNT of *distinct* witnesses
+otherwise) — the paper's Example 5.3 makes the same identification.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.evaluator import Foc1Evaluator
+from ..core.query import Foc1Query
+from ..errors import SignatureError
+from ..logic.syntax import (
+    Atom,
+    CountTerm,
+    Formula,
+    Term,
+    Top,
+    conjunction,
+    exists_block,
+)
+from .database import Database, Value, constant_relation_name
+from .schema import Table
+
+
+def _table_atom(table: Table, bindings: Mapping[str, str]) -> Tuple[Atom, List[str]]:
+    """Atom for ``table`` with given column -> variable bindings; returns the
+    atom and the helper variables used for unbound columns."""
+    args: List[str] = []
+    helpers: List[str] = []
+    for column in table.columns:
+        if column in bindings:
+            args.append(bindings[column])
+        else:
+            helper = f"_h_{table.name}_{column}"
+            args.append(helper)
+            helpers.append(helper)
+    return Atom(table.name, tuple(args)), helpers
+
+
+@dataclass(frozen=True)
+class SqlCountQuery:
+    """A compiled SQL-COUNT query: the FOC1 query plus execution metadata."""
+
+    query: Foc1Query
+    #: constant values that must be materialised as unary relations
+    constants: Tuple[Value, ...] = ()
+    description: str = ""
+
+    def execute(
+        self,
+        database: Database,
+        evaluator: "Optional[Foc1Evaluator]" = None,
+    ) -> List[Tuple]:
+        """Run against a database (encoding it on the fly)."""
+        structure = database.to_structure(self.constants)
+        engine = evaluator if evaluator is not None else Foc1Evaluator()
+        return engine.evaluate_query(structure, self.query)
+
+
+def group_by_count(
+    table: Table,
+    group_columns: Sequence[str],
+    counted_column: str,
+    require_group_exists: bool = True,
+) -> SqlCountQuery:
+    """``SELECT group_columns, COUNT(counted_column) FROM table GROUP BY ...``.
+
+    With ``require_group_exists`` (SQL semantics) only value combinations
+    present in the table are returned; without it the query follows the
+    paper's literal formulation ``phi(xco) := xco = xco``, which grades
+    *every* domain element (including count 0).
+    """
+    for column in list(group_columns) + [counted_column]:
+        table.position(column)
+    if counted_column in group_columns:
+        raise SignatureError("counted column cannot be a group column")
+
+    group_vars = {column: f"g_{column}" for column in group_columns}
+    count_var = f"c_{counted_column}"
+
+    bindings = dict(group_vars)
+    bindings[counted_column] = count_var
+    atom, helpers = _table_atom(table, bindings)
+    body = exists_block(helpers, atom)
+    term: Term = CountTerm((count_var,), body)
+
+    head = tuple(group_vars[column] for column in group_columns)
+    if require_group_exists:
+        exist_atom, exist_helpers = _table_atom(table, dict(group_vars))
+        condition: Formula = exists_block(exist_helpers, exist_atom)
+    else:
+        # The paper's literal formulation: phi(x_co) := x_co = x_co.
+        from ..logic.syntax import Eq
+
+        condition = conjunction([Eq(v, v) for v in head])
+    query = Foc1Query(head_variables=head, head_terms=(term,), condition=condition)
+    return SqlCountQuery(
+        query=query,
+        description=(
+            f"SELECT {', '.join(group_columns)}, COUNT({counted_column}) "
+            f"FROM {table.name} GROUP BY {', '.join(group_columns)}"
+        ),
+    )
+
+
+def total_counts(tables: Sequence[Table]) -> SqlCountQuery:
+    """Scalar ``COUNT(*)`` over each table, in one query (Example 5.3 #2)."""
+    terms: List[Term] = []
+    for table in tables:
+        variables = tuple(f"t_{table.name}_{c}" for c in table.columns)
+        terms.append(CountTerm(variables, Atom(table.name, variables)))
+    query = Foc1Query(head_variables=(), head_terms=tuple(terms), condition=Top())
+    return SqlCountQuery(
+        query=query,
+        description="SELECT "
+        + ", ".join(f"(SELECT COUNT(*) FROM {t.name})" for t in tables),
+    )
+
+
+def join_group_count(
+    left: Table,
+    right: Table,
+    join: Tuple[str, str],
+    group_columns: Sequence[str],
+    counted_column: str,
+    filters: Sequence[Tuple[str, Value]] = (),
+) -> SqlCountQuery:
+    """Grouped counts over a filtered equi-join (Example 5.3 #3).
+
+    ``join = (left_column, right_column)``; ``group_columns`` come from the
+    left table; ``counted_column`` from the right; ``filters`` are
+    ``(left_column, constant)`` equality conditions realised through the
+    constant-relation device.
+    """
+    left_join, right_join = join
+    left.position(left_join)
+    right.position(right_join)
+    for column in group_columns:
+        left.position(column)
+    right.position(counted_column)
+
+    group_vars = {column: f"g_{column}" for column in group_columns}
+    join_var = f"j_{left_join}"
+    count_var = f"c_{counted_column}"
+
+    # Condition: the group exists on the (filtered) left table.
+    condition_bindings = dict(group_vars)
+    filter_atoms: List[Formula] = []
+    for column, value in filters:
+        position = left.position(column)
+        variable = condition_bindings.get(column, f"f_{column}")
+        condition_bindings[column] = variable
+        filter_atoms.append(Atom(constant_relation_name(value), (variable,)))
+    condition_atom, condition_helpers = _table_atom(left, condition_bindings)
+    bound_condition_vars = [
+        v for v in condition_bindings.values() if v not in group_vars.values()
+    ] + condition_helpers
+    condition = exists_block(
+        bound_condition_vars, conjunction([condition_atom] + filter_atoms)
+    )
+
+    # Count term: right-rows joined to a left-row matching group and filters.
+    left_bindings = dict(condition_bindings)
+    left_bindings[left_join] = join_var
+    left_atom, left_helpers = _table_atom(left, left_bindings)
+    right_bindings = {right_join: join_var, counted_column: count_var}
+    right_atom, right_helpers = _table_atom(right, right_bindings)
+    inner = conjunction([right_atom, left_atom] + filter_atoms)
+    bound = (
+        [join_var]
+        + [v for v in left_bindings.values() if v.startswith("f_")]
+        + left_helpers
+        + right_helpers
+    )
+    term = CountTerm((count_var,), exists_block(bound, inner))
+
+    head = tuple(group_vars[column] for column in group_columns)
+    query = Foc1Query(head_variables=head, head_terms=(term,), condition=condition)
+    constants = tuple(value for _, value in filters)
+    return SqlCountQuery(
+        query=query,
+        constants=constants,
+        description=(
+            f"SELECT {', '.join(group_columns)}, COUNT({right.name}.{counted_column}) "
+            f"FROM {left.name}, {right.name} WHERE ... GROUP BY ..."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pure-Python reference implementations (the E9 oracle)
+# ---------------------------------------------------------------------------
+
+
+def reference_group_by_count(
+    database: Database,
+    table: Table,
+    group_columns: Sequence[str],
+    counted_column: str,
+) -> List[Tuple]:
+    positions = [table.position(c) for c in group_columns]
+    counted = table.position(counted_column)
+    groups: Dict[Tuple, set] = defaultdict(set)
+    for row in database.rows(table.name):
+        groups[tuple(row[p] for p in positions)].add(row[counted])
+    return sorted(
+        (key + (len(values),)) for key, values in groups.items()
+    )
+
+
+def reference_total_counts(database: Database, tables: Sequence[Table]) -> Tuple:
+    return tuple(database.row_count(t.name) for t in tables)
+
+
+def reference_join_group_count(
+    database: Database,
+    left: Table,
+    right: Table,
+    join: Tuple[str, str],
+    group_columns: Sequence[str],
+    counted_column: str,
+    filters: Sequence[Tuple[str, Value]] = (),
+) -> List[Tuple]:
+    left_join = left.position(join[0])
+    right_join = right.position(join[1])
+    group_positions = [left.position(c) for c in group_columns]
+    counted = right.position(counted_column)
+    filter_positions = [(left.position(c), v) for c, v in filters]
+
+    kept_left = [
+        row
+        for row in database.rows(left.name)
+        if all(row[p] == v for p, v in filter_positions)
+    ]
+    groups: Dict[Tuple, set] = {
+        tuple(row[p] for p in group_positions): set() for row in kept_left
+    }
+    for left_row in kept_left:
+        key = tuple(left_row[p] for p in group_positions)
+        for right_row in database.rows(right.name):
+            if right_row[right_join] == left_row[left_join]:
+                groups[key].add(right_row[counted])
+    return sorted(key + (len(values),) for key, values in groups.items())

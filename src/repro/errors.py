@@ -1,0 +1,69 @@
+"""Typed exceptions shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while tests can pin
+down the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SignatureError(ReproError):
+    """A relation symbol or signature was used inconsistently.
+
+    Raised for duplicate symbol names, negative arities, or references to
+    symbols that are not part of the signature at hand.
+    """
+
+
+class ArityError(ReproError):
+    """A tuple's length does not match the arity of its relation symbol."""
+
+
+class UniverseError(ReproError):
+    """A structure's universe is invalid (empty) or an element is missing."""
+
+
+class ParseError(ReproError):
+    """The FOC(P) parser rejected its input.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which the error was detected, or
+        ``None`` when the failure is not tied to a specific location.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        super().__init__(message if position is None else f"{message} (at position {position})")
+        self.position = position
+
+
+class FormulaError(ReproError):
+    """A formula or counting term is structurally malformed.
+
+    Examples: a counting term binding the same variable twice, a numerical
+    predicate applied to the wrong number of terms, or a relation atom whose
+    symbol does not belong to the expected signature.
+    """
+
+
+class FragmentError(ReproError):
+    """An expression lies outside the syntactic fragment an engine supports.
+
+    In particular, feeding a full-FOC(P) formula that violates rule (4')
+    of Definition 5.1 to the FOC1(P) evaluator raises this error.
+    """
+
+
+class EvaluationError(ReproError):
+    """Evaluation failed: unbound free variable, missing relation, etc."""
+
+
+class PredicateError(ReproError):
+    """A numerical predicate was applied to arguments of the wrong arity,
+    or a predicate name is not part of the active collection."""

@@ -1,0 +1,28 @@
+"""Section 4 hardness reductions: FO on graphs -> FOC({P=}) on trees and
+strings.  The constructive content of Theorems 4.1 and 4.3 — and the reason
+FOC(P) must be restricted to FOC1(P) for tractability."""
+
+from .tree_reduction import (
+    TreeReduction,
+    build_tree,
+    psi_a,
+    psi_b,
+    psi_c,
+    psi_e,
+    psi_edge,
+)
+from .tree_reduction import reduce_instance as reduce_to_tree
+from .tree_reduction import translate_sentence as translate_for_tree
+from .string_reduction import (
+    StringReduction,
+    build_string,
+    is_a,
+    is_b,
+    is_c,
+    run_term,
+    same_block,
+)
+from .string_reduction import reduce_instance as reduce_to_string
+from .string_reduction import translate_sentence as translate_for_string
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,211 @@
+"""Theorem 4.3: a polynomial fpt-reduction from FO model checking on all
+graphs to FOC({P=}) model checking on *strings* over the alphabet {a, b, c}.
+
+For a graph G with vertex set [n], vertex i with neighbours {j1, ..., jm}
+becomes the substring
+
+    s_i = a c^i b c^{j1} b c^{j2} ... b c^{jm}
+
+and ``S_G`` is the concatenation s_1 s_2 ... s_n.  Vertices correspond to
+``a``-positions; the c-run directly after an ``a`` spells the vertex index
+in unary, and each ``b c^j`` inside the block spells one neighbour index.
+
+The sentence translation mirrors Theorem 4.1: relativise quantifiers to
+``a``-positions, and replace ``E(x, x')`` by "the block of x contains a b
+whose c-run has the same length as the c-run of x'":
+
+    psi_E(x, x') = exists y ( P_b(y) ∧ same_block(x, y) ∧
+                              P=( run(y), run(x') ) )
+
+where ``run(p) = #z.(P_c(z) ∧ p < z ∧ forall w (p < w <= z -> P_c(w)))``
+counts the c-run immediately after position p.  Again P= is applied to
+terms with two joint free variables — FOC({P=}) but not FOC1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import FormulaError
+from ..logic.builder import count
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    free_variables,
+)
+from ..logic.transform import relativize
+from ..structures.builders import string_structure
+from ..structures.structure import Structure
+
+
+def _leq(u: str, v: str) -> Formula:
+    return Atom("leq", (u, v))
+
+
+def _lt(u: str, v: str) -> Formula:
+    return And(_leq(u, v), Not(Eq(u, v)))
+
+
+def is_a(x: str) -> Formula:
+    return Atom("P_a", (x,))
+
+
+def is_b(x: str) -> Formula:
+    return Atom("P_b", (x,))
+
+
+def is_c(x: str) -> Formula:
+    return Atom("P_c", (x,))
+
+
+def run_term(position: str, suffix: str) -> CountTerm:
+    """``run(position)``: length of the maximal c-run right after the
+    position.  Bound variables are suffixed for capture-freedom."""
+    z = f"_rz{suffix}"
+    w = f"_rw{suffix}"
+    all_c_between = Forall(
+        w, Implies(And(_lt(position, w), _leq(w, z)), is_c(w))
+    )
+    return count([z], And(is_c(z), And(_lt(position, z), all_c_between)))
+
+
+def same_block(x: str, y: str, suffix: str) -> Formula:
+    """Position y lies in the block started by the a-position x: x < y and
+    no a-position strictly between them (inclusive of y)."""
+    w = f"_bw{suffix}"
+    return And(
+        _lt(x, y),
+        Not(Exists(w, And(is_a(w), And(_lt(x, w), _leq(w, y))))),
+    )
+
+
+def psi_edge(x: str, x_prime: str, suffix: str = "") -> Formula:
+    """``psi_E(x, x')`` over strings (see module docstring)."""
+    y = f"_sy{suffix}"
+    return Exists(
+        y,
+        And(
+            And(is_b(y), same_block(x, y, suffix)),
+            PredicateAtom("eq", (run_term(y, f"{suffix}a"), run_term(x_prime, f"{suffix}b"))),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class StringReduction:
+    """The output of the Theorem 4.3 reduction for one graph."""
+
+    string: Structure
+    word: str
+    #: graph vertex -> its a-position (1-based) in the word
+    vertex_map: Dict[object, int]
+
+    def translate(self, sentence: Formula) -> Formula:
+        return translate_sentence(sentence)
+
+
+def build_string(graph: Structure) -> StringReduction:
+    """Construct ``S_G`` (quadratic in ||G||)."""
+    if "E" not in graph.signature or graph.signature["E"].arity != 2:
+        raise FormulaError("the reduction expects a graph over {E/2}")
+    vertices = list(graph.universe_order)
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    neighbours: Dict[object, List[int]] = {v: [] for v in vertices}
+    for u, v in graph.relation("E"):
+        if u != v:
+            neighbours[u].append(index[v])
+
+    pieces: List[str] = []
+    vertex_map: Dict[object, int] = {}
+    position = 0
+    for v in vertices:
+        i = index[v]
+        block = "a" + "c" * i
+        for j in sorted(set(neighbours[v])):
+            block += "b" + "c" * j
+        vertex_map[v] = position + 1
+        position += len(block)
+        pieces.append(block)
+    word = "".join(pieces)
+    return StringReduction(
+        string_structure(word, alphabet="abc"), word, vertex_map
+    )
+
+
+def translate_sentence(sentence: Formula) -> Formula:
+    """``phi -> phi-hat`` over the string signature."""
+    if free_variables(sentence):
+        raise FormulaError("the reduction translates sentences")
+    counter = itertools.count()
+
+    def mark_edges(formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            if formula.relation != "E" or len(formula.args) != 2:
+                raise FormulaError("input must be a sentence over {E/2}")
+            return Atom("E__graph", formula.args)
+        if isinstance(formula, (Eq, Top, Bottom)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(mark_edges(formula.inner))
+        if isinstance(formula, Or):
+            return Or(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, And):
+            return And(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Implies):
+            return Implies(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Iff):
+            return Iff(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Exists):
+            return Exists(formula.variable, mark_edges(formula.inner))
+        if isinstance(formula, Forall):
+            return Forall(formula.variable, mark_edges(formula.inner))
+        raise FormulaError(
+            f"the reduction expects an FO sentence; found {type(formula).__name__}"
+        )
+
+    def replace_edges(formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            if formula.relation == "E__graph":
+                return psi_edge(formula.args[0], formula.args[1], str(next(counter)))
+            return formula
+        if isinstance(formula, (Eq, Top, Bottom)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(replace_edges(formula.inner))
+        if isinstance(formula, Or):
+            return Or(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, And):
+            return And(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Implies):
+            return Implies(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Iff):
+            return Iff(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Exists):
+            return Exists(formula.variable, replace_edges(formula.inner))
+        if isinstance(formula, Forall):
+            return Forall(formula.variable, replace_edges(formula.inner))
+        raise FormulaError(f"unexpected node {type(formula).__name__}")
+
+    marked = mark_edges(sentence)
+    guarded = relativize(marked, is_a, relativize_counts=False)
+    return replace_edges(guarded)
+
+
+def reduce_instance(graph: Structure, sentence: Formula) -> Tuple[Structure, Formula]:
+    """The full reduction: ``(G, phi) -> (S_G, phi-hat)``."""
+    reduction = build_string(graph)
+    return reduction.string, reduction.translate(sentence)

@@ -1,0 +1,255 @@
+"""Theorem 4.1: a polynomial fpt-reduction from FO model checking on all
+graphs to FOC({P=}) model checking on *trees*.
+
+Given a graph G with vertex set [n] and an FO sentence phi over {E/2}, we
+build a tree ``T_G`` of height 3 and an FOC({P=}) sentence ``phi-hat`` with
+``G |= phi  iff  T_G |= phi-hat``.
+
+Gadget (verbatim from the paper):
+
+* a root ``r`` adjacent to one ``a(i)`` per vertex i;
+* each ``a(i)`` carries i+1 pendant paths ``a(i) - b_j(i) - c_j(i)``
+  (j in [i+1]), so vertex i is identifiable as "the a-vertex with exactly
+  i+1 b-neighbours";
+* for each neighbour j of i, a child ``d(i,j)`` of ``a(i)`` with j+1 leaf
+  children ``e_k(i,j)`` — the adjacency list written in unary.
+
+The sentence rewriting relativises quantifiers to a-vertices and replaces
+each atom ``E(x, x')`` by
+
+    psi_E(x, x') = exists y ( E(x,y) ∧
+        P=( #z.(E(y,z) ∧ psi_e(z)),  #z.(E(x',z) ∧ psi_b(z)) ) )
+
+— "x has a d-child whose e-count equals the b-count of x'".  Note psi_E
+applies P= to terms with joint free variables {y, x'}, so phi-hat lies in
+FOC({P=}) but *outside* FOC1: the reduction is exactly why the paper must
+restrict the fragment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import FormulaError
+from ..logic.builder import Rel, count
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    free_variables,
+)
+from ..logic.transform import relativize
+from ..structures.builders import graph_structure
+from ..structures.structure import Structure
+
+E = Rel("E", 2)
+
+
+def _degree_exactly_one(x: str, y: str, z: str) -> Formula:
+    """deg(x) = 1, with helper variables y, z."""
+    has_neighbour = Exists(y, E(x, y))
+    two_neighbours = Exists(
+        y, Exists(z, And(And(E(x, y), E(x, z)), Not(Eq(y, z))))
+    )
+    return And(has_neighbour, Not(two_neighbours))
+
+
+def _degree_exactly_two(x: str, y: str, z: str, w: str) -> Formula:
+    """deg(x) = 2, with helper variables."""
+    two = Exists(
+        y, Exists(z, And(And(E(x, y), E(x, z)), Not(Eq(y, z))))
+    )
+    three = Exists(
+        y,
+        Exists(
+            z,
+            Exists(
+                w,
+                And(
+                    And(And(E(x, y), E(x, z)), E(x, w)),
+                    And(And(Not(Eq(y, z)), Not(Eq(y, w))), Not(Eq(z, w))),
+                ),
+            ),
+        ),
+    )
+    return And(two, Not(three))
+
+
+def psi_c(x: str) -> Formula:
+    """c-vertices: degree 1 and the unique neighbour has degree 2."""
+    return And(
+        _degree_exactly_one(x, "_u1", "_u2"),
+        Exists(
+            "_v",
+            And(E(x, "_v"), _degree_exactly_two("_v", "_w1", "_w2", "_w3")),
+        ),
+    )
+
+
+def psi_b(x: str) -> Formula:
+    """b-vertices: the neighbours of c-vertices."""
+    return Exists("_cb", And(E(x, "_cb"), psi_c("_cb")))
+
+
+def psi_a(x: str) -> Formula:
+    """a-vertices: neighbours of b-vertices that are not themselves c-vertices."""
+    return And(Exists("_ba", And(E(x, "_ba"), psi_b("_ba"))), Not(psi_c(x)))
+
+
+def psi_e(x: str) -> Formula:
+    """e-vertices: degree-1 vertices that are not c-vertices."""
+    return And(_degree_exactly_one(x, "_u1", "_u2"), Not(psi_c(x)))
+
+
+def psi_edge(x: str, x_prime: str, suffix: str = "") -> Formula:
+    """``psi_E(x, x')`` — the FOC({P=}) edge encoding (see module docstring).
+
+    ``suffix`` uniquifies the bound variables so nested replacements cannot
+    capture each other.
+    """
+    y = f"_ey{suffix}"
+    z1 = f"_ez{suffix}"
+    z2 = f"_ew{suffix}"
+    e_count = count([z1], And(E(y, z1), psi_e(z1)))
+    b_count = count([z2], And(E(x_prime, z2), psi_b(z2)))
+    return Exists(y, And(E(x, y), PredicateAtom("eq", (e_count, b_count))))
+
+
+@dataclass(frozen=True)
+class TreeReduction:
+    """The output of the Theorem 4.1 reduction for one graph."""
+
+    tree: Structure
+    #: graph vertex -> its a-vertex in the tree
+    vertex_map: Dict[object, Tuple]
+
+    def translate(self, sentence: Formula) -> Formula:
+        """``phi -> phi-hat``: relativise to a-vertices, encode E atoms."""
+        return translate_sentence(sentence)
+
+
+def build_tree(graph: Structure) -> TreeReduction:
+    """Construct ``T_G`` (computable in quadratic time, height 3)."""
+    if "E" not in graph.signature or graph.signature["E"].arity != 2:
+        raise FormulaError("the reduction expects a graph over {E/2}")
+    vertices = list(graph.universe_order)
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    edge_rel = graph.relation("E")
+    neighbours: Dict[object, List[object]] = {v: [] for v in vertices}
+    for u, v in edge_rel:
+        if u != v:
+            neighbours[u].append(v)
+
+    tree_vertices: List[Tuple] = [("r",)]
+    tree_edges: List[Tuple[Tuple, Tuple]] = []
+    vertex_map: Dict[object, Tuple] = {}
+    for v in vertices:
+        i = index[v]
+        a = ("a", i)
+        vertex_map[v] = a
+        tree_vertices.append(a)
+        tree_edges.append((("r",), a))
+        for j in range(1, i + 2):
+            b = ("b", i, j)
+            c = ("c", i, j)
+            tree_vertices.extend([b, c])
+            tree_edges.append((a, b))
+            tree_edges.append((b, c))
+        for w in sorted(set(neighbours[v]), key=lambda u: index[u]):
+            j = index[w]
+            d = ("d", i, j)
+            tree_vertices.append(d)
+            tree_edges.append((a, d))
+            for k in range(1, j + 2):
+                e = ("e", i, j, k)
+                tree_vertices.append(e)
+                tree_edges.append((d, e))
+    return TreeReduction(
+        graph_structure(tree_vertices, tree_edges), vertex_map
+    )
+
+
+def translate_sentence(sentence: Formula) -> Formula:
+    """``phi-hat``: computable from phi in polynomial time."""
+    if free_variables(sentence):
+        raise FormulaError("the reduction translates sentences")
+    counter = itertools.count()
+
+    # Relativise phi's own quantifiers to a-vertices *before* substituting
+    # psi_E, so the quantifiers inside psi_E / psi_a (which must range over
+    # the whole tree) are left untouched.  Graph-level E atoms are marked
+    # first so the relativisation guards (which mention tree-level E) are
+    # not rewritten afterwards.
+    def mark_edges(formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            if formula.relation != "E":
+                raise FormulaError("input must be a sentence over {E/2}")
+            if len(formula.args) != 2:
+                raise FormulaError("E must be binary")
+            return Atom("E__graph", formula.args)
+        if isinstance(formula, (Eq, Top, Bottom)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(mark_edges(formula.inner))
+        if isinstance(formula, Or):
+            return Or(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, And):
+            return And(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Implies):
+            return Implies(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Iff):
+            return Iff(mark_edges(formula.left), mark_edges(formula.right))
+        if isinstance(formula, Exists):
+            return Exists(formula.variable, mark_edges(formula.inner))
+        if isinstance(formula, Forall):
+            return Forall(formula.variable, mark_edges(formula.inner))
+        raise FormulaError(
+            f"the reduction expects an FO sentence; found {type(formula).__name__}"
+        )
+
+    def replace_edges(formula: Formula) -> Formula:
+        if isinstance(formula, Atom):
+            if formula.relation == "E__graph":
+                return psi_edge(formula.args[0], formula.args[1], str(next(counter)))
+            return formula
+        if isinstance(formula, (Eq, Top, Bottom)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(replace_edges(formula.inner))
+        if isinstance(formula, Or):
+            return Or(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, And):
+            return And(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Implies):
+            return Implies(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Iff):
+            return Iff(replace_edges(formula.left), replace_edges(formula.right))
+        if isinstance(formula, Exists):
+            return Exists(formula.variable, replace_edges(formula.inner))
+        if isinstance(formula, Forall):
+            return Forall(formula.variable, replace_edges(formula.inner))
+        raise FormulaError(
+            f"the reduction expects an FO sentence; found {type(formula).__name__}"
+        )
+
+    marked = mark_edges(sentence)
+    guarded = relativize(marked, psi_a, relativize_counts=False)
+    return replace_edges(guarded)
+
+
+def reduce_instance(graph: Structure, sentence: Formula) -> Tuple[Structure, Formula]:
+    """The full reduction: ``(G, phi) -> (T_G, phi-hat)``."""
+    reduction = build_tree(graph)
+    return reduction.tree, reduction.translate(sentence)

@@ -1,0 +1,119 @@
+"""Loading and saving structures — the library's file-format surface.
+
+Two formats:
+
+* **JSON** (lossless): ``{"signature": {"E": 2, ...}, "universe": [...],
+  "relations": {"E": [[a, b], ...], ...}}``.  Universe elements must be
+  JSON scalars (strings/numbers); tuples are arrays.
+* **Edge lists** (graphs only): one ``u v`` pair per whitespace-separated
+  line, ``#`` comments allowed; vertices are strings unless they all parse
+  as integers.
+
+Both loaders validate through the normal :class:`~repro.structures.Structure`
+constructor, so malformed files fail with the library's typed errors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .errors import ReproError
+from .structures.builders import graph_structure
+from .structures.signature import Signature
+from .structures.structure import Structure
+
+PathLike = Union[str, Path]
+
+
+class FormatError(ReproError):
+    """A structure file was malformed."""
+
+
+def structure_to_json(structure: Structure) -> Dict:
+    """A JSON-serialisable dictionary representing the structure."""
+    return {
+        "signature": {s.name: s.arity for s in structure.signature},
+        "universe": list(structure.universe_order),
+        "relations": {
+            symbol.name: sorted([list(t) for t in rel], key=repr)
+            for symbol, rel in structure.relations().items()
+        },
+    }
+
+
+def structure_from_json(data: Dict) -> Structure:
+    """Inverse of :func:`structure_to_json` (with validation)."""
+    if not isinstance(data, dict):
+        raise FormatError("expected a JSON object")
+    for key in ("signature", "universe", "relations"):
+        if key not in data:
+            raise FormatError(f"missing key {key!r}")
+    if not isinstance(data["signature"], dict):
+        raise FormatError("'signature' must map names to arities")
+    try:
+        signature = Signature.of(**{str(k): int(v) for k, v in data["signature"].items()})
+    except (TypeError, ValueError) as error:
+        raise FormatError(f"bad signature: {error}") from None
+    relations = {
+        name: [tuple(t) for t in tuples]
+        for name, tuples in data["relations"].items()
+    }
+    return Structure(signature, data["universe"], relations)
+
+
+def save_structure(structure: Structure, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(structure_to_json(structure), indent=2))
+
+
+def load_structure(path: PathLike) -> Structure:
+    """Load a structure from a ``.json`` file or an edge-list file."""
+    text = Path(path).read_text()
+    if str(path).endswith(".json"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FormatError(f"invalid JSON: {error}") from None
+        return structure_from_json(data)
+    return parse_edge_list(text)
+
+
+def parse_edge_list(text: str) -> Structure:
+    """Parse an edge-list graph: ``u v`` per line, ``#`` comments."""
+    edges: List = []
+    vertices: List = []
+    seen = set()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            names = parts  # isolated vertex
+        elif len(parts) == 2:
+            names = parts
+            edges.append((parts[0], parts[1]))
+        else:
+            raise FormatError(
+                f"line {line_number}: expected 'u v' or a single vertex, got {raw!r}"
+            )
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                vertices.append(name)
+    if not vertices:
+        raise FormatError("edge list defines no vertices")
+    if all(_is_int(v) for v in vertices):
+        mapping = {v: int(v) for v in vertices}
+        vertices = [mapping[v] for v in vertices]
+        edges = [(mapping[u], mapping[v]) for u, v in edges]
+    return graph_structure(vertices, edges)
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True

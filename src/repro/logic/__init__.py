@@ -1,0 +1,107 @@
+"""FOC(P) substrate: syntax, semantics, parsing, fragments, and locality.
+
+Implements Section 3 (the logic FOC(P) of Kuske–Schweikardt), Definition 5.1
+(the fragment FOC1(P)), and the locality toolkit of Sections 6.1 and 7 that
+the evaluation engines in :mod:`repro.core` are built on.
+"""
+
+from .predicates import (
+    DIVIDES,
+    EQ,
+    EVEN,
+    GEQ1,
+    GT,
+    LEQ,
+    LT,
+    NEQ,
+    ODD,
+    PRIME,
+    ZERO,
+    NumericalPredicate,
+    PredicateCollection,
+    STANDARD_PREDICATES,
+    standard_collection,
+)
+from .syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Expression,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Term,
+    Top,
+    Variable,
+    all_variables,
+    conjunction,
+    count_depth,
+    disjunction,
+    exists_block,
+    expression_size,
+    forall_block,
+    free_variables,
+    is_ground_term,
+    is_sentence,
+    predicate_names,
+    relation_names,
+    subexpressions,
+    uses_distance_atoms,
+)
+from .semantics import (
+    Interpretation,
+    count_solutions,
+    evaluate,
+    satisfies,
+    solutions,
+    term_value,
+)
+from .builder import Rel, count, eq, exists, forall, num, rels, term, total, variables
+from .parser import parse_formula, parse_term
+from .printer import pretty
+from .transform import (
+    fresh_variable,
+    relativize,
+    rename_free,
+    simplify,
+    to_primitive,
+)
+from .foc1 import (
+    Foc1Violation,
+    assert_foc1,
+    counting_terms,
+    foc1_violations,
+    fragment_summary,
+    is_foc1,
+    is_plain_fo,
+    max_counting_width,
+)
+from .normalform import is_nnf, is_prenex, to_nnf, to_prenex
+from .locality import (
+    ScatteredSentence,
+    adjacency_formula,
+    all_graphs_on,
+    delta_formula,
+    dist_formula,
+    dist_gt_formula,
+    evaluate_in_neighbourhood,
+    expand_distance_atoms,
+    gaifman_locality_radius,
+    graph_components,
+    is_connected_graph,
+    is_r_local_at,
+    quantifier_rank,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

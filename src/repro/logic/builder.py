@@ -1,0 +1,120 @@
+"""Ergonomic construction helpers for FOC(P) expressions.
+
+The AST in :mod:`repro.logic.syntax` is deliberately plain; this module adds
+the thin layer that makes formulas pleasant to write in examples and tests:
+
+>>> from repro.logic.builder import Rel, variables, count, exists
+>>> E = Rel("E", 2)
+>>> x, y, z = variables("x y z")
+>>> out_degree = count([z], E(y, z))          # #(z). E(y, z)
+>>> formula = exists(y, out_degree.geq1())     # exists y. @geq1(#(z). E(y,z))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..errors import FormulaError
+from ..structures.signature import RelationSymbol, Signature
+from .syntax import (
+    Atom,
+    CountTerm,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    IntTerm,
+    Term,
+    TermLike,
+    Variable,
+    _coerce_term,
+)
+
+
+def variables(names: Union[str, Iterable[str]]) -> Tuple[Variable, ...]:
+    """Split a whitespace-separated string (or iterable) into variable names."""
+    if isinstance(names, str):
+        parts = names.split()
+    else:
+        parts = list(names)
+    if not parts:
+        raise FormulaError("no variable names given")
+    return tuple(parts)
+
+
+class Rel:
+    """A relation-symbol handle: calling it builds an atom with arity checking."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int):
+        if arity < 0:
+            raise FormulaError(f"relation {name!r} cannot have negative arity")
+        self.name = name
+        self.arity = arity
+
+    def __call__(self, *args: Variable) -> Atom:
+        if len(args) != self.arity:
+            raise FormulaError(
+                f"{self.name} has arity {self.arity}, got {len(args)} arguments"
+            )
+        return Atom(self.name, tuple(args))
+
+    @property
+    def symbol(self) -> RelationSymbol:
+        return RelationSymbol(self.name, self.arity)
+
+
+def rels(signature: Signature) -> dict:
+    """Handles for every symbol of a signature: ``rels(sig)['E'](x, y)``."""
+    return {symbol.name: Rel(symbol.name, symbol.arity) for symbol in signature}
+
+
+def eq(left: Variable, right: Variable) -> Eq:
+    return Eq(left, right)
+
+
+def exists(variables_: Union[Variable, Sequence[Variable]], inner: Formula) -> Formula:
+    """``exists(v, phi)`` or ``exists([v1, v2], phi)``."""
+    if isinstance(variables_, str):
+        return Exists(variables_, inner)
+    result = inner
+    for variable in reversed(list(variables_)):
+        result = Exists(variable, result)
+    return result
+
+
+def forall(variables_: Union[Variable, Sequence[Variable]], inner: Formula) -> Formula:
+    if isinstance(variables_, str):
+        return Forall(variables_, inner)
+    result = inner
+    for variable in reversed(list(variables_)):
+        result = Forall(variable, result)
+    return result
+
+
+def count(variables_: Union[Variable, Sequence[Variable]], inner: Formula) -> CountTerm:
+    """``#(y1, ..., yk). phi``; accepts a single name or a sequence."""
+    if isinstance(variables_, str):
+        return CountTerm((variables_,), inner)
+    return CountTerm(tuple(variables_), inner)
+
+
+def num(value: int) -> IntTerm:
+    return IntTerm(value)
+
+
+def term(value: TermLike) -> Term:
+    """Coerce an int (or term) into a counting term."""
+    return _coerce_term(value)
+
+
+def total(*terms: TermLike) -> Term:
+    """Sum of one or more terms."""
+    items: List[Term] = [_coerce_term(t) for t in terms]
+    if not items:
+        raise FormulaError("total() needs at least one term")
+    result = items[0]
+    for item in items[1:]:
+        result = result + item
+    return result

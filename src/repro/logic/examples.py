@@ -1,0 +1,135 @@
+"""The paper's running example formulas, machine-readable.
+
+Implements Example 3.2 (prime sums and degree counts over digraphs) and
+Example 5.4 (the coloured-digraph triangle census).  These are used verbatim
+by tests, examples and the E12 benchmark, and they double as documentation
+of what FOC(P) / FOC1(P) formulas look like in this library.
+"""
+
+from __future__ import annotations
+
+from .builder import Rel, count
+from .syntax import (
+    And,
+    CountTerm,
+    Eq,
+    Exists,
+    Formula,
+    PredicateAtom,
+    Term,
+)
+
+E = Rel("E", 2)
+R = Rel("R", 1)
+B = Rel("B", 1)
+G = Rel("G", 1)
+
+
+def nodes_term() -> CountTerm:
+    """``#(x). x=x`` — the number of nodes."""
+    return count(["x"], Eq("x", "x"))
+
+
+def edges_term() -> CountTerm:
+    """``#(x, y). E(x, y)`` — the number of (directed) edges."""
+    return count(["x", "y"], E("x", "y"))
+
+
+def example_3_2_prime_sum() -> Formula:
+    """Example 3.2, first formula: nodes + edges is a prime.
+
+    ``Prime( #(x).x=x + #(x,y).E(x,y) )`` — a sentence, and in FOC1(P)
+    because both terms are ground.
+    """
+    return PredicateAtom("prime", (nodes_term() + edges_term(),))
+
+
+def out_degree_term(variable: str = "y") -> CountTerm:
+    """``#(z). E(y, z)`` — the out-degree of ``y`` (Example 3.2)."""
+    return count(["z"], E(variable, "z"))
+
+
+def out_degree_positive(variable: str = "y") -> Formula:
+    """``P>=1(#(z).E(y,z))`` — out-degree of y is >= 1; in FOC1(P)."""
+    return out_degree_term(variable).geq1()
+
+
+def example_3_2_degree_prime() -> Formula:
+    """Example 3.2, last formula — **not** in FOC1(P).
+
+    ``exists x Prime( #(y). P=( #(z).E(x,z), #(z).E(y,z) ) )``: some
+    out-degree d occurs a prime number of times.  The inner ``P=`` compares
+    terms whose joint free variables are {x, y}, violating rule (4').
+    """
+    inner_eq = PredicateAtom(
+        "eq", (count(["z"], E("x", "z")), count(["z"], E("y", "z")))
+    )
+    return Exists("x", PredicateAtom("prime", (count(["y"], inner_eq),)))
+
+
+# ---------------------------------------------------------------------------
+# Example 5.4 — coloured digraph census
+# ---------------------------------------------------------------------------
+
+
+def red_count_term() -> CountTerm:
+    """``t_R = #(x). R(x)`` — total number of red nodes."""
+    return count(["x"], R("x"))
+
+
+def _two_bound(variable: str) -> tuple:
+    """Two bound-variable names distinct from ``variable`` (capture-free)."""
+    names = [name for name in ("y", "z", "w", "v") if name != variable]
+    return names[0], names[1]
+
+
+def triangle_term(variable: str = "x") -> CountTerm:
+    """``t_Delta(x) = #(y, z).(E(x,y) & E(y,z) & E(z,x))`` — the number of
+    directed triangles through ``x``.  Bound names are chosen capture-free
+    when ``variable`` collides with the paper's ``y``/``z``."""
+    first, second = _two_bound(variable)
+    return count(
+        [first, second],
+        And(E(variable, first), And(E(first, second), E(second, variable))),
+    )
+
+
+def phi_triangles_equal_reds(variable: str = "x") -> Formula:
+    """``phi_{Delta,R}(x)``: x participates in exactly as many triangles as
+    there are red nodes.  In FOC1(P): the joint free variables of the two
+    compared terms are just {x}."""
+    return triangle_term(variable).eq(red_count_term())
+
+
+def count_phi_triangles_equal_reds() -> CountTerm:
+    """``t_{Delta,R} = #(x). phi_{Delta,R}(x)`` — how many such nodes exist."""
+    return count(["x"], phi_triangles_equal_reds("x"))
+
+
+def blue_neighbour_term(variable: str = "x") -> CountTerm:
+    """``t_B(x) = #(y).(E(x,y) & B(y))`` — number of blue out-neighbours.
+    The bound name is chosen capture-free."""
+    bound = "y" if variable != "y" else "w"
+    return count([bound], And(E(variable, bound), B(bound)))
+
+
+def phi_blue_balance(variable: str = "x") -> Formula:
+    """``phi_{B,Delta,R}(x)``: t_B(x) = t_Delta(x) + t_{Delta,R}."""
+    return blue_neighbour_term(variable).eq(
+        triangle_term(variable) + count_phi_triangles_equal_reds()
+    )
+
+
+def example_5_4_query():
+    """The full query of Example 5.4:
+
+    ``{ (x, y, t_B(x) * t_Delta(y)) : phi_{B,Delta,R}(x) & G(y) }``.
+
+    Returns a :class:`repro.core.query.Foc1Query` (imported lazily to avoid
+    a package cycle).
+    """
+    from ..core.query import Foc1Query
+
+    head_term: Term = blue_neighbour_term("x") * triangle_term("y")
+    condition: Formula = And(phi_blue_balance("x"), G("y"))
+    return Foc1Query(head_variables=("x", "y"), head_terms=(head_term,), condition=condition)

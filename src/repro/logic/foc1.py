@@ -1,0 +1,113 @@
+"""The fragment FOC1(P) — Definition 5.1.
+
+FOC1(P) restricts rule (4) of Definition 3.1: a numerical predicate may only
+be applied to counting terms ``t1, ..., tm`` whose free variables *jointly*
+number at most one (rule 4').  Everything else — negation, disjunction,
+quantification, counting, integer arithmetic — is unrestricted, so FOC1(P)
+still extends FO and captures the SQL COUNT idioms of Examples 5.3/5.4.
+
+This module provides the fragment check, diagnostic reporting of violations,
+and small structural analyses used by the evaluation engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List
+
+from ..errors import FragmentError
+from .syntax import (
+    CountTerm,
+    Expression,
+    PredicateAtom,
+    Term,
+    count_depth,
+    free_variables,
+    subexpressions,
+)
+
+
+@dataclass(frozen=True)
+class Foc1Violation:
+    """A predicate atom that breaks rule (4'), with its offending variables."""
+
+    atom: PredicateAtom
+    variables: FrozenSet[str]
+
+    def describe(self) -> str:
+        names = ", ".join(sorted(self.variables))
+        return (
+            f"predicate atom @{self.atom.predicate}(...) mentions free variables "
+            f"{{{names}}}; FOC1(P) allows at most one"
+        )
+
+
+def foc1_violations(expression: Expression) -> List[Foc1Violation]:
+    """All rule-(4') violations anywhere inside ``expression``."""
+    violations: List[Foc1Violation] = []
+    for node in subexpressions(expression):
+        if isinstance(node, PredicateAtom):
+            joint: FrozenSet[str] = frozenset()
+            for term in node.terms:
+                joint |= free_variables(term)
+            if len(joint) > 1:
+                violations.append(Foc1Violation(node, joint))
+    return violations
+
+
+def is_foc1(expression: Expression) -> bool:
+    """Whether the expression belongs to FOC1(P) (Definition 5.1)."""
+    return not foc1_violations(expression)
+
+
+def assert_foc1(expression: Expression) -> None:
+    """Raise :class:`~repro.errors.FragmentError` with a diagnostic if the
+    expression uses rule (4) beyond rule (4')."""
+    violations = foc1_violations(expression)
+    if violations:
+        details = "; ".join(v.describe() for v in violations[:3])
+        more = "" if len(violations) <= 3 else f" (+{len(violations) - 3} more)"
+        raise FragmentError(f"not an FOC1(P) expression: {details}{more}")
+
+
+def is_plain_fo(expression: Expression) -> bool:
+    """Whether the expression is pure FO (rules 1-3 only): no counting
+    machinery at all.  Distance atoms are allowed (FO+ is FO)."""
+    return all(
+        not isinstance(node, (PredicateAtom, CountTerm, Term))
+        for node in subexpressions(expression)
+    )
+
+
+def counting_terms(expression: Expression) -> Iterator[CountTerm]:
+    """All counting-term subexpressions, outermost first."""
+    for node in subexpressions(expression):
+        if isinstance(node, CountTerm):
+            yield node
+
+
+def max_counting_width(expression: Expression) -> int:
+    """The largest number of variables bound by any ``#`` in the expression.
+
+    For a counting term this includes its own free variable if any: the
+    *width* (in the sense of Section 6's cl-terms) of ``#(y2..yk).psi(y1,..)``
+    is k.  This quantity controls the exponent of brute-force evaluation and
+    the ``G_k`` pattern enumeration of Lemma 6.4.
+    """
+    best = 0
+    for term in counting_terms(expression):
+        width = len(term.variables) + len(free_variables(term))
+        best = max(best, width)
+    return best
+
+
+def fragment_summary(expression: Expression) -> dict:
+    """A small structural report used by examples and benchmarks."""
+    violations = foc1_violations(expression)
+    return {
+        "is_fo": is_plain_fo(expression),
+        "is_foc1": not violations,
+        "violations": len(violations),
+        "count_depth": count_depth(expression),
+        "max_counting_width": max_counting_width(expression),
+    }

@@ -1,0 +1,424 @@
+"""Locality machinery: distance formulas, r-local formulas, the connectivity
+formulas ``delta_G,r``, and basic local sentences (Sections 6.1-6.2, 7).
+
+Pure-FO distance formulas are built by recursive doubling, so
+``dist_formula(x, y, r)`` has quantifier rank O(log r) — the very fact that
+motivates the paper's FO+ "distance atoms" and the fine-tuned q-rank measure.
+Both representations are available here:
+
+* :func:`dist_formula` — pure FO over a signature (no distance atoms);
+* :class:`~repro.logic.syntax.DistAtom` — the FO+ primitive, expanded on
+  demand by :func:`expand_distance_atoms`.
+
+Locality itself is a *semantic* property; we provide the standard
+Gaifman-theorem upper bound on the locality radius via the quantifier rank
+(every FO formula of rank q is r-local for ``r = (7^q - 1)/2``), plus a
+semantic locality checker used by property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import FormulaError
+from ..structures.gaifman import distances_from, neighbourhood
+from ..structures.signature import Signature
+from ..structures.structure import Element, Structure
+from .predicates import PredicateCollection
+from .semantics import satisfies
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Expression,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    Variable,
+    conjunction,
+    exists_block,
+    free_variables,
+    subexpressions,
+)
+
+
+# ---------------------------------------------------------------------------
+# Quantifier rank (FO+ fragment)
+# ---------------------------------------------------------------------------
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Quantifier rank of an FO+ formula.  Counting constructs are rejected
+    (they have no classical rank); use q-rank machinery from
+    :mod:`repro.core.rank` for the two-parameter measure of Section 7."""
+    if isinstance(formula, (Eq, Atom, DistAtom, Top, Bottom)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.inner)
+    if isinstance(formula, (Or, And, Implies, Iff)):
+        return max(quantifier_rank(formula.left), quantifier_rank(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_rank(formula.inner)
+    raise FormulaError(
+        f"quantifier_rank is defined on FO+ formulas; found {type(formula).__name__}"
+    )
+
+
+def gaifman_locality_radius(formula: Formula) -> int:
+    """Conservative locality radius from Gaifman's theorem.
+
+    An FO formula of quantifier rank q is r-local around its free variables
+    for ``r = (7^q - 1) / 2``.  Distance atoms ``dist <= d`` are accounted
+    for as if implemented by their pure-FO expansion (rank ``ceil(log2 d)+1``).
+    """
+    extra = 0
+    for node in subexpressions(formula):
+        if isinstance(node, DistAtom) and node.bound > 0:
+            extra = max(extra, math.ceil(math.log2(node.bound)) + 1 if node.bound > 1 else 1)
+    rank = quantifier_rank(formula) + extra
+    return (7**rank - 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Pure-FO distance formulas
+# ---------------------------------------------------------------------------
+
+
+def adjacency_formula(x: Variable, y: Variable, signature: Signature) -> Formula:
+    """Gaifman adjacency as an FO formula: distinct x, y co-occur in a tuple."""
+    disjuncts: List[Formula] = []
+    for symbol in signature:
+        if symbol.arity < 2:
+            continue
+        for i in range(symbol.arity):
+            for j in range(symbol.arity):
+                if i == j:
+                    continue
+                args: List[Variable] = []
+                bound: List[Variable] = []
+                for position in range(symbol.arity):
+                    if position == i:
+                        args.append(x)
+                    elif position == j:
+                        args.append(y)
+                    else:
+                        helper = f"_adj_{symbol.name}_{position}"
+                        args.append(helper)
+                        bound.append(helper)
+                disjuncts.append(exists_block(bound, Atom(symbol.name, tuple(args))))
+    if not disjuncts:
+        return Bottom()
+    body: Formula = disjuncts[0]
+    for disjunct in disjuncts[1:]:
+        body = Or(body, disjunct)
+    return And(Not(Eq(x, y)), body)
+
+
+def dist_formula(x: Variable, y: Variable, radius: int, signature: Signature) -> Formula:
+    """``dist_sigma(x, y) <= radius`` in pure FO (recursive doubling).
+
+    Quantifier rank is ``O(log radius)``; midpoints get fresh reserved names
+    (prefix ``_m``), so ``x`` and ``y`` may be any non-reserved variables.
+    """
+    if radius < 0:
+        raise FormulaError("radius must be non-negative")
+    counter = itertools.count()
+
+    def build(a: Variable, b: Variable, r: int) -> Formula:
+        if r == 0:
+            return Eq(a, b)
+        if r == 1:
+            return Or(Eq(a, b), adjacency_formula(a, b, signature))
+        half_hi = (r + 1) // 2
+        half_lo = r // 2
+        midpoint = f"_m{next(counter)}"
+        return Exists(midpoint, And(build(a, midpoint, half_hi), build(midpoint, b, half_lo)))
+
+    return build(x, y, radius)
+
+
+def dist_gt_formula(x: Variable, y: Variable, radius: int, signature: Signature) -> Formula:
+    """``dist_sigma(x, y) > radius`` (the paper's ``dist > r`` shorthand)."""
+    return Not(dist_formula(x, y, radius, signature))
+
+
+def expand_distance_atoms(formula: Formula, signature: Signature) -> Formula:
+    """Replace every FO+ atom ``dist(x,y) <= d`` by its pure-FO expansion."""
+    if isinstance(formula, DistAtom):
+        return dist_formula(formula.left, formula.right, formula.bound, signature)
+    if isinstance(formula, (Eq, Atom, Top, Bottom, PredicateAtom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(expand_distance_atoms(formula.inner, signature))
+    if isinstance(formula, Or):
+        return Or(
+            expand_distance_atoms(formula.left, signature),
+            expand_distance_atoms(formula.right, signature),
+        )
+    if isinstance(formula, And):
+        return And(
+            expand_distance_atoms(formula.left, signature),
+            expand_distance_atoms(formula.right, signature),
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            expand_distance_atoms(formula.left, signature),
+            expand_distance_atoms(formula.right, signature),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            expand_distance_atoms(formula.left, signature),
+            expand_distance_atoms(formula.right, signature),
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, expand_distance_atoms(formula.inner, signature))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, expand_distance_atoms(formula.inner, signature))
+    raise FormulaError(f"cannot expand distance atoms in {type(formula).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Connectivity formulas delta_G,r (Section 6.1)
+# ---------------------------------------------------------------------------
+
+
+def delta_formula(
+    variables: Sequence[Variable],
+    edges: Iterable[Tuple[int, int]],
+    radius: int,
+) -> Formula:
+    """``delta_G,r(y-bar)`` as an FO+ formula over 1-based edge positions:
+    conjunction of ``dist(y_i, y_j) <= r`` for edges and the negation for
+    non-edges (Section 6.1 / Section 7.2)."""
+    k = len(variables)
+    edge_set = {tuple(sorted(edge)) for edge in edges}
+    for i, j in edge_set:
+        if not (1 <= i < j <= k):
+            raise FormulaError(f"edge ({i},{j}) out of range for k={k}")
+    conjuncts: List[Formula] = []
+    for i in range(1, k + 1):
+        for j in range(i + 1, k + 1):
+            atom = DistAtom(variables[i - 1], variables[j - 1], radius)
+            conjuncts.append(atom if (i, j) in edge_set else Not(atom))
+    return conjunction(conjuncts)
+
+
+def all_graphs_on(k: int) -> List[FrozenSet[Tuple[int, int]]]:
+    """The set ``G_k`` of all graphs with vertex set [k], as edge sets."""
+    pairs = [(i, j) for i in range(1, k + 1) for j in range(i + 1, k + 1)]
+    graphs: List[FrozenSet[Tuple[int, int]]] = []
+    for bits in itertools.product((False, True), repeat=len(pairs)):
+        graphs.append(frozenset(pair for pair, bit in zip(pairs, bits) if bit))
+    return graphs
+
+
+def graph_components(k: int, edges: FrozenSet[Tuple[int, int]]) -> List[FrozenSet[int]]:
+    """Connected components of a graph on [k], ordered by smallest member."""
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(1, k + 1)}
+    for i, j in edges:
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    seen: Set[int] = set()
+    components: List[FrozenSet[int]] = []
+    for start in range(1, k + 1):
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in component:
+                    component.add(neighbour)
+                    stack.append(neighbour)
+        seen |= component
+        components.append(frozenset(component))
+    return components
+
+
+def is_connected_graph(k: int, edges: FrozenSet[Tuple[int, int]]) -> bool:
+    return len(graph_components(k, edges)) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Semantic locality
+# ---------------------------------------------------------------------------
+
+
+def evaluate_in_neighbourhood(
+    structure: Structure,
+    formula: Formula,
+    variables: Sequence[Variable],
+    elements: Sequence[Element],
+    radius: int,
+    predicates: "Optional[PredicateCollection]" = None,
+) -> bool:
+    """Evaluate ``phi[a-bar]`` inside ``N_r(a-bar)`` — the right-hand side of
+    the r-locality equivalence."""
+    local = neighbourhood(structure, elements, radius)
+    assignment = dict(zip(variables, elements))
+    return satisfies(local, formula, assignment, predicates)
+
+
+def is_r_local_at(
+    structure: Structure,
+    formula: Formula,
+    variables: Sequence[Variable],
+    elements: Sequence[Element],
+    radius: int,
+    predicates: "Optional[PredicateCollection]" = None,
+) -> bool:
+    """Check the r-locality equivalence at one tuple: A |= phi[a-bar] iff
+    N_r(a-bar) |= phi[a-bar].  Property tests quantify this over tuples."""
+    assignment = dict(zip(variables, elements))
+    globally = satisfies(structure, formula, assignment, predicates)
+    locally = evaluate_in_neighbourhood(
+        structure, formula, variables, elements, radius, predicates
+    )
+    return globally == locally
+
+
+# ---------------------------------------------------------------------------
+# Scattered (basic local / independence) sentences — Definition 6.6, Section 7
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScatteredSentence:
+    """A sentence asserting k points, pairwise at distance > ``min_distance``,
+    each satisfying ``psi`` (one free variable ``variable``).
+
+    With ``psi`` r-local this is a *basic local sentence* of radius r
+    (Definition 6.6); with ``psi`` quantifier-free it is an
+    (r, k)-independence sentence (Section 7).
+    """
+
+    count: int
+    min_distance: int
+    variable: Variable
+    psi: Formula
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise FormulaError("scattered sentences need k >= 1")
+        if self.min_distance < 0:
+            raise FormulaError("min_distance must be non-negative")
+        extra = free_variables(self.psi) - {self.variable}
+        if extra:
+            raise FormulaError(
+                f"psi must have at most the free variable {self.variable!r}; "
+                f"also found {sorted(extra)}"
+            )
+
+    def build(self) -> Formula:
+        """The FO+ sentence ``exists y1..yk (AND dist(yi,yj) > d AND psi(yi))``."""
+        from .transform import rename_free
+
+        names = [f"{self.variable}_{i}" for i in range(1, self.count + 1)]
+        conjuncts: List[Formula] = []
+        for i in range(self.count):
+            for j in range(i + 1, self.count):
+                conjuncts.append(Not(DistAtom(names[i], names[j], self.min_distance)))
+        for name in names:
+            conjuncts.append(rename_free(self.psi, {self.variable: name}))
+        return exists_block(names, conjunction(conjuncts))
+
+    def witnesses(
+        self,
+        structure: Structure,
+        predicates: "Optional[PredicateCollection]" = None,
+        psi_radius: "Optional[int]" = None,
+    ) -> "Optional[Tuple[Element, ...]]":
+        """Find witnesses directly (no brute-force k-tuple scan).
+
+        First computes the set S of psi-satisfiers (locally, within
+        ``psi_radius`` balls, when a radius is given), then searches for k
+        elements of S pairwise further than ``min_distance`` apart: a greedy
+        pass handles the common case, exact backtracking the rest.
+        Returns a witness tuple or ``None``.
+        """
+        if psi_radius is not None:
+            satisfiers = [
+                a
+                for a in structure.universe_order
+                if evaluate_in_neighbourhood(
+                    structure, self.psi, [self.variable], [a], psi_radius, predicates
+                )
+            ]
+        else:
+            satisfiers = [
+                a
+                for a in structure.universe_order
+                if satisfies(structure, self.psi, {self.variable: a}, predicates)
+            ]
+        if len(satisfiers) < self.count:
+            return None
+
+        # Greedy: repeatedly take a satisfier and discard its <=d ball.
+        chosen: List[Element] = []
+        remaining = set(satisfiers)
+        order = [a for a in structure.universe_order if a in remaining]
+        for candidate in order:
+            if candidate not in remaining:
+                continue
+            chosen.append(candidate)
+            if len(chosen) == self.count:
+                return tuple(chosen)
+            near = distances_from(structure, [candidate], self.min_distance)
+            remaining -= set(near)
+        # Greedy failed; fall back to exact backtracking over satisfiers.
+        return self._exact_search(structure, satisfiers)
+
+    def _exact_search(
+        self, structure: Structure, satisfiers: List[Element]
+    ) -> "Optional[Tuple[Element, ...]]":
+        """Exact scattered-set search with distance pruning (small k only)."""
+        balls: Dict[Element, FrozenSet[Element]] = {}
+
+        def near_set(element: Element) -> FrozenSet[Element]:
+            if element not in balls:
+                balls[element] = frozenset(
+                    distances_from(structure, [element], self.min_distance)
+                )
+            return balls[element]
+
+        chosen: List[Element] = []
+
+        def extend(start: int) -> bool:
+            if len(chosen) == self.count:
+                return True
+            if len(satisfiers) - start < self.count - len(chosen):
+                return False
+            for index in range(start, len(satisfiers)):
+                candidate = satisfiers[index]
+                if any(candidate in near_set(existing) for existing in chosen):
+                    continue
+                chosen.append(candidate)
+                if extend(index + 1):
+                    return True
+                chosen.pop()
+            return False
+
+        if extend(0):
+            return tuple(chosen)
+        return None
+
+    def holds_in(
+        self,
+        structure: Structure,
+        predicates: "Optional[PredicateCollection]" = None,
+        psi_radius: "Optional[int]" = None,
+    ) -> bool:
+        return self.witnesses(structure, predicates, psi_radius) is not None

@@ -1,0 +1,166 @@
+"""Classical normal forms for the FO/FO+ fragment: negation normal form and
+prenex normal form.
+
+These are supporting transformations (Gaifman's theorem and the locality
+machinery of Sections 6-7 are usually stated for formulas in such shapes).
+Both transformations are semantics-preserving and property-tested; both
+reject counting constructs — normal forms for full FOC(P) are exactly what
+the paper's Hanf/locality machinery replaces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import FormulaError
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Variable,
+    all_variables,
+)
+from .transform import fresh_variable, rename_free
+
+
+def _require_fo(formula: Formula, operation: str) -> None:
+    from .foc1 import is_plain_fo
+
+    if not is_plain_fo(formula):
+        raise FormulaError(f"{operation} is defined for FO/FO+ formulas only")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed to atoms, only ∧/∨/∃/∀ above.
+
+    ``->`` and ``<->`` are expanded on the way down.
+    """
+    _require_fo(formula, "NNF")
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, (Eq, Atom, DistAtom)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Top):
+        return Bottom() if negate else formula
+    if isinstance(formula, Bottom):
+        return Top() if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.inner, not negate)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return Or(left, right) if negate else And(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return And(left, right) if negate else Or(left, right)
+    if isinstance(formula, Implies):
+        return _nnf(Or(Not(formula.left), formula.right), negate)
+    if isinstance(formula, Iff):
+        expanded = Or(
+            And(formula.left, formula.right),
+            And(Not(formula.left), Not(formula.right)),
+        )
+        return _nnf(expanded, negate)
+    if isinstance(formula, Exists):
+        inner = _nnf(formula.inner, negate)
+        return Forall(formula.variable, inner) if negate else Exists(formula.variable, inner)
+    if isinstance(formula, Forall):
+        inner = _nnf(formula.inner, negate)
+        return Exists(formula.variable, inner) if negate else Forall(formula.variable, inner)
+    raise FormulaError(f"unexpected node {type(formula).__name__}")
+
+
+def is_nnf(formula: Formula) -> bool:
+    """Whether negations appear only directly above atoms."""
+    if isinstance(formula, (Eq, Atom, DistAtom, Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.inner, (Eq, Atom, DistAtom))
+    if isinstance(formula, (And, Or)):
+        return is_nnf(formula.left) and is_nnf(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return is_nnf(formula.inner)
+    return False
+
+
+def to_prenex(formula: Formula) -> Formula:
+    """Prenex normal form: a quantifier prefix over a quantifier-free matrix.
+
+    Works on the NNF of the input; bound variables are renamed apart first,
+    so quantifiers can be pulled out without capture.
+    """
+    _require_fo(formula, "prenex")
+    renamed = _rename_apart(to_nnf(formula))
+    prefix, matrix = _pull(renamed)
+    result: Formula = matrix
+    for kind, variable in reversed(prefix):
+        result = Exists(variable, result) if kind == "E" else Forall(variable, result)
+    return result
+
+
+def _rename_apart(formula: Formula) -> Formula:
+    """Give every quantifier a globally fresh bound variable."""
+    taken = set(all_variables(formula))
+
+    def walk(node: Formula) -> Formula:
+        if isinstance(node, (Eq, Atom, DistAtom, Top, Bottom)):
+            return node
+        if isinstance(node, Not):
+            return Not(walk(node.inner))
+        if isinstance(node, And):
+            return And(walk(node.left), walk(node.right))
+        if isinstance(node, Or):
+            return Or(walk(node.left), walk(node.right))
+        if isinstance(node, (Exists, Forall)):
+            fresh = fresh_variable(node.variable, taken)
+            taken.add(fresh)
+            inner = node.inner
+            if fresh != node.variable:
+                inner = rename_free(inner, {node.variable: fresh})  # type: ignore[assignment]
+            inner = walk(inner)  # type: ignore[arg-type]
+            binder = Exists if isinstance(node, Exists) else Forall
+            return binder(fresh, inner)
+        raise FormulaError(f"unexpected node {type(node).__name__}")
+
+    return walk(formula)
+
+
+def _pull(formula: Formula) -> Tuple[List[Tuple[str, Variable]], Formula]:
+    """Pull quantifiers of an apart-renamed NNF formula to the front."""
+    if isinstance(formula, (Eq, Atom, DistAtom, Top, Bottom, Not)):
+        return [], formula
+    if isinstance(formula, Exists):
+        prefix, matrix = _pull(formula.inner)
+        return [("E", formula.variable)] + prefix, matrix
+    if isinstance(formula, Forall):
+        prefix, matrix = _pull(formula.inner)
+        return [("A", formula.variable)] + prefix, matrix
+    if isinstance(formula, (And, Or)):
+        left_prefix, left_matrix = _pull(formula.left)
+        right_prefix, right_matrix = _pull(formula.right)
+        connective = And if isinstance(formula, And) else Or
+        return left_prefix + right_prefix, connective(left_matrix, right_matrix)
+    raise FormulaError(f"unexpected node {type(formula).__name__}")
+
+
+def is_prenex(formula: Formula) -> bool:
+    """Whether the formula is a quantifier prefix over a quantifier-free matrix."""
+    node = formula
+    while isinstance(node, (Exists, Forall)):
+        node = node.inner
+    from .syntax import subexpressions
+
+    return not any(isinstance(n, (Exists, Forall)) for n in subexpressions(node))

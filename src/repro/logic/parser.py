@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the ASCII FOC(P) syntax.
+
+Grammar (EBNF; ``IDENT`` is ``[A-Za-z_][A-Za-z0-9_]*``, ``INT`` is ``[0-9]+``):
+
+.. code-block:: text
+
+    formula     := quantified
+    quantified  := ("exists" | "forall") IDENT "." quantified | iff
+    iff         := implies ("<->" implies)*            (right-assoc)
+    implies     := or ("->" or)*                       (right-assoc)
+    or          := and ("|" and)*
+    and         := unary ("&" unary)*
+    unary       := "!" unary | fatom
+    fatom       := "true" | "false"
+                 | "dist" "(" IDENT "," IDENT ")" "<=" INT
+                 | "@" IDENT "(" term ("," term)* ")"
+                 | IDENT "(" [IDENT ("," IDENT)*] ")"   -- relation atom
+                 | IDENT "=" IDENT                      -- equality
+                 | "(" formula ")"
+    term        := multerm (("+" | "-") multerm)*
+    multerm     := tatom ("*" tatom)*
+    tatom       := INT | "-" tatom | "(" term ")"
+                 | "#" "(" [IDENT ("," IDENT)*] ")" "." body
+    body        := a `unary`-level formula (parenthesize anything looser)
+
+``s - t`` is sugar for ``s + (-1) * t`` (the paper's abbreviation).  Keywords
+``exists, forall, true, false, dist`` are reserved and cannot name relations
+or variables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ParseError
+from .syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Term,
+    Top,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false", "dist"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>[0-9]+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<leq><=)
+  | (?P<sym>[()@#.,=|&!+\-*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r}", position)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            if kind == "sym":
+                kind = text
+            elif kind in {"iff", "implies", "leq"}:
+                kind = text
+            tokens.append(_Token(kind, text, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.expect("ident")
+        if token.text in _KEYWORDS:
+            raise ParseError(f"{token.text!r} is a reserved keyword", token.position)
+        return token.text
+
+    # -- formulas -----------------------------------------------------------------
+
+    def formula(self) -> Formula:
+        token = self.peek()
+        if token.kind == "ident" and token.text in {"exists", "forall"}:
+            self.advance()
+            variable = self.expect_ident()
+            self.expect(".")
+            inner = self.formula()
+            return Exists(variable, inner) if token.text == "exists" else Forall(variable, inner)
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        if self.peek().kind == "<->":
+            self.advance()
+            return Iff(left, self.iff())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_level()
+        if self.peek().kind == "->":
+            self.advance()
+            return Implies(left, self.implies())
+        return left
+
+    def or_level(self) -> Formula:
+        left = self.and_level()
+        while self.peek().kind == "|":
+            self.advance()
+            left = Or(left, self.and_level())
+        return left
+
+    def and_level(self) -> Formula:
+        left = self.unary()
+        while self.peek().kind == "&":
+            self.advance()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "!":
+            self.advance()
+            return Not(self.unary())
+        if token.kind == "ident" and token.text in {"exists", "forall"}:
+            return self.formula()
+        return self.fatom()
+
+    def fatom(self) -> Formula:
+        token = self.peek()
+        if token.kind == "(":
+            self.advance()
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if token.kind == "@":
+            self.advance()
+            name = self.expect("ident").text
+            self.expect("(")
+            terms = [self.term()]
+            while self.peek().kind == ",":
+                self.advance()
+                terms.append(self.term())
+            self.expect(")")
+            return PredicateAtom(name, tuple(terms))
+        if token.kind == "ident":
+            if token.text == "true":
+                self.advance()
+                return Top()
+            if token.text == "false":
+                self.advance()
+                return Bottom()
+            if token.text == "dist":
+                self.advance()
+                self.expect("(")
+                left = self.expect_ident()
+                self.expect(",")
+                right = self.expect_ident()
+                self.expect(")")
+                self.expect("<=")
+                bound = int(self.expect("int").text)
+                return DistAtom(left, right, bound)
+            name = self.advance().text
+            if self.peek().kind == "(":
+                self.advance()
+                args: List[str] = []
+                if self.peek().kind != ")":
+                    args.append(self.expect_ident())
+                    while self.peek().kind == ",":
+                        self.advance()
+                        args.append(self.expect_ident())
+                self.expect(")")
+                return Atom(name, tuple(args))
+            if self.peek().kind == "=":
+                self.advance()
+                right = self.expect_ident()
+                return Eq(name, right)
+            raise ParseError(
+                f"expected '(' or '=' after identifier {name!r}", self.peek().position
+            )
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r} in formula",
+            token.position,
+        )
+
+    # -- terms ---------------------------------------------------------------------
+
+    def term(self) -> Term:
+        left = self.multerm()
+        while self.peek().kind in {"+", "-"}:
+            operator = self.advance().kind
+            right = self.multerm()
+            if operator == "+":
+                left = Add(left, right)
+            else:
+                left = Add(left, Mul(IntTerm(-1), right))
+        return left
+
+    def multerm(self) -> Term:
+        left = self.tatom()
+        while self.peek().kind == "*":
+            self.advance()
+            left = Mul(left, self.tatom())
+        return left
+
+    def tatom(self) -> Term:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return IntTerm(int(token.text))
+        if token.kind == "-":
+            self.advance()
+            inner = self.tatom()
+            if isinstance(inner, IntTerm):
+                return IntTerm(-inner.value)
+            return Mul(IntTerm(-1), inner)
+        if token.kind == "(":
+            self.advance()
+            inner = self.term()
+            self.expect(")")
+            return inner
+        if token.kind == "#":
+            self.advance()
+            self.expect("(")
+            variables: List[str] = []
+            if self.peek().kind != ")":
+                variables.append(self.expect_ident())
+                while self.peek().kind == ",":
+                    self.advance()
+                    variables.append(self.expect_ident())
+            self.expect(")")
+            self.expect(".")
+            body = self.unary()
+            return CountTerm(tuple(variables), body)
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r} in counting term",
+            token.position,
+        )
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a formula; raises :class:`~repro.errors.ParseError` on junk."""
+    parser = _Parser(source)
+    result = parser.formula()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(f"trailing input {trailing.text!r}", trailing.position)
+    return result
+
+
+def parse_term(source: str) -> Term:
+    """Parse a counting term."""
+    parser = _Parser(source)
+    result = parser.term()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(f"trailing input {trailing.text!r}", trailing.position)
+    return result

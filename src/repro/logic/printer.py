@@ -1,0 +1,146 @@
+"""Pretty-printer for FOC(P) expressions.
+
+Produces the ASCII concrete syntax accepted by :mod:`repro.logic.parser`;
+``parse(pretty(e)) == e`` is a property test of the test suite.
+
+Concrete syntax summary (see the parser for the grammar):
+
+* ``x = y``, ``R(x, y)``, ``true``, ``false``, ``dist(x, y) <= 3``
+* ``!phi``, ``phi & psi``, ``phi | psi``, ``phi -> psi``, ``phi <-> psi``
+* ``exists x. phi``, ``forall x. phi``
+* ``@eq(t1, t2)`` — numerical predicate atoms
+* ``#(y, z). phi`` — counting terms; ``t + s``, ``t * s``, integers
+"""
+
+from __future__ import annotations
+
+from ..errors import FormulaError
+from .syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Expression,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Term,
+    Top,
+)
+
+# Precedence levels (higher binds tighter).
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_UNARY = 5
+_PREC_ATOM = 6
+
+_PREC_ADD = 1
+_PREC_MUL = 2
+_PREC_TERM_ATOM = 3
+
+
+def pretty(expression: Expression) -> str:
+    """Render an expression in parser-compatible concrete syntax."""
+    if isinstance(expression, Formula):
+        return _formula(expression, 0)
+    if isinstance(expression, Term):
+        return _term(expression, 0)
+    raise FormulaError(f"cannot pretty-print {type(expression).__name__}")
+
+
+def _wrap(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _formula(formula: Formula, context: int) -> str:
+    if isinstance(formula, Eq):
+        return f"{formula.left} = {formula.right}"
+    if isinstance(formula, Atom):
+        return f"{formula.relation}({', '.join(formula.args)})"
+    if isinstance(formula, DistAtom):
+        return f"dist({formula.left}, {formula.right}) <= {formula.bound}"
+    if isinstance(formula, Top):
+        return "true"
+    if isinstance(formula, Bottom):
+        return "false"
+    if isinstance(formula, Not):
+        return _wrap(f"!{_formula(formula.inner, _PREC_UNARY)}", context > _PREC_UNARY)
+    if isinstance(formula, And):
+        # '&' parses left-associatively, so a right-nested And needs parens
+        # to round-trip structurally.
+        text = (
+            f"{_formula(formula.left, _PREC_AND)} & "
+            f"{_formula(formula.right, _PREC_AND + 1)}"
+        )
+        return _wrap(text, context > _PREC_AND)
+    if isinstance(formula, Or):
+        text = (
+            f"{_formula(formula.left, _PREC_OR)} | "
+            f"{_formula(formula.right, _PREC_OR + 1)}"
+        )
+        return _wrap(text, context > _PREC_OR)
+    if isinstance(formula, Implies):
+        text = (
+            f"{_formula(formula.left, _PREC_IMPLIES + 1)} -> "
+            f"{_formula(formula.right, _PREC_IMPLIES)}"
+        )
+        return _wrap(text, context > _PREC_IMPLIES)
+    if isinstance(formula, Iff):
+        text = (
+            f"{_formula(formula.left, _PREC_IFF + 1)} <-> "
+            f"{_formula(formula.right, _PREC_IFF)}"
+        )
+        return _wrap(text, context > _PREC_IFF)
+    if isinstance(formula, Exists):
+        text = f"exists {formula.variable}. {_formula(formula.inner, 0)}"
+        return _wrap(text, context > 0)
+    if isinstance(formula, Forall):
+        text = f"forall {formula.variable}. {_formula(formula.inner, 0)}"
+        return _wrap(text, context > 0)
+    if isinstance(formula, PredicateAtom):
+        args = ", ".join(_term(t, 0) for t in formula.terms)
+        return f"@{formula.predicate}({args})"
+    raise FormulaError(f"unknown formula node {type(formula).__name__}")
+
+
+def _term(term: Term, context: int) -> str:
+    if isinstance(term, IntTerm):
+        text = str(term.value)
+        return _wrap(text, term.value < 0 and context >= _PREC_MUL)
+    if isinstance(term, Add):
+        # Render s + (-1)*t as s - t for readability; the parser reverses it.
+        right = term.right
+        if (
+            isinstance(right, Mul)
+            and isinstance(right.left, IntTerm)
+            and right.left.value == -1
+        ):
+            text = f"{_term(term.left, _PREC_ADD)} - {_term(right.right, _PREC_ADD + 1)}"
+        else:
+            # '+' parses left-associatively: parenthesise right-nested sums.
+            text = f"{_term(term.left, _PREC_ADD)} + {_term(right, _PREC_ADD + 1)}"
+        return _wrap(text, context > _PREC_ADD)
+    if isinstance(term, Mul):
+        text = f"{_term(term.left, _PREC_MUL)} * {_term(term.right, _PREC_MUL + 1)}"
+        return _wrap(text, context > _PREC_MUL)
+    if isinstance(term, CountTerm):
+        body = term.inner
+        if isinstance(body, (Eq, Atom, DistAtom, Top, Bottom, PredicateAtom, Not)):
+            rendered = _formula(body, _PREC_UNARY)
+        else:
+            rendered = f"({_formula(body, 0)})"
+        variables = ", ".join(term.variables)
+        return f"#({variables}). {rendered}"
+    raise FormulaError(f"unknown term node {type(term).__name__}")

@@ -1,0 +1,457 @@
+"""Abstract syntax of FOC(P) — Definition 3.1, plus the FO+ distance atoms
+of Section 7.
+
+Design notes
+------------
+* Variables are plain strings.  The paper fixes a countable set ``vars``;
+  any Python identifier-like string qualifies.
+* All nodes are frozen dataclasses: hashable, comparable, safe as cache keys.
+* The paper's core syntax has only ``=``-atoms, relation atoms, ``¬``, ``∨``,
+  ``∃``, numerical-predicate atoms, counting terms, integers, ``+`` and ``·``.
+  We additionally provide ``∧``, ``→``, ``↔``, ``∀``, ``⊤``, ``⊥`` and the
+  FO+ atom ``dist(x,y) <= d`` as first-class nodes; all of them are definable
+  in the core syntax and :func:`repro.logic.transform.to_primitive` performs
+  that elimination, which the tests use to confirm the sugar is conservative.
+* Terms support ``+``, ``*`` and ``-`` via operator overloading (``s - t`` is
+  the paper's abbreviation for ``s + (-1)·t``).  Comparisons are *methods*
+  (``t.eq(s)``, ``t.geq1()``), not operators, because ``__eq__`` must remain
+  structural equality for hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple, Union
+
+from ..errors import FormulaError
+
+Variable = str
+
+
+def _coerce_term(value: "TermLike") -> "Term":
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, int):
+        return IntTerm(value)
+    raise FormulaError(f"cannot interpret {value!r} as a counting term")
+
+
+class Expression:
+    """Common base for formulas and counting terms."""
+
+    __slots__ = ()
+
+
+class Formula(Expression):
+    """Base class for FOC(P) formulas."""
+
+    __slots__ = ()
+
+    # Boolean connective sugar --------------------------------------------------
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Iff":
+        return Iff(self, other)
+
+
+class Term(Expression):
+    """Base class for FOC(P) counting terms."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "TermLike") -> "Add":
+        return Add(self, _coerce_term(other))
+
+    def __radd__(self, other: "TermLike") -> "Add":
+        return Add(_coerce_term(other), self)
+
+    def __mul__(self, other: "TermLike") -> "Mul":
+        return Mul(self, _coerce_term(other))
+
+    def __rmul__(self, other: "TermLike") -> "Mul":
+        return Mul(_coerce_term(other), self)
+
+    def __sub__(self, other: "TermLike") -> "Add":
+        """``s - t`` abbreviates ``s + ((-1) · t)`` (Section 3)."""
+        return Add(self, Mul(IntTerm(-1), _coerce_term(other)))
+
+    def __rsub__(self, other: "TermLike") -> "Add":
+        return Add(_coerce_term(other), Mul(IntTerm(-1), self))
+
+    # Comparison sugar producing numerical-predicate atoms ----------------------
+    def eq(self, other: "TermLike") -> "PredicateAtom":
+        return PredicateAtom("eq", (self, _coerce_term(other)))
+
+    def neq(self, other: "TermLike") -> "PredicateAtom":
+        return PredicateAtom("neq", (self, _coerce_term(other)))
+
+    def leq(self, other: "TermLike") -> "PredicateAtom":
+        return PredicateAtom("leq", (self, _coerce_term(other)))
+
+    def lt(self, other: "TermLike") -> "PredicateAtom":
+        return PredicateAtom("lt", (self, _coerce_term(other)))
+
+    def gt(self, other: "TermLike") -> "PredicateAtom":
+        return PredicateAtom("gt", (self, _coerce_term(other)))
+
+    def geq1(self) -> "PredicateAtom":
+        """The paper's ``t >= 1`` abbreviation for ``P>=1(t)``."""
+        return PredicateAtom("geq1", (self,))
+
+
+TermLike = Union[Term, int]
+
+
+# ---------------------------------------------------------------------------
+# Formula nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """``x1 = x2`` between variables (rule 1)."""
+
+    left: Variable
+    right: Variable
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relation atom ``R(x1, ..., x_ar(R))`` (rule 1); arity may be 0."""
+
+    relation: str
+    args: Tuple[Variable, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, str):
+                raise FormulaError(f"atom argument {arg!r} is not a variable name")
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Derived connective; eliminated by ``to_primitive``."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Derived connective; eliminated by ``to_primitive``."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Derived connective; eliminated by ``to_primitive``."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variable: Variable
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Derived quantifier; eliminated by ``to_primitive``."""
+
+    variable: Variable
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The always-true sentence (definable as ``¬∃z ¬z=z``, cf. Example 5.3)."""
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The always-false sentence."""
+
+
+@dataclass(frozen=True)
+class PredicateAtom(Formula):
+    """``P(t1, ..., tm)`` for a numerical predicate P (rule 4)."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "terms", tuple(_coerce_term(t) for t in self.terms)
+        )
+        if not self.terms:
+            raise FormulaError("numerical predicates have arity >= 1")
+
+
+@dataclass(frozen=True)
+class DistAtom(Formula):
+    """The FO+ atom ``dist(x, y) <= bound`` (Section 7).
+
+    FO+ is a syntactic extension only: :func:`repro.logic.locality.dist_formula`
+    expands the atom into pure FO over a given signature.
+    """
+
+    left: Variable
+    right: Variable
+    bound: int
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise FormulaError("distance bound must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Term nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntTerm(Term):
+    """An integer literal (rule 6)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise FormulaError(f"IntTerm needs an int, got {self.value!r}")
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class CountTerm(Term):
+    """``#(y1, ..., yk).phi`` (rule 5).  Binds pairwise distinct variables;
+    k = 0 is allowed (the term is then 1 if phi holds, else 0)."""
+
+    variables: Tuple[Variable, ...]
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+        if len(set(self.variables)) != len(self.variables):
+            raise FormulaError(
+                f"counting term binds repeated variables: {self.variables}"
+            )
+        for variable in self.variables:
+            if not isinstance(variable, str):
+                raise FormulaError(f"{variable!r} is not a variable name")
+
+
+# ---------------------------------------------------------------------------
+# Structural queries (free variables, size, #-depth, subexpressions)
+# ---------------------------------------------------------------------------
+
+
+def free_variables(expression: Expression) -> FrozenSet[Variable]:
+    """The set ``free(xi)`` per the paper's inductive definition."""
+    if isinstance(expression, Eq):
+        return frozenset({expression.left, expression.right})
+    if isinstance(expression, Atom):
+        return frozenset(expression.args)
+    if isinstance(expression, DistAtom):
+        return frozenset({expression.left, expression.right})
+    if isinstance(expression, Not):
+        return free_variables(expression.inner)
+    if isinstance(expression, (Or, And, Implies, Iff)):
+        return free_variables(expression.left) | free_variables(expression.right)
+    if isinstance(expression, (Exists, Forall)):
+        return free_variables(expression.inner) - {expression.variable}
+    if isinstance(expression, (Top, Bottom)):
+        return frozenset()
+    if isinstance(expression, PredicateAtom):
+        result: FrozenSet[Variable] = frozenset()
+        for term in expression.terms:
+            result |= free_variables(term)
+        return result
+    if isinstance(expression, IntTerm):
+        return frozenset()
+    if isinstance(expression, (Add, Mul)):
+        return free_variables(expression.left) | free_variables(expression.right)
+    if isinstance(expression, CountTerm):
+        return free_variables(expression.inner) - set(expression.variables)
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")
+
+
+def is_sentence(formula: Formula) -> bool:
+    return isinstance(formula, Formula) and not free_variables(formula)
+
+
+def is_ground_term(term: Term) -> bool:
+    return isinstance(term, Term) and not free_variables(term)
+
+
+def expression_size(expression: Expression) -> int:
+    """A size measure proportional to the paper's word length ``||xi||``."""
+    if isinstance(expression, Eq):
+        return 3
+    if isinstance(expression, Atom):
+        return 1 + len(expression.args)
+    if isinstance(expression, DistAtom):
+        return 4
+    if isinstance(expression, Not):
+        return 1 + expression_size(expression.inner)
+    if isinstance(expression, (Or, And, Implies, Iff)):
+        return 1 + expression_size(expression.left) + expression_size(expression.right)
+    if isinstance(expression, (Exists, Forall)):
+        return 2 + expression_size(expression.inner)
+    if isinstance(expression, (Top, Bottom)):
+        return 1
+    if isinstance(expression, PredicateAtom):
+        return 1 + sum(expression_size(t) for t in expression.terms)
+    if isinstance(expression, IntTerm):
+        return 1 + len(str(abs(expression.value)))
+    if isinstance(expression, (Add, Mul)):
+        return 1 + expression_size(expression.left) + expression_size(expression.right)
+    if isinstance(expression, CountTerm):
+        return 2 + len(expression.variables) + expression_size(expression.inner)
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")
+
+
+def count_depth(expression: Expression) -> int:
+    """The #-depth ``d#`` of Section 6.3 (maximal nesting of ``#``)."""
+    if isinstance(expression, (Eq, Atom, DistAtom, Top, Bottom, IntTerm)):
+        return 0
+    if isinstance(expression, Not):
+        return count_depth(expression.inner)
+    if isinstance(expression, (Or, And, Implies, Iff, Add, Mul)):
+        return max(count_depth(expression.left), count_depth(expression.right))
+    if isinstance(expression, (Exists, Forall)):
+        return count_depth(expression.inner)
+    if isinstance(expression, PredicateAtom):
+        return max(count_depth(t) for t in expression.terms)
+    if isinstance(expression, CountTerm):
+        return count_depth(expression.inner) + 1
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")
+
+
+def subexpressions(expression: Expression) -> Iterator[Expression]:
+    """All subexpressions (including the expression itself), pre-order."""
+    yield expression
+    if isinstance(expression, Not):
+        yield from subexpressions(expression.inner)
+    elif isinstance(expression, (Or, And, Implies, Iff, Add, Mul)):
+        yield from subexpressions(expression.left)
+        yield from subexpressions(expression.right)
+    elif isinstance(expression, (Exists, Forall)):
+        yield from subexpressions(expression.inner)
+    elif isinstance(expression, PredicateAtom):
+        for term in expression.terms:
+            yield from subexpressions(term)
+    elif isinstance(expression, CountTerm):
+        yield from subexpressions(expression.inner)
+
+
+def all_variables(expression: Expression) -> FrozenSet[Variable]:
+    """All variable names occurring anywhere (free or bound)."""
+    names: set = set()
+    for node in subexpressions(expression):
+        if isinstance(node, Eq):
+            names.update({node.left, node.right})
+        elif isinstance(node, Atom):
+            names.update(node.args)
+        elif isinstance(node, DistAtom):
+            names.update({node.left, node.right})
+        elif isinstance(node, (Exists, Forall)):
+            names.add(node.variable)
+        elif isinstance(node, CountTerm):
+            names.update(node.variables)
+    return frozenset(names)
+
+
+def relation_names(expression: Expression) -> FrozenSet[str]:
+    """Names of all relation symbols occurring in the expression."""
+    return frozenset(
+        node.relation for node in subexpressions(expression) if isinstance(node, Atom)
+    )
+
+
+def predicate_names(expression: Expression) -> FrozenSet[str]:
+    """Names of all numerical predicates occurring in the expression."""
+    return frozenset(
+        node.predicate
+        for node in subexpressions(expression)
+        if isinstance(node, PredicateAtom)
+    )
+
+
+def uses_distance_atoms(expression: Expression) -> bool:
+    """Whether the expression is genuinely FO+ (mentions a distance atom)."""
+    return any(isinstance(node, DistAtom) for node in subexpressions(expression))
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-nested conjunction of a (possibly empty) iterable; empty = Top."""
+    items = list(formulas)
+    if not items:
+        return Top()
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = And(item, result)
+    return result
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-nested disjunction; empty = Bottom."""
+    items = list(formulas)
+    if not items:
+        return Bottom()
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = Or(item, result)
+    return result
+
+
+def exists_block(variables: Iterable[Variable], inner: Formula) -> Formula:
+    """``∃v1 ... ∃vk inner``."""
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return result
+
+
+def forall_block(variables: Iterable[Variable], inner: Formula) -> Formula:
+    """``∀v1 ... ∀vk inner``."""
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Forall(variable, result)
+    return result

@@ -1,0 +1,365 @@
+"""Syntactic transformations on FOC(P) expressions.
+
+Provides the workhorses used throughout the reproduction:
+
+* capture-avoiding renaming of free variables (used by the Section 5
+  free-variable elimination and by Theorem 6.10's ``z``-normalisation);
+* elimination of derived connectives down to the paper's core syntax
+  (rules 1-7 of Definition 3.1);
+* quantifier/counting relativization (the ``∃x(ψ_a(x) ∧ ψ)`` rewriting in
+  the proof of Theorem 4.1);
+* light algebraic simplification (constant folding), handy for keeping
+  machine-generated formulas readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Mapping, Set
+
+from ..errors import FormulaError
+from .syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Expression,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Term,
+    Top,
+    Variable,
+    all_variables,
+    free_variables,
+)
+
+
+def fresh_variable(base: Variable, used: Iterable[Variable]) -> Variable:
+    """A variable named after ``base`` that avoids every name in ``used``."""
+    taken = set(used)
+    if base not in taken:
+        return base
+    for index in itertools.count(1):
+        candidate = f"{base}_{index}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def rename_free(expression: Expression, mapping: Mapping[Variable, Variable]) -> Expression:
+    """Capture-avoiding renaming of *free* variable occurrences.
+
+    Bound variables are alpha-renamed on demand when they would capture a
+    substituted name.
+    """
+    relevant = {
+        old: new for old, new in mapping.items() if old != new
+    }
+    if not relevant:
+        return expression
+    forbidden = set(relevant.values()) | set(relevant) | set(all_variables(expression))
+    return _rename(expression, dict(relevant), forbidden)
+
+
+def _rename(
+    expression: Expression, env: Dict[Variable, Variable], forbidden: Set[Variable]
+) -> Expression:
+    if isinstance(expression, Eq):
+        return Eq(env.get(expression.left, expression.left), env.get(expression.right, expression.right))
+    if isinstance(expression, Atom):
+        return Atom(expression.relation, tuple(env.get(a, a) for a in expression.args))
+    if isinstance(expression, DistAtom):
+        return DistAtom(
+            env.get(expression.left, expression.left),
+            env.get(expression.right, expression.right),
+            expression.bound,
+        )
+    if isinstance(expression, Not):
+        return Not(_rename(expression.inner, env, forbidden))
+    if isinstance(expression, Or):
+        return Or(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, And):
+        return And(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, Implies):
+        return Implies(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, Iff):
+        return Iff(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, (Top, Bottom, IntTerm)):
+        return expression
+    if isinstance(expression, (Exists, Forall)):
+        binder = type(expression)
+        variable = expression.variable
+        scoped = {old: new for old, new in env.items() if old != variable}
+        if variable in set(scoped.values()):
+            renamed = fresh_variable(variable, forbidden)
+            forbidden = forbidden | {renamed}
+            scoped[variable] = renamed
+            return binder(renamed, _rename(expression.inner, scoped, forbidden))
+        return binder(variable, _rename(expression.inner, scoped, forbidden))
+    if isinstance(expression, PredicateAtom):
+        return PredicateAtom(
+            expression.predicate,
+            tuple(_rename(t, env, forbidden) for t in expression.terms),
+        )
+    if isinstance(expression, Add):
+        return Add(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, Mul):
+        return Mul(_rename(expression.left, env, forbidden), _rename(expression.right, env, forbidden))
+    if isinstance(expression, CountTerm):
+        bound = expression.variables
+        scoped = {old: new for old, new in env.items() if old not in bound}
+        targets = set(scoped.values())
+        if targets & set(bound):
+            replacements: Dict[Variable, Variable] = {}
+            new_bound = []
+            for variable in bound:
+                if variable in targets:
+                    renamed = fresh_variable(variable, forbidden)
+                    forbidden = forbidden | {renamed}
+                    replacements[variable] = renamed
+                    new_bound.append(renamed)
+                else:
+                    new_bound.append(variable)
+            scoped.update(replacements)
+            return CountTerm(tuple(new_bound), _rename(expression.inner, scoped, forbidden))
+        return CountTerm(bound, _rename(expression.inner, scoped, forbidden))
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")
+
+
+def to_primitive(expression: Expression) -> Expression:
+    """Eliminate derived constructs, yielding the paper's core syntax.
+
+    ``∧``, ``→``, ``↔``, ``∀`` are rewritten through ``¬`` and ``∨``;
+    ``⊤``/``⊥`` become the sentences ``¬∃z ¬z=z`` / ``∃z ¬z=z``.
+    Distance atoms are left alone (they are FO+ primitives; expansion to pure
+    FO needs a signature — see :func:`repro.logic.locality.dist_formula`).
+    """
+    if isinstance(expression, (Eq, Atom, DistAtom, IntTerm)):
+        return expression
+    if isinstance(expression, Not):
+        return Not(to_primitive(expression.inner))
+    if isinstance(expression, Or):
+        return Or(to_primitive(expression.left), to_primitive(expression.right))
+    if isinstance(expression, And):
+        return Not(Or(Not(to_primitive(expression.left)), Not(to_primitive(expression.right))))
+    if isinstance(expression, Implies):
+        return Or(Not(to_primitive(expression.left)), to_primitive(expression.right))
+    if isinstance(expression, Iff):
+        left = to_primitive(expression.left)
+        right = to_primitive(expression.right)
+        # (l -> r) and (r -> l), fully primitively:
+        forward = Or(Not(left), right)
+        backward = Or(Not(right), left)
+        return Not(Or(Not(forward), Not(backward)))
+    if isinstance(expression, Exists):
+        return Exists(expression.variable, to_primitive(expression.inner))
+    if isinstance(expression, Forall):
+        return Not(Exists(expression.variable, Not(to_primitive(expression.inner))))
+    if isinstance(expression, Top):
+        fresh = fresh_variable("z", all_variables(expression))
+        return Not(Exists(fresh, Not(Eq(fresh, fresh))))
+    if isinstance(expression, Bottom):
+        fresh = fresh_variable("z", all_variables(expression))
+        return Exists(fresh, Not(Eq(fresh, fresh)))
+    if isinstance(expression, PredicateAtom):
+        return PredicateAtom(
+            expression.predicate, tuple(to_primitive(t) for t in expression.terms)
+        )
+    if isinstance(expression, Add):
+        return Add(to_primitive(expression.left), to_primitive(expression.right))
+    if isinstance(expression, Mul):
+        return Mul(to_primitive(expression.left), to_primitive(expression.right))
+    if isinstance(expression, CountTerm):
+        return CountTerm(expression.variables, to_primitive(expression.inner))
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")
+
+
+def relativize(
+    formula: Formula,
+    guard: Callable[[Variable], Formula],
+    relativize_counts: bool = True,
+) -> Formula:
+    """Relativize all quantifiers (and optionally counting binders) to a guard.
+
+    ``∃x ψ`` becomes ``∃x (guard(x) ∧ ψ')`` and ``∀x ψ`` becomes
+    ``∀x (guard(x) → ψ')`` — the rewriting used in the proof of Theorem 4.1
+    ("replacing subformulas ∃x ψ by ∃x(ψ_a(x) ∧ ψ)").  With
+    ``relativize_counts`` the binder ``#(y1..yk).ψ`` becomes
+    ``#(y1..yk).(guard(y1) ∧ ... ∧ guard(yk) ∧ ψ')``.
+    """
+    if isinstance(formula, (Eq, Atom, DistAtom, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(relativize(formula.inner, guard, relativize_counts))
+    if isinstance(formula, Or):
+        return Or(
+            relativize(formula.left, guard, relativize_counts),
+            relativize(formula.right, guard, relativize_counts),
+        )
+    if isinstance(formula, And):
+        return And(
+            relativize(formula.left, guard, relativize_counts),
+            relativize(formula.right, guard, relativize_counts),
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            relativize(formula.left, guard, relativize_counts),
+            relativize(formula.right, guard, relativize_counts),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            relativize(formula.left, guard, relativize_counts),
+            relativize(formula.right, guard, relativize_counts),
+        )
+    if isinstance(formula, Exists):
+        return Exists(
+            formula.variable,
+            And(guard(formula.variable), relativize(formula.inner, guard, relativize_counts)),
+        )
+    if isinstance(formula, Forall):
+        return Forall(
+            formula.variable,
+            Implies(guard(formula.variable), relativize(formula.inner, guard, relativize_counts)),
+        )
+    if isinstance(formula, PredicateAtom):
+        return PredicateAtom(
+            formula.predicate,
+            tuple(_relativize_term(t, guard, relativize_counts) for t in formula.terms),
+        )
+    raise FormulaError(f"unknown formula node {type(formula).__name__}")
+
+
+def _relativize_term(
+    term: Term, guard: Callable[[Variable], Formula], relativize_counts: bool
+) -> Term:
+    if isinstance(term, IntTerm):
+        return term
+    if isinstance(term, Add):
+        return Add(
+            _relativize_term(term.left, guard, relativize_counts),
+            _relativize_term(term.right, guard, relativize_counts),
+        )
+    if isinstance(term, Mul):
+        return Mul(
+            _relativize_term(term.left, guard, relativize_counts),
+            _relativize_term(term.right, guard, relativize_counts),
+        )
+    if isinstance(term, CountTerm):
+        inner = relativize(term.inner, guard, relativize_counts)
+        if relativize_counts:
+            for variable in reversed(term.variables):
+                inner = And(guard(variable), inner)
+        return CountTerm(term.variables, inner)
+    raise FormulaError(f"unknown term node {type(term).__name__}")
+
+
+def simplify(expression: Expression) -> Expression:
+    """Light bottom-up simplification: boolean absorption with ⊤/⊥, double
+    negation, and integer constant folding.  Semantics-preserving."""
+    if isinstance(expression, (Eq, Atom, DistAtom, Top, Bottom, IntTerm)):
+        return expression
+    if isinstance(expression, Not):
+        inner = simplify(expression.inner)
+        if isinstance(inner, Top):
+            return Bottom()
+        if isinstance(inner, Bottom):
+            return Top()
+        if isinstance(inner, Not):
+            return inner.inner
+        return Not(inner)
+    if isinstance(expression, Or):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Top) or isinstance(right, Top):
+            return Top()
+        if isinstance(left, Bottom):
+            return right
+        if isinstance(right, Bottom):
+            return left
+        return Or(left, right)
+    if isinstance(expression, And):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Bottom) or isinstance(right, Bottom):
+            return Bottom()
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        return And(left, right)
+    if isinstance(expression, Implies):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Bottom) or isinstance(right, Top):
+            return Top()
+        if isinstance(left, Top):
+            return right
+        return Implies(left, right)
+    if isinstance(expression, Iff):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if isinstance(left, Bottom):
+            return simplify(Not(right))
+        if isinstance(right, Bottom):
+            return simplify(Not(left))
+        return Iff(left, right)
+    if isinstance(expression, Exists):
+        inner = simplify(expression.inner)
+        if isinstance(inner, (Top, Bottom)):
+            # universes are non-empty, so the quantifier is vacuous
+            return inner
+        return Exists(expression.variable, inner)
+    if isinstance(expression, Forall):
+        inner = simplify(expression.inner)
+        if isinstance(inner, (Top, Bottom)):
+            return inner
+        return Forall(expression.variable, inner)
+    if isinstance(expression, PredicateAtom):
+        return PredicateAtom(
+            expression.predicate, tuple(simplify(t) for t in expression.terms)
+        )
+    if isinstance(expression, Add):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, IntTerm) and isinstance(right, IntTerm):
+            return IntTerm(left.value + right.value)
+        if isinstance(left, IntTerm) and left.value == 0:
+            return right
+        if isinstance(right, IntTerm) and right.value == 0:
+            return left
+        return Add(left, right)
+    if isinstance(expression, Mul):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, IntTerm) and isinstance(right, IntTerm):
+            return IntTerm(left.value * right.value)
+        if isinstance(left, IntTerm) and left.value == 1:
+            return right
+        if isinstance(right, IntTerm) and right.value == 1:
+            return left
+        if (isinstance(left, IntTerm) and left.value == 0) or (
+            isinstance(right, IntTerm) and right.value == 0
+        ):
+            return IntTerm(0)
+        return Mul(left, right)
+    if isinstance(expression, CountTerm):
+        inner = simplify(expression.inner)
+        if isinstance(inner, Bottom):
+            return IntTerm(0)
+        return CountTerm(expression.variables, inner)
+    raise FormulaError(f"unknown expression node {type(expression).__name__}")

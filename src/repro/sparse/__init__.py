@@ -1,0 +1,37 @@
+"""Nowhere-dense substrate: graph families, splitter games, and
+neighbourhood covers (Section 8 of the paper)."""
+
+from .classes import (
+    DENSE_FAMILIES,
+    SPARSE_FAMILIES,
+    bounded_degree_graph,
+    caterpillar,
+    coloured_digraph,
+    dense_random_graph,
+    long_subdivided_clique,
+    nearly_square_grid,
+    random_tree,
+    sparse_random_graph,
+    triangulated_grid,
+)
+from .splitter import (
+    SplitterGameError,
+    SplitterGameResult,
+    connector_first,
+    connector_max_ball,
+    play_splitter_game,
+    rounds_needed,
+    splitter_ball_centre,
+    splitter_max_degree,
+    splitter_take_connector,
+)
+from .covers import (
+    CoverError,
+    NeighbourhoodCover,
+    cover_statistics,
+    sparse_cover,
+    trivial_cover,
+)
+from .measures import ball_growth, degeneracy, degree_statistics, sparsity_report
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,213 @@
+"""Generators for structure families used as stand-ins for the paper's
+abstract "nowhere dense classes" (and for dense control classes).
+
+The paper's Main Theorem quantifies over effectively nowhere dense classes;
+its hardness side (and the known lower bounds it cites) says the machinery
+must *fail* on somewhere-dense classes.  The scaling benchmarks therefore
+sweep over the canonical sparse families below and compare against dense
+controls.
+
+Every generator is deterministic given ``(parameters, seed)``; randomness
+comes from :class:`random.Random` seeded explicitly, never the global RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import UniverseError
+from ..structures.builders import (
+    balanced_tree,
+    complete_graph,
+    coloured_graph_structure,
+    cycle_graph,
+    graph_structure,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from ..structures.structure import Structure
+
+
+def random_tree(n: int, seed: int = 0) -> Structure:
+    """A uniform random recursive tree on vertices 1..n (nowhere dense:
+    trees have tree-width 1)."""
+    if n < 1:
+        raise UniverseError("tree needs at least one vertex")
+    rng = random.Random(seed)
+    edges = [(rng.randint(1, i - 1), i) for i in range(2, n + 1)]
+    return graph_structure(range(1, n + 1), edges)
+
+
+def bounded_degree_graph(n: int, max_degree: int = 3, seed: int = 0) -> Structure:
+    """A random graph with a hard degree cap (bounded-degree class — the
+    Kuske–Schweikardt regime, experiment E8).
+
+    Edges are sampled uniformly and rejected when either endpoint is full;
+    the result has max degree <= ``max_degree``.
+    """
+    if n < 1:
+        raise UniverseError("graph needs at least one vertex")
+    if max_degree < 0:
+        raise UniverseError("degree bound must be non-negative")
+    rng = random.Random(seed)
+    degree = {v: 0 for v in range(1, n + 1)}
+    edges: List[Tuple[int, int]] = []
+    present = set()
+    attempts = 4 * n * max(1, max_degree)
+    for _ in range(attempts):
+        u = rng.randint(1, n)
+        v = rng.randint(1, n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in present:
+            continue
+        if degree[u] >= max_degree or degree[v] >= max_degree:
+            continue
+        present.add(key)
+        degree[u] += 1
+        degree[v] += 1
+        edges.append(key)
+    return graph_structure(range(1, n + 1), edges)
+
+
+def sparse_random_graph(n: int, average_degree: float = 2.0, seed: int = 0) -> Structure:
+    """Erdos–Renyi G(n, m) with m = average_degree * n / 2 edges.
+
+    For constant average degree these graphs have bounded expansion
+    asymptotically almost surely, hence serve as a sparse family.
+    """
+    if n < 1:
+        raise UniverseError("graph needs at least one vertex")
+    rng = random.Random(seed)
+    target = int(average_degree * n / 2)
+    present = set()
+    while len(present) < target and len(present) < n * (n - 1) // 2:
+        u = rng.randint(1, n)
+        v = rng.randint(1, n)
+        if u != v:
+            present.add((min(u, v), max(u, v)))
+    return graph_structure(range(1, n + 1), sorted(present))
+
+
+def dense_random_graph(n: int, probability: float = 0.5, seed: int = 0) -> Structure:
+    """Erdos–Renyi G(n, p) with constant p — a somewhere-dense control."""
+    if n < 1:
+        raise UniverseError("graph needs at least one vertex")
+    if not 0 <= probability <= 1:
+        raise UniverseError("probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(1, n + 1)
+        for v in range(u + 1, n + 1)
+        if rng.random() < probability
+    ]
+    return graph_structure(range(1, n + 1), edges)
+
+
+def triangulated_grid(rows: int, cols: int) -> Structure:
+    """A grid with one diagonal per cell — still planar, higher edge density."""
+    base = grid_graph(rows, cols)
+    extra = [
+        ((r, c), (r + 1, c + 1))
+        for r in range(rows - 1)
+        for c in range(cols - 1)
+    ]
+    edges = {tuple(t) for t in base.relation("E")} | {
+        (u, v) for u, v in extra
+    } | {(v, u) for u, v in extra}
+    return graph_structure(base.universe_order, edges, symmetric=False)
+
+
+def caterpillar(spine: int, legs_per_vertex: int = 2, seed: int = 0) -> Structure:
+    """A caterpillar tree: a path with pendant leaves (bounded tree-depth-ish,
+    unbounded degree when legs grow)."""
+    if spine < 1:
+        raise UniverseError("caterpillar needs a spine")
+    rng = random.Random(seed)
+    vertices: List[Tuple[str, int, int]] = []
+    edges = []
+    for i in range(spine):
+        vertices.append(("s", i, 0))
+        if i > 0:
+            edges.append((("s", i - 1, 0), ("s", i, 0)))
+        legs = rng.randint(0, legs_per_vertex * 2) if seed else legs_per_vertex
+        for leg in range(legs):
+            vertices.append(("l", i, leg))
+            edges.append((("s", i, 0), ("l", i, leg)))
+    return graph_structure(vertices, edges)
+
+
+def long_subdivided_clique(k: int, subdivision: int) -> Structure:
+    """K_k with every edge subdivided ``subdivision`` times.
+
+    For fixed k and growing subdivision these are nowhere dense (they are
+    even planar for k <= 4); with subdivision ~ log n they witness classes
+    that are nowhere dense but have unbounded expansion.
+    """
+    if k < 2:
+        raise UniverseError("need k >= 2")
+    vertices: List[object] = list(range(1, k + 1))
+    edges = []
+    for i in range(1, k + 1):
+        for j in range(i + 1, k + 1):
+            previous: object = i
+            for step in range(subdivision):
+                middle = ("sub", i, j, step)
+                vertices.append(middle)
+                edges.append((previous, middle))
+                previous = middle
+            edges.append((previous, j))
+    return graph_structure(vertices, edges)
+
+
+def coloured_digraph(
+    n: int,
+    average_out_degree: float = 2.0,
+    red_fraction: float = 0.2,
+    blue_fraction: float = 0.3,
+    green_fraction: float = 0.3,
+    seed: int = 0,
+) -> Structure:
+    """A random coloured digraph over Example 5.4's signature {E, R, B, G}."""
+    if n < 1:
+        raise UniverseError("graph needs at least one vertex")
+    rng = random.Random(seed)
+    target = int(average_out_degree * n)
+    edges = set()
+    while len(edges) < target and len(edges) < n * (n - 1):
+        u = rng.randint(1, n)
+        v = rng.randint(1, n)
+        if u != v:
+            edges.add((u, v))
+    red = [v for v in range(1, n + 1) if rng.random() < red_fraction]
+    blue = [v for v in range(1, n + 1) if rng.random() < blue_fraction]
+    green = [v for v in range(1, n + 1) if rng.random() < green_fraction]
+    return coloured_graph_structure(range(1, n + 1), sorted(edges), red, blue, green)
+
+
+def nearly_square_grid(n: int) -> Structure:
+    """A grid with ~n vertices, as square as possible (for size sweeps)."""
+    rows = max(1, int(n**0.5))
+    cols = max(1, (n + rows - 1) // rows)
+    return grid_graph(rows, cols)
+
+
+#: Sparse families for scaling sweeps: name -> generator(n, seed).
+SPARSE_FAMILIES: Dict[str, Callable[[int, int], Structure]] = {
+    "path": lambda n, seed: path_graph(max(1, n)),
+    "cycle": lambda n, seed: cycle_graph(max(3, n)),
+    "random_tree": random_tree,
+    "grid": lambda n, seed: nearly_square_grid(n),
+    "bounded_degree_3": lambda n, seed: bounded_degree_graph(n, 3, seed),
+    "sparse_gnm": lambda n, seed: sparse_random_graph(n, 2.0, seed),
+}
+
+#: Dense controls: classes on which locality-based evaluation must degrade.
+DENSE_FAMILIES: Dict[str, Callable[[int, int], Structure]] = {
+    "clique": lambda n, seed: complete_graph(max(1, n)),
+    "dense_gnp": lambda n, seed: dense_random_graph(n, 0.5, seed),
+}

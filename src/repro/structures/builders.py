@@ -1,0 +1,173 @@
+"""Builders turning familiar combinatorial objects into sigma-structures.
+
+The paper's running examples live on three kinds of structures:
+
+* (directed) graphs over the signature {E/2} — Sections 3-8;
+* coloured digraphs over {E/2, R/1, B/1, G/1} — Example 5.4;
+* strings over {<=/2} ∪ {P_a/1 : a in Sigma} — Theorem 4.3;
+* trees (as symmetric edge relations) — Theorem 4.1.
+
+Everything here is deterministic given its arguments; random families live in
+:mod:`repro.sparse.classes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from ..errors import UniverseError
+from .signature import GRAPH_SIGNATURE, Signature
+from .structure import Element, Structure
+
+#: Signature of Example 5.4: digraph with three colour predicates.
+COLOURED_GRAPH_SIGNATURE = Signature.of(E=2, R=1, B=1, G=1)
+
+
+def graph_structure(
+    vertices: Iterable[Element],
+    edges: Iterable[Tuple[Element, Element]],
+    symmetric: bool = True,
+) -> Structure:
+    """A graph as an {E/2}-structure.
+
+    With ``symmetric=True`` (the default) each edge is closed under reversal,
+    modelling the undirected graphs of Sections 4 and 8; with ``False`` the
+    edge list is taken as a directed relation (Examples 3.2 and 5.4).
+    """
+    edge_set: Set[Tuple[Element, Element]] = set()
+    for u, v in edges:
+        edge_set.add((u, v))
+        if symmetric:
+            edge_set.add((v, u))
+    return Structure(GRAPH_SIGNATURE, vertices, {"E": edge_set})
+
+
+def coloured_graph_structure(
+    vertices: Iterable[Element],
+    edges: Iterable[Tuple[Element, Element]],
+    red: Iterable[Element] = (),
+    blue: Iterable[Element] = (),
+    green: Iterable[Element] = (),
+) -> Structure:
+    """A coloured digraph over Example 5.4's signature {E, R, B, G}."""
+    return Structure(
+        COLOURED_GRAPH_SIGNATURE,
+        vertices,
+        {
+            "E": {(u, v) for u, v in edges},
+            "R": {(a,) for a in red},
+            "B": {(a,) for a in blue},
+            "G": {(a,) for a in green},
+        },
+    )
+
+
+def path_graph(n: int) -> Structure:
+    """The undirected path on vertices 1..n."""
+    if n < 1:
+        raise UniverseError("path needs at least one vertex")
+    return graph_structure(range(1, n + 1), [(i, i + 1) for i in range(1, n)])
+
+
+def cycle_graph(n: int) -> Structure:
+    """The undirected cycle on vertices 1..n (n >= 3)."""
+    if n < 3:
+        raise UniverseError("cycle needs at least three vertices")
+    edges = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
+    return graph_structure(range(1, n + 1), edges)
+
+
+def complete_graph(n: int) -> Structure:
+    """The clique K_n — a canonical *non*-nowhere-dense control."""
+    if n < 1:
+        raise UniverseError("clique needs at least one vertex")
+    vertices = range(1, n + 1)
+    edges = [(i, j) for i in vertices for j in vertices if i < j]
+    return graph_structure(vertices, edges)
+
+
+def grid_graph(rows: int, cols: int) -> Structure:
+    """The rows x cols grid — planar, hence nowhere dense."""
+    if rows < 1 or cols < 1:
+        raise UniverseError("grid dimensions must be positive")
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+    return graph_structure(vertices, edges)
+
+
+def star_graph(leaves: int) -> Structure:
+    """A star: centre 0 joined to leaves 1..leaves (unbounded degree, but a tree)."""
+    if leaves < 0:
+        raise UniverseError("leaf count must be non-negative")
+    return graph_structure(
+        range(0, leaves + 1), [(0, i) for i in range(1, leaves + 1)]
+    )
+
+
+def balanced_tree(branching: int, height: int) -> Structure:
+    """The complete ``branching``-ary tree of the given height.
+
+    Vertices are tuples encoding root-to-node paths; the root is ``()``.
+    """
+    if branching < 1 or height < 0:
+        raise UniverseError("branching >= 1 and height >= 0 required")
+    vertices: List[Tuple[int, ...]] = [()]
+    edges: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    frontier: List[Tuple[int, ...]] = [()]
+    for _ in range(height):
+        next_frontier = []
+        for node in frontier:
+            for child_index in range(branching):
+                child = node + (child_index,)
+                vertices.append(child)
+                edges.append((node, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return graph_structure(vertices, edges)
+
+
+def string_signature(alphabet: Iterable[str]) -> Signature:
+    """The string signature {<=/2} ∪ {P_a/1 : a in alphabet} of Theorem 4.3.
+
+    The order symbol is named ``leq`` so it parses as an identifier.
+    """
+    arities: Dict[str, int] = {"leq": 2}
+    for symbol in alphabet:
+        arities[f"P_{symbol}"] = 1
+    return Signature.of(**arities)
+
+
+def string_structure(word: Sequence[str], alphabet: "Iterable[str] | None" = None) -> Structure:
+    """Encode a word as a structure: positions 1..n, ``leq`` a linear order,
+    ``P_a`` the positions carrying the letter ``a``."""
+    if not word:
+        raise UniverseError("the empty word has an empty universe; not allowed")
+    letters = sorted(set(alphabet) if alphabet is not None else set(word))
+    missing = set(word) - set(letters)
+    if missing:
+        raise UniverseError(f"word uses letters outside the alphabet: {sorted(missing)}")
+    n = len(word)
+    signature = string_signature(letters)
+    relations: Dict[str, Set[Tuple]] = {
+        "leq": {(i, j) for i in range(1, n + 1) for j in range(i, n + 1)}
+    }
+    for letter in letters:
+        relations[f"P_{letter}"] = {
+            (i,) for i, current in enumerate(word, start=1) if current == letter
+        }
+    return Structure(signature, range(1, n + 1), relations)
+
+
+def forest_structure(parents: Mapping[Element, Element]) -> Structure:
+    """A forest given as a child -> parent map (roots are absent keys)."""
+    vertices: Set[Element] = set(parents) | set(parents.values())
+    edges = [(child, parent) for child, parent in parents.items()]
+    if not vertices:
+        raise UniverseError("forest must have at least one vertex")
+    return graph_structure(sorted(vertices, key=repr), edges)

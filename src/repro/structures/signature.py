@@ -1,0 +1,156 @@
+"""Relational signatures (Section 2 of the paper).
+
+A *signature* is a finite set of relation symbols, each with a non-negative
+arity.  Signatures in this library are immutable value objects: two signatures
+containing the same symbols compare equal and hash equally, which lets the
+evaluation machinery use them as cache keys.
+
+Arity 0 is allowed — a 0-ary relation over a universe ``A`` is either the
+empty set or ``{()}``, and the paper's Decomposition Theorem 6.10 makes
+essential use of 0-ary symbols to record truth values of sentences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Tuple
+
+from ..errors import SignatureError
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A named relation symbol with a fixed arity.
+
+    Parameters
+    ----------
+    name:
+        The symbol's name.  Names are the identity used by parsers and
+        printers, so they must be non-empty.
+    arity:
+        Number of argument positions; must be >= 0.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SignatureError("relation symbol name must be non-empty")
+        if self.arity < 0:
+            raise SignatureError(
+                f"relation symbol {self.name!r} has negative arity {self.arity}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}/{self.arity}"
+
+
+class Signature:
+    """An immutable finite set of :class:`RelationSymbol` objects.
+
+    The *size* ``||sigma||`` of a signature is the sum of the arities of its
+    relation symbols, matching the paper's definition.
+    """
+
+    __slots__ = ("_by_name", "_symbols", "_hash")
+
+    def __init__(self, symbols: Iterable[RelationSymbol] = ()):
+        by_name: Dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            if not isinstance(symbol, RelationSymbol):
+                raise SignatureError(f"not a relation symbol: {symbol!r}")
+            existing = by_name.get(symbol.name)
+            if existing is not None and existing != symbol:
+                raise SignatureError(
+                    f"duplicate symbol name {symbol.name!r} with arities "
+                    f"{existing.arity} and {symbol.arity}"
+                )
+            by_name[symbol.name] = symbol
+        object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(self, "_symbols", tuple(sorted(by_name.values())))
+        object.__setattr__(self, "_hash", hash(self._symbols))
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, **arities: int) -> "Signature":
+        """Build a signature from keyword arguments, e.g. ``Signature.of(E=2, R=1)``."""
+        return cls(RelationSymbol(name, arity) for name, arity in arities.items())
+
+    def extend(self, *symbols: RelationSymbol) -> "Signature":
+        """Return the signature enlarged by ``symbols`` (must be consistent)."""
+        return Signature(tuple(self._symbols) + symbols)
+
+    def union(self, other: "Signature") -> "Signature":
+        """Union of two signatures; conflicting arities raise :class:`SignatureError`."""
+        return Signature(tuple(self._symbols) + tuple(other._symbols))
+
+    def restrict(self, names: Iterable[str]) -> "Signature":
+        """The sub-signature containing exactly the symbols named in ``names``."""
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise SignatureError(f"unknown symbols: {sorted(missing)}")
+        return Signature(s for s in self._symbols if s.name in wanted)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, RelationSymbol):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SignatureError(f"signature has no symbol named {name!r}") from None
+
+    def get(self, name: str) -> "RelationSymbol | None":
+        return self._by_name.get(name)
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    @property
+    def symbols(self) -> Tuple[RelationSymbol, ...]:
+        return self._symbols
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self._symbols)
+
+    def size(self) -> int:
+        """``||sigma||``: the sum of the arities of the symbols."""
+        return sum(s.arity for s in self._symbols)
+
+    def max_arity(self) -> int:
+        """Largest arity present; 0 for the empty signature."""
+        return max((s.arity for s in self._symbols), default=0)
+
+    def is_subsignature_of(self, other: "Signature") -> bool:
+        return all(s in other for s in self._symbols)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(s) for s in self._symbols)
+        return f"Signature({{{inner}}})"
+
+
+#: The signature of (directed) graphs: a single binary relation symbol E.
+GRAPH_SIGNATURE = Signature.of(E=2)

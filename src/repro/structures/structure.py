@@ -1,0 +1,210 @@
+"""Finite relational structures (Section 2 of the paper).
+
+A sigma-structure ``A`` consists of a finite non-empty universe and one finite
+relation per symbol of its signature.  Structures here are immutable after
+construction; derived data (Gaifman adjacency, per-position indexes) is
+computed lazily and cached, which is safe precisely because the relational
+content never changes.
+
+Universe elements may be arbitrary hashable Python objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
+
+from ..errors import ArityError, SignatureError, UniverseError
+from .signature import RelationSymbol, Signature
+
+Element = Hashable
+Tup = Tuple[Element, ...]
+
+
+class Structure:
+    """An immutable finite sigma-structure.
+
+    Parameters
+    ----------
+    signature:
+        The structure's signature.
+    universe:
+        A non-empty iterable of hashable elements.  Duplicates are collapsed;
+        iteration order of the structure follows first occurrence, giving
+        deterministic behaviour for evaluation and printing.
+    relations:
+        Mapping from relation *names* (or :class:`RelationSymbol`) to iterables
+        of tuples.  Symbols of the signature that are missing from the mapping
+        get the empty relation.  Every tuple must have the symbol's arity and
+        all its entries must belong to the universe.
+    """
+
+    __slots__ = (
+        "_signature",
+        "_universe_order",
+        "_universe",
+        "_relations",
+        "_adjacency",
+        "_indexes",
+        "_size",
+    )
+
+    def __init__(
+        self,
+        signature: Signature,
+        universe: Iterable[Element],
+        relations: "Mapping[object, Iterable[Tup]] | None" = None,
+    ):
+        universe_order: List[Element] = []
+        seen = set()
+        for element in universe:
+            if element not in seen:
+                seen.add(element)
+                universe_order.append(element)
+        if not universe_order:
+            raise UniverseError("a structure's universe must be non-empty")
+
+        resolved: Dict[RelationSymbol, FrozenSet[Tup]] = {
+            symbol: frozenset() for symbol in signature
+        }
+        if relations:
+            for key, tuples in relations.items():
+                symbol = self._resolve_symbol(signature, key)
+                checked = []
+                for tup in tuples:
+                    tup = tuple(tup)
+                    if len(tup) != symbol.arity:
+                        raise ArityError(
+                            f"tuple {tup!r} has length {len(tup)}, but "
+                            f"{symbol.name} has arity {symbol.arity}"
+                        )
+                    for entry in tup:
+                        if entry not in seen:
+                            raise UniverseError(
+                                f"tuple {tup!r} of {symbol.name} mentions "
+                                f"{entry!r}, which is not in the universe"
+                            )
+                    checked.append(tup)
+                resolved[symbol] = frozenset(checked)
+
+        self._signature = signature
+        self._universe_order = tuple(universe_order)
+        self._universe = frozenset(universe_order)
+        self._relations = resolved
+        self._adjacency: "Dict[Element, FrozenSet[Element]] | None" = None
+        self._indexes: Dict[Tuple[str, int], Dict[Element, Tuple[Tup, ...]]] = {}
+        self._size = len(universe_order) + sum(len(rel) for rel in resolved.values())
+
+    @staticmethod
+    def _resolve_symbol(signature: Signature, key: object) -> RelationSymbol:
+        if isinstance(key, RelationSymbol):
+            if key not in signature:
+                raise SignatureError(f"symbol {key!r} is not in the signature")
+            return key
+        if isinstance(key, str):
+            return signature[key]
+        raise SignatureError(f"cannot resolve relation key {key!r}")
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    @property
+    def universe(self) -> FrozenSet[Element]:
+        return self._universe
+
+    @property
+    def universe_order(self) -> Tuple[Element, ...]:
+        """The universe in deterministic (insertion) order."""
+        return self._universe_order
+
+    def relation(self, key: object) -> FrozenSet[Tup]:
+        """The interpretation of a relation symbol (by symbol or name)."""
+        return self._relations[self._resolve_symbol(self._signature, key)]
+
+    def relations(self) -> Mapping[RelationSymbol, FrozenSet[Tup]]:
+        return dict(self._relations)
+
+    def has_tuple(self, key: object, tup: Tup) -> bool:
+        return tuple(tup) in self.relation(key)
+
+    def order(self) -> int:
+        """``|A|``: the number of universe elements."""
+        return len(self._universe_order)
+
+    def size(self) -> int:
+        """``||A||`` = |A| + sum of relation cardinalities."""
+        return self._size
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._universe
+
+    def __len__(self) -> int:
+        return len(self._universe_order)
+
+    # -- derived data (lazy, cached) -------------------------------------------
+
+    def adjacency(self) -> Dict[Element, FrozenSet[Element]]:
+        """Gaifman-graph adjacency: ``a`` and ``b`` are adjacent iff distinct
+        and co-occurring in some tuple of some relation."""
+        if self._adjacency is None:
+            neighbours: Dict[Element, set] = {a: set() for a in self._universe_order}
+            for rel in self._relations.values():
+                for tup in rel:
+                    distinct = set(tup)
+                    if len(distinct) < 2:
+                        continue
+                    for a in distinct:
+                        for b in distinct:
+                            if a != b:
+                                neighbours[a].add(b)
+            self._adjacency = {a: frozenset(ns) for a, ns in neighbours.items()}
+        return self._adjacency
+
+    def index(self, key: object, position: int) -> Dict[Element, Tuple[Tup, ...]]:
+        """Per-position index: maps each value ``v`` to the tuples of the
+        relation whose ``position``-th entry is ``v``.  Built lazily."""
+        symbol = self._resolve_symbol(self._signature, key)
+        if not 0 <= position < symbol.arity:
+            raise ArityError(
+                f"position {position} out of range for {symbol.name}/{symbol.arity}"
+            )
+        cache_key = (symbol.name, position)
+        if cache_key not in self._indexes:
+            built: Dict[Element, List[Tup]] = {}
+            for tup in self._relations[symbol]:
+                built.setdefault(tup[position], []).append(tup)
+            self._indexes[cache_key] = {v: tuple(ts) for v, ts in built.items()}
+        return self._indexes[cache_key]
+
+    # -- equality is extensional -----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self._signature == other._signature
+            and self._universe == other._universe
+            and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._signature,
+                self._universe,
+                tuple(
+                    sorted(
+                        ((s.name, rel) for s, rel in self._relations.items()),
+                        key=lambda pair: pair[0],
+                    )
+                ),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rels = ", ".join(
+            f"{s.name}:{len(rel)}" for s, rel in sorted(self._relations.items(), key=lambda p: p[0].name)
+        )
+        return f"Structure(|A|={self.order()}, {rels})"

@@ -1,0 +1,61 @@
+"""Tests for the brute-force baseline evaluator's API behaviour."""
+
+import pytest
+
+from repro.core.baseline import BruteForceEvaluator
+from repro.core.query import Foc1Query
+from repro.errors import EvaluationError
+from repro.logic.builder import Rel, count
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.syntax import Eq
+
+E = Rel("E", 2)
+
+
+@pytest.fixture
+def engine():
+    return BruteForceEvaluator()
+
+
+class TestApi:
+    def test_model_check(self, engine, triangle):
+        assert engine.model_check(triangle, parse_formula("exists x. exists y. E(x, y)"))
+        with pytest.raises(EvaluationError):
+            engine.model_check(triangle, parse_formula("E(x, y)"))
+
+    def test_ground_term(self, engine, triangle):
+        assert engine.ground_term_value(triangle, parse_term("#(x, y). E(x, y)")) == 6
+        with pytest.raises(EvaluationError):
+            engine.ground_term_value(triangle, parse_term("#(y). E(x, y)"))
+
+    def test_unary_values(self, engine, path5):
+        values = engine.unary_term_values(path5, parse_term("#(y). E(x, y)"), "x")
+        assert values == {1: 1, 2: 2, 3: 2, 4: 2, 5: 1}
+        restricted = engine.unary_term_values(
+            path5, parse_term("#(y). E(x, y)"), "x", elements=[2]
+        )
+        assert restricted == {2: 2}
+
+    def test_count_and_solutions(self, engine, triangle):
+        phi = parse_formula("E(x, y)")
+        assert engine.count(triangle, phi, ["x", "y"]) == 6
+        assert len(list(engine.solutions(triangle, phi, ["x", "y"]))) == 6
+
+    def test_query(self, engine, triangle):
+        query = Foc1Query(
+            head_variables=("x",),
+            head_terms=(count(["y"], E("x", "y")),),
+            condition=Eq("x", "x"),
+        )
+        assert sorted(engine.evaluate_query(triangle, query)) == [
+            (1, 2),
+            (2, 2),
+            (3, 2),
+        ]
+
+    def test_full_foc_supported(self, engine, triangle):
+        # the baseline does not restrict to FOC1
+        bad = parse_formula(
+            "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))"
+        )
+        assert engine.model_check(triangle, bad) is True

@@ -1,0 +1,166 @@
+"""Tests for cl-terms (Definition 6.2) and the polynomial algebra."""
+
+import pytest
+
+from repro.core.clterms import BasicClTerm, ClPolynomial, CoverTerm
+from repro.errors import FormulaError
+from repro.logic.builder import Rel
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import And, Atom, Eq, Top
+
+E = Rel("E", 2)
+
+
+def degree_term(unary=True):
+    """u(y1) = #(y2).(E(y1,y2) ∧ delta_connected)."""
+    return BasicClTerm(
+        variables=("y1", "y2"),
+        psi=E("y1", "y2"),
+        psi_radius=0,
+        link_distance=1,
+        edges=frozenset({(1, 2)}),
+        unary=unary,
+    )
+
+
+class TestBasicClTerm:
+    def test_width_and_radius(self):
+        term = degree_term()
+        assert term.width == 2
+        assert term.free_variable == "y1"
+        # R = r + (k-1) * D = 0 + 1*1
+        assert term.evaluation_radius() == 1
+
+    def test_paper_convention_link_distance(self):
+        term = BasicClTerm.paper(
+            ("y1", "y2"), E("y1", "y2"), radius=2, edges=[(1, 2)], unary=False
+        )
+        assert term.link_distance == 5  # 2r+1
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(FormulaError):
+            BasicClTerm(
+                ("y1", "y2", "y3"),
+                Top(),
+                0,
+                1,
+                frozenset({(1, 2)}),
+                unary=False,
+            )
+
+    def test_psi_free_variables_checked(self):
+        with pytest.raises(FormulaError):
+            BasicClTerm(("y1",), E("y1", "zz"), 0, 1, frozenset(), unary=True)
+
+    def test_repeated_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            BasicClTerm(("y1", "y1"), Top(), 0, 1, frozenset({(1, 2)}), False)
+
+    def test_count_term_semantics(self, triangle):
+        term = degree_term(unary=True)
+        ct = term.count_term()
+        # on a triangle every vertex has 2 neighbours at distance exactly <=1
+        value = evaluate(ct, triangle, {"y1": 1})
+        # tuples (y2) with E(1,y2) and dist(1,y2) <= 1: y2 in {2,3}
+        assert value == 2
+
+    def test_width_one(self, triangle):
+        term = BasicClTerm(("y1",), E("y1", "y1"), 0, 1, frozenset(), unary=True)
+        assert evaluate(term.count_term(), triangle, {"y1": 1}) == 0
+
+
+class TestClPolynomial:
+    def test_constant_arithmetic(self):
+        two = ClPolynomial.constant(2)
+        three = ClPolynomial.constant(3)
+        assert (two + three).evaluate(lambda t: 0) == 5
+        assert (two * three).evaluate(lambda t: 0) == 6
+        assert (two - three).evaluate(lambda t: 0) == -1
+
+    def test_like_terms_merge(self):
+        term = ClPolynomial.of(degree_term())
+        doubled = term + term
+        assert len(doubled.monomials) == 1
+        assert doubled.monomials[0][1] == 2
+
+    def test_cancellation(self):
+        term = ClPolynomial.of(degree_term())
+        zero = term - term
+        assert zero.monomials == ()
+        assert zero.evaluate(lambda t: 99) == 0
+
+    def test_product_of_basics(self):
+        a = ClPolynomial.of(degree_term())
+        product = a * a
+        assert len(product.monomials) == 1
+        factors, coefficient = product.monomials[0]
+        assert len(factors) == 2 and coefficient == 1
+
+    def test_evaluate_memoises_valuation(self):
+        calls = []
+
+        def valuation(term):
+            calls.append(term)
+            return 2
+
+        poly = ClPolynomial.of(degree_term()) * ClPolynomial.of(degree_term())
+        assert poly.evaluate(valuation) == 4
+        assert len(calls) == 1  # the duplicate factor is computed once
+
+    def test_width_and_radius_summaries(self):
+        poly = ClPolynomial.of(degree_term()) + ClPolynomial.constant(5)
+        assert poly.max_width() == 2
+        assert poly.max_radius() == 0
+        assert ClPolynomial.constant(1).max_width() == 0
+
+
+class TestCoverTerm:
+    def test_component_validation(self):
+        # G = two isolated vertices: components {1}, {2}
+        term = CoverTerm(
+            variables=("y1", "y2"),
+            edges=frozenset(),
+            link_distance=1,
+            component_formulas=(
+                (frozenset({1}), Atom("R", ("y1",))),
+                (frozenset({2}), Atom("R", ("y2",))),
+            ),
+            unary=False,
+        )
+        assert not term.is_basic()
+        assert term.width == 2
+
+    def test_wrong_components_rejected(self):
+        with pytest.raises(FormulaError):
+            CoverTerm(
+                ("y1", "y2"),
+                frozenset({(1, 2)}),
+                1,
+                ((frozenset({1}), Top()), (frozenset({2}), Top())),
+                False,
+            )
+
+    def test_component_formula_variable_scope(self):
+        with pytest.raises(FormulaError):
+            CoverTerm(
+                ("y1", "y2"),
+                frozenset(),
+                1,
+                (
+                    (frozenset({1}), Atom("R", ("y2",))),  # wrong variable
+                    (frozenset({2}), Top()),
+                ),
+                False,
+            )
+
+    def test_body_builds(self):
+        term = CoverTerm(
+            ("y1",),
+            frozenset(),
+            2,
+            ((frozenset({1}), Atom("R", ("y1",))),),
+            unary=True,
+        )
+        assert term.is_basic()
+        built = term.count_term()
+        assert built.variables == ()

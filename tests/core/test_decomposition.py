@@ -1,0 +1,288 @@
+"""Tests for the Lemma 6.4 / Lemma 7.6 decomposition recursion.
+
+The key property: the cl-term polynomial produced for a counting term
+evaluates (by local ball exploration) to exactly the same number as
+brute-force enumeration of the original term — on every structure.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.clterms import CoverTerm
+from repro.core.decomposition import (
+    decompose_cover_term,
+    decompose_factored_count,
+    decompose_pattern,
+    is_block_cohesive,
+    split_blocks,
+)
+from repro.core.local_eval import (
+    evaluate_polynomial_ground,
+    evaluate_polynomial_unary,
+)
+from repro.errors import FormulaError
+from repro.logic.builder import Rel
+from repro.logic.semantics import count_solutions, evaluate
+from repro.logic.syntax import And, Atom, CountTerm, DistAtom, Eq, Exists, Not, Top
+
+from ..conftest import small_graphs
+
+E = Rel("E", 2)
+R = Rel("R", 1)
+
+
+class TestSplitBlocks:
+    def test_grouping_by_shared_variables(self):
+        body = And(And(E("y1", "y2"), E("y3", "y4")), E("y2", "y1"))
+        blocks = split_blocks(body, ("y1", "y2", "y3", "y4"))
+        assert len(blocks) == 2
+
+    def test_single_block_when_chained(self):
+        body = And(E("y1", "y2"), E("y2", "y3"))
+        blocks = split_blocks(body, ("y1", "y2", "y3"))
+        assert len(blocks) == 1
+
+    def test_empty_body(self):
+        assert split_blocks(Top(), ("y1",)) == [Top()]
+
+
+class TestCohesion:
+    def test_positive_atoms_cohesive(self):
+        assert is_block_cohesive(E("y1", "y2"), 1)
+        assert is_block_cohesive(And(E("y1", "y2"), E("y2", "y3")), 1)
+
+    def test_triangle_cohesive(self):
+        body = And(E("y1", "y2"), And(E("y2", "y3"), E("y3", "y1")))
+        assert is_block_cohesive(body, 1)
+
+    def test_negative_atom_alone_not_cohesive(self):
+        assert not is_block_cohesive(Not(E("y1", "y2")), 1)
+
+    def test_negative_atom_glued_by_positive(self):
+        body = And(E("y1", "y2"), Not(E("y2", "y1")))
+        assert is_block_cohesive(body, 1)
+
+    def test_distance_atom_within_link(self):
+        assert is_block_cohesive(DistAtom("y1", "y2", 2), 2)
+        assert not is_block_cohesive(DistAtom("y1", "y2", 3), 2)
+
+
+class TestSinglePatternRecursion:
+    """decompose_pattern computes exact-pattern counts (Lemma 7.6 shape)."""
+
+    def _exact_pattern_count(self, structure, tup_vars, edges, formulas, link):
+        """Brute-force: tuples whose connectivity pattern is exactly G and
+        which satisfy the per-component formulas."""
+        import itertools
+
+        from repro.structures.gaifman import connectivity_graph
+
+        total = 0
+        k = len(tup_vars)
+        for tup in itertools.product(structure.universe_order, repeat=k):
+            if connectivity_graph(structure, tup, link) != edges:
+                continue
+            env = dict(zip(tup_vars, tup))
+            if all(evaluate(f, structure, env) == 1 for _, f in formulas):
+                total += 1
+        return total
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=20, deadline=None)
+    def test_two_isolated_components(self, structure):
+        variables = ("y1", "y2")
+        edges = frozenset()
+        formulas = (
+            (frozenset({1}), Exists("z", E("y1", "z"))),
+            (frozenset({2}), Exists("z", E("y2", "z"))),
+        )
+        poly = decompose_pattern(
+            variables, edges, dict(formulas), psi_radius=1, link_distance=1, unary=False
+        )
+        got = evaluate_polynomial_ground(structure, poly)
+        want = self._exact_pattern_count(structure, variables, edges, formulas, 1)
+        assert got == want
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=15, deadline=None)
+    def test_edge_plus_isolated(self, structure):
+        variables = ("y1", "y2", "y3")
+        edges = frozenset({(1, 2)})
+        formulas = (
+            (frozenset({1, 2}), E("y1", "y2")),
+            (frozenset({3}), Top()),
+        )
+        poly = decompose_pattern(
+            variables, edges, dict(formulas), psi_radius=0, link_distance=1, unary=False
+        )
+        got = evaluate_polynomial_ground(structure, poly)
+        want = self._exact_pattern_count(structure, variables, edges, formulas, 1)
+        assert got == want
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=15, deadline=None)
+    def test_unary_variant(self, structure):
+        import itertools
+
+        from repro.structures.gaifman import connectivity_graph
+
+        variables = ("y1", "y2")
+        edges = frozenset()
+        formulas = {
+            frozenset({1}): Top(),
+            frozenset({2}): Exists("z", E("y2", "z")),
+        }
+        poly = decompose_pattern(
+            variables, edges, formulas, psi_radius=1, link_distance=1, unary=True
+        )
+        values = evaluate_polynomial_unary(structure, poly)
+        for a in structure.universe_order:
+            want = 0
+            for b in structure.universe_order:
+                if connectivity_graph(structure, (a, b), 1) != edges:
+                    continue
+                if evaluate(formulas[frozenset({2})], structure, {"y2": b}) == 1:
+                    want += 1
+            assert values[a] == want, a
+
+    def test_component_mismatch_rejected(self):
+        with pytest.raises(FormulaError):
+            decompose_pattern(
+                ("y1", "y2"),
+                frozenset(),
+                {frozenset({1, 2}): Top()},
+                0,
+                1,
+                False,
+            )
+
+
+class TestFactoredCount:
+    """decompose_factored_count == brute-force counting (Lemma 6.4 end-to-end)."""
+
+    BODIES = [
+        (("y1", "y2"), And(E("y1", "y2"), Not(Eq("y1", "y2")))),
+        (("y1", "y2", "y3"), And(E("y1", "y2"), E("y2", "y3"))),
+        (("y1", "y2", "y3", "y4"), And(E("y1", "y2"), E("y3", "y4"))),
+        (("y1", "y2", "y3"), And(E("y1", "y2"), Top())),
+        (("y1", "y2"), Top()),
+    ]
+
+    @pytest.mark.parametrize("variables,body", BODIES)
+    @given(structure=small_graphs(min_vertices=1, max_vertices=5))
+    @settings(max_examples=12, deadline=None)
+    def test_ground_matches_brute_force(self, variables, body, structure):
+        poly = decompose_factored_count(
+            variables, body, psi_radius=0, link_distance=1, unary=False
+        )
+        got = evaluate_polynomial_ground(structure, poly)
+        want = count_solutions(structure, body, variables)
+        assert got == want
+
+    @given(structure=small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=12, deadline=None)
+    def test_unary_matches_brute_force(self, structure):
+        variables = ("y1", "y2", "y3")
+        body = And(E("y1", "y2"), Exists("z", E("y3", "z")))
+        poly = decompose_factored_count(
+            variables, body, psi_radius=1, link_distance=1, unary=True
+        )
+        values = evaluate_polynomial_unary(structure, poly)
+        ct = CountTerm(("y2", "y3"), body)
+        for a in structure.universe_order:
+            assert values[a] == evaluate(ct, structure, {"y1": a})
+
+    def test_triangle_body(self, triangle):
+        variables = ("y1", "y2", "y3")
+        body = And(E("y1", "y2"), And(E("y2", "y3"), E("y3", "y1")))
+        poly = decompose_factored_count(variables, body, 0, 1, unary=False)
+        assert evaluate_polynomial_ground(triangle, poly) == count_solutions(
+            triangle, body, variables
+        )
+
+    def test_incohesive_block_rejected(self):
+        body = Not(E("y1", "y2"))  # spans two variables without closeness
+        with pytest.raises(FormulaError):
+            decompose_factored_count(("y1", "y2"), body, 0, 1)
+
+    def test_link_distance_validation(self):
+        with pytest.raises(FormulaError):
+            decompose_factored_count(("y1",), Top(), 0, 0)
+
+
+class TestCoverTermDecomposition:
+    def test_cover_term_roundtrip(self, sparse20):
+        """Lemma 7.6: the decomposed polynomial (evaluated plainly) equals
+        the cover term's plain count."""
+        term = CoverTerm(
+            variables=("y1", "y2"),
+            edges=frozenset(),
+            link_distance=1,
+            component_formulas=(
+                (frozenset({1}), Exists("z", E("y1", "z"))),
+                (frozenset({2}), Exists("z", E("y2", "z"))),
+            ),
+            unary=False,
+        )
+        poly = decompose_cover_term(term, psi_radius=1)
+        got = evaluate_polynomial_ground(sparse20, poly)
+
+        # brute-force the Definition 7.5 semantics with plain satisfaction
+        import itertools
+
+        from repro.structures.gaifman import connectivity_graph
+
+        want = 0
+        for tup in itertools.product(sparse20.universe_order, repeat=2):
+            if connectivity_graph(sparse20, tup, 1) != frozenset():
+                continue
+            env = {"y1": tup[0], "y2": tup[1]}
+            if all(
+                evaluate(f, sparse20, env) == 1
+                for _, f in term.component_formulas
+            ):
+                want += 1
+        assert got == want
+
+
+class TestTheorem68:
+    """Basic local sentences become 'g-hat >= 1' statements (Theorem 6.8)."""
+
+    @given(small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_equivalence(self, structure):
+        from repro.core.decomposition import basic_local_sentence_polynomial
+        from repro.logic.locality import ScatteredSentence
+        from repro.logic.semantics import satisfies
+
+        sentence = ScatteredSentence(
+            count=2,
+            min_distance=2,
+            variable="y",
+            psi=Exists("z", E("y", "z")),
+        )
+        poly = basic_local_sentence_polynomial(sentence, psi_radius=1)
+        from repro.core.local_eval import evaluate_polynomial_ground
+
+        value = evaluate_polynomial_ground(structure, poly)
+        assert (value >= 1) == satisfies(structure, sentence.build())
+        # the count itself is exact, not just its positivity
+        witnesses = 0
+        import itertools
+
+        from repro.structures.gaifman import distance
+
+        for a, b in itertools.product(structure.universe_order, repeat=2):
+            if distance(structure, a, b) <= 2:
+                continue
+            if satisfies(structure, Exists("z", E("y", "z")), {"y": a}) and satisfies(
+                structure, Exists("z", E("y", "z")), {"y": b}
+            ):
+                witnesses += 1
+        assert value == witnesses
+
+    def test_rejects_non_scattered_input(self):
+        from repro.core.decomposition import basic_local_sentence_polynomial
+
+        with pytest.raises(FormulaError):
+            basic_local_sentence_polynomial("not a sentence")

@@ -1,0 +1,102 @@
+"""Tests for the EF+_q game (Theorem 7.2's characterisation)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ef_games import (
+    distinguish,
+    duplicator_wins,
+    is_partial_r_isomorphism,
+)
+from repro.errors import FormulaError
+from repro.structures.builders import cycle_graph, graph_structure, path_graph
+
+from ..conftest import small_graphs
+
+
+class TestPartialRIsomorphism:
+    def test_empty_tuples(self, path5):
+        assert is_partial_r_isomorphism(path5, (), path5, (), 3)
+
+    def test_identity_is_partial_isomorphism(self, path5):
+        assert is_partial_r_isomorphism(path5, (1, 3), path5, (1, 3), 10)
+
+    def test_symmetry_of_the_path(self, path5):
+        # the mirror map 1<->5, 2<->4 preserves everything
+        assert is_partial_r_isomorphism(path5, (1, 2), path5, (5, 4), 10)
+
+    def test_distance_violation_detected(self, path5):
+        # (1,2) at distance 1 vs (1,3) at distance 2
+        assert not is_partial_r_isomorphism(path5, (1, 2), path5, (1, 3), 10)
+
+    def test_distance_beyond_threshold_ignored(self):
+        p = path_graph(9)
+        # distances 5 vs 7 both exceed threshold 3: allowed
+        assert is_partial_r_isomorphism(p, (1, 6), p, (1, 8), 3)
+        assert not is_partial_r_isomorphism(p, (1, 6), p, (1, 8), 6)
+
+    def test_relation_violation_detected(self, path5, triangle):
+        assert not is_partial_r_isomorphism(path5, (1, 3), triangle, (1, 3), 1)
+
+    def test_repeated_entries_must_match(self, path5):
+        assert is_partial_r_isomorphism(path5, (2, 2), path5, (4, 4), 5)
+        assert not is_partial_r_isomorphism(path5, (2, 2), path5, (4, 3), 5)
+
+
+class TestGame:
+    def test_zero_rounds_is_the_isomorphism_check(self, path5):
+        assert duplicator_wins(path5, (1,), path5, (5,), q=1, rounds=0)
+        assert not duplicator_wins(path5, (1, 2), path5, (1, 3), q=1, rounds=0)
+
+    def test_duplicator_wins_on_identical_structures(self, triangle):
+        assert duplicator_wins(triangle, (1,), triangle, (2,), q=2, rounds=1)
+
+    def test_spoiler_separates_path_endpoints_from_middle(self):
+        p = path_graph(5)
+        # endpoint vs centre: degree differs, one round suffices
+        assert not duplicator_wins(p, (1,), p, (3,), q=2, rounds=1)
+
+    def test_long_cycles_locally_alike(self):
+        # two vertices of the same cycle are symmetric: Duplicator wins
+        c = cycle_graph(8)
+        assert duplicator_wins(c, (1,), c, (4,), q=1, rounds=1)
+
+    def test_negative_rounds_rejected(self, path5):
+        with pytest.raises(FormulaError):
+            duplicator_wins(path5, (), path5, (), q=1, rounds=-1)
+
+
+class TestTheorem72:
+    """If Duplicator wins l rounds, no FO+ formula of q-rank <= l separates
+    the positions (the transfer direction of Theorem 7.2)."""
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=15, deadline=None)
+    def test_game_win_implies_indistinguishable(self, structure):
+        nodes = list(structure.universe_order)
+        a, b = nodes[0], nodes[-1]
+        q, rounds = 1, 1
+        if duplicator_wins(structure, (a,), structure, (b,), q, rounds):
+            assert (
+                distinguish(structure, (a,), structure, (b,), q, rounds) is None
+            )
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=15, deadline=None)
+    def test_distinguishing_formula_implies_spoiler_win(self, structure):
+        nodes = list(structure.universe_order)
+        a, b = nodes[0], nodes[-1]
+        q, rounds = 1, 1
+        formula = distinguish(structure, (a,), structure, (b,), q, rounds)
+        if formula is not None:
+            assert not duplicator_wins(structure, (a,), structure, (b,), q, rounds)
+
+    def test_cross_structure_example(self):
+        # K3 vs P3 pointed at the degree-2 vertex: locally identical with
+        # one extra element (two neighbours each, both adjacent), so
+        # Duplicator survives one round — but two rounds expose the missing
+        # edge/distance between the neighbours.
+        triangle = graph_structure([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+        path = path_graph(3)
+        assert duplicator_wins(triangle, (2,), path, (2,), q=2, rounds=1)
+        assert not duplicator_wins(triangle, (2,), path, (2,), q=2, rounds=2)

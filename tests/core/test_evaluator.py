@@ -1,0 +1,220 @@
+"""Differential tests of the main engine against the literal semantics.
+
+These are the load-bearing correctness tests of the reproduction: the
+optimized :class:`Foc1Evaluator` must agree with Definition 3.1 on random
+FOC1(P) expressions over random structures — model checking, counting,
+unary term evaluation, and full query evaluation.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baseline import BruteForceEvaluator
+from repro.core.evaluator import Foc1Evaluator
+from repro.core.query import Foc1Query
+from repro.errors import EvaluationError, FragmentError
+from repro.logic.builder import Rel, count
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.syntax import (
+    And,
+    CountTerm,
+    Eq,
+    Exists,
+    Top,
+    exists_block,
+    free_variables,
+)
+from repro.structures.builders import graph_structure
+
+from ..conftest import foc1_formulas, small_graphs
+
+E = Rel("E", 2)
+
+FAST = Foc1Evaluator()
+BRUTE = BruteForceEvaluator()
+
+
+class TestModelChecking:
+    SENTENCES = [
+        "exists x. exists y. E(x, y)",
+        "forall x. @leq(#(y). E(x, y), 3)",
+        "@prime(#(x). x = x + #(x, y). E(x, y))",
+        "exists x. @eq(#(y, z). (E(x, y) & E(y, z) & E(z, x)), 0)",
+        "exists x. @geq1(#(y). (E(x, y) & @geq1(#(z). E(y, z))))",
+        "exists x. (@even(#(y). E(x, y)) & exists y. E(x, y))",
+        "forall x. (@geq1(#(y). E(x, y)) -> exists y. E(y, x))",
+    ]
+
+    @pytest.mark.parametrize("source", SENTENCES)
+    @given(structure=small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=10, deadline=None)
+    def test_agrees_with_brute_force(self, source, structure):
+        sentence = parse_formula(source)
+        assert FAST.model_check(structure, sentence) == BRUTE.model_check(
+            structure, sentence
+        )
+
+    @given(
+        structure=small_graphs(min_vertices=1, max_vertices=5),
+        phi=foc1_formulas(max_depth=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_sentences(self, structure, phi):
+        sentence = exists_block(sorted(free_variables(phi)), phi)
+        assert FAST.model_check(structure, sentence) == BRUTE.model_check(
+            structure, sentence
+        )
+
+    def test_non_sentence_rejected(self, triangle):
+        with pytest.raises(EvaluationError):
+            FAST.model_check(triangle, parse_formula("E(x, y)"))
+
+    def test_fragment_enforced(self, triangle):
+        bad = parse_formula("exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))")
+        with pytest.raises(FragmentError):
+            FAST.model_check(triangle, bad)
+        # but evaluable with the check disabled (full FOC(P), inline path)
+        relaxed = Foc1Evaluator(check_fragment=False)
+        assert relaxed.model_check(triangle, bad) == BRUTE.model_check(triangle, bad)
+
+
+class TestCounting:
+    COUNTS = [
+        ("E(x, y)", ["x", "y"]),
+        ("!E(x, y)", ["x", "y"]),
+        ("E(x, y) | E(y, x)", ["x", "y"]),
+        ("E(x, y) & E(y, z)", ["x", "y", "z"]),
+        ("E(x, y) & !(x = z)", ["x", "y", "z"]),
+        ("exists w. (E(x, w) & E(w, y))", ["x", "y"]),
+        ("@geq1(#(w). E(x, w)) & E(x, y)", ["x", "y"]),
+        ("x = x", ["x", "y"]),
+    ]
+
+    @pytest.mark.parametrize("source,variables", COUNTS)
+    @given(structure=small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_agree(self, source, variables, structure):
+        phi = parse_formula(source)
+        assert FAST.count(structure, phi, variables) == BRUTE.count(
+            structure, phi, variables
+        )
+
+    @given(
+        structure=small_graphs(min_vertices=1, max_vertices=4),
+        phi=foc1_formulas(max_depth=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_counts(self, structure, phi):
+        variables = sorted(free_variables(phi)) or ["x"]
+        assert FAST.count(structure, phi, variables) == BRUTE.count(
+            structure, phi, variables
+        )
+
+    def test_count_input_validation(self, triangle):
+        with pytest.raises(EvaluationError):
+            FAST.count(triangle, parse_formula("E(x, y)"), ["x"])
+        with pytest.raises(EvaluationError):
+            FAST.count(triangle, parse_formula("E(x, y)"), ["x", "x"])
+
+    def test_ablation_modes_agree(self, sparse20):
+        phi = parse_formula("E(x, y) & E(y, z)")
+        reference = BRUTE.count(sparse20, phi, ["x", "y", "z"])
+        for factoring in (True, False):
+            for guards in (True, False):
+                engine = Foc1Evaluator(use_factoring=factoring, use_guards=guards)
+                assert engine.count(sparse20, phi, ["x", "y", "z"]) == reference
+
+
+class TestTerms:
+    TERMS = [
+        "#(x, y). E(x, y)",
+        "#(x). @geq1(#(y). E(x, y))",
+        "#(x, y). E(x, y) * 2 - #(x). x = x",
+        "#(x). @eq(#(y). E(x, y), 2)",
+        "3 + -2 * #(x). x = x",
+    ]
+
+    @pytest.mark.parametrize("source", TERMS)
+    @given(structure=small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=10, deadline=None)
+    def test_ground_terms_agree(self, source, structure):
+        term = parse_term(source)
+        assert FAST.ground_term_value(structure, term) == BRUTE.ground_term_value(
+            structure, term
+        )
+
+    @given(structure=small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=20, deadline=None)
+    def test_unary_values_agree(self, structure):
+        term = parse_term("#(y, z). (E(x, y) & E(y, z)) + #(y). E(y, x)")
+        assert FAST.unary_term_values(structure, term, "x") == BRUTE.unary_term_values(
+            structure, term, "x"
+        )
+
+    def test_unary_restricted_elements(self, path5):
+        term = parse_term("#(y). E(x, y)")
+        values = FAST.unary_term_values(path5, term, "x", elements=[1, 3])
+        assert values == {1: 1, 3: 2}
+
+    def test_free_variable_validation(self, triangle):
+        term = parse_term("#(y). E(x, y)")
+        with pytest.raises(EvaluationError):
+            FAST.ground_term_value(triangle, term)
+        with pytest.raises(EvaluationError):
+            FAST.unary_term_values(triangle, term, "z")
+
+
+class TestSolutionsAndQueries:
+    @given(structure=small_graphs(min_vertices=1, max_vertices=6))
+    @settings(max_examples=20, deadline=None)
+    def test_solutions_agree(self, structure):
+        phi = parse_formula("E(x, y) & @geq1(#(z). E(y, z))")
+        fast = sorted(FAST.solutions(structure, phi, ["x", "y"]))
+        brute = sorted(BRUTE.solutions(structure, phi, ["x", "y"]))
+        assert fast == brute
+
+    @given(structure=small_graphs(min_vertices=2, max_vertices=6))
+    @settings(max_examples=20, deadline=None)
+    def test_query_evaluation_agrees(self, structure):
+        query = Foc1Query(
+            head_variables=("x",),
+            head_terms=(count(["y"], E("x", "y")), count(["y", "z"], And(E("x", "y"), E("y", "z")))),
+            condition=Exists("y", E("x", "y")),
+        )
+        assert sorted(FAST.evaluate_query(structure, query)) == sorted(
+            BRUTE.evaluate_query(structure, query)
+        )
+
+    def test_example_5_4_query(self):
+        from repro.logic.examples import example_5_4_query
+        from repro.sparse.classes import coloured_digraph
+
+        g = coloured_digraph(12, 2.0, seed=9)
+        query = example_5_4_query()
+        assert sorted(FAST.evaluate_query(g, query)) == sorted(
+            BRUTE.evaluate_query(g, query)
+        )
+
+
+class TestStratification:
+    def test_oracle_calls_are_counted(self, triangle):
+        engine = Foc1Evaluator()
+        engine.predicates.reset_counter()
+        engine.model_check(
+            triangle, parse_formula("forall x. @geq1(#(y). E(x, y))")
+        )
+        # one oracle call per element for the materialised unary relation
+        assert engine.predicates.oracle_calls == 3
+
+    def test_nested_depth_two(self, sparse20):
+        sentence = parse_formula(
+            "@geq1(#(x). @eq(#(y). E(x, y), #(y). E(y, x)))"
+        )
+        assert FAST.model_check(sparse20, sentence) == BRUTE.model_check(
+            sparse20, sentence
+        )
+
+    def test_structure_not_mutated(self, triangle):
+        signature_before = triangle.signature
+        FAST.model_check(triangle, parse_formula("exists x. @geq1(#(y). E(x, y))"))
+        assert triangle.signature == signature_before

@@ -1,0 +1,118 @@
+"""Tests for Hanf-type evaluation (the [16] bounded-degree strategy)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.clterms import BasicClTerm
+from repro.core.hanf import (
+    PointedBall,
+    evaluate_basic_unary_hanf,
+    neighbourhood_type_census,
+)
+from repro.core.local_eval import evaluate_basic_unary
+from repro.errors import FormulaError
+from repro.logic.builder import Rel
+from repro.logic.syntax import And, Eq, Exists, Not
+from repro.sparse.classes import bounded_degree_graph
+from repro.structures.builders import cycle_graph, graph_structure, grid_graph, path_graph
+from repro.structures.gaifman import ball, induced
+
+from ..conftest import small_graphs
+
+E = Rel("E", 2)
+
+
+def degree_term():
+    return BasicClTerm(
+        ("y1", "y2"), E("y1", "y2"), 0, 1, frozenset({(1, 2)}), unary=True
+    )
+
+
+class TestCensus:
+    def test_cycle_has_one_type(self):
+        census = neighbourhood_type_census(cycle_graph(12), 2)
+        assert len(census.representatives) == 1
+        assert census.class_sizes() == [12]
+
+    def test_path_types_by_boundary_distance(self):
+        census = neighbourhood_type_census(path_graph(12), 1)
+        # endpoint type, near-endpoint type... at radius 1: endpoints vs rest
+        assert len(census.representatives) == 2
+        sizes = sorted(census.class_sizes())
+        assert sizes == [2, 10]
+
+    def test_radius_zero_single_type_on_plain_graphs(self):
+        census = neighbourhood_type_census(grid_graph(3, 3), 0)
+        assert len(census.representatives) == 1
+
+    def test_bounded_degree_has_bounded_types(self):
+        small = neighbourhood_type_census(bounded_degree_graph(100, 3, seed=1), 1)
+        large = neighbourhood_type_census(bounded_degree_graph(400, 3, seed=1), 1)
+        # types depend on (degree, radius), not on n
+        assert len(large.representatives) <= len(small.representatives) + 6
+
+    def test_assignment_is_total(self):
+        g = grid_graph(4, 5)
+        census = neighbourhood_type_census(g, 2)
+        assert set(census.assignment) == set(g.universe_order)
+
+    def test_negative_radius_rejected(self, path5):
+        with pytest.raises(FormulaError):
+            neighbourhood_type_census(path5, -1)
+
+
+class TestPointedBall:
+    def test_pointed_isomorphism_distinguishes_centres(self):
+        p = path_graph(5)
+        endpoint = PointedBall(induced(p, ball(p, [1], 1)), 1)
+        middle = PointedBall(induced(p, ball(p, [3], 1)), 3)
+        mirrored = PointedBall(induced(p, ball(p, [5], 1)), 5)
+        assert endpoint.isomorphic_to(mirrored, limit=8)
+        assert not endpoint.isomorphic_to(middle, limit=8)
+
+    def test_invariant_consistent_with_isomorphism(self):
+        p = path_graph(7)
+        a = PointedBall(induced(p, ball(p, [2], 1)), 2)
+        b = PointedBall(induced(p, ball(p, [6], 1)), 6)
+        assert a.invariant() == b.invariant()
+        assert a.isomorphic_to(b, limit=8)
+
+
+class TestHanfEvaluation:
+    @given(small_graphs(min_vertices=2, max_vertices=7))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_elementwise_on_random_graphs(self, structure):
+        term = degree_term()
+        assert evaluate_basic_unary_hanf(structure, term) == evaluate_basic_unary(
+            structure, term
+        )
+
+    def test_matches_with_quantified_psi(self):
+        g = bounded_degree_graph(60, 3, seed=7)
+        psi = And(
+            E("y1", "y2"), Exists("z", And(E("y2", "z"), Not(Eq("z", "y1"))))
+        )
+        term = BasicClTerm(
+            ("y1", "y2"), psi, 1, 1, frozenset({(1, 2)}), unary=True
+        )
+        assert evaluate_basic_unary_hanf(g, term) == evaluate_basic_unary(g, term)
+
+    def test_soundness_when_balls_exceed_iso_limit(self):
+        """Oversized balls fall back to one-class-per-element: still exact."""
+        g = grid_graph(5, 5)
+        term = degree_term()
+        assert evaluate_basic_unary_hanf(
+            g, term, iso_limit=2
+        ) == evaluate_basic_unary(g, term)
+
+    def test_type_sharing_actually_happens(self):
+        g = cycle_graph(30)
+        census = neighbourhood_type_census(g, 1)
+        assert len(census.representatives) == 1
+
+    def test_rejects_ground_terms(self, path5):
+        ground = BasicClTerm(
+            ("y1", "y2"), E("y1", "y2"), 0, 1, frozenset({(1, 2)}), unary=False
+        )
+        with pytest.raises(FormulaError):
+            evaluate_basic_unary_hanf(path5, ground)

@@ -1,0 +1,130 @@
+"""Tests for incremental maintenance under updates (open question 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clterms import BasicClTerm
+from repro.core.incremental import IncrementalUnaryCache
+from repro.errors import ArityError, FormulaError, SignatureError, UniverseError
+from repro.logic.builder import Rel
+from repro.logic.syntax import And, Eq, Exists, Not
+from repro.sparse.classes import bounded_degree_graph
+from repro.structures.builders import graph_structure, path_graph
+
+E = Rel("E", 2)
+
+
+def degree_term():
+    return BasicClTerm(
+        ("y1", "y2"), E("y1", "y2"), 0, 1, frozenset({(1, 2)}), unary=True
+    )
+
+
+def two_step_term():
+    psi = And(E("y1", "y2"), E("y2", "y3"))
+    return BasicClTerm(
+        ("y1", "y2", "y3"), psi, 0, 1, frozenset({(1, 2), (2, 3)}), unary=True
+    )
+
+
+class TestBasics:
+    def test_initial_values(self, path5):
+        cache = IncrementalUnaryCache(path5, degree_term())
+        assert cache.value(1) == 1 and cache.value(3) == 2
+
+    def test_insert_updates_affected(self, path5):
+        cache = IncrementalUnaryCache(path5, degree_term())
+        cache.insert("E", (1, 5))
+        cache.insert("E", (5, 1))
+        assert cache.value(1) == 2 and cache.value(5) == 2
+        cache.verify()
+
+    def test_delete_updates_affected(self, path5):
+        cache = IncrementalUnaryCache(path5, degree_term())
+        cache.delete("E", (2, 3))
+        cache.delete("E", (3, 2))
+        assert cache.value(2) == 1 and cache.value(3) == 1
+        cache.verify()
+
+    def test_noop_updates_ignored(self, path5):
+        cache = IncrementalUnaryCache(path5, degree_term())
+        cache.insert("E", (1, 2))  # already present
+        cache.delete("E", (1, 5))  # already absent
+        assert cache.stats.updates == 0
+        cache.verify()
+
+    def test_input_validation(self, path5):
+        cache = IncrementalUnaryCache(path5, degree_term())
+        with pytest.raises(SignatureError):
+            cache.insert("Nope", (1, 2))
+        with pytest.raises(ArityError):
+            cache.insert("E", (1,))
+        with pytest.raises(UniverseError):
+            cache.insert("E", (1, 99))
+        ground = BasicClTerm(
+            ("y1", "y2"), E("y1", "y2"), 0, 1, frozenset({(1, 2)}), unary=False
+        )
+        with pytest.raises(FormulaError):
+            IncrementalUnaryCache(path5, ground)
+
+
+class TestRandomUpdateSequences:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_degree_term_stays_in_sync(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 10)
+        structure = graph_structure(
+            range(1, n + 1),
+            [
+                (u, v)
+                for u in range(1, n + 1)
+                for v in range(u + 1, n + 1)
+                if rng.random() < 0.3
+            ],
+        )
+        cache = IncrementalUnaryCache(structure, degree_term())
+        for _ in range(8):
+            u, v = rng.randint(1, n), rng.randint(1, n)
+            if u == v:
+                continue
+            if rng.random() < 0.5:
+                cache.insert("E", (u, v))
+            else:
+                cache.delete("E", (u, v))
+        cache.verify()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_width3_term_stays_in_sync(self, seed):
+        rng = random.Random(seed)
+        structure = bounded_degree_graph(12, 3, seed=seed % 100)
+        cache = IncrementalUnaryCache(structure, two_step_term())
+        nodes = list(structure.universe_order)
+        for _ in range(6):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u == v:
+                continue
+            if rng.random() < 0.5:
+                cache.insert("E", (u, v))
+                cache.insert("E", (v, u))
+            else:
+                cache.delete("E", (u, v))
+                cache.delete("E", (v, u))
+        cache.verify()
+
+
+class TestLocality:
+    def test_updates_touch_few_elements_on_long_paths(self):
+        structure = path_graph(200)
+        cache = IncrementalUnaryCache(structure, degree_term())
+        cache.delete("E", (100, 101))
+        cache.delete("E", (101, 100))
+        cache.verify()
+        # dependency radius for the degree term is 1 + 0 = 1; two updates,
+        # each touching a ball of <= 3 elements in old+new structures.
+        assert cache.stats.recomputed_elements <= 12
+        assert cache.stats.recompute_ratio(structure.order()) < 0.05

@@ -1,0 +1,143 @@
+"""Tests for FOC1(P)-queries and the Section 5 free-variable elimination."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.query import (
+    Foc1Query,
+    eliminate_free_variables,
+    pin_name,
+    pinned_ground_term,
+    pinned_sentence,
+    pinned_structure,
+)
+from repro.errors import FormulaError, FragmentError
+from repro.logic.builder import Rel, count
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.semantics import evaluate, satisfies
+from repro.logic.syntax import (
+    And,
+    CountTerm,
+    Eq,
+    Exists,
+    Top,
+    free_variables,
+)
+
+from ..conftest import foc1_formulas, small_graphs
+
+E = Rel("E", 2)
+
+
+class TestQueryValidation:
+    def test_condition_free_vars_must_match_head(self):
+        with pytest.raises(FormulaError):
+            Foc1Query(head_variables=("x",), condition=Top())
+        with pytest.raises(FormulaError):
+            Foc1Query(head_variables=(), condition=E("x", "y"))
+
+    def test_head_terms_within_head_variables(self):
+        with pytest.raises(FormulaError):
+            Foc1Query(
+                head_variables=("x",),
+                head_terms=(count(["z"], E("y", "z")),),
+                condition=Exists("y", E("x", "y")),
+            )
+
+    def test_duplicate_head_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            Foc1Query(head_variables=("x", "x"), condition=And(E("x", "x"), Top()))
+
+    def test_missing_condition_rejected(self):
+        with pytest.raises(FormulaError):
+            Foc1Query(head_variables=())
+
+    def test_validate_foc1(self):
+        bad = parse_formula("@eq(#(z). E(x, z), #(z). E(y, z)) & E(x, y)")
+        query = Foc1Query(head_variables=("x", "y"), condition=bad)
+        with pytest.raises(FragmentError):
+            query.validate_foc1()
+
+
+class TestNaiveEvaluation:
+    def test_degree_listing(self, triangle):
+        query = Foc1Query(
+            head_variables=("x",),
+            head_terms=(count(["y"], E("x", "y")),),
+            condition=Eq("x", "x"),
+        )
+        rows = sorted(query.evaluate_naive(triangle))
+        assert rows == [(1, 2), (2, 2), (3, 2)]
+
+    def test_aggregating_query_without_head_vars(self, triangle):
+        query = Foc1Query(
+            head_variables=(),
+            head_terms=(count(["x", "y"], E("x", "y")),),
+            condition=Top(),
+        )
+        assert query.evaluate_naive(triangle) == [(6,)]
+
+
+class TestPinning:
+    def test_pinned_structure_singletons(self, path5):
+        expanded = pinned_structure(path5, ["x", "y"], [2, 4])
+        assert expanded.relation(pin_name("x")) == frozenset({(2,)})
+        assert expanded.relation(pin_name("y")) == frozenset({(4,)})
+
+    def test_pinned_sentence_is_sentence(self):
+        phi = E("x", "y")
+        sentence = pinned_sentence(phi, ["x", "y"])
+        assert not free_variables(sentence)
+
+    def test_unpinned_free_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            pinned_sentence(E("x", "y"), ["x"])
+
+    def test_pinned_ground_term_is_ground(self):
+        term = count(["z"], E("x", "z")) + 3
+        pinned = pinned_ground_term(term, ["x"])
+        assert not free_variables(pinned)
+
+    def test_rebinding_head_variable_is_alpha_renamed(self, path5):
+        """A counting term may bind a head-variable name; pinning must
+        alpha-rename it rather than capture (Section 5 still applies)."""
+        term = count(["x"], E("x", "x"))  # ground: counts self-loops
+        pinned = pinned_ground_term(term, ["x"])
+        assert not free_variables(pinned)
+        expanded = pinned_structure(path5, ["x"], [3])
+        assert evaluate(pinned, expanded) == evaluate(term, path5, {"x": 3})
+
+    @given(small_graphs(min_vertices=2, max_vertices=5), foc1_formulas(max_depth=2))
+    @settings(max_examples=30, deadline=None)
+    def test_section5_equivalence_formulas(self, structure, phi):
+        """A |= phi[a-bar]  iff  A-tilde |= phi-tilde  (Section 5)."""
+        head = sorted(free_variables(phi))
+        elements = list(structure.universe_order)[: len(head)]
+        if len(elements) < len(head):
+            elements = elements * len(head)
+            elements = elements[: len(head)]
+        expanded = pinned_structure(structure, head, elements)
+        sentence = pinned_sentence(phi, head)
+        lhs = satisfies(structure, phi, dict(zip(head, elements)))
+        rhs = satisfies(expanded, sentence)
+        assert lhs == rhs
+
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=25, deadline=None)
+    def test_section5_equivalence_terms(self, structure):
+        """t-tilde^{A-tilde} = t^A[a-bar]."""
+        term = count(["z"], E("x", "z")) * 2 + count(["z", "w"], And(E("x", "z"), E("z", "w")))
+        for a in list(structure.universe_order)[:3]:
+            expanded = pinned_structure(structure, ["x"], [a])
+            pinned = pinned_ground_term(term, ["x"])
+            assert evaluate(pinned, expanded) == evaluate(term, structure, {"x": a})
+
+    def test_eliminate_free_variables_package(self, path5):
+        query = Foc1Query(
+            head_variables=("x",),
+            head_terms=(count(["y"], E("x", "y")),),
+            condition=Eq("x", "x"),
+        )
+        expanded, sentence, terms = eliminate_free_variables(query, path5, [3])
+        assert satisfies(expanded, sentence)
+        assert evaluate(terms[0], expanded) == 2  # degree of vertex 3

@@ -1,0 +1,69 @@
+"""Tests for the q-rank measure of Section 7."""
+
+import pytest
+
+from repro.core.rank import (
+    admissible_distance_bound,
+    fq,
+    has_q_rank,
+    minimal_level,
+    q_rank_report,
+)
+from repro.errors import FormulaError
+from repro.logic.syntax import And, Atom, DistAtom, Exists, Not
+
+
+class TestFq:
+    def test_formula(self):
+        assert fq(1, 0) == 4
+        assert fq(2, 1) == 8**3
+        assert fq(3, 2) == 12**5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FormulaError):
+            fq(0, 1)
+        with pytest.raises(FormulaError):
+            fq(1, -1)
+
+
+class TestQRank:
+    def test_quantifier_rank_bound(self):
+        phi = Exists("x", Exists("y", Atom("E", ("x", "y"))))
+        assert has_q_rank(phi, q=2, level=2)
+        assert not has_q_rank(phi, q=2, level=1)
+
+    def test_distance_bound_depends_on_depth(self):
+        q, level = 2, 1
+        # At depth 0 the bound is (4q)^(q+l) = 8^3 = 512.
+        shallow = DistAtom("x", "y", 512)
+        assert has_q_rank(shallow, q, level)
+        assert not has_q_rank(DistAtom("x", "y", 513), q, level)
+        # Inside one quantifier only (4q)^(q+l-1) = 64 is allowed.
+        inside = Exists("z", And(Atom("E", ("x", "z")), DistAtom("z", "y", 64)))
+        assert has_q_rank(inside, q, level)
+        too_big = Exists("z", DistAtom("z", "y", 65))
+        assert not has_q_rank(too_big, q, level)
+
+    def test_report_contents(self):
+        phi = Exists("z", DistAtom("z", "y", 7))
+        report = q_rank_report(phi, q=2, level=3)
+        assert report.quantifier_rank == 1
+        assert report.distance_atoms == ((1, 7),)
+        assert report.within
+
+    def test_minimal_level(self):
+        phi = Exists("x", Exists("y", DistAtom("x", "y", 5)))
+        assert minimal_level(phi, q=2) == 2
+        deep = DistAtom("x", "y", 10**9)
+        assert minimal_level(deep, q=1, cap=5) is None
+
+    def test_counting_constructs_rejected(self):
+        from repro.logic.parser import parse_formula
+
+        with pytest.raises(FormulaError):
+            has_q_rank(parse_formula("@geq1(#(y). E(x, y))"), 2, 2)
+
+    def test_admissible_bound(self):
+        assert admissible_distance_bound(2, 3, 1) == fq(2, 2)
+        with pytest.raises(FormulaError):
+            admissible_distance_bound(2, 1, 2)

@@ -1,0 +1,110 @@
+"""Tests for the SUM/AVG/MIN/MAX prototype (open question 1)."""
+
+import random
+
+import pytest
+
+from repro.db.aggregates import (
+    AGGREGATES,
+    AggregateQuery,
+    group_by_aggregate,
+    reference_group_by_aggregate,
+)
+from repro.db.database import Database
+from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER
+from repro.errors import EvaluationError, SignatureError
+
+
+def make_db(seed=0, customers=15, orders=40):
+    rng = random.Random(seed)
+    db = Database(EXAMPLE_5_3_SCHEMA)
+    countries = ["DE", "FR", "IT"]
+    for i in range(1, customers + 1):
+        c = rng.randrange(3)
+        db.insert(
+            "Customer",
+            (i, f"fn{i%4}", f"ln{i%3}", f"city{c}", countries[c], f"p{i}"),
+        )
+    for o in range(1, orders + 1):
+        db.insert(
+            "Order_",
+            (7000 + o, f"d{o % 4}", f"n{o}", rng.randint(1, customers), rng.randint(5, 300)),
+        )
+    return db
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("operation", sorted(AGGREGATES))
+    def test_matches_reference(self, operation):
+        db = make_db(seed=3)
+        query = group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", operation)
+        got = query.execute(db)
+        want = reference_group_by_aggregate(
+            db, ORDER, ["OrderDate"], "TotalAmount", operation
+        )
+        assert got == want
+
+    def test_sum_semantics_by_hand(self):
+        db = Database(EXAMPLE_5_3_SCHEMA)
+        db.insert("Order_", (1, "d1", "n1", 10, 100))
+        db.insert("Order_", (2, "d1", "n2", 10, 50))
+        db.insert("Order_", (3, "d2", "n3", 10, 7))
+        query = group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", "sum")
+        assert query.execute(db) == [("d1", 150), ("d2", 7)]
+
+    def test_avg(self):
+        db = Database(EXAMPLE_5_3_SCHEMA)
+        db.insert("Order_", (1, "d1", "n1", 10, 100))
+        db.insert("Order_", (2, "d1", "n2", 10, 50))
+        query = group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", "avg")
+        assert query.execute(db) == [("d1", 75)]
+
+    def test_min_max(self):
+        db = make_db(seed=9)
+        low = dict(
+            tuple(row[:-1]) + (row[-1],)
+            for row in group_by_aggregate(
+                ORDER, ["OrderDate"], "TotalAmount", "min"
+            ).execute(db)
+        )
+        high = dict(
+            tuple(row[:-1]) + (row[-1],)
+            for row in group_by_aggregate(
+                ORDER, ["OrderDate"], "TotalAmount", "max"
+            ).execute(db)
+        )
+        for key in low:
+            assert low[key] <= high[key]
+
+    def test_count_agrees_with_sqlcount(self):
+        from repro.db.sqlcount import group_by_count
+
+        db = make_db(seed=4)
+        via_aggregate = group_by_aggregate(
+            CUSTOMER, ["Country"], "Phone", "count", key_column="Id"
+        ).execute(db)
+        via_count = sorted(group_by_count(CUSTOMER, ["Country"], "Id").execute(db))
+        assert via_aggregate == via_count
+
+    def test_non_integer_values_rejected(self):
+        db = Database(EXAMPLE_5_3_SCHEMA)
+        db.insert("Order_", (1, "d1", "n1", 10, "not-a-number"))
+        query = group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", "sum")
+        with pytest.raises(EvaluationError):
+            query.execute(db)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(SignatureError):
+            group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", "median")
+
+    def test_grouped_target_rejected(self):
+        with pytest.raises(SignatureError):
+            group_by_aggregate(ORDER, ["TotalAmount"], "TotalAmount", "sum")
+
+    def test_witness_formula_is_foc1(self):
+        from repro.logic.foc1 import is_foc1
+
+        query = group_by_aggregate(ORDER, ["OrderDate"], "TotalAmount", "sum")
+        formula, variables = query.witness_formula()
+        assert is_foc1(formula)
+        assert variables[-2:] == ("row_key", "row_value")

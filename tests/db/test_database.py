@@ -1,0 +1,95 @@
+"""Tests for schemas and the database -> structure encoding."""
+
+import pytest
+
+from repro.db.database import Database, constant_relation_name
+from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Schema, Table
+from repro.errors import ArityError, SignatureError, UniverseError
+
+
+class TestSchema:
+    def test_table_columns(self):
+        assert CUSTOMER.arity == 6
+        assert CUSTOMER.position("City") == 3
+        with pytest.raises(SignatureError):
+            CUSTOMER.position("Nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SignatureError):
+            Table("T", ("a", "a"))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SignatureError):
+            Table("T", ())
+
+    def test_schema_lookup(self):
+        assert EXAMPLE_5_3_SCHEMA.table("Customer") is CUSTOMER
+        with pytest.raises(SignatureError):
+            EXAMPLE_5_3_SCHEMA.table("Nope")
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(SignatureError):
+            Schema((CUSTOMER, Table("Customer", ("Id",))))
+
+    def test_signature(self):
+        sig = EXAMPLE_5_3_SCHEMA.signature()
+        assert sig["Customer"].arity == 6
+        assert sig["Order_"].arity == 5
+
+
+class TestDatabase:
+    @pytest.fixture
+    def db(self):
+        db = Database(EXAMPLE_5_3_SCHEMA)
+        db.insert("Customer", (1, "Ada", "L", "Berlin", "DE", "p1"))
+        db.insert("Customer", (2, "Max", "M", "Paris", "FR", "p2"))
+        db.insert("Order_", (100, "d1", "n1", 1, 50))
+        return db
+
+    def test_insert_and_rows(self, db):
+        assert db.row_count("Customer") == 2
+        assert (100, "d1", "n1", 1, 50) in db.rows("Order_")
+
+    def test_set_semantics(self, db):
+        db.insert("Customer", (1, "Ada", "L", "Berlin", "DE", "p1"))
+        assert db.row_count("Customer") == 2
+
+    def test_arity_checked(self, db):
+        with pytest.raises(ArityError):
+            db.insert("Customer", (1, 2))
+
+    def test_insert_dicts(self, db):
+        db.insert_dicts(
+            "Order_",
+            {"Id": 101, "OrderDate": "d2", "OrderNumber": "n2", "CustomerId": 2, "TotalAmount": 70},
+        )
+        assert db.row_count("Order_") == 2
+        with pytest.raises(SignatureError):
+            db.insert_dicts("Order_", {"Id": 1})
+
+    def test_active_domain(self, db):
+        domain = db.active_domain()
+        assert 1 in domain and "Berlin" in domain and 50 in domain
+
+    def test_to_structure(self, db):
+        structure = db.to_structure()
+        assert structure.has_tuple("Customer", (1, "Ada", "L", "Berlin", "DE", "p1"))
+        assert structure.order() == len(db.active_domain())
+
+    def test_constants(self, db):
+        structure = db.to_structure(constants=["Berlin"])
+        name = constant_relation_name("Berlin")
+        assert structure.relation(name) == frozenset({("Berlin",)})
+
+    def test_missing_constant_rejected(self, db):
+        with pytest.raises(UniverseError):
+            db.to_structure(constants=["Tokyo"])
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(UniverseError):
+            Database(EXAMPLE_5_3_SCHEMA).to_structure()
+
+    def test_constant_name_sanitised(self):
+        name = constant_relation_name("New York / NY")
+        assert name.startswith("Const__")
+        assert " " not in name and "/" not in name

@@ -1,0 +1,128 @@
+"""Tests for the SQL COUNT -> FOC1(P) compilation (Example 5.3)."""
+
+import random
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Table
+from repro.db.sqlcount import (
+    group_by_count,
+    join_group_count,
+    reference_group_by_count,
+    reference_join_group_count,
+    reference_total_counts,
+    total_counts,
+)
+from repro.errors import SignatureError
+
+
+def make_db(seed=0, customers=20, orders=50):
+    rng = random.Random(seed)
+    db = Database(EXAMPLE_5_3_SCHEMA)
+    cities = ["Berlin", "Paris", "Rome"]
+    countries = ["DE", "FR", "IT"]
+    for i in range(1, customers + 1):
+        c = rng.randrange(3)
+        db.insert(
+            "Customer",
+            (i, f"fn{i % 4}", f"ln{i % 3}", cities[c], countries[c], f"p{i}"),
+        )
+    for o in range(1, orders + 1):
+        db.insert(
+            "Order_",
+            (1000 + o, f"d{o % 5}", f"n{o}", rng.randint(1, customers), o * 10),
+        )
+    return db
+
+
+class TestGroupByCount:
+    def test_matches_reference(self):
+        db = make_db()
+        compiled = group_by_count(CUSTOMER, ["Country"], "Id")
+        got = sorted(compiled.execute(db))
+        assert got == reference_group_by_count(db, CUSTOMER, ["Country"], "Id")
+
+    def test_query_is_foc1(self):
+        compiled = group_by_count(CUSTOMER, ["Country"], "Id")
+        compiled.query.validate_foc1()
+
+    def test_multi_column_grouping(self):
+        db = make_db(seed=3)
+        compiled = group_by_count(CUSTOMER, ["Country", "City"], "Id")
+        got = sorted(compiled.execute(db))
+        assert got == reference_group_by_count(
+            db, CUSTOMER, ["Country", "City"], "Id"
+        )
+
+    def test_counts_sum_to_rows(self):
+        db = make_db(seed=5)
+        rows = group_by_count(CUSTOMER, ["City"], "Id").execute(db)
+        assert sum(count for *_, count in rows) == db.row_count("Customer")
+
+    def test_paper_literal_semantics_grades_all_values(self):
+        db = make_db(seed=1, customers=5, orders=5)
+        compiled = group_by_count(
+            CUSTOMER, ["Country"], "Id", require_group_exists=False
+        )
+        rows = compiled.execute(db)
+        assert len(rows) == len(db.active_domain())
+        as_map = {value: count for value, count in rows}
+        for value, count in reference_group_by_count(db, CUSTOMER, ["Country"], "Id"):
+            assert as_map[value] == count
+
+    def test_counted_column_validation(self):
+        with pytest.raises(SignatureError):
+            group_by_count(CUSTOMER, ["Country"], "Country")
+        with pytest.raises(SignatureError):
+            group_by_count(CUSTOMER, ["Nope"], "Id")
+
+
+class TestTotalCounts:
+    def test_matches_reference(self):
+        db = make_db(seed=7)
+        compiled = total_counts([CUSTOMER, ORDER])
+        assert compiled.execute(db) == [reference_total_counts(db, [CUSTOMER, ORDER])]
+
+    def test_description_mentions_tables(self):
+        compiled = total_counts([CUSTOMER, ORDER])
+        assert "Customer" in compiled.description and "Order_" in compiled.description
+
+
+class TestJoinGroupCount:
+    def test_matches_reference_with_filter(self):
+        db = make_db(seed=11)
+        args = (
+            CUSTOMER,
+            ORDER,
+            ("Id", "CustomerId"),
+            ["FirstName", "LastName"],
+            "Id",
+        )
+        compiled = join_group_count(*args, filters=[("City", "Berlin")])
+        got = sorted(compiled.execute(db))
+        want = reference_join_group_count(db, *args, [("City", "Berlin")])
+        assert got == want
+
+    def test_matches_reference_without_filter(self):
+        db = make_db(seed=13)
+        args = (CUSTOMER, ORDER, ("Id", "CustomerId"), ["Country"], "Id")
+        compiled = join_group_count(*args)
+        assert sorted(compiled.execute(db)) == reference_join_group_count(db, *args)
+
+    def test_customers_without_orders_get_zero(self):
+        db = Database(EXAMPLE_5_3_SCHEMA)
+        db.insert("Customer", (1, "A", "B", "Berlin", "DE", "p"))
+        db.insert("Order_", (9, "d", "n", 2, 10))  # order of a *different* id
+        db.insert("Customer", (2, "C", "D", "Paris", "FR", "q"))
+        compiled = join_group_count(
+            CUSTOMER, ORDER, ("Id", "CustomerId"), ["FirstName"], "Id",
+            filters=[("City", "Berlin")],
+        )
+        assert compiled.execute(db) == [("A", 0)]
+
+    def test_query_is_foc1(self):
+        compiled = join_group_count(
+            CUSTOMER, ORDER, ("Id", "CustomerId"), ["Country"], "Id"
+        )
+        compiled.query.validate_foc1()

@@ -1,0 +1,101 @@
+"""Tests for the Theorem 4.3 reduction: FO on graphs -> FOC({P=}) on strings."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.evaluator import Foc1Evaluator
+from repro.errors import FormulaError
+from repro.hardness.string_reduction import (
+    build_string,
+    reduce_instance,
+    run_term,
+    same_block,
+    translate_sentence,
+)
+from repro.logic.foc1 import is_foc1
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate, satisfies
+from repro.structures.builders import graph_structure
+
+from ..conftest import small_graphs
+
+ENGINE = Foc1Evaluator(check_fragment=False)
+
+SENTENCES = [
+    "exists x. exists y. E(x, y)",
+    "forall x. exists y. E(x, y)",
+    "exists x. !(exists y. E(x, y))",
+    "exists x. exists y. exists z. (E(x, y) & E(y, z) & E(x, z))",
+]
+
+
+class TestGadget:
+    def test_word_layout(self):
+        g = graph_structure([1, 2], [(1, 2)])
+        reduction = build_string(g)
+        # s_1 = a c b cc ; s_2 = a cc b c
+        assert reduction.word == "acbccaccbc"
+        assert reduction.vertex_map == {1: 1, 2: 6}
+
+    def test_isolated_vertices_have_no_b(self):
+        g = graph_structure([1, 2], [])
+        assert build_string(g).word == "acacc"
+
+    def test_quadratic_size_bound(self):
+        for n in (2, 4, 8):
+            g = graph_structure(range(1, n + 1), [(i, i + 1) for i in range(1, n)])
+            s = build_string(g).string
+            assert s.order() <= 4 * (n + 1) ** 2
+
+    def test_run_term_counts_c_run(self):
+        g = graph_structure([1, 2], [(1, 2)])
+        reduction = build_string(g)
+        term = run_term("p", "t")
+        # position 1 is the 'a' of vertex 1: run c^1
+        assert evaluate(term, reduction.string, {"p": 1}) == 1
+        # position 6 is the 'a' of vertex 2: run c^2
+        assert evaluate(term, reduction.string, {"p": 6}) == 2
+
+    def test_same_block(self):
+        g = graph_structure([1, 2], [(1, 2)])
+        s = build_string(g).string
+        phi = same_block("x", "y", "t")
+        assert satisfies(s, phi, {"x": 1, "y": 3})  # b at 3 in block of a at 1
+        assert not satisfies(s, phi, {"x": 1, "y": 6})  # next block's a
+        assert not satisfies(s, phi, {"x": 1, "y": 8})  # inside next block
+
+
+class TestTranslation:
+    def test_output_is_foc_but_not_foc1(self):
+        phi_hat = translate_sentence(parse_formula(SENTENCES[0]))
+        assert not is_foc1(phi_hat)
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            translate_sentence(parse_formula("E(x, y)"))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source", SENTENCES)
+    def test_equivalence_on_fixed_graphs(self, source):
+        graphs = [
+            graph_structure([1], []),
+            graph_structure([1, 2], [(1, 2)]),
+            graph_structure([1, 2, 3], [(1, 2), (2, 3)]),
+            graph_structure([1, 2, 3], [(1, 2), (2, 3), (3, 1)]),
+            graph_structure([1, 2, 3, 4], [(1, 2), (3, 4)]),
+        ]
+        phi = parse_formula(source)
+        for g in graphs:
+            string, phi_hat = reduce_instance(g, phi)
+            assert satisfies(g, phi) == ENGINE.model_check(string, phi_hat), (
+                source,
+                sorted(g.relation("E")),
+            )
+
+    @given(small_graphs(min_vertices=1, max_vertices=4))
+    @settings(max_examples=6, deadline=None)
+    def test_edge_detection_random(self, structure):
+        phi = parse_formula(SENTENCES[0])
+        string, phi_hat = reduce_instance(structure, phi)
+        assert satisfies(structure, phi) == ENGINE.model_check(string, phi_hat)

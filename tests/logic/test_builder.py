@@ -1,0 +1,95 @@
+"""Tests for the construction DSL."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.builder import (
+    Rel,
+    count,
+    eq,
+    exists,
+    forall,
+    num,
+    rels,
+    term,
+    total,
+    variables,
+)
+from repro.logic.syntax import (
+    Add,
+    Atom,
+    CountTerm,
+    Eq,
+    Exists,
+    Forall,
+    IntTerm,
+)
+from repro.structures.signature import Signature
+
+
+class TestVariables:
+    def test_string_split(self):
+        assert variables("x y z") == ("x", "y", "z")
+
+    def test_iterable(self):
+        assert variables(["a", "b"]) == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormulaError):
+            variables("")
+
+
+class TestRel:
+    def test_atom_construction(self):
+        E = Rel("E", 2)
+        assert E("x", "y") == Atom("E", ("x", "y"))
+
+    def test_arity_enforced(self):
+        E = Rel("E", 2)
+        with pytest.raises(FormulaError):
+            E("x")
+        with pytest.raises(FormulaError):
+            E("x", "y", "z")
+
+    def test_zero_arity(self):
+        flag = Rel("Flag", 0)
+        assert flag() == Atom("Flag", ())
+
+    def test_symbol_property(self):
+        assert Rel("E", 2).symbol.arity == 2
+
+    def test_rels_from_signature(self):
+        handles = rels(Signature.of(E=2, R=1))
+        assert handles["E"]("x", "y") == Atom("E", ("x", "y"))
+        assert handles["R"]("x") == Atom("R", ("x",))
+
+
+class TestQuantifiersAndCounts:
+    def test_single_variable(self):
+        phi = exists("x", Eq("x", "x"))
+        assert phi == Exists("x", Eq("x", "x"))
+
+    def test_variable_list_order(self):
+        phi = forall(["x", "y"], Eq("x", "y"))
+        assert phi == Forall("x", Forall("y", Eq("x", "y")))
+
+    def test_count_single_and_list(self):
+        E = Rel("E", 2)
+        assert count("y", E("x", "y")) == CountTerm(("y",), E("x", "y"))
+        assert count(["y", "z"], E("y", "z")).variables == ("y", "z")
+
+
+class TestTermHelpers:
+    def test_num_and_term(self):
+        assert num(5) == IntTerm(5)
+        assert term(3) == IntTerm(3)
+        assert term(IntTerm(2)) == IntTerm(2)
+
+    def test_total(self):
+        s = total(1, 2, 3)
+        assert isinstance(s, Add)
+        with pytest.raises(FormulaError):
+            total()
+
+    def test_eq_helper(self):
+        assert eq("x", "y") == Eq("x", "y")

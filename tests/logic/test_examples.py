@@ -1,0 +1,90 @@
+"""Tests for the machine-readable paper examples (Examples 3.2 and 5.4)."""
+
+import pytest
+
+from repro.core.evaluator import Foc1Evaluator
+from repro.logic.examples import (
+    blue_neighbour_term,
+    count_phi_triangles_equal_reds,
+    edges_term,
+    example_3_2_degree_prime,
+    example_3_2_prime_sum,
+    example_5_4_query,
+    nodes_term,
+    out_degree_positive,
+    out_degree_term,
+    phi_blue_balance,
+    phi_triangles_equal_reds,
+    red_count_term,
+    triangle_term,
+)
+from repro.logic.foc1 import is_foc1
+from repro.logic.semantics import evaluate, satisfies, term_value
+from repro.structures.builders import coloured_graph_structure, graph_structure
+
+
+@pytest.fixture
+def colourful():
+    """Two directed triangles sharing vertex 1; assorted colours."""
+    return coloured_graph_structure(
+        [1, 2, 3, 4, 5],
+        [(1, 2), (2, 3), (3, 1), (1, 4), (4, 5), (5, 1)],
+        red=[2],
+        blue=[2, 4],
+        green=[3, 5],
+    )
+
+
+class TestExample32:
+    def test_prime_sum_counts_nodes_plus_edges(self, colourful):
+        total = term_value(colourful, nodes_term()) + term_value(
+            colourful, edges_term()
+        )
+        assert total == 5 + 6
+        assert satisfies(colourful, example_3_2_prime_sum()) == (total in {11})
+
+    def test_out_degree(self, colourful):
+        assert term_value(colourful, out_degree_term("y"), {"y": 1}) == 2
+        assert satisfies(colourful, out_degree_positive("y"), {"y": 1})
+
+    def test_degree_prime_fragment_status(self):
+        assert is_foc1(example_3_2_prime_sum())
+        assert not is_foc1(example_3_2_degree_prime())
+
+
+class TestExample54:
+    def test_triangle_term(self, colourful):
+        # vertex 1 sits on both directed triangles
+        assert term_value(colourful, triangle_term("x"), {"x": 1}) == 2
+        assert term_value(colourful, triangle_term("x"), {"x": 2}) == 1
+
+    def test_red_count(self, colourful):
+        assert term_value(colourful, red_count_term()) == 1
+
+    def test_phi_triangles_equal_reds(self, colourful):
+        # vertices on exactly 1 triangle equal the single red node count
+        for vertex, expected in [(1, False), (2, True), (4, True)]:
+            assert (
+                satisfies(colourful, phi_triangles_equal_reds("x"), {"x": vertex})
+                == expected
+            )
+
+    def test_census_term(self, colourful):
+        assert term_value(colourful, count_phi_triangles_equal_reds()) == 4
+
+    def test_blue_neighbours(self, colourful):
+        assert term_value(colourful, blue_neighbour_term("x"), {"x": 1}) == 2
+        assert term_value(colourful, blue_neighbour_term("x"), {"x": 3}) == 0
+
+    def test_full_query_shape(self, colourful):
+        query = example_5_4_query()
+        query.validate_foc1()
+        rows = Foc1Evaluator().evaluate_query(colourful, query)
+        for row in rows:
+            x, y, product = row
+            assert satisfies(colourful, phi_blue_balance("x"), {"x": x})
+            assert colourful.has_tuple("G", (y,))
+            expected = term_value(
+                colourful, blue_neighbour_term("x"), {"x": x}
+            ) * term_value(colourful, triangle_term("y"), {"y": y})
+            assert product == expected

@@ -1,0 +1,94 @@
+"""Tests for the FOC1(P) fragment check (Definition 5.1, rule 4')."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FragmentError
+from repro.logic.builder import Rel, count
+from repro.logic.examples import (
+    example_3_2_degree_prime,
+    example_3_2_prime_sum,
+    out_degree_positive,
+    phi_blue_balance,
+)
+from repro.logic.foc1 import (
+    assert_foc1,
+    foc1_violations,
+    fragment_summary,
+    is_foc1,
+    is_plain_fo,
+    max_counting_width,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import And, Exists, PredicateAtom
+
+from ..conftest import fo_formulas, foc1_formulas
+
+E = Rel("E", 2)
+
+
+class TestMembership:
+    def test_paper_examples(self):
+        # "The first two formulas of Example 3.2 are in FOC1(P); the last
+        # formula of Example 3.2 [...] is not."
+        assert is_foc1(example_3_2_prime_sum())
+        assert is_foc1(out_degree_positive())
+        assert not is_foc1(example_3_2_degree_prime())
+
+    def test_example_5_4_is_foc1(self):
+        assert is_foc1(phi_blue_balance("x"))
+
+    def test_psi_E_from_theorem_4_1_is_not_foc1(self):
+        from repro.hardness.tree_reduction import psi_edge
+
+        assert not is_foc1(psi_edge("x", "xp"))
+
+    def test_two_ground_terms_fine(self):
+        phi = parse_formula("@eq(#(x). R(x), #(y). B(y))")
+        assert is_foc1(phi)
+
+    def test_one_shared_variable_fine(self):
+        phi = parse_formula("@eq(#(y). E(x, y), #(z). E(z, x))")
+        assert is_foc1(phi)
+
+    def test_two_distinct_variables_rejected(self):
+        phi = parse_formula("@eq(#(z). E(x, z), #(z). E(y, z))")
+        assert not is_foc1(phi)
+        violations = foc1_violations(phi)
+        assert len(violations) == 1
+        assert violations[0].variables == {"x", "y"}
+        with pytest.raises(FragmentError):
+            assert_foc1(phi)
+
+    def test_violation_nested_in_count(self):
+        inner = parse_formula("@eq(#(z). E(x, z), #(z). E(y, z))")
+        outer = PredicateAtom("geq1", (count(["x", "y"], inner),))
+        assert not is_foc1(outer)
+
+    @given(fo_formulas())
+    @settings(max_examples=30, deadline=None)
+    def test_fo_always_foc1(self, phi):
+        assert is_plain_fo(phi)
+        assert is_foc1(phi)
+
+    @given(foc1_formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_generator_respects_fragment(self, phi):
+        assert is_foc1(phi)
+
+
+class TestAnalysis:
+    def test_max_counting_width(self):
+        phi = parse_formula("@geq1(#(y, z). (E(x, y) & E(y, z)))")
+        # 2 bound + 1 free = width 3 in the cl-term sense
+        assert max_counting_width(phi) == 3
+        assert max_counting_width(parse_formula("E(x, y)")) == 0
+
+    def test_fragment_summary(self):
+        report = fragment_summary(example_3_2_degree_prime())
+        assert report["is_foc1"] is False
+        assert report["is_fo"] is False
+        assert report["violations"] == 1
+        assert report["count_depth"] == 2
+        report_fo = fragment_summary(parse_formula("exists x. E(x, y)"))
+        assert report_fo["is_fo"] is True and report_fo["is_foc1"] is True

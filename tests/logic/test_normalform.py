@@ -1,0 +1,77 @@
+"""Tests for NNF and prenex normal forms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormulaError
+from repro.logic.normalform import is_nnf, is_prenex, to_nnf, to_prenex
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import free_variables
+
+from ..conftest import fo_formulas, small_graphs
+
+
+class TestNnf:
+    CASES = [
+        "!(E(x, y) & E(y, x))",
+        "!(exists z. E(x, z))",
+        "!(forall z. !E(x, z))",
+        "E(x, y) -> E(y, x)",
+        "E(x, y) <-> E(y, x)",
+        "!!(E(x, y) | !true)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_output_is_nnf(self, source):
+        assert is_nnf(to_nnf(parse_formula(source)))
+
+    @given(fo_formulas(), small_graphs(max_vertices=4))
+    @settings(max_examples=50, deadline=None)
+    def test_nnf_preserves_semantics(self, phi, structure):
+        nnf = to_nnf(phi)
+        assert is_nnf(nnf)
+        env = {v: structure.universe_order[0] for v in free_variables(phi)}
+        assert evaluate(phi, structure, env) == evaluate(nnf, structure, env)
+
+    def test_counting_rejected(self):
+        with pytest.raises(FormulaError):
+            to_nnf(parse_formula("@geq1(#(y). E(x, y))"))
+
+
+class TestPrenex:
+    CASES = [
+        "(exists z. E(x, z)) & (exists z. E(z, x))",
+        "!(exists z. E(x, z)) | E(x, x)",
+        "forall y. (E(x, y) -> exists z. E(y, z))",
+        "(exists y. E(x, y)) <-> (forall y. E(y, x))",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_output_is_prenex(self, source):
+        assert is_prenex(to_prenex(parse_formula(source)))
+
+    @given(fo_formulas(), small_graphs(max_vertices=4))
+    @settings(max_examples=50, deadline=None)
+    def test_prenex_preserves_semantics(self, phi, structure):
+        prenex = to_prenex(phi)
+        assert is_prenex(prenex)
+        env = {v: structure.universe_order[0] for v in free_variables(phi)}
+        assert evaluate(phi, structure, env) == evaluate(prenex, structure, env)
+
+    def test_free_variables_preserved(self):
+        phi = parse_formula("(exists z. E(x, z)) & E(x, w)")
+        assert free_variables(to_prenex(phi)) == free_variables(phi)
+
+    def test_shared_bound_names_renamed_apart(self):
+        phi = parse_formula("(exists z. E(x, z)) & (exists z. E(z, x))")
+        prenex = to_prenex(phi)
+        # two distinct quantifiers must remain
+        from repro.logic.syntax import Exists
+
+        count = 0
+        node = prenex
+        while isinstance(node, Exists):
+            count += 1
+            node = node.inner
+        assert count == 2

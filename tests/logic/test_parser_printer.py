@@ -1,0 +1,171 @@
+"""Parser/printer tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.printer import pretty
+from repro.logic.syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+)
+
+from ..conftest import fo_formulas, foc1_formulas
+
+
+class TestParseFormulas:
+    def test_atoms(self):
+        assert parse_formula("E(x, y)") == Atom("E", ("x", "y"))
+        assert parse_formula("x = y") == Eq("x", "y")
+        assert parse_formula("Flag()") == Atom("Flag", ())
+        assert parse_formula("true") == Top()
+        assert parse_formula("false") == Bottom()
+        assert parse_formula("dist(x, y) <= 4") == DistAtom("x", "y", 4)
+
+    def test_precedence(self):
+        phi = parse_formula("E(x, y) & E(y, z) | x = z")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.left, And)
+        phi2 = parse_formula("!E(x, y) & x = y")
+        assert isinstance(phi2, And)
+        assert isinstance(phi2.left, Not)
+
+    def test_implication_right_associative(self):
+        phi = parse_formula("E(x, y) -> E(y, z) -> x = z")
+        assert isinstance(phi, Implies)
+        assert isinstance(phi.right, Implies)
+
+    def test_quantifier_scope_extends_right(self):
+        phi = parse_formula("exists x. E(x, y) & x = y")
+        assert isinstance(phi, Exists)
+        assert isinstance(phi.inner, And)
+
+    def test_nested_quantifiers(self):
+        phi = parse_formula("forall x. exists y. E(x, y)")
+        assert phi == Forall("x", Exists("y", Atom("E", ("x", "y"))))
+
+    def test_predicate_atom(self):
+        phi = parse_formula("@eq(#(y). E(x, y), 3)")
+        assert isinstance(phi, PredicateAtom)
+        assert phi.predicate == "eq"
+        assert phi.terms[1] == IntTerm(3)
+
+    def test_keyword_cannot_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists exists. true")
+
+    def test_junk_rejected(self):
+        for bad in ["E(x,", "x =", "@", "exists x", "E(x, y) &", "(E(x, y)", "x ? y"]:
+            with pytest.raises(ParseError):
+                parse_formula(bad)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("E(x, y) E(y, z)")
+
+    def test_error_position_reported(self):
+        try:
+            parse_formula("E(x, y) ^ x = y")
+        except ParseError as error:
+            assert error.position == 8
+        else:
+            pytest.fail("expected a ParseError")
+
+
+class TestParseTerms:
+    def test_arithmetic(self):
+        assert parse_term("1 + 2 * 3") == Add(IntTerm(1), Mul(IntTerm(2), IntTerm(3)))
+        assert parse_term("(1 + 2) * 3") == Mul(Add(IntTerm(1), IntTerm(2)), IntTerm(3))
+
+    def test_subtraction_desugars(self):
+        assert parse_term("5 - 2") == Add(IntTerm(5), Mul(IntTerm(-1), IntTerm(2)))
+
+    def test_unary_minus(self):
+        assert parse_term("-4") == IntTerm(-4)
+        t = parse_term("-#(y). E(x, y)")
+        assert t == Mul(IntTerm(-1), CountTerm(("y",), Atom("E", ("x", "y"))))
+
+    def test_counting_terms(self):
+        t = parse_term("#(y, z). (E(x, y) & E(y, z))")
+        assert t.variables == ("y", "z")
+        assert isinstance(t.inner, And)
+
+    def test_zero_variable_count(self):
+        t = parse_term("#(). E(x, y)")
+        assert t == CountTerm((), Atom("E", ("x", "y")))
+
+
+class TestRoundTrip:
+    CASES = [
+        "exists x. forall y. (E(x, y) -> x = y)",
+        "@prime(#(x). x = x + #(x, y). E(x, y))",
+        "!(E(x, y) | E(y, x)) & dist(x, y) <= 3",
+        "@eq(#(y). (E(x, y) & @geq1(#(z). E(y, z))), 2 * 3 - 1)",
+        "E(x, y) <-> E(y, x)",
+        "true & (false | x = x)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_examples_roundtrip(self, source):
+        phi = parse_formula(source)
+        assert parse_formula(pretty(phi)) == phi
+
+    @given(fo_formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_random_fo_roundtrip(self, phi):
+        assert parse_formula(pretty(phi)) == phi
+
+    @given(foc1_formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_random_foc1_roundtrip(self, phi):
+        assert parse_formula(pretty(phi)) == phi
+
+    def test_paper_examples_roundtrip(self):
+        from repro.logic.examples import (
+            example_3_2_degree_prime,
+            example_3_2_prime_sum,
+            phi_blue_balance,
+        )
+
+        for expr in [example_3_2_prime_sum(), example_3_2_degree_prime()]:
+            assert parse_formula(pretty(expr)) == expr
+        phi = phi_blue_balance("x")
+        assert parse_formula(pretty(phi)) == phi
+
+
+class TestParserRobustness:
+    """The parser must reject junk with ParseError — never crash otherwise."""
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_formula(text)
+        except ParseError:
+            pass  # rejection is the expected outcome for junk
+
+    @given(st.text(alphabet="()@#.,=|&!+-*<> xyERtrue", max_size=30))
+    @settings(max_examples=120, deadline=None)
+    def test_near_miss_text_never_crashes(self, text):
+        for parser in (parse_formula, parse_term):
+            try:
+                parser(text)
+            except ParseError:
+                pass

@@ -1,0 +1,77 @@
+"""Tests for numerical predicate collections (the P-oracle)."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.logic.predicates import (
+    EQ,
+    GEQ1,
+    PRIME,
+    NumericalPredicate,
+    PredicateCollection,
+    standard_collection,
+)
+
+
+class TestPredicates:
+    def test_geq1(self):
+        assert GEQ1.holds((1,)) and GEQ1.holds((5,))
+        assert not GEQ1.holds((0,)) and not GEQ1.holds((-2,))
+
+    def test_eq(self):
+        assert EQ.holds((3, 3)) and not EQ.holds((3, 4))
+
+    def test_prime_semantics(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 97}
+        for n in range(-5, 100):
+            assert PRIME.holds((n,)) == (n in primes or (n > 23 and _slow_prime(n)))
+
+    def test_arity_validation(self):
+        with pytest.raises(PredicateError):
+            NumericalPredicate("bad", 0, lambda v: True)
+        with pytest.raises(PredicateError):
+            EQ.holds((1,))
+
+
+def _slow_prime(n):
+    return n > 1 and all(n % d for d in range(2, n))
+
+
+class TestCollection:
+    def test_standard_contains_paper_basics(self):
+        collection = standard_collection()
+        for name in ("geq1", "eq", "leq", "prime"):
+            assert name in collection
+
+    def test_geq1_required(self):
+        with pytest.raises(PredicateError):
+            PredicateCollection([EQ])
+        # but can be waived explicitly
+        PredicateCollection([EQ], require_geq1=False)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PredicateError):
+            PredicateCollection([GEQ1, NumericalPredicate("geq1", 1, lambda v: True)])
+
+    def test_oracle_counting(self):
+        collection = standard_collection()
+        assert collection.oracle_calls == 0
+        collection.query("eq", (1, 1))
+        collection.query("geq1", (0,))
+        assert collection.oracle_calls == 2
+        collection.reset_counter()
+        assert collection.oracle_calls == 0
+
+    def test_unknown_predicate(self):
+        with pytest.raises(PredicateError):
+            standard_collection().query("nope", (1,))
+
+    def test_extended(self):
+        custom = NumericalPredicate("big", 1, lambda v: v[0] > 100)
+        collection = standard_collection().extended(custom)
+        assert collection.query("big", (101,))
+        assert "big" not in standard_collection()
+
+    def test_iteration_sorted(self):
+        names = [p.name for p in standard_collection()]
+        assert names == sorted(names)

@@ -1,0 +1,250 @@
+"""Tests for the reference semantics (literal Definition 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ArityError, EvaluationError
+from repro.logic.builder import Rel, count, variables
+from repro.logic.examples import (
+    blue_neighbour_term,
+    edges_term,
+    example_3_2_degree_prime,
+    example_3_2_prime_sum,
+    nodes_term,
+    out_degree_term,
+    red_count_term,
+    triangle_term,
+)
+from repro.logic.semantics import (
+    Interpretation,
+    count_solutions,
+    evaluate,
+    satisfies,
+    solutions,
+    term_value,
+)
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    IntTerm,
+    Not,
+    Or,
+    Top,
+)
+from repro.structures.builders import (
+    coloured_graph_structure,
+    cycle_graph,
+    graph_structure,
+    path_graph,
+)
+
+from ..conftest import fo_formulas, small_graphs
+
+E = Rel("E", 2)
+
+
+@pytest.fixture
+def digraph():
+    """1 -> 2 -> 3, 1 -> 3 (directed)."""
+    return graph_structure([1, 2, 3], [(1, 2), (2, 3), (1, 3)], symmetric=False)
+
+
+class TestAtomsAndConnectives:
+    def test_equality(self, digraph):
+        assert satisfies(digraph, Eq("x", "y"), {"x": 1, "y": 1})
+        assert not satisfies(digraph, Eq("x", "y"), {"x": 1, "y": 2})
+
+    def test_relation_atom(self, digraph):
+        assert satisfies(digraph, E("x", "y"), {"x": 1, "y": 2})
+        assert not satisfies(digraph, E("x", "y"), {"x": 2, "y": 1})
+
+    def test_boolean_semantics(self, digraph):
+        phi = E("x", "y")
+        env = {"x": 2, "y": 1}
+        assert satisfies(digraph, Not(phi), env)
+        assert satisfies(digraph, Or(phi, Top()), env)
+        assert not satisfies(digraph, And(phi, Top()), env)
+        assert satisfies(digraph, Implies(phi, Bottom()), env)
+        assert satisfies(digraph, Iff(phi, Bottom()), env)
+
+    def test_quantifiers(self, digraph):
+        assert satisfies(digraph, Exists("y", E("x", "y")), {"x": 1})
+        assert not satisfies(digraph, Exists("y", E("x", "y")), {"x": 3})
+        assert not satisfies(digraph, Forall("x", Exists("y", E("x", "y"))))
+
+    def test_distance_atom(self):
+        p = path_graph(5)
+        assert satisfies(p, DistAtom("x", "y", 2), {"x": 1, "y": 3})
+        assert not satisfies(p, DistAtom("x", "y", 2), {"x": 1, "y": 4})
+
+    def test_unbound_variable_raises(self, digraph):
+        with pytest.raises(EvaluationError):
+            satisfies(digraph, E("x", "y"), {"x": 1})
+
+    def test_unknown_relation_raises(self, digraph):
+        with pytest.raises(EvaluationError):
+            satisfies(digraph, Atom("Nope", ("x",)), {"x": 1})
+
+    def test_arity_mismatch_raises(self, digraph):
+        with pytest.raises(ArityError):
+            satisfies(digraph, Atom("E", ("x",)), {"x": 1})
+
+
+class TestCountingTerms:
+    def test_out_degree(self, digraph):
+        t = out_degree_term("y")
+        assert term_value(digraph, t, {"y": 1}) == 2
+        assert term_value(digraph, t, {"y": 3}) == 0
+
+    def test_nodes_and_edges(self, digraph):
+        assert term_value(digraph, nodes_term()) == 3
+        assert term_value(digraph, edges_term()) == 3
+
+    def test_empty_tuple_count(self, digraph):
+        t = CountTerm((), E("x", "y"))
+        assert term_value(digraph, t, {"x": 1, "y": 2}) == 1
+        assert term_value(digraph, t, {"x": 2, "y": 1}) == 0
+
+    def test_arithmetic(self, digraph):
+        t = nodes_term() * 2 + edges_term() - 1
+        assert term_value(digraph, t) == 6 + 3 - 1
+
+    def test_example_3_2_prime_sum(self, digraph):
+        # 3 nodes + 3 edges = 6, not prime
+        assert not satisfies(digraph, example_3_2_prime_sum())
+        four = graph_structure([1, 2], [(1, 2), (2, 1), (1, 1)], symmetric=False)
+        # 2 nodes + 3 edges = 5, prime
+        assert satisfies(four, example_3_2_prime_sum())
+
+    def test_example_3_2_degree_prime(self, digraph):
+        # out-degrees: 2, 1, 0; exactly one vertex of out-degree 2 -> not
+        # prime counts... vertex x with degree d such that #vertices of
+        # degree d is prime: degree 1 occurs once (not prime), degree 2 once,
+        # degree 0 once -> no witness.
+        assert not satisfies(digraph, example_3_2_degree_prime())
+        two_same = graph_structure(
+            [1, 2, 3], [(1, 2), (2, 3)], symmetric=False
+        )  # out-degrees 1,1,0 -> degree 1 occurs twice, 2 is prime
+        assert satisfies(two_same, example_3_2_degree_prime())
+
+    def test_shadowing(self, digraph):
+        # the outer binding of y must be restored after the count
+        t = CountTerm(("y",), E("x", "y"))
+        phi = And(E("x", "y"), PredicateAtom_geq1(t))
+        assert satisfies(digraph, phi, {"x": 1, "y": 2})
+
+
+def PredicateAtom_geq1(t):
+    from repro.logic.syntax import PredicateAtom
+
+    return PredicateAtom("geq1", (t,))
+
+
+class TestExample54Terms:
+    def test_triangle_census(self):
+        g = coloured_graph_structure(
+            [1, 2, 3, 4],
+            [(1, 2), (2, 3), (3, 1), (1, 4)],
+            red=[4],
+            blue=[2],
+            green=[3],
+        )
+        assert term_value(g, triangle_term("x"), {"x": 1}) == 1
+        assert term_value(g, triangle_term("x"), {"x": 4}) == 0
+        assert term_value(g, red_count_term()) == 1
+        assert term_value(g, blue_neighbour_term("x"), {"x": 1}) == 1
+
+
+class TestSolutions:
+    def test_solution_enumeration(self, digraph):
+        got = set(solutions(digraph, E("x", "y"), ["x", "y"]))
+        assert got == {(1, 2), (2, 3), (1, 3)}
+
+    def test_count_solutions(self, digraph):
+        assert count_solutions(digraph, E("x", "y"), ["x", "y"]) == 3
+        assert count_solutions(digraph, Not(E("x", "y")), ["x", "y"]) == 6
+
+    def test_unlisted_free_variable_rejected(self, digraph):
+        with pytest.raises(EvaluationError):
+            list(solutions(digraph, E("x", "y"), ["x"]))
+
+
+class TestInterpretation:
+    def test_rebind(self, digraph):
+        interp = Interpretation(digraph, {"x": 1})
+        rebound = interp.rebind(["x", "y"], [2, 3])
+        assert rebound.assignment == {"x": 2, "y": 3}
+        assert interp.assignment == {"x": 1}
+
+    def test_assignment_outside_universe_rejected(self, digraph):
+        with pytest.raises(EvaluationError):
+            Interpretation(digraph, {"x": 99})
+
+
+class TestCycleSanity:
+    @given(small_graphs(min_vertices=2, max_vertices=5))
+    @settings(max_examples=25, deadline=None)
+    def test_de_morgan(self, structure):
+        """forall x phi == not exists x not phi, semantically."""
+        phi = Exists("y", E("x", "y"))
+        lhs = satisfies(structure, Forall("x", phi))
+        rhs = satisfies(structure, Not(Exists("x", Not(phi))))
+        assert lhs == rhs
+
+    def test_cycle_edge_count(self):
+        c = cycle_graph(7)
+        assert term_value(c, edges_term()) == 14
+
+
+class TestCountingAlgebraicInvariants:
+    """Algebraic laws of counting terms, as properties (Definition 3.1)."""
+
+    @given(small_graphs(min_vertices=1, max_vertices=5), fo_formulas(max_depth=2))
+    @settings(max_examples=30, deadline=None)
+    def test_count_complement(self, structure, phi):
+        """#y.phi + #y.!phi = |A| for any formula and fixed context."""
+        from repro.logic.syntax import CountTerm, Not, exists_block, free_variables
+
+        closed = exists_block(sorted(free_variables(phi) - {"y"}), phi)
+        positive = CountTerm(("y",), closed)
+        negative = CountTerm(("y",), Not(closed))
+        total = evaluate(positive, structure) + evaluate(negative, structure)
+        assert total == structure.order()
+
+    @given(small_graphs(min_vertices=1, max_vertices=5))
+    @settings(max_examples=25, deadline=None)
+    def test_count_of_disjunction_inclusion_exclusion(self, structure):
+        """#xy.(a|b) = #xy.a + #xy.b - #xy.(a&b)."""
+        from repro.logic.syntax import And, CountTerm, Or
+
+        E = Rel("E", 2)
+        a, b = E("x", "y"), E("y", "x")
+        lhs = evaluate(CountTerm(("x", "y"), Or(a, b)), structure)
+        rhs = (
+            evaluate(CountTerm(("x", "y"), a), structure)
+            + evaluate(CountTerm(("x", "y"), b), structure)
+            - evaluate(CountTerm(("x", "y"), And(a, b)), structure)
+        )
+        assert lhs == rhs
+
+    @given(small_graphs(min_vertices=1, max_vertices=4))
+    @settings(max_examples=25, deadline=None)
+    def test_count_order_of_binders_is_product_space(self, structure):
+        """#(x,y).phi = sum over a of (#y.phi)[x:=a] — Remark 6.3's identity."""
+        from repro.logic.syntax import CountTerm
+
+        E = Rel("E", 2)
+        joint = evaluate(CountTerm(("x", "y"), E("x", "y")), structure)
+        split = sum(
+            evaluate(CountTerm(("y",), E("x", "y")), structure, {"x": a})
+            for a in structure.universe_order
+        )
+        assert joint == split

@@ -1,0 +1,175 @@
+"""Tests for the FOC(P) abstract syntax: free variables, size, #-depth."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormulaError
+from repro.logic.syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    all_variables,
+    conjunction,
+    count_depth,
+    disjunction,
+    exists_block,
+    expression_size,
+    free_variables,
+    is_ground_term,
+    is_sentence,
+    predicate_names,
+    relation_names,
+    subexpressions,
+    uses_distance_atoms,
+)
+
+from ..conftest import foc1_formulas
+
+
+class TestFreeVariables:
+    def test_atoms(self):
+        assert free_variables(Eq("x", "y")) == {"x", "y"}
+        assert free_variables(Atom("E", ("x", "y"))) == {"x", "y"}
+        assert free_variables(Atom("Flag", ())) == frozenset()
+        assert free_variables(DistAtom("x", "y", 3)) == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        phi = Exists("y", Atom("E", ("x", "y")))
+        assert free_variables(phi) == {"x"}
+        assert is_sentence(Exists("x", phi)) is True
+        assert free_variables(Exists("x", phi)) == frozenset()
+
+    def test_counting_term_binds(self):
+        term = CountTerm(("y", "z"), Atom("E", ("x", "y")))
+        assert free_variables(term) == {"x"}
+        assert is_ground_term(CountTerm(("x",), Atom("R", ("x",))))
+
+    def test_paper_example_5_4_free_vars(self):
+        from repro.logic.examples import (
+            phi_blue_balance,
+            phi_triangles_equal_reds,
+            red_count_term,
+            triangle_term,
+        )
+
+        assert free_variables(red_count_term()) == frozenset()
+        assert free_variables(triangle_term("x")) == {"x"}
+        assert free_variables(phi_triangles_equal_reds("x")) == {"x"}
+        assert free_variables(phi_blue_balance("x")) == {"x"}
+
+    def test_arithmetic_unions(self):
+        t = Add(CountTerm(("y",), Atom("E", ("x", "y"))), IntTerm(3))
+        assert free_variables(t) == {"x"}
+
+
+class TestValidation:
+    def test_counting_term_repeated_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            CountTerm(("y", "y"), Top())
+
+    def test_predicate_atom_needs_terms(self):
+        with pytest.raises(FormulaError):
+            PredicateAtom("eq", ())
+
+    def test_predicate_atom_coerces_ints(self):
+        atom = PredicateAtom("eq", (3, IntTerm(3)))
+        assert atom.terms[0] == IntTerm(3)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(FormulaError):
+            DistAtom("x", "y", -1)
+
+    def test_int_term_rejects_bool(self):
+        with pytest.raises(FormulaError):
+            IntTerm(True)
+
+
+class TestSugar:
+    def test_boolean_operators(self):
+        a, b = Atom("R", ("x",)), Atom("B", ("x",))
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+
+    def test_term_arithmetic(self):
+        t = CountTerm(("y",), Atom("E", ("x", "y")))
+        assert (t + 1) == Add(t, IntTerm(1))
+        assert (2 * t) == Mul(IntTerm(2), t)
+        # s - t is s + (-1) * t, the paper's abbreviation
+        assert (t - 1) == Add(t, Mul(IntTerm(-1), IntTerm(1)))
+
+    def test_term_comparisons(self):
+        t = CountTerm(("y",), Atom("E", ("x", "y")))
+        assert t.geq1() == PredicateAtom("geq1", (t,))
+        assert t.eq(3) == PredicateAtom("eq", (t, IntTerm(3)))
+        assert t.leq(t) == PredicateAtom("leq", (t, t))
+
+
+class TestStructuralMeasures:
+    def test_count_depth(self):
+        flat = CountTerm(("y",), Atom("E", ("x", "y")))
+        assert count_depth(flat) == 1
+        nested = CountTerm(("x",), PredicateAtom("geq1", (flat,)))
+        assert count_depth(nested) == 2
+        assert count_depth(Atom("E", ("x", "y"))) == 0
+
+    def test_example_3_2_depths(self):
+        from repro.logic.examples import (
+            example_3_2_degree_prime,
+            example_3_2_prime_sum,
+        )
+
+        assert count_depth(example_3_2_prime_sum()) == 1
+        assert count_depth(example_3_2_degree_prime()) == 2
+
+    def test_size_positive_and_monotone(self):
+        a = Atom("E", ("x", "y"))
+        assert expression_size(a) >= 1
+        assert expression_size(Not(a)) > expression_size(a)
+        assert expression_size(And(a, a)) > 2 * expression_size(a) - 1
+
+    def test_subexpressions_preorder(self):
+        phi = And(Atom("R", ("x",)), Not(Eq("x", "y")))
+        nodes = list(subexpressions(phi))
+        assert nodes[0] is phi
+        assert any(isinstance(n, Eq) for n in nodes)
+
+    def test_collectors(self):
+        phi = And(
+            Atom("E", ("x", "y")),
+            PredicateAtom("geq1", (CountTerm(("z",), Atom("R", ("z",))),)),
+        )
+        assert relation_names(phi) == {"E", "R"}
+        assert predicate_names(phi) == {"geq1"}
+        assert all_variables(phi) == {"x", "y", "z"}
+        assert not uses_distance_atoms(phi)
+        assert uses_distance_atoms(DistAtom("x", "y", 1))
+
+
+class TestCombinators:
+    def test_conjunction_empty_is_top(self):
+        assert conjunction([]) == Top()
+        assert disjunction([]) == Bottom()
+
+    def test_exists_block_order(self):
+        phi = exists_block(["x", "y"], Eq("x", "y"))
+        assert phi == Exists("x", Exists("y", Eq("x", "y")))
+
+    @given(foc1_formulas())
+    @settings(max_examples=30, deadline=None)
+    def test_generated_formulas_have_consistent_measures(self, phi):
+        assert expression_size(phi) >= 1
+        assert count_depth(phi) >= 0
+        assert free_variables(phi) <= all_variables(phi)

@@ -1,0 +1,169 @@
+"""Tests for syntactic transformations (renaming, primitivisation,
+relativization, simplification) — all checked semantically."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormulaError
+from repro.logic.builder import Rel
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.semantics import evaluate, satisfies
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    Eq,
+    Exists,
+    Forall,
+    IntTerm,
+    Not,
+    Or,
+    Top,
+    free_variables,
+    subexpressions,
+)
+from repro.logic.transform import (
+    fresh_variable,
+    relativize,
+    rename_free,
+    simplify,
+    to_primitive,
+)
+from repro.structures.builders import graph_structure
+
+from ..conftest import fo_formulas, foc1_formulas, small_graphs
+
+E = Rel("E", 2)
+
+
+class TestFreshVariable:
+    def test_avoids_used(self):
+        assert fresh_variable("x", ["x", "x_1"]) == "x_2"
+        assert fresh_variable("x", []) == "x"
+
+
+class TestRenameFree:
+    def test_simple_rename(self):
+        phi = And(E("x", "y"), Exists("z", E("y", "z")))
+        renamed = rename_free(phi, {"y": "w"})
+        assert free_variables(renamed) == {"x", "w"}
+
+    def test_bound_occurrences_untouched(self):
+        phi = Exists("y", E("x", "y"))
+        renamed = rename_free(phi, {"y": "w"})
+        assert renamed == phi
+
+    def test_capture_avoided_by_alpha_renaming(self):
+        # renaming x -> y under exists y must alpha-rename the binder
+        phi = Exists("y", E("x", "y"))
+        renamed = rename_free(phi, {"x": "y"})
+        assert free_variables(renamed) == {"y"}
+        assert isinstance(renamed, Exists)
+        assert renamed.variable != "y"
+
+    def test_capture_avoided_in_counting_terms(self):
+        term = CountTerm(("y",), E("x", "y"))
+        renamed = rename_free(term, {"x": "y"})
+        assert free_variables(renamed) == {"y"}
+        assert renamed.variables[0] != "y"
+
+    def test_semantics_preserved(self):
+        g = graph_structure([1, 2, 3], [(1, 2), (2, 3)])
+        phi = Exists("z", And(E("x", "z"), E("z", "y")))
+        renamed = rename_free(phi, {"x": "u", "y": "v"})
+        for a in g.universe_order:
+            for b in g.universe_order:
+                assert satisfies(g, phi, {"x": a, "y": b}) == satisfies(
+                    g, renamed, {"u": a, "v": b}
+                )
+
+
+class TestToPrimitive:
+    def test_only_core_connectives_remain(self):
+        phi = parse_formula("forall x. (E(x, y) <-> true) -> false")
+        prim = to_primitive(phi)
+        from repro.logic.syntax import Bottom as B
+        from repro.logic.syntax import Forall as FA
+        from repro.logic.syntax import Iff as IF
+        from repro.logic.syntax import Implies as IM
+        from repro.logic.syntax import Top as T
+
+        banned = (FA, IM, IF, T, B)
+        assert not any(isinstance(node, banned) for node in subexpressions(prim))
+
+    @given(foc1_formulas(), small_graphs(max_vertices=4))
+    @settings(max_examples=40, deadline=None)
+    def test_primitive_equivalent(self, phi, structure):
+        prim = to_primitive(phi)
+        env = {v: structure.universe_order[0] for v in free_variables(phi)}
+        assert evaluate(phi, structure, env) == evaluate(prim, structure, env)
+
+
+class TestRelativize:
+    def test_quantifiers_guarded(self):
+        g = graph_structure([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)])
+        # guard: vertices with degree >= 2 (i.e. 2 and 3)
+        def guard(v):
+            return Exists(
+                f"_g1{v}",
+                Exists(
+                    f"_g2{v}",
+                    And(
+                        And(E(v, f"_g1{v}"), E(v, f"_g2{v}")),
+                        Not(Eq(f"_g1{v}", f"_g2{v}")),
+                    ),
+                ),
+            )
+
+        phi = Exists("x", Exists("y", And(E("x", "y"), Not(Eq("x", "y")))))
+        guarded = relativize(phi, guard)
+        # relativized: only 2-3 edge counts among degree>=2 vertices
+        assert satisfies(g, guarded)
+        line = graph_structure([1, 2], [(1, 2)])
+        assert satisfies(line, phi)
+        assert not satisfies(line, guarded)
+
+    def test_counting_binders_guarded(self):
+        g = graph_structure([1, 2, 3], [(1, 2), (1, 3)])
+        term = CountTerm(("y",), E("x", "y"))
+        guarded = relativize(
+            PredicateAtom_geq(term), lambda v: E(v, v), relativize_counts=True
+        )
+        # no self loops: guard empties the count
+        assert not satisfies(g, guarded, {"x": 1})
+
+
+def PredicateAtom_geq(t):
+    from repro.logic.syntax import PredicateAtom
+
+    return PredicateAtom("geq1", (t,))
+
+
+class TestSimplify:
+    CASES = [
+        ("true & E(x, y)", "E(x, y)"),
+        ("E(x, y) | false", "E(x, y)"),
+        ("!!E(x, y)", "E(x, y)"),
+        ("!true", "false"),
+        ("false -> E(x, y)", "true"),
+        ("exists z. true", "true"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_rewrites(self, source, expected):
+        assert simplify(parse_formula(source)) == parse_formula(expected)
+
+    def test_term_constant_folding(self):
+        assert simplify(parse_term("2 * 3 + 1")) == IntTerm(7)
+        assert simplify(parse_term("0 * #(y). E(x, y)")) == IntTerm(0)
+        t = parse_term("1 * #(y). E(x, y)")
+        assert simplify(t) == parse_term("#(y). E(x, y)")
+
+    @given(foc1_formulas(), small_graphs(max_vertices=4))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_preserves_semantics(self, phi, structure):
+        env = {v: structure.universe_order[0] for v in free_variables(phi)}
+        assert evaluate(phi, structure, env) == evaluate(
+            simplify(phi), structure, env
+        )

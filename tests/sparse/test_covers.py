@@ -1,0 +1,128 @@
+"""Tests for neighbourhood covers (Theorem 8.1's object)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sparse.covers import (
+    CoverError,
+    cover_statistics,
+    sparse_cover,
+    trivial_cover,
+)
+from repro.structures.builders import (
+    complete_graph,
+    graph_structure,
+    grid_graph,
+    path_graph,
+)
+from repro.structures.gaifman import ball, distance
+
+from ..conftest import small_graphs
+
+
+class TestTrivialCover:
+    def test_cover_property(self, path5):
+        cover = trivial_cover(path5, 1)
+        cover.verify(check_radius=1)
+        for a in path5.universe_order:
+            assert ball(path5, [a], 1) <= cover.cluster_of(a)
+
+    def test_radius_zero(self, path5):
+        cover = trivial_cover(path5, 0)
+        cover.verify(check_radius=0)
+        assert all(len(cover.cluster_of(a)) == 1 for a in path5.universe_order)
+
+    def test_negative_radius_rejected(self, path5):
+        with pytest.raises(CoverError):
+            trivial_cover(path5, -1)
+
+
+class TestSparseCover:
+    @given(small_graphs(min_vertices=1, max_vertices=7))
+    @settings(max_examples=40, deadline=None)
+    def test_cover_property_and_radius(self, structure):
+        """The central invariant: an (r, 2r)-neighbourhood cover."""
+        radius = 2
+        cover = sparse_cover(structure, radius)
+        cover.verify(check_radius=2 * radius)
+
+    def test_centres_are_scattered(self):
+        g = grid_graph(8, 8)
+        cover = sparse_cover(g, 2)
+        centres = cover.centres
+        for i, a in enumerate(centres):
+            for b in centres[i + 1 :]:
+                assert distance(g, a, b) > 2
+
+    def test_every_element_within_r_of_its_centre(self):
+        g = grid_graph(6, 6)
+        radius = 2
+        cover = sparse_cover(g, radius)
+        for a in g.universe_order:
+            centre = cover.centres[cover.cluster_index_of(a)]
+            assert distance(g, a, centre) <= radius
+
+    def test_members_partition(self):
+        g = grid_graph(5, 5)
+        cover = sparse_cover(g, 1)
+        seen = []
+        for index in range(len(cover.clusters)):
+            seen.extend(cover.members_with_cluster(index))
+        assert sorted(seen, key=repr) == sorted(g.universe_order, key=repr)
+
+    def test_disconnected_graph(self):
+        g = graph_structure([1, 2, 3, 4], [(1, 2)])
+        cover = sparse_cover(g, 2)
+        cover.verify()
+
+    def test_sparser_than_trivial_on_grid(self):
+        g = grid_graph(9, 9)
+        sparse_stats = cover_statistics(sparse_cover(g, 2))
+        trivial_stats = cover_statistics(trivial_cover(g, 2))
+        assert sparse_stats["clusters"] < trivial_stats["clusters"]
+        assert sparse_stats["max_degree"] <= trivial_stats["max_degree"]
+
+    def test_grid_cover_degree_small(self):
+        g = grid_graph(12, 12)
+        cover = sparse_cover(g, 2)
+        # packing argument: few 2-scattered centres within distance 4
+        assert cover.max_degree() <= 12
+
+    def test_clique_cover_is_one_big_cluster(self):
+        cover = sparse_cover(complete_graph(20), 1)
+        assert len(cover.clusters) == 1
+        assert cover_statistics(cover)["largest_cluster"] == 20
+
+
+class TestCoverQueries:
+    def test_covers_tuple(self):
+        p = path_graph(9)
+        cover = sparse_cover(p, 2)
+        index = cover.cluster_index_of(5)
+        assert cover.covers_tuple(index, [5], 2)
+
+    def test_clusters_s_covering(self):
+        p = path_graph(9)
+        cover = sparse_cover(p, 2)
+        hits = cover.clusters_s_covering([5], 1)
+        assert cover.cluster_index_of(5) in hits or hits
+
+    def test_degree_accessors(self):
+        p = path_graph(9)
+        cover = sparse_cover(p, 1)
+        assert cover.max_degree() >= 1
+        assert cover.average_degree() >= 1.0
+        assert cover.degree_of(1) >= 1
+
+    def test_verify_catches_broken_cover(self, path5):
+        cover = sparse_cover(path5, 1)
+        # sabotage: shrink a cluster below the required ball
+        broken = type(cover)(
+            structure=cover.structure,
+            radius=cover.radius,
+            clusters=tuple(frozenset([next(iter(c))]) for c in cover.clusters),
+            assignment=cover.assignment,
+            centres=cover.centres,
+        )
+        with pytest.raises(CoverError):
+            broken.verify()

@@ -1,0 +1,128 @@
+"""Tests for the (rho, r)-splitter game (Section 8)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sparse.splitter import (
+    SplitterGameError,
+    connector_first,
+    connector_max_ball,
+    play_splitter_game,
+    rounds_needed,
+    splitter_ball_centre,
+    splitter_max_degree,
+    splitter_take_connector,
+)
+from repro.structures.builders import (
+    balanced_tree,
+    complete_graph,
+    graph_structure,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+from ..conftest import small_graphs
+
+
+class TestGameMechanics:
+    def test_single_vertex_immediate_win(self):
+        g = graph_structure([1], [])
+        result = play_splitter_game(g, radius=2, rounds_limit=1)
+        assert result.splitter_won and result.rounds_played == 1
+
+    def test_isolated_vertices_one_round(self):
+        g = graph_structure([1, 2, 3], [])
+        # radius 0: the ball is just the connector vertex
+        result = play_splitter_game(g, radius=0, rounds_limit=1)
+        assert result.splitter_won
+
+    def test_history_and_sizes_recorded(self):
+        result = play_splitter_game(path_graph(8), radius=1, rounds_limit=10)
+        assert result.splitter_won
+        assert len(result.history) == result.rounds_played
+        assert result.graph_sizes[0] == 8
+        # the game graph shrinks strictly
+        assert all(
+            a > b for a, b in zip(result.graph_sizes, result.graph_sizes[1:])
+        )
+
+    def test_connector_win_on_limit(self):
+        k = complete_graph(10)
+        result = play_splitter_game(k, radius=1, rounds_limit=3)
+        assert not result.splitter_won
+        assert result.rounds_played == 3
+
+    def test_invalid_parameters(self):
+        g = path_graph(3)
+        with pytest.raises(SplitterGameError):
+            play_splitter_game(g, radius=-1, rounds_limit=2)
+        with pytest.raises(SplitterGameError):
+            play_splitter_game(g, radius=1, rounds_limit=0)
+
+    @given(small_graphs(min_vertices=1, max_vertices=7))
+    @settings(max_examples=30, deadline=None)
+    def test_splitter_always_wins_eventually(self, structure):
+        """On finite graphs the ball shrinks every round, so any sound
+        strategy wins within |A| rounds."""
+        rounds = rounds_needed(structure, radius=2)
+        assert rounds <= structure.order()
+
+
+class TestStrategiesAndClasses:
+    def test_cliques_need_n_rounds(self):
+        """On K_n every 1-ball is everything: Splitter removes one vertex per
+        round — the signature of a somewhere-dense class."""
+        for n in (5, 10, 15):
+            assert rounds_needed(complete_graph(n), radius=1) == n
+
+    def test_paths_need_few_rounds(self):
+        long_path = path_graph(200)
+        assert rounds_needed(long_path, radius=2) <= 6
+
+    def test_grids_need_few_rounds(self):
+        assert rounds_needed(grid_graph(10, 10), radius=2) <= 8
+
+    def test_trees_bounded_rounds(self):
+        tree = balanced_tree(2, 6)
+        assert rounds_needed(tree, radius=1) <= 6
+
+    def test_star_two_rounds(self):
+        # Splitter removes the centre, then each leaf ball is a singleton.
+        assert rounds_needed(star_graph(50), radius=1) <= 2
+
+    def test_round_monotonicity_across_density(self):
+        sparse_rounds = rounds_needed(grid_graph(6, 6), radius=1)
+        dense_rounds = rounds_needed(complete_graph(36), radius=1)
+        assert sparse_rounds < dense_rounds
+
+    def test_alternative_strategies_also_win(self):
+        g = grid_graph(5, 5)
+        for strategy in (
+            splitter_take_connector(),
+            splitter_max_degree(),
+            splitter_ball_centre(),
+        ):
+            result = play_splitter_game(
+                g, radius=1, rounds_limit=30, splitter=strategy
+            )
+            assert result.splitter_won
+
+    def test_connector_strategies_legal(self):
+        g = grid_graph(4, 4)
+        for connector in (connector_first(), connector_max_ball(2)):
+            result = play_splitter_game(
+                g, radius=2, rounds_limit=20, connector=connector
+            )
+            assert result.splitter_won
+
+    def test_bad_splitter_strategy_caught(self):
+        def cheating(adjacency, vertices, connector_vertex, ball_vertices):
+            for v in vertices:
+                if v not in ball_vertices:
+                    return v
+            return connector_vertex
+
+        g = graph_structure([1, 2, 3, 4], [(1, 2)])
+        with pytest.raises(SplitterGameError):
+            play_splitter_game(g, radius=0, rounds_limit=5, splitter=cheating)

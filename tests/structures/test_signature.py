@@ -1,0 +1,99 @@
+"""Unit tests for relational signatures."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.structures.signature import GRAPH_SIGNATURE, RelationSymbol, Signature
+
+
+class TestRelationSymbol:
+    def test_basic_properties(self):
+        symbol = RelationSymbol("E", 2)
+        assert symbol.name == "E"
+        assert symbol.arity == 2
+
+    def test_zero_arity_allowed(self):
+        assert RelationSymbol("Flag", 0).arity == 0
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            RelationSymbol("E", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SignatureError):
+            RelationSymbol("", 1)
+
+    def test_value_equality(self):
+        assert RelationSymbol("E", 2) == RelationSymbol("E", 2)
+        assert RelationSymbol("E", 2) != RelationSymbol("E", 3)
+
+
+class TestSignature:
+    def test_of_constructor(self):
+        sig = Signature.of(E=2, R=1, Zero=0)
+        assert len(sig) == 3
+        assert sig["E"].arity == 2
+        assert sig["Zero"].arity == 0
+
+    def test_size_is_sum_of_arities(self):
+        assert Signature.of(E=2, R=1, T=3).size() == 6
+
+    def test_empty_signature(self):
+        sig = Signature()
+        assert len(sig) == 0
+        assert sig.size() == 0
+        assert sig.max_arity() == 0
+
+    def test_duplicate_name_same_arity_collapses(self):
+        sig = Signature([RelationSymbol("E", 2), RelationSymbol("E", 2)])
+        assert len(sig) == 1
+
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature([RelationSymbol("E", 2), RelationSymbol("E", 3)])
+
+    def test_membership_by_name_and_symbol(self):
+        sig = Signature.of(E=2)
+        assert "E" in sig
+        assert RelationSymbol("E", 2) in sig
+        assert RelationSymbol("E", 3) not in sig
+        assert "F" not in sig
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SignatureError):
+            Signature.of(E=2)["F"]
+
+    def test_union_and_extend(self):
+        sig = Signature.of(E=2).union(Signature.of(R=1))
+        assert set(sig.names) == {"E", "R"}
+        extended = sig.extend(RelationSymbol("B", 1))
+        assert "B" in extended
+        # the original is untouched (immutability)
+        assert "B" not in sig
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature.of(E=2).union(Signature.of(E=1))
+
+    def test_restrict(self):
+        sig = Signature.of(E=2, R=1, B=1)
+        small = sig.restrict(["E", "B"])
+        assert set(small.names) == {"B", "E"}
+        with pytest.raises(SignatureError):
+            sig.restrict(["Nope"])
+
+    def test_subsignature(self):
+        big = Signature.of(E=2, R=1)
+        assert Signature.of(E=2).is_subsignature_of(big)
+        assert not Signature.of(E=3).is_subsignature_of(big)
+
+    def test_hash_and_equality(self):
+        a = Signature.of(E=2, R=1)
+        b = Signature.of(R=1, E=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Signature.of(E=2)
+
+    def test_graph_signature_constant(self):
+        assert GRAPH_SIGNATURE["E"].arity == 2
+        assert GRAPH_SIGNATURE.size() == 2

@@ -1,0 +1,164 @@
+"""Tests for structure I/O and the command-line interface."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io import (
+    FormatError,
+    load_structure,
+    parse_edge_list,
+    save_structure,
+    structure_from_json,
+    structure_to_json,
+)
+from repro.structures.builders import graph_structure, path_graph
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        structure = graph_structure([1, 2, 3], [(1, 2), (2, 3)])
+        target = tmp_path / "g.json"
+        save_structure(structure, target)
+        assert load_structure(target) == structure
+
+    def test_round_trip_with_colours(self, tmp_path):
+        from repro.structures.builders import coloured_graph_structure
+
+        structure = coloured_graph_structure(
+            ["a", "b"], [("a", "b")], red=["a"], blue=["b"]
+        )
+        target = tmp_path / "g.json"
+        save_structure(structure, target)
+        assert load_structure(target) == structure
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(FormatError):
+            structure_from_json({"universe": [1]})
+
+    def test_bad_signature_rejected(self):
+        with pytest.raises(FormatError):
+            structure_from_json(
+                {"signature": {"E": "two"}, "universe": [1], "relations": {}}
+            )
+
+    def test_invalid_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(FormatError):
+            load_structure(bad)
+
+
+class TestEdgeLists:
+    def test_basic_graph(self):
+        structure = parse_edge_list("1 2\n2 3\n# comment\n4\n")
+        assert structure.order() == 4
+        assert structure.has_tuple("E", (1, 2)) and structure.has_tuple("E", (2, 1))
+        assert structure.has_tuple("E", (3, 2))
+
+    def test_string_vertices(self):
+        structure = parse_edge_list("ada bob\nbob cyd\n")
+        assert "ada" in structure.universe
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(FormatError):
+            parse_edge_list("1 2 3\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormatError):
+            parse_edge_list("# nothing\n")
+
+
+def run_cli(*args, expect: int = 0) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == expect, result.stderr
+    return result.stdout
+
+
+class TestCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        target = tmp_path / "graph.txt"
+        target.write_text("1 2\n2 3\n3 4\n4 1\n")
+        return str(target)
+
+    def test_check(self, graph_file):
+        out = run_cli("check", graph_file, "forall x. @eq(#(y). E(x, y), 2)")
+        assert out.strip() == "True"
+
+    def test_count(self, graph_file):
+        out = run_cli(
+            "count", graph_file, "E(x, y) & E(y, z)", "--vars", "x", "y", "z"
+        )
+        assert out.strip() == "16"
+
+    def test_term(self, graph_file):
+        out = run_cli("term", graph_file, "#(x, y). E(x, y)")
+        assert out.strip() == "8"
+
+    def test_unary(self, graph_file):
+        out = run_cli("unary", graph_file, "#(y). E(x, y)", "--var", "x")
+        lines = dict(line.split("\t") for line in out.strip().splitlines())
+        assert lines == {"1": "2", "2": "2", "3": "2", "4": "2"}
+
+    def test_info(self, graph_file):
+        out = run_cli("info", graph_file)
+        report = json.loads(out)
+        assert report["order"] == 4
+        assert report["degeneracy"] == 2
+
+    def test_formula_analysis(self):
+        out = run_cli("formula", "exists x. @even(#(y). E(x, y))")
+        assert "is_foc1: True" in out
+
+    def test_fragment_violation_reported(self, graph_file):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "check",
+                graph_file,
+                "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert result.returncode == 2
+        assert "FOC1" in result.stderr
+
+    def test_fragment_check_can_be_disabled(self, graph_file):
+        out = run_cli(
+            "check",
+            graph_file,
+            "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))",
+            "--no-fragment-check",
+        )
+        assert out.strip() == "True"
+
+    def test_parse_error_exit_code(self, graph_file):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "check", graph_file, "E(x,"],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert result.returncode == 2
+
+    def test_missing_file(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info", "/nonexistent/file.txt"],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert result.returncode == 2

@@ -1,0 +1,53 @@
+"""Smoke-run the quick example scripts end-to-end as subprocesses.
+
+The long-running scaling study and the brute-force-heavy census example are
+exercised by the benchmark harness instead; here we pin down that the
+user-facing quickstart scripts execute, self-verify, and print what the
+README promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "follower(s)" in output
+        assert "Mutual-follow pairs" in output
+
+    def test_sql_count_queries(self):
+        output = run_example("sql_count_queries.py")
+        assert "Example 5.3 (1)" in output
+        assert "No_Of_Customers" in output
+        assert "SUM(TotalAmount)" in output
+
+    def test_hardness_reduction(self):
+        output = run_example("hardness_reduction.py")
+        assert "match: True" in output
+        assert "phi-hat in FOC1?: False" in output
+
+    def test_incremental_updates(self):
+        output = run_example("incremental_updates.py")
+        assert "verified against recompute-from-scratch: OK" in output
+
+    def test_main_algorithm_walkthrough(self):
+        output = run_example("main_algorithm_walkthrough.py")
+        assert "result equals direct ball-exploration evaluation: OK" in output
+        assert "Degree histogram" in output

@@ -1,0 +1,76 @@
+"""Smoke tests of the top-level public API (what README advertises)."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_readme_quickstart_works(self):
+        from repro import (
+            Foc1Evaluator,
+            Foc1Query,
+            Rel,
+            count,
+            graph_structure,
+            parse_formula,
+            variables,
+        )
+
+        g = graph_structure([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4), (4, 1)])
+        engine = Foc1Evaluator()
+
+        sentence = parse_formula("forall x. @eq(#(y). E(x, y), 2)")
+        assert engine.model_check(g, sentence)
+
+        E = Rel("E", 2)
+        x, y = variables("x y")
+        degree = count([y], E(x, y))
+        assert engine.count(g, degree.eq(2), [x]) == 4
+
+        q = Foc1Query(
+            head_variables=(x,), head_terms=(degree,), condition=degree.geq1()
+        )
+        assert sorted(engine.evaluate_query(g, q)) == [
+            (1, 2),
+            (2, 2),
+            (3, 2),
+            (4, 2),
+        ]
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.FragmentError, repro.ReproError)
+        assert issubclass(repro.ParseError, repro.ReproError)
+        assert issubclass(repro.SignatureError, repro.ReproError)
+
+    def test_key_names_exported(self):
+        for name in [
+            "Structure",
+            "Signature",
+            "Foc1Evaluator",
+            "BruteForceEvaluator",
+            "Foc1Query",
+            "BasicClTerm",
+            "ClPolynomial",
+            "CoverTerm",
+            "NeighbourhoodCover",
+            "sparse_cover",
+            "play_splitter_game",
+            "remove_element",
+            "removal_formula",
+            "decompose_factored_count",
+            "Database",
+            "group_by_count",
+            "parse_formula",
+            "pretty",
+            "satisfies",
+            "is_foc1",
+        ]:
+            assert hasattr(repro, name), name
+
+    def test_pretty_parse_roundtrip_via_top_level(self):
+        phi = repro.parse_formula("exists x. @geq1(#(y). E(x, y))")
+        assert repro.parse_formula(repro.pretty(phi)) == phi

@@ -1,0 +1,65 @@
+"""Tests for the benchmark summariser tool."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def make_report(tmp_path):
+    data = {
+        "benchmarks": [
+            {
+                "fullname": "benchmarks/bench_covers.py::test_sparse_cover[grid-100]",
+                "stats": {"mean": 0.00042},
+                "extra_info": {"order": 100, "max_degree": 9},
+            },
+            {
+                "fullname": "benchmarks/bench_covers.py::test_sparse_cover[grid-400]",
+                "stats": {"mean": 0.0021},
+                "extra_info": {"order": 400, "max_degree": 10},
+            },
+            {
+                "fullname": "benchmarks/bench_splitter.py::test_rounds[64]",
+                "stats": {"mean": 1.4},
+                "extra_info": {"rounds": 4},
+            },
+        ]
+    }
+    target = tmp_path / "bench.json"
+    target.write_text(json.dumps(data))
+    return target
+
+
+class TestSummarizer:
+    def test_produces_grouped_tables(self, tmp_path):
+        from tools.summarize_benchmarks import summarise
+
+        data = json.loads(make_report(tmp_path).read_text())
+        text = summarise(data)
+        assert "## covers" in text and "## splitter" in text
+        assert "max_degree" in text and "rounds" in text
+        assert "1.40 s" in text  # second formatting
+        assert "us" in text or "ms" in text
+
+    def test_cli_invocation(self, tmp_path):
+        report = make_report(tmp_path)
+        result = subprocess.run(
+            [sys.executable, str(TOOLS / "summarize_benchmarks.py"), str(report)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "## covers" in result.stdout
+
+    def test_missing_file(self):
+        result = subprocess.run(
+            [sys.executable, str(TOOLS / "summarize_benchmarks.py"), "/none.json"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2
