@@ -27,7 +27,9 @@ __version__ = "1.0.0"
 
 from .errors import (
     ArityError,
+    BudgetExceededError,
     EvaluationError,
+    FaultInjectedError,
     FormulaError,
     FragmentError,
     ParseError,
@@ -104,5 +106,15 @@ from .sparse import (
     trivial_cover,
 )
 from .db import Database, Schema, Table, group_by_count, join_group_count, total_counts
+from .io import FormatError, load_structure, save_structure
+from .robust import (
+    FAULT_SITES,
+    EvaluationBudget,
+    FaultInjector,
+    RobustEvaluator,
+    RobustReport,
+    StageReport,
+    inject_faults,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

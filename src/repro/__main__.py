@@ -19,8 +19,14 @@ Usage examples::
     python -m repro formula "exists x. @even(#(y). E(x, y))"
 
 Structures come from ``.json`` files (see :mod:`repro.io`) or edge lists.
-Exit code 0 on success (for ``check``: also when the answer is False —
-the answer is printed, not encoded), 2 on bad input.
+
+Resource governance (see ``docs/ROBUSTNESS.md``): ``--timeout`` and
+``--max-steps`` bound the evaluation; ``--engine robust`` runs the
+fallback cascade (main algorithm → FOC1 engine → brute force).
+
+Exit codes: 0 on success (for ``check``: also when the answer is False —
+the answer is printed, not encoded), 2 on bad input, 3 on an unexpected
+internal error, 4 on budget exhaustion.
 """
 
 from __future__ import annotations
@@ -30,13 +36,20 @@ import json
 import sys
 from typing import List, Optional
 
+from .core.baseline import BruteForceEvaluator
 from .core.evaluator import Foc1Evaluator
-from .errors import ReproError
+from .errors import BudgetExceededError, ReproError
 from .io import load_structure
 from .logic.foc1 import fragment_summary
 from .logic.parser import parse_formula, parse_term
 from .logic.printer import pretty
+from .robust import EvaluationBudget, RobustEvaluator
 from .sparse.measures import sparsity_report
+
+EXIT_OK = 0
+EXIT_BAD_INPUT = 2
+EXIT_INTERNAL = 3
+EXIT_BUDGET = 4
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +89,25 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="allow full FOC(P) (may be very slow; see Section 4)",
         )
+        sub.add_argument(
+            "--engine",
+            choices=("foc1", "robust", "baseline"),
+            default="foc1",
+            help="evaluation engine: the FOC1 engine (default), the robust "
+            "fallback cascade, or the brute-force baseline",
+        )
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock budget; exhaustion exits with code 4",
+        )
+        sub.add_argument(
+            "--max-steps",
+            type=int,
+            metavar="N",
+            help="cooperative step budget; exhaustion exits with code 4",
+        )
     return parser
 
 
@@ -83,12 +115,22 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except ReproError as error:
+    except BudgetExceededError as error:
+        print(f"budget exhausted: {error}", file=sys.stderr)
+        return EXIT_BUDGET
+    except (ReproError, FileNotFoundError, IsADirectoryError, PermissionError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:  # noqa: BLE001 — last-resort CLI guard
+        # Never a raw traceback: one line, distinct exit code, so shell
+        # callers can tell "our bug" (3) from "your input" (2) or "too
+        # expensive" (4).
+        print(
+            f"internal error: {type(error).__name__}: {error}", file=sys.stderr
+        )
+        return EXIT_INTERNAL
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -106,27 +148,53 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     structure = load_structure(args.structure)
-    engine = Foc1Evaluator(check_fragment=not args.no_fragment_check)
+    engine = _make_engine(args)
 
     if args.command == "check":
         sentence = parse_formula(args.sentence)
         print(engine.model_check(structure, sentence))
+        _emit_report(engine)
         return 0
     if args.command == "count":
         phi = parse_formula(args.formula)
         print(engine.count(structure, phi, args.vars))
+        _emit_report(engine)
         return 0
     if args.command == "term":
         t = parse_term(args.term)
         print(engine.ground_term_value(structure, t))
+        _emit_report(engine)
         return 0
     if args.command == "unary":
         t = parse_term(args.term)
         values = engine.unary_term_values(structure, t, args.var)
         for element in structure.universe_order:
             print(f"{element}\t{values[element]}")
+        _emit_report(engine)
         return 0
     raise AssertionError("unreachable")
+
+
+def _emit_report(engine) -> None:
+    """For the robust engine, say on stderr which cascade stage answered."""
+    if isinstance(engine, RobustEvaluator) and engine.last_report is not None:
+        print(f"# {engine.last_report.summary()}", file=sys.stderr)
+
+
+def _make_engine(args: argparse.Namespace):
+    budget = None
+    if args.timeout is not None or args.max_steps is not None:
+        try:
+            budget = EvaluationBudget(deadline=args.timeout, max_steps=args.max_steps)
+        except ValueError as error:
+            # A nonsensical limit is the caller's mistake (exit 2), not ours.
+            raise ReproError(str(error)) from None
+    check_fragment = not args.no_fragment_check
+    if args.engine == "robust":
+        return RobustEvaluator(budget=budget, check_fragment=check_fragment)
+    if args.engine == "baseline":
+        return BruteForceEvaluator(budget=budget)
+    return Foc1Evaluator(check_fragment=check_fragment, budget=budget)
 
 
 if __name__ == "__main__":

@@ -15,25 +15,38 @@ from ..errors import EvaluationError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.semantics import count_solutions, evaluate, satisfies, solutions
 from ..logic.syntax import Formula, Term, Variable, free_variables
+from ..robust.budget import EvaluationBudget
 from ..structures.structure import Element, Structure
 from .query import Foc1Query
 
 
 class BruteForceEvaluator:
-    """Reference evaluator: same interface, no cleverness whatsoever."""
+    """Reference evaluator: same interface, no cleverness whatsoever.
 
-    def __init__(self, predicates: "Optional[PredicateCollection]" = None):
+    The optional ``budget`` makes even the naive ``n^k`` scans cancellable:
+    it is drawn on once per quantifier/counting iteration, so a
+    :class:`~repro.errors.BudgetExceededError` stops runaway evaluations of
+    adversarial inputs (Section 4's hardness results make those
+    unavoidable for full FOC(P)).
+    """
+
+    def __init__(
+        self,
+        predicates: "Optional[PredicateCollection]" = None,
+        budget: "Optional[EvaluationBudget]" = None,
+    ):
         self.predicates = predicates if predicates is not None else standard_collection()
+        self.budget = budget
 
     def model_check(self, structure: Structure, sentence: Formula) -> bool:
         if free_variables(sentence):
             raise EvaluationError("model_check expects a sentence")
-        return satisfies(structure, sentence, None, self.predicates)
+        return satisfies(structure, sentence, None, self.predicates, self.budget)
 
     def ground_term_value(self, structure: Structure, term: Term) -> int:
         if free_variables(term):
             raise EvaluationError("ground_term_value expects a ground term")
-        return evaluate(term, structure, None, self.predicates)
+        return evaluate(term, structure, None, self.predicates, self.budget)
 
     def unary_term_values(
         self,
@@ -49,19 +62,23 @@ class BruteForceEvaluator:
             list(elements) if elements is not None else list(structure.universe_order)
         )
         return {
-            a: evaluate(term, structure, {variable: a}, self.predicates)
+            a: evaluate(term, structure, {variable: a}, self.predicates, self.budget)
             for a in targets
         }
 
     def count(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> int:
-        return count_solutions(structure, formula, variables, self.predicates)
+        return count_solutions(
+            structure, formula, variables, self.predicates, self.budget
+        )
 
     def solutions(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> Iterator[Tuple[Element, ...]]:
-        yield from solutions(structure, formula, variables, self.predicates)
+        yield from solutions(
+            structure, formula, variables, self.predicates, self.budget
+        )
 
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
-        return query.evaluate_naive(structure, self.predicates)
+        return query.evaluate_naive(structure, self.predicates, self.budget)

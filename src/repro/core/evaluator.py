@@ -40,6 +40,8 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from ..errors import EvaluationError, FormulaError, FragmentError
 from ..logic.foc1 import assert_foc1
+from ..robust.budget import EvaluationBudget
+from ..robust.faults import fault_check
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import (
     Add,
@@ -92,6 +94,12 @@ class Foc1Evaluator:
         :class:`~repro.errors.FragmentError` otherwise.  The check is the
         contract of Theorem 5.5; disable only to experiment with the
         (intractable) full logic.
+    budget:
+        Optional :class:`~repro.robust.budget.EvaluationBudget` consumed
+        cooperatively by the hot loops (memo misses, guarded enumeration,
+        predicate materialisation).  Exhaustion raises
+        :class:`~repro.errors.BudgetExceededError`; Section 4's hardness
+        results mean dense/adversarial inputs *will* need this.
     """
 
     def __init__(
@@ -100,11 +108,13 @@ class Foc1Evaluator:
         use_factoring: bool = True,
         use_guards: bool = True,
         check_fragment: bool = True,
+        budget: "Optional[EvaluationBudget]" = None,
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.use_factoring = use_factoring
         self.use_guards = use_guards
         self.check_fragment = check_fragment
+        self.budget = budget
 
     # -- public API --------------------------------------------------------------
 
@@ -114,10 +124,11 @@ class Foc1Evaluator:
             raise EvaluationError("model_check expects a sentence; use count()")
         if self.check_fragment:
             assert_foc1(sentence)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced = session.reduce_formula(sentence)
         final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         return final.holds(reduced, {})
 
@@ -127,10 +138,11 @@ class Foc1Evaluator:
             raise EvaluationError("ground_term_value expects a ground term")
         if self.check_fragment:
             assert_foc1(term)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced = session.reduce_term(term)
         final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         return final.term_value(reduced, {})
 
@@ -148,10 +160,11 @@ class Foc1Evaluator:
             raise EvaluationError(f"term has unexpected free variables {sorted(extra)}")
         if self.check_fragment:
             assert_foc1(term)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced = session.reduce_term(term)
         final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         targets = (
             list(elements) if elements is not None else list(structure.universe_order)
@@ -170,10 +183,11 @@ class Foc1Evaluator:
             raise EvaluationError("count variables must be pairwise distinct")
         if self.check_fragment:
             assert_foc1(formula)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced = session.reduce_formula(formula)
         final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         return final.count(tuple(variables), reduced, {})
 
@@ -186,10 +200,11 @@ class Foc1Evaluator:
             raise EvaluationError(f"free variables {sorted(missing)} not listed")
         if self.check_fragment:
             assert_foc1(formula)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced = session.reduce_formula(formula)
         final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         yield from final.solutions(tuple(variables), reduced)
 
@@ -197,21 +212,23 @@ class Foc1Evaluator:
         """``q(A)`` for an FOC1(P)-query (Definition 5.2)."""
         if self.check_fragment:
             query.validate_foc1()
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards)
+        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
         reduced_structure, reduced_condition = session.reduce_formula(query.condition)
         # Reduce head terms against the possibly-further-expanded structure.
         reduce_session = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards
+            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
+            self.budget,
         )
         reduced_terms: List[Term] = []
         current = reduced_structure
         for term in query.head_terms:
             current, reduced_term = reduce_session.reduce_term(term)
             reduce_session = _Session(
-                current, self.predicates, self.use_factoring, self.use_guards
+                current, self.predicates, self.use_factoring, self.use_guards,
+                self.budget,
             )
             reduced_terms.append(reduced_term)
-        final = _Session(current, self.predicates, self.use_factoring, self.use_guards)
+        final = _Session(current, self.predicates, self.use_factoring, self.use_guards, self.budget)
         results: List[Tuple] = []
         for tup in final.solutions(query.head_variables, reduced_condition):
             assignment = dict(zip(query.head_variables, tup))
@@ -237,11 +254,13 @@ class _Session:
         predicates: PredicateCollection,
         use_factoring: bool,
         use_guards: bool,
+        budget: "Optional[EvaluationBudget]" = None,
     ):
         self.structure = structure
         self.predicates = predicates
         self.use_factoring = use_factoring
         self.use_guards = use_guards
+        self.budget = budget
         self._holds_memo: Dict[Tuple, bool] = {}
         self._count_memo: Dict[Tuple, int] = {}
         self._free_memo: Dict[int, FrozenSet[Variable]] = {}
@@ -354,6 +373,7 @@ class _Session:
             fresh = f"Paux__{next(self._aux_counter)}"
         if not names:
             values = tuple(self.term_value(t, {}) for t in atom.terms)
+            fault_check("predicate.oracle")
             holds = self.predicates.query(atom.predicate, values)
             tuples: Set[Tup] = {()} if holds else set()
             symbol = RelationSymbol(fresh, 0)
@@ -362,8 +382,11 @@ class _Session:
             variable = names[0]
             tuples = set()
             for element in self.structure.universe_order:
+                if self.budget is not None:
+                    self.budget.tick("evaluator.materialise")
                 env = {variable: element}
                 values = tuple(self.term_value(t, env) for t in atom.terms)
+                fault_check("predicate.oracle")
                 if self.predicates.query(atom.predicate, values):
                     tuples.add((element,))
             symbol = RelationSymbol(fresh, 1)
@@ -412,7 +435,10 @@ class _Session:
         key = (id(body), variables, relevant)
         cached = self._count_memo.get(key)
         if cached is None:
+            if self.budget is not None:
+                self.budget.tick("evaluator.count")
             cached = self._count(variables, body, env)
+            fault_check("memo.insert")
             self._count_memo[key] = cached
             self._keepalive.append(body)
         return cached
@@ -528,7 +554,10 @@ class _Session:
             else:
                 ready_after.append(conjunct)
 
+        budget = self.budget
         for candidate in candidates:
+            if budget is not None:
+                budget.tick("evaluator.enumerate")
             env[variable] = candidate
             if all(self.holds(c, env) for c in ready_after):
                 yield from self._assignments(
@@ -682,7 +711,10 @@ class _Session:
         key = (id(formula), relevant)
         cached = self._holds_memo.get(key)
         if cached is None:
+            if self.budget is not None:
+                self.budget.tick("evaluator.holds")
             cached = self._holds(formula, env)
+            fault_check("memo.insert")
             self._holds_memo[key] = cached
             self._keepalive.append(formula)
         return cached
@@ -734,6 +766,7 @@ class _Session:
             # Inline evaluation: reached only for atoms outside FOC1 (more
             # than one joint free variable) when fragment checking is off.
             values = tuple(self.term_value(t, env) for t in formula.terms)
+            fault_check("predicate.oracle")
             return self.predicates.query(formula.predicate, values)
         raise EvaluationError(f"unexpected formula node {type(formula).__name__}")
 

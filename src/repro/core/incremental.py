@@ -27,6 +27,7 @@ from typing import Dict, Optional, Set
 
 from ..errors import ArityError, FormulaError, SignatureError, UniverseError
 from ..logic.predicates import PredicateCollection
+from ..robust.budget import EvaluationBudget
 from ..structures.gaifman import ball
 from ..structures.structure import Element, Structure, Tup
 from .clterms import BasicClTerm
@@ -84,16 +85,18 @@ class IncrementalUnaryCache:
         structure: Structure,
         term: BasicClTerm,
         predicates: "Optional[PredicateCollection]" = None,
+        budget: "Optional[EvaluationBudget]" = None,
     ):
         if not term.unary:
             raise FormulaError("incremental maintenance needs a unary basic cl-term")
         self.term = term
         self.predicates = predicates
+        self.budget = budget
         self.structure = structure
         self.stats = UpdateStats()
         self._dependency_radius = term.evaluation_radius() + term.psi_radius
         self.values: Dict[Element, int] = evaluate_basic_unary(
-            structure, term, None, predicates
+            structure, term, None, predicates, budget=budget
         )
 
     def value(self, element: Element) -> int:
@@ -117,12 +120,22 @@ class IncrementalUnaryCache:
         if entries:
             affected |= ball(old_structure, entries, self._dependency_radius)
             affected |= ball(new_structure, entries, self._dependency_radius)
-        self.structure = new_structure
+        # Compute first, commit after: a budget exhaustion mid-repair must
+        # leave the cache at its pre-update (consistent) state, not with a
+        # new structure and stale values.
+        repaired: Dict[Element, int] = {}
         if affected:
+            if self.budget is not None:
+                self.budget.tick("incremental.repair", weight=len(affected))
             repaired = evaluate_basic_unary(
-                new_structure, self.term, sorted(affected, key=repr), self.predicates
+                new_structure,
+                self.term,
+                sorted(affected, key=repr),
+                self.predicates,
+                budget=self.budget,
             )
-            self.values.update(repaired)
+        self.structure = new_structure
+        self.values.update(repaired)
         self.stats.updates += 1
         self.stats.recomputed_elements += len(affected)
 

@@ -22,6 +22,7 @@ from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection
 from ..logic.semantics import satisfies
 from ..logic.syntax import Formula, Variable
+from ..robust.budget import EvaluationBudget
 from ..structures.gaifman import distances_from, neighbourhood
 from ..structures.structure import Element, Structure
 from .clterms import BasicClTerm, ClPolynomial, Edges
@@ -131,6 +132,7 @@ def evaluate_basic_unary(
     elements: "Optional[Sequence[Element]]" = None,
     predicates: "Optional[PredicateCollection]" = None,
     evaluate_psi_locally: bool = True,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> Dict[Element, int]:
     """``u^A[a]`` for all ``a`` (or the given elements) by ball exploration.
 
@@ -150,6 +152,8 @@ def evaluate_basic_unary(
         for tup in pattern_tuples(
             structure, element, term.width, term.edges, term.link_distance, balls
         ):
+            if budget is not None:
+                budget.tick("local.tuple")
             if _psi_holds(
                 structure,
                 term.psi,

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Variable
+from ..robust.budget import EvaluationBudget
 from ..sparse.covers import sparse_cover
 from ..structures.gaifman import induced
 from ..structures.structure import Element, Structure
@@ -85,6 +86,7 @@ def evaluate_unary_main_algorithm(
     small_threshold: int = 12,
     predicates: "Optional[PredicateCollection]" = None,
     stats: "Optional[MainAlgorithmStats]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> Dict[Element, int]:
     """Evaluate ``u^A[a]`` for all ``a`` via the Section 8.2 loop.
 
@@ -92,13 +94,16 @@ def evaluate_unary_main_algorithm(
     ``psi_radius``-local (Definition 6.2's contract — the same assumption
     the paper makes).  ``depth`` bounds how many cover/removal rounds are
     performed before falling back to the engine; the answer is exact for
-    every depth.
+    every depth.  An optional ``budget`` is drawn on per processed cluster
+    and inside every engine call; exhaustion raises
+    :class:`~repro.errors.BudgetExceededError`.
     """
     if not term.unary:
         raise FormulaError("the main algorithm evaluates unary basic cl-terms")
     engine = Foc1Evaluator(
         predicates=predicates if predicates is not None else standard_collection(),
         check_fragment=False,
+        budget=budget,
     )
     if stats is None:
         stats = MainAlgorithmStats()
@@ -151,7 +156,8 @@ def _evaluate_level(
             structure, free_variable, counted, body, targets, engine
         )
 
-    cover = sparse_cover(structure, confinement)
+    budget = engine.budget
+    cover = sparse_cover(structure, confinement, budget=budget)
     stats.covers_built += 1
     values: Dict[Element, int] = {}
     target_set = set(targets)
@@ -160,6 +166,8 @@ def _evaluate_level(
         members = [a for a in cover.members_with_cluster(index) if a in target_set]
         if not members:
             continue
+        if budget is not None:
+            budget.tick("main.cluster")
         stats.clusters_processed += 1
         local = induced(structure, cluster)
 

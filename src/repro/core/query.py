@@ -25,6 +25,7 @@ from ..errors import FormulaError, FragmentError
 from ..logic.foc1 import assert_foc1
 from ..logic.predicates import PredicateCollection
 from ..logic.semantics import evaluate, satisfies
+from ..robust.budget import EvaluationBudget
 from ..logic.syntax import (
     Add,
     And,
@@ -95,6 +96,7 @@ class Foc1Query:
         self,
         structure: Structure,
         predicates: "Optional[PredicateCollection]" = None,
+        budget: "Optional[EvaluationBudget]" = None,
     ) -> List[Tuple]:
         """``q(A)`` by brute-force enumeration of head-variable tuples."""
         import itertools
@@ -102,11 +104,13 @@ class Foc1Query:
         results: List[Tuple] = []
         universe = list(structure.universe_order)
         for tup in itertools.product(universe, repeat=len(self.head_variables)):
+            if budget is not None:
+                budget.tick("query.naive")
             assignment = dict(zip(self.head_variables, tup))
-            if not satisfies(structure, self.condition, assignment, predicates):
+            if not satisfies(structure, self.condition, assignment, predicates, budget):
                 continue
             values = tuple(
-                evaluate(term, structure, assignment, predicates)
+                evaluate(term, structure, assignment, predicates, budget)
                 for term in self.head_terms
             )
             results.append(tup + values)

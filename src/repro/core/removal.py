@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..errors import FormulaError, UniverseError
+from ..robust.faults import fault_check
 from ..logic.syntax import (
     And,
     Atom,
@@ -84,6 +85,7 @@ def removed_signature(signature: Signature, radius: int) -> Signature:
 
 def remove_element(structure: Structure, element: Element, radius: int) -> Structure:
     """``A astrix_r d`` — computable in linear time for fixed signature and r."""
+    fault_check("removal.surgery")
     if element not in structure:
         raise UniverseError(f"{element!r} is not in the universe")
     if structure.order() < 2:

@@ -67,3 +67,67 @@ class EvaluationError(ReproError):
 class PredicateError(ReproError):
     """A numerical predicate was applied to arguments of the wrong arity,
     or a predicate name is not part of the active collection."""
+
+
+class BudgetExceededError(ReproError):
+    """An evaluation exhausted its resource budget and was cancelled.
+
+    Raised cooperatively from the engines' hot loops when an
+    :class:`~repro.robust.budget.EvaluationBudget` runs out of wall-clock
+    time or steps.  The paper's Section 4 shows general FOC(P) evaluation
+    is AW[*]-hard, so unbounded runs are unavoidable without such a guard.
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"`` or ``"steps"`` — which limit was hit.
+    site:
+        Name of the cooperative checkpoint that observed the exhaustion
+        (e.g. ``"evaluator.enumerate"``), or ``""`` when unknown.
+    steps:
+        Steps performed before cancellation (partial-progress stat).
+    elapsed:
+        Seconds elapsed before cancellation (partial-progress stat).
+    max_steps / deadline:
+        The configured limits (``None`` when that limit was unset).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        site: str = "",
+        steps: int = 0,
+        elapsed: float = 0.0,
+        max_steps: "int | None" = None,
+        deadline: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+        self.steps = steps
+        self.elapsed = elapsed
+        self.max_steps = max_steps
+        self.deadline = deadline
+
+
+class FaultInjectedError(ReproError):
+    """A deliberately injected fault fired (testing/chaos machinery only).
+
+    Raised by :func:`repro.robust.faults.fault_check` when an active
+    :class:`~repro.robust.faults.FaultInjector` has armed the named site.
+    Production code never raises this unless an injector is installed.
+
+    Attributes
+    ----------
+    site:
+        The registered fault site that fired (e.g. ``"cover.construct"``).
+    hit:
+        Which hit of the site triggered the fault (1-based).
+    """
+
+    def __init__(self, site: str, hit: int):
+        super().__init__(f"injected fault at site {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit

@@ -9,8 +9,11 @@ Two formats:
   line, ``#`` comments allowed; vertices are strings unless they all parse
   as integers.
 
-Both loaders validate through the normal :class:`~repro.structures.Structure`
-constructor, so malformed files fail with the library's typed errors.
+Both loaders validate their input *before* handing it to the
+:class:`~repro.structures.Structure` constructor: duplicate universe
+elements, tuples over unknown elements, arity mismatches, and malformed
+edge-list lines all fail with :class:`FormatError` carrying a line or
+position hint — never with a raw traceback from deep inside the library.
 """
 
 from __future__ import annotations
@@ -44,7 +47,12 @@ def structure_to_json(structure: Structure) -> Dict:
 
 
 def structure_from_json(data: Dict) -> Structure:
-    """Inverse of :func:`structure_to_json` (with validation)."""
+    """Inverse of :func:`structure_to_json` (with validation).
+
+    Malformed documents fail with :class:`FormatError` carrying a position
+    hint (``universe[3]``, ``relations['E'][2]``, ...) so corrupt files can
+    be repaired without spelunking.
+    """
     if not isinstance(data, dict):
         raise FormatError("expected a JSON object")
     for key in ("signature", "universe", "relations"):
@@ -56,10 +64,49 @@ def structure_from_json(data: Dict) -> Structure:
         signature = Signature.of(**{str(k): int(v) for k, v in data["signature"].items()})
     except (TypeError, ValueError) as error:
         raise FormatError(f"bad signature: {error}") from None
-    relations = {
-        name: [tuple(t) for t in tuples]
-        for name, tuples in data["relations"].items()
-    }
+
+    if not isinstance(data["universe"], list):
+        raise FormatError("'universe' must be an array of elements")
+    seen = set()
+    for index, element in enumerate(data["universe"]):
+        if isinstance(element, (list, dict)):
+            raise FormatError(
+                f"universe[{index}]: elements must be JSON scalars, got "
+                f"{type(element).__name__}"
+            )
+        if element in seen:
+            raise FormatError(f"universe[{index}]: duplicate element {element!r}")
+        seen.add(element)
+
+    if not isinstance(data["relations"], dict):
+        raise FormatError("'relations' must map relation names to tuple arrays")
+    arities = {s.name: s.arity for s in signature}
+    relations = {}
+    for name, tuples in data["relations"].items():
+        if name not in arities:
+            raise FormatError(
+                f"relations[{name!r}]: not declared in the signature"
+            )
+        if not isinstance(tuples, list):
+            raise FormatError(f"relations[{name!r}]: must be an array of tuples")
+        checked = []
+        for index, raw in enumerate(tuples):
+            where = f"relations[{name!r}][{index}]"
+            if not isinstance(raw, list):
+                raise FormatError(f"{where}: tuples must be arrays, got {raw!r}")
+            if len(raw) != arities[name]:
+                raise FormatError(
+                    f"{where}: has {len(raw)} entries, but {name} has "
+                    f"arity {arities[name]}"
+                )
+            for position, entry in enumerate(raw):
+                if isinstance(entry, (list, dict)) or entry not in seen:
+                    raise FormatError(
+                        f"{where}: entry {position} is {entry!r}, "
+                        "which is not a universe element"
+                    )
+            checked.append(tuple(raw))
+        relations[name] = checked
     return Structure(signature, data["universe"], relations)
 
 

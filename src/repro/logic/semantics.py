@@ -15,6 +15,7 @@ import itertools
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from ..errors import ArityError, EvaluationError
+from ..robust.budget import EvaluationBudget
 from ..structures.gaifman import distance
 from ..structures.structure import Element, Structure
 from .predicates import PredicateCollection, standard_collection
@@ -85,10 +86,22 @@ def evaluate(
     structure: Structure,
     assignment: "Optional[Dict[Variable, Element]]" = None,
     predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> int:
-    """``⟦xi⟧_I`` for the interpretation I = (structure, assignment)."""
+    """``⟦xi⟧_I`` for the interpretation I = (structure, assignment).
+
+    An optional :class:`~repro.robust.budget.EvaluationBudget` is drawn on
+    once per quantifier/counting iteration, making even the naive
+    ``n^k`` scans cancellable.
+    """
     interpretation = Interpretation(structure, assignment, predicates)
-    return _eval(expression, interpretation.structure, interpretation.assignment, interpretation.predicates)
+    return _eval(
+        expression,
+        interpretation.structure,
+        interpretation.assignment,
+        interpretation.predicates,
+        budget,
+    )
 
 
 def satisfies(
@@ -96,11 +109,12 @@ def satisfies(
     formula: Formula,
     assignment: "Optional[Dict[Variable, Element]]" = None,
     predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> bool:
     """``I |= phi``."""
     if not isinstance(formula, Formula):
         raise EvaluationError("satisfies() expects a formula")
-    return evaluate(formula, structure, assignment, predicates) == 1
+    return evaluate(formula, structure, assignment, predicates, budget) == 1
 
 
 def term_value(
@@ -108,11 +122,12 @@ def term_value(
     term: Term,
     assignment: "Optional[Dict[Variable, Element]]" = None,
     predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> int:
     """``t^A[a-bar]`` for a counting term."""
     if not isinstance(term, Term):
         raise EvaluationError("term_value() expects a counting term")
-    return evaluate(term, structure, assignment, predicates)
+    return evaluate(term, structure, assignment, predicates, budget)
 
 
 def solutions(
@@ -120,6 +135,7 @@ def solutions(
     formula: Formula,
     variables: Sequence[Variable],
     predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> Iterator[Tuple[Element, ...]]:
     """Enumerate ``phi(A)``: all tuples ``a-bar`` with ``A |= phi[a-bar]``.
 
@@ -132,9 +148,11 @@ def solutions(
     env: Assignment = {}
     universe = structure.universe_order
     for tup in itertools.product(universe, repeat=len(variables)):
+        if budget is not None:
+            budget.tick("semantics.solutions")
         for variable, element in zip(variables, tup):
             env[variable] = element
-        if _eval(formula, structure, env, collection) == 1:
+        if _eval(formula, structure, env, collection, budget) == 1:
             yield tup
 
 
@@ -143,9 +161,10 @@ def count_solutions(
     formula: Formula,
     variables: Sequence[Variable],
     predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> int:
     """``|phi(A)|`` by brute-force enumeration (the counting problem)."""
-    return sum(1 for _ in solutions(structure, formula, variables, predicates))
+    return sum(1 for _ in solutions(structure, formula, variables, predicates, budget))
 
 
 def _eval(
@@ -153,6 +172,7 @@ def _eval(
     structure: Structure,
     env: Assignment,
     predicates: PredicateCollection,
+    budget: "Optional[EvaluationBudget]" = None,
 ) -> int:
     # -- formulas ---------------------------------------------------------------
     if isinstance(expression, Eq):
@@ -175,37 +195,41 @@ def _eval(
         b = _lookup(expression.right, env)
         return 1 if distance(structure, a, b) <= expression.bound else 0
     if isinstance(expression, Not):
-        return 1 - _eval(expression.inner, structure, env, predicates)
+        return 1 - _eval(expression.inner, structure, env, predicates, budget)
     if isinstance(expression, Or):
-        left = _eval(expression.left, structure, env, predicates)
+        left = _eval(expression.left, structure, env, predicates, budget)
         if left == 1:
             return 1
-        return _eval(expression.right, structure, env, predicates)
+        return _eval(expression.right, structure, env, predicates, budget)
     if isinstance(expression, And):
-        left = _eval(expression.left, structure, env, predicates)
+        left = _eval(expression.left, structure, env, predicates, budget)
         if left == 0:
             return 0
-        return _eval(expression.right, structure, env, predicates)
+        return _eval(expression.right, structure, env, predicates, budget)
     if isinstance(expression, Implies):
-        left = _eval(expression.left, structure, env, predicates)
+        left = _eval(expression.left, structure, env, predicates, budget)
         if left == 0:
             return 1
-        return _eval(expression.right, structure, env, predicates)
+        return _eval(expression.right, structure, env, predicates, budget)
     if isinstance(expression, Iff):
-        left = _eval(expression.left, structure, env, predicates)
-        right = _eval(expression.right, structure, env, predicates)
+        left = _eval(expression.left, structure, env, predicates, budget)
+        right = _eval(expression.right, structure, env, predicates, budget)
         return 1 if left == right else 0
     if isinstance(expression, Exists):
-        return _eval_quantifier(expression.variable, expression.inner, structure, env, predicates, want=1)
+        return _eval_quantifier(
+            expression.variable, expression.inner, structure, env, predicates, budget, want=1
+        )
     if isinstance(expression, Forall):
-        return _eval_quantifier(expression.variable, expression.inner, structure, env, predicates, want=0)
+        return _eval_quantifier(
+            expression.variable, expression.inner, structure, env, predicates, budget, want=0
+        )
     if isinstance(expression, Top):
         return 1
     if isinstance(expression, Bottom):
         return 0
     if isinstance(expression, PredicateAtom):
         values = tuple(
-            _eval(term, structure, env, predicates) for term in expression.terms
+            _eval(term, structure, env, predicates, budget) for term in expression.terms
         )
         return 1 if predicates.query(expression.predicate, values) else 0
 
@@ -213,25 +237,27 @@ def _eval(
     if isinstance(expression, IntTerm):
         return expression.value
     if isinstance(expression, Add):
-        return _eval(expression.left, structure, env, predicates) + _eval(
-            expression.right, structure, env, predicates
+        return _eval(expression.left, structure, env, predicates, budget) + _eval(
+            expression.right, structure, env, predicates, budget
         )
     if isinstance(expression, Mul):
-        return _eval(expression.left, structure, env, predicates) * _eval(
-            expression.right, structure, env, predicates
+        return _eval(expression.left, structure, env, predicates, budget) * _eval(
+            expression.right, structure, env, predicates, budget
         )
     if isinstance(expression, CountTerm):
         variables = expression.variables
         if not variables:
-            return _eval(expression.inner, structure, env, predicates)
+            return _eval(expression.inner, structure, env, predicates, budget)
         saved = {v: env[v] for v in variables if v in env}
         total = 0
         universe = structure.universe_order
         try:
             for tup in itertools.product(universe, repeat=len(variables)):
+                if budget is not None:
+                    budget.tick("semantics.count")
                 for variable, element in zip(variables, tup):
                     env[variable] = element
-                total += _eval(expression.inner, structure, env, predicates)
+                total += _eval(expression.inner, structure, env, predicates, budget)
         finally:
             for variable in variables:
                 env.pop(variable, None)
@@ -247,6 +273,7 @@ def _eval_quantifier(
     structure: Structure,
     env: Assignment,
     predicates: PredicateCollection,
+    budget: "Optional[EvaluationBudget]",
     want: int,
 ) -> int:
     """Shared ∃/∀ loop: ∃ short-circuits on value 1, ∀ on value 0."""
@@ -254,8 +281,10 @@ def _eval_quantifier(
     saved = env.get(variable)
     try:
         for element in structure.universe_order:
+            if budget is not None:
+                budget.tick("semantics.quantifier")
             env[variable] = element
-            if _eval(inner, structure, env, predicates) == want:
+            if _eval(inner, structure, env, predicates, budget) == want:
                 return want
         return 1 - want
     finally:

@@ -1,0 +1,55 @@
+"""Resource governance and graceful degradation (the robustness layer).
+
+Three pieces:
+
+* :mod:`repro.robust.budget` — :class:`EvaluationBudget`, a wall-clock +
+  step budget checked cooperatively inside every engine's hot loops;
+* :mod:`repro.robust.faults` — deterministic, site-named fault injection
+  used by the tests to prove the cascade degrades gracefully;
+* :mod:`repro.robust.guard` — :class:`RobustEvaluator`, a façade running
+  the fallback cascade *main algorithm → FOC1 engine → brute force* with
+  per-stage budget slices and a structured :class:`RobustReport`.
+
+``budget`` and ``faults`` are leaf modules (they depend only on
+:mod:`repro.errors`) so the instrumented production modules can import
+them freely.  ``guard`` sits on top of the whole engine stack and is
+loaded lazily (PEP 562) to keep this package importable from inside those
+low-level modules without an import cycle.
+"""
+
+from __future__ import annotations
+
+from .budget import EvaluationBudget
+from .faults import (
+    FAULT_SITES,
+    FaultInjector,
+    active_injector,
+    fault_check,
+    inject_faults,
+)
+
+__all__ = [
+    "EvaluationBudget",
+    "FAULT_SITES",
+    "FaultInjector",
+    "RobustEvaluator",
+    "RobustReport",
+    "StageReport",
+    "active_injector",
+    "fault_check",
+    "inject_faults",
+]
+
+_GUARD_NAMES = {"RobustEvaluator", "RobustReport", "StageReport"}
+
+
+def __getattr__(name: str):
+    if name in _GUARD_NAMES:
+        from . import guard
+
+        return getattr(guard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _GUARD_NAMES)

@@ -1,0 +1,222 @@
+"""Cooperative resource budgets for query evaluation.
+
+Section 4 of the paper proves FOC(P) model checking AW[*]-complete already
+on trees and strings, and even the tractable fragment FOC1(P) is only
+fixed-parameter almost linear on *nowhere dense* inputs (Theorem 5.5).  On
+dense or adversarial inputs every engine in this repository can therefore
+blow up super-polynomially — by design, not by bug.  A service that accepts
+untrusted queries needs a way to *stop* such runs.
+
+:class:`EvaluationBudget` is that mechanism: a wall-clock deadline plus a
+step budget, checked cooperatively via :meth:`EvaluationBudget.tick` inside
+the engines' hot loops (memoised satisfaction/counting, guarded
+enumeration, per-cluster cover processing, brute-force scans).  Exhaustion
+raises :class:`~repro.errors.BudgetExceededError` carrying partial-progress
+statistics, so callers can distinguish "too expensive" from "wrong".
+
+Design notes
+------------
+* ``tick()`` is called extremely often; the step-limit comparison is a
+  single integer compare, and the wall clock is consulted only every
+  ``check_interval`` ticks (default 64) to keep the common path cheap.
+* Budgets are *shareable*: pass the same object to nested engines and the
+  whole pipeline draws from one pool.
+* :meth:`slice` carves a fraction of the *remaining* budget into a child
+  budget — the mechanism :class:`~repro.robust.guard.RobustEvaluator` uses
+  to give each stage of its fallback cascade a bounded share while the
+  parent deadline stays authoritative.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import BudgetExceededError
+
+__all__ = ["EvaluationBudget"]
+
+_CHECK_INTERVAL = 64
+
+
+class EvaluationBudget:
+    """A wall-clock + step budget consumed cooperatively during evaluation.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock allowance in seconds from construction, or ``None`` for
+        no time limit.
+    max_steps:
+        Total number of cooperative steps allowed, or ``None`` for no step
+        limit.  A "step" is one unit of engine work: one candidate tried in
+        guarded enumeration, one memo-table miss, one brute-force
+        assignment, one cover cluster processed, ...
+    check_interval:
+        How many ticks between wall-clock checks (the step limit is checked
+        on every tick).
+    """
+
+    __slots__ = (
+        "deadline",
+        "max_steps",
+        "steps",
+        "started_at",
+        "_deadline_at",
+        "_check_interval",
+        "_countdown",
+    )
+
+    def __init__(
+        self,
+        deadline: "Optional[float]" = None,
+        max_steps: "Optional[int]" = None,
+        check_interval: int = _CHECK_INTERVAL,
+        _deadline_at: "Optional[float]" = None,
+    ):
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if max_steps is not None and max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        self.deadline = deadline
+        self.max_steps = max_steps
+        self.steps = 0
+        self.started_at = time.monotonic()
+        if _deadline_at is not None:
+            self._deadline_at = _deadline_at
+        else:
+            self._deadline_at = (
+                self.started_at + deadline if deadline is not None else None
+            )
+        self._check_interval = check_interval
+        self._countdown = check_interval
+
+    # -- the hot path ----------------------------------------------------------
+
+    def tick(self, site: str = "", weight: int = 1) -> None:
+        """Record ``weight`` steps of work; raise if the budget is exhausted.
+
+        ``site`` names the checkpoint for diagnostics (it appears in the
+        raised error and costs nothing when the budget holds).
+        """
+        self.steps += weight
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._exhaust("steps", site)
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._check_interval
+            if (
+                self._deadline_at is not None
+                and time.monotonic() > self._deadline_at
+            ):
+                self._exhaust("deadline", site)
+
+    # -- queries ---------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.monotonic() - self.started_at
+
+    def remaining_seconds(self) -> "Optional[float]":
+        """Wall-clock remaining (never negative), or ``None`` if unlimited."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - time.monotonic())
+
+    def remaining_steps(self) -> "Optional[int]":
+        """Steps remaining (never negative), or ``None`` if unlimited."""
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.steps)
+
+    def expired(self) -> bool:
+        """Non-raising check of both limits."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return True
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            return True
+        return False
+
+    def check(self, site: str = "") -> None:
+        """Raise immediately if either limit is already exhausted."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            self._exhaust("steps", site)
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            self._exhaust("deadline", site)
+
+    # -- composition -----------------------------------------------------------
+
+    def slice(self, fraction: float) -> "EvaluationBudget":
+        """A child budget holding ``fraction`` of the *remaining* allowance.
+
+        The child's deadline never exceeds the parent's, so a slice cannot
+        be used to outlive the parent.  Steps spent in the child must be
+        charged back via :meth:`charge` (the child keeps its own counter).
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        remaining_time = self.remaining_seconds()
+        remaining_steps = self.remaining_steps()
+        child_deadline = (
+            None if remaining_time is None else remaining_time * fraction
+        )
+        child_deadline_at = (
+            None
+            if child_deadline is None
+            else min(self._deadline_at, time.monotonic() + child_deadline)
+        )
+        child_steps = (
+            None
+            if remaining_steps is None
+            else max(1, int(remaining_steps * fraction))
+        )
+        return EvaluationBudget(
+            deadline=child_deadline,
+            max_steps=child_steps,
+            check_interval=self._check_interval,
+            _deadline_at=child_deadline_at,
+        )
+
+    def charge(self, steps: int, site: str = "") -> None:
+        """Account for ``steps`` of work done elsewhere (e.g. in a slice).
+
+        Unlike :meth:`tick` this never raises mid-accounting for the
+        deadline, only for the step limit — charging is bookkeeping after
+        the fact, and the next tick will observe the deadline anyway.
+        """
+        self.steps += steps
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._exhaust("steps", site)
+
+    # -- internals -------------------------------------------------------------
+
+    def _exhaust(self, reason: str, site: str) -> None:
+        elapsed = self.elapsed()
+        if reason == "steps":
+            message = (
+                f"step budget exhausted: {self.steps} > {self.max_steps} steps"
+            )
+        else:
+            message = (
+                f"deadline exceeded: {elapsed:.3f}s elapsed, "
+                f"budget was {self.deadline:.3f}s"
+            )
+        if site:
+            message += f" (at {site})"
+        raise BudgetExceededError(
+            message,
+            reason=reason,
+            site=site,
+            steps=self.steps,
+            elapsed=elapsed,
+            max_steps=self.max_steps,
+            deadline=self.deadline,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationBudget(deadline={self.deadline!r}, "
+            f"max_steps={self.max_steps!r}, steps={self.steps})"
+        )

@@ -1,0 +1,365 @@
+"""The graceful fallback cascade: :class:`RobustEvaluator`.
+
+Section 4 of the paper shows that general FOC(P) evaluation is AW[*]-hard,
+and the fixed-parameter tractability of FOC1(P) (Theorem 5.5) is
+conditional on the input coming from a nowhere dense class.  An engine
+facing untrusted queries and arbitrary structures therefore needs, beyond
+hard resource limits (:mod:`repro.robust.budget`), a *degradation story*:
+when the clever path fails — out of fragment, out of budget slice, or a
+genuine defect — answer anyway, exactly, by a simpler path.
+
+:class:`RobustEvaluator` implements a three-stage cascade:
+
+1. ``main_algorithm`` — the Section 8.2 cover/removal loop; applicable
+   only to unary basic cl-terms (:meth:`RobustEvaluator.evaluate_unary_cl_term`),
+   recorded as *skipped* for other operations.
+2. ``foc1`` — the generic :class:`~repro.core.evaluator.Foc1Evaluator`
+   (memoised, guarded enumeration); exact on all inputs.
+3. ``baseline`` — the literal Definition 3.1 brute force
+   (:class:`~repro.core.baseline.BruteForceEvaluator`); exact on all of
+   FOC(P), including formulas outside the FOC1 fragment.
+
+Every stage computes the *exact* answer when it completes, so the cascade
+never trades correctness for availability — only speed.  Each stage runs
+under a slice of the shared :class:`~repro.robust.budget.EvaluationBudget`
+(an even split of whatever remains), so one runaway stage cannot starve
+its fallbacks; if every stage fails and the overall budget is exhausted,
+the cascade raises :class:`~repro.errors.BudgetExceededError`, otherwise it
+re-raises the last stage failure.  The outcome of every stage — who
+answered, who failed and why, who was skipped — is recorded in a
+structured :class:`RobustReport` available as
+:attr:`RobustEvaluator.last_report`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.baseline import BruteForceEvaluator
+from ..core.clterms import BasicClTerm
+from ..core.evaluator import Foc1Evaluator
+from ..core.main_algorithm import MainAlgorithmStats, evaluate_unary_main_algorithm
+from ..core.query import Foc1Query
+from ..errors import BudgetExceededError, ReproError
+from ..logic.predicates import PredicateCollection, standard_collection
+from ..logic.syntax import Formula, Term, Variable
+from ..structures.structure import Element, Structure
+from .budget import EvaluationBudget
+
+__all__ = ["RobustEvaluator", "RobustReport", "StageReport", "STAGES"]
+
+#: Cascade order.
+STAGES = ("main_algorithm", "foc1", "baseline")
+
+
+@dataclass
+class StageReport:
+    """Outcome of one cascade stage."""
+
+    stage: str
+    status: str  # "ok" | "failed" | "skipped"
+    detail: str = ""
+    error_type: "Optional[str]" = None
+    error: "Optional[str]" = None
+    elapsed: float = 0.0
+    steps: int = 0
+
+    def summary(self) -> str:
+        if self.status == "ok":
+            return f"{self.stage}: ok ({self.elapsed:.3f}s, {self.steps} steps)"
+        if self.status == "failed":
+            return f"{self.stage}: failed [{self.error_type}] {self.error}"
+        return f"{self.stage}: skipped ({self.detail})"
+
+
+@dataclass
+class RobustReport:
+    """Structured account of one robust evaluation."""
+
+    operation: str
+    answered_by: "Optional[str]" = None
+    stages: List[StageReport] = field(default_factory=list)
+    elapsed: float = 0.0
+    steps: int = 0
+
+    def stage(self, name: str) -> StageReport:
+        for entry in self.stages:
+            if entry.stage == name:
+                return entry
+        raise KeyError(f"no stage named {name!r} in this report")
+
+    def failed_stages(self) -> List[str]:
+        return [s.stage for s in self.stages if s.status == "failed"]
+
+    def skipped_stages(self) -> List[str]:
+        return [s.stage for s in self.stages if s.status == "skipped"]
+
+    def succeeded(self) -> bool:
+        return self.answered_by is not None
+
+    def summary(self) -> str:
+        head = (
+            f"{self.operation}: answered by {self.answered_by}"
+            if self.answered_by
+            else f"{self.operation}: no stage answered"
+        )
+        parts = "; ".join(s.summary() for s in self.stages)
+        return f"{head} ({parts})"
+
+
+# A stage is (name, thunk) where thunk(budget) computes the exact answer,
+# or (name, None) with a skip reason when the stage cannot apply.
+_Stage = Tuple[str, "Optional[Callable[[Optional[EvaluationBudget]], object]]", str]
+
+
+class RobustEvaluator:
+    """Budgeted, fault-tolerant façade over the evaluation engines.
+
+    Parameters
+    ----------
+    predicates:
+        Numerical predicate collection shared by every stage.
+    budget:
+        The overall :class:`EvaluationBudget` for this evaluator's calls
+        (all calls draw from the same pool; pass a fresh budget per request
+        in a serving context).  ``None`` means unlimited.
+    check_fragment:
+        Whether the ``foc1`` stage enforces the FOC1(P) fragment.  With the
+        default ``True``, out-of-fragment FOC(P) inputs simply fall through
+        to the ``baseline`` stage — the cascade's answer stays exact.
+    main_depth:
+        Recursion depth handed to the Section 8.2 main algorithm.
+    catch:
+        Exception types treated as *stage* failures (triggering fallback)
+        rather than evaluator failures.  Defaults to the library's typed
+        errors plus ``RecursionError``; genuine programming errors
+        (``TypeError`` &c.) always propagate.
+    """
+
+    def __init__(
+        self,
+        predicates: "Optional[PredicateCollection]" = None,
+        budget: "Optional[EvaluationBudget]" = None,
+        check_fragment: bool = True,
+        main_depth: int = 1,
+        catch: Tuple[type, ...] = (ReproError, RecursionError),
+    ):
+        self.predicates = predicates if predicates is not None else standard_collection()
+        self.budget = budget
+        self.check_fragment = check_fragment
+        self.main_depth = main_depth
+        self.catch = tuple(catch)
+        self.last_report: "Optional[RobustReport]" = None
+
+    # -- engine-API mirror -----------------------------------------------------
+
+    def model_check(self, structure: Structure, sentence: Formula) -> bool:
+        return self._run(
+            "model_check",
+            [
+                self._not_applicable("main_algorithm"),
+                ("foc1", lambda b: self._foc1(b).model_check(structure, sentence), ""),
+                ("baseline", lambda b: self._baseline(b).model_check(structure, sentence), ""),
+            ],
+        )
+
+    def count(
+        self, structure: Structure, formula: Formula, variables: Sequence[Variable]
+    ) -> int:
+        return self._run(
+            "count",
+            [
+                self._not_applicable("main_algorithm"),
+                ("foc1", lambda b: self._foc1(b).count(structure, formula, variables), ""),
+                ("baseline", lambda b: self._baseline(b).count(structure, formula, variables), ""),
+            ],
+        )
+
+    def ground_term_value(self, structure: Structure, term: Term) -> int:
+        return self._run(
+            "ground_term_value",
+            [
+                self._not_applicable("main_algorithm"),
+                ("foc1", lambda b: self._foc1(b).ground_term_value(structure, term), ""),
+                ("baseline", lambda b: self._baseline(b).ground_term_value(structure, term), ""),
+            ],
+        )
+
+    def unary_term_values(
+        self,
+        structure: Structure,
+        term: Term,
+        variable: Variable,
+        elements: "Optional[Sequence[Element]]" = None,
+    ) -> Dict[Element, int]:
+        return self._run(
+            "unary_term_values",
+            [
+                self._not_applicable("main_algorithm"),
+                (
+                    "foc1",
+                    lambda b: self._foc1(b).unary_term_values(
+                        structure, term, variable, elements
+                    ),
+                    "",
+                ),
+                (
+                    "baseline",
+                    lambda b: self._baseline(b).unary_term_values(
+                        structure, term, variable, elements
+                    ),
+                    "",
+                ),
+            ],
+        )
+
+    def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
+        return self._run(
+            "evaluate_query",
+            [
+                self._not_applicable("main_algorithm"),
+                ("foc1", lambda b: self._foc1(b).evaluate_query(structure, query), ""),
+                ("baseline", lambda b: self._baseline(b).evaluate_query(structure, query), ""),
+            ],
+        )
+
+    # -- the full three-stage cascade ------------------------------------------
+
+    def evaluate_unary_cl_term(
+        self, structure: Structure, term: BasicClTerm, depth: "Optional[int]" = None
+    ) -> Dict[Element, int]:
+        """``u^A[a]`` for all ``a`` through the full cascade.
+
+        Stage 1 runs the Section 8.2 cover/removal loop, stage 2 the
+        generic FOC1 engine on ``term.count_term()``, stage 3 the brute
+        force.  All three are exact; the report records which answered.
+        """
+        if not term.unary:
+            raise ReproError("evaluate_unary_cl_term expects a unary basic cl-term")
+        use_depth = self.main_depth if depth is None else depth
+        free = term.free_variable
+
+        def main_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
+            stats = MainAlgorithmStats()
+            return evaluate_unary_main_algorithm(
+                structure,
+                term,
+                depth=use_depth,
+                predicates=self.predicates,
+                stats=stats,
+                budget=budget,
+            )
+
+        def foc1_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
+            engine = Foc1Evaluator(
+                predicates=self.predicates, check_fragment=False, budget=budget
+            )
+            return engine.unary_term_values(structure, term.count_term(), free)
+
+        def baseline_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
+            return self._baseline(budget).unary_term_values(
+                structure, term.count_term(), free
+            )
+
+        return self._run(
+            "evaluate_unary_cl_term",
+            [
+                ("main_algorithm", main_stage, ""),
+                ("foc1", foc1_stage, ""),
+                ("baseline", baseline_stage, ""),
+            ],
+        )
+
+    # -- machinery -------------------------------------------------------------
+
+    def _foc1(self, budget: "Optional[EvaluationBudget]") -> Foc1Evaluator:
+        return Foc1Evaluator(
+            predicates=self.predicates,
+            check_fragment=self.check_fragment,
+            budget=budget,
+        )
+
+    def _baseline(self, budget: "Optional[EvaluationBudget]") -> BruteForceEvaluator:
+        return BruteForceEvaluator(predicates=self.predicates, budget=budget)
+
+    @staticmethod
+    def _not_applicable(name: str) -> _Stage:
+        return (name, None, "not applicable to this operation")
+
+    def _run(self, operation: str, stages: List[_Stage]):
+        report = RobustReport(operation=operation)
+        started = time.monotonic()
+        answer: object = None
+        last_error: "Optional[BaseException]" = None
+        runnable_left = sum(1 for _, fn, _ in stages if fn is not None)
+
+        for name, fn, skip_reason in stages:
+            if fn is None:
+                report.stages.append(
+                    StageReport(name, "skipped", detail=skip_reason)
+                )
+                continue
+            if report.answered_by is not None:
+                report.stages.append(
+                    StageReport(
+                        name,
+                        "skipped",
+                        detail=f"not needed: answered by {report.answered_by}",
+                    )
+                )
+                continue
+
+            stage_budget = self._slice_for(runnable_left)
+            runnable_left -= 1
+            stage_started = time.monotonic()
+            entry = StageReport(name, "failed")
+            try:
+                answer = fn(stage_budget)
+            except self.catch as error:
+                entry.status = "failed"
+                entry.error_type = type(error).__name__
+                entry.error = str(error)
+                last_error = error
+            else:
+                entry.status = "ok"
+                report.answered_by = name
+            entry.elapsed = time.monotonic() - stage_started
+            if stage_budget is not None:
+                entry.steps = stage_budget.steps
+                self._charge_parent(stage_budget.steps, name)
+            report.stages.append(entry)
+
+        report.elapsed = time.monotonic() - started
+        report.steps = self.budget.steps if self.budget is not None else sum(
+            s.steps for s in report.stages
+        )
+        self.last_report = report
+
+        if report.answered_by is None:
+            if self.budget is not None and self.budget.expired():
+                # Surface the resource exhaustion (with overall stats)
+                # rather than whichever per-slice error came last.
+                self.budget.check(site="robust.cascade")
+            if last_error is not None:
+                raise last_error
+            raise ReproError(f"no stage could answer operation {operation!r}")
+        return answer
+
+    def _slice_for(self, runnable_left: int) -> "Optional[EvaluationBudget]":
+        if self.budget is None:
+            return None
+        fraction = 1.0 if runnable_left <= 1 else 1.0 / runnable_left
+        return self.budget.slice(fraction)
+
+    def _charge_parent(self, steps: int, site: str) -> None:
+        if self.budget is None or steps == 0:
+            return
+        try:
+            self.budget.charge(steps, site=f"robust.{site}")
+        except BudgetExceededError:
+            # The parent pool is dry; the next stage's slice (or the final
+            # accounting in _run) will surface it.  Swallowing here keeps
+            # charge-back from masking the stage's own outcome.
+            pass

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..robust.budget import EvaluationBudget
+from ..robust.faults import fault_check
 from ..structures.gaifman import ball, distances_from, induced, radius_of_set
 from ..structures.structure import Element, Structure
 
@@ -147,7 +149,11 @@ def trivial_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
     )
 
 
-def sparse_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
+def sparse_cover(
+    structure: Structure,
+    radius: int,
+    budget: "Optional[EvaluationBudget]" = None,
+) -> NeighbourhoodCover:
     """The centre-based (r, 2r)-neighbourhood cover.
 
     1. Greedily pick centres: scan elements in universe order, keep an
@@ -161,6 +167,7 @@ def sparse_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
     bounds how many clusters meet any single vertex (Theorem 8.1's n^delta);
     the construction itself is correct on *every* graph.
     """
+    fault_check("cover.construct")
     if radius < 0:
         raise CoverError("radius must be non-negative")
     if radius == 0:
@@ -170,6 +177,8 @@ def sparse_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
     centres: List[Element] = []
     closest_centre: Dict[Element, Tuple[int, int]] = {}
     for element in structure.universe_order:
+        if budget is not None:
+            budget.tick("cover.scan")
         if element in closest_centre and closest_centre[element][0] <= radius:
             continue
         centre_index = len(centres)

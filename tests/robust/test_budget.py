@@ -1,0 +1,167 @@
+"""Unit tests for :class:`repro.robust.budget.EvaluationBudget`."""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError
+from repro.robust import EvaluationBudget
+
+
+class TestConstruction:
+    def test_defaults_are_unlimited(self):
+        budget = EvaluationBudget()
+        assert budget.remaining_seconds() is None
+        assert budget.remaining_steps() is None
+        assert not budget.expired()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationBudget(deadline=-1.0)
+
+    def test_negative_max_steps_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationBudget(max_steps=-1)
+
+    def test_bad_check_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationBudget(check_interval=0)
+
+    def test_repr_mentions_limits(self):
+        budget = EvaluationBudget(deadline=1.0, max_steps=10)
+        assert "max_steps=10" in repr(budget)
+
+
+class TestStepLimit:
+    def test_ticks_accumulate(self):
+        budget = EvaluationBudget(max_steps=100)
+        for _ in range(10):
+            budget.tick("test")
+        assert budget.steps == 10
+        assert budget.remaining_steps() == 90
+
+    def test_exhaustion_raises_typed_error(self):
+        budget = EvaluationBudget(max_steps=5)
+        for _ in range(5):
+            budget.tick("test")
+        with pytest.raises(BudgetExceededError):
+            budget.tick("test")
+
+    def test_error_is_a_repro_error(self):
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_error_carries_partial_progress(self):
+        budget = EvaluationBudget(max_steps=3)
+        with pytest.raises(BudgetExceededError) as info:
+            for _ in range(10):
+                budget.tick("hot.loop")
+        error = info.value
+        assert error.reason == "steps"
+        assert error.site == "hot.loop"
+        assert error.steps == 4
+        assert error.max_steps == 3
+        assert error.elapsed >= 0.0
+        assert "hot.loop" in str(error)
+
+    def test_weighted_ticks(self):
+        budget = EvaluationBudget(max_steps=10)
+        budget.tick("bulk", weight=7)
+        assert budget.steps == 7
+        with pytest.raises(BudgetExceededError):
+            budget.tick("bulk", weight=7)
+
+    def test_zero_step_budget_fires_on_first_tick(self):
+        budget = EvaluationBudget(max_steps=0)
+        with pytest.raises(BudgetExceededError):
+            budget.tick()
+
+
+class TestDeadline:
+    def test_expired_deadline_raises_on_tick(self):
+        budget = EvaluationBudget(deadline=0.0, check_interval=1)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.tick("slow.site")
+        assert info.value.reason == "deadline"
+        assert info.value.site == "slow.site"
+
+    def test_wall_clock_checked_only_every_interval(self):
+        budget = EvaluationBudget(deadline=0.0, check_interval=4)
+        time.sleep(0.002)
+        for _ in range(3):
+            budget.tick()  # countdown not yet exhausted: no clock check
+        with pytest.raises(BudgetExceededError):
+            budget.tick()
+
+    def test_generous_deadline_does_not_fire(self):
+        budget = EvaluationBudget(deadline=60.0, check_interval=1)
+        for _ in range(100):
+            budget.tick()
+        assert budget.remaining_seconds() > 0
+
+    def test_expired_and_check(self):
+        budget = EvaluationBudget(deadline=0.0)
+        time.sleep(0.002)
+        assert budget.expired()
+        with pytest.raises(BudgetExceededError):
+            budget.check("checkpoint")
+
+    def test_remaining_seconds_never_negative(self):
+        budget = EvaluationBudget(deadline=0.0)
+        time.sleep(0.002)
+        assert budget.remaining_seconds() == 0.0
+
+
+class TestSlicing:
+    def test_slice_fraction_of_remaining_steps(self):
+        budget = EvaluationBudget(max_steps=100)
+        budget.tick(weight=20)
+        child = budget.slice(0.5)
+        assert child.max_steps == 40
+        assert child.steps == 0
+
+    def test_slice_of_unlimited_budget_is_unlimited(self):
+        child = EvaluationBudget().slice(0.25)
+        assert child.max_steps is None
+        assert child.remaining_seconds() is None
+
+    def test_slice_gets_at_least_one_step(self):
+        budget = EvaluationBudget(max_steps=2)
+        child = budget.slice(0.1)
+        assert child.max_steps == 1
+
+    def test_bad_fraction_rejected(self):
+        budget = EvaluationBudget(max_steps=10)
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                budget.slice(fraction)
+
+    def test_child_deadline_cannot_outlive_parent(self):
+        parent = EvaluationBudget(deadline=0.0, check_interval=1)
+        time.sleep(0.002)
+        child = parent.slice(1.0)
+        with pytest.raises(BudgetExceededError):
+            child.tick()
+
+    def test_charge_accounts_child_work(self):
+        budget = EvaluationBudget(max_steps=100)
+        child = budget.slice(0.5)
+        for _ in range(30):
+            child.tick()
+        budget.charge(child.steps, site="robust.stage")
+        assert budget.steps == 30
+
+    def test_charge_can_exhaust(self):
+        budget = EvaluationBudget(max_steps=10)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.charge(11, site="robust.stage")
+        assert info.value.site == "robust.stage"
+
+    def test_shared_budget_pools_work(self):
+        # Two engines drawing from one pool exhaust it together.
+        budget = EvaluationBudget(max_steps=10)
+        for _ in range(6):
+            budget.tick("engine.a")
+        with pytest.raises(BudgetExceededError):
+            for _ in range(6):
+                budget.tick("engine.b")

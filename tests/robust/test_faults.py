@@ -1,0 +1,128 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+import pytest
+
+from repro.errors import FaultInjectedError, ReproError
+from repro.robust import FAULT_SITES, FaultInjector, inject_faults
+from repro.robust.faults import active_injector, fault_check
+
+
+class TestRegistry:
+    def test_registered_sites(self):
+        assert FAULT_SITES == (
+            "cover.construct",
+            "removal.surgery",
+            "memo.insert",
+            "predicate.oracle",
+        )
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector({"no.such.site": 1})
+
+    def test_unknown_rate_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=0.5, rate_sites=("no.such.site",))
+
+    def test_zero_based_hit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector({"memo.insert": 0})
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+
+    def test_check_of_unregistered_site_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.check("no.such.site")
+
+
+class TestDeterministicFaults:
+    def test_fires_exactly_at_armed_hit(self):
+        injector = FaultInjector({"memo.insert": 3})
+        injector.check("memo.insert")
+        injector.check("memo.insert")
+        with pytest.raises(FaultInjectedError) as info:
+            injector.check("memo.insert")
+        assert info.value.site == "memo.insert"
+        assert info.value.hit == 3
+        assert issubclass(FaultInjectedError, ReproError)
+
+    def test_fires_only_once(self):
+        # A fallback stage re-running the same machinery is not re-broken.
+        injector = FaultInjector({"memo.insert": 1})
+        with pytest.raises(FaultInjectedError):
+            injector.check("memo.insert")
+        for _ in range(10):
+            injector.check("memo.insert")
+        assert injector.fired["memo.insert"] == 1
+        assert injector.hits["memo.insert"] == 11
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector({"cover.construct": 1})
+        injector.check("memo.insert")
+        injector.check("removal.surgery")
+        with pytest.raises(FaultInjectedError):
+            injector.check("cover.construct")
+
+
+class TestSeededRate:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(seed=seed, rate=0.3)
+            fired = []
+            for index in range(50):
+                try:
+                    injector.check("memo.insert")
+                except FaultInjectedError:
+                    fired.append(index)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_limit_caps_rate_faults(self):
+        injector = FaultInjector(seed=1, rate=1.0, limit=2)
+        fired = 0
+        for _ in range(10):
+            try:
+                injector.check("memo.insert")
+            except FaultInjectedError:
+                fired += 1
+        assert fired == 2
+        assert injector.total_fired() == 2
+
+    def test_rate_sites_restrict_firing(self):
+        injector = FaultInjector(seed=1, rate=1.0, rate_sites=("cover.construct",))
+        injector.check("memo.insert")  # not a rate site: must pass
+        with pytest.raises(FaultInjectedError):
+            injector.check("cover.construct")
+
+
+class TestGlobalInstallation:
+    def test_fault_check_is_noop_without_injector(self):
+        assert active_injector() is None
+        fault_check("memo.insert")  # must not raise
+
+    def test_context_manager_installs_and_removes(self):
+        injector = FaultInjector({"memo.insert": 1})
+        with inject_faults(injector) as installed:
+            assert installed is injector
+            assert active_injector() is injector
+            with pytest.raises(FaultInjectedError):
+                fault_check("memo.insert")
+        assert active_injector() is None
+
+    def test_removed_even_when_body_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with inject_faults(FaultInjector()):
+                raise RuntimeError("boom")
+        assert active_injector() is None
+
+    def test_nesting_rejected(self):
+        with inject_faults(FaultInjector()):
+            with pytest.raises(RuntimeError):
+                with inject_faults(FaultInjector()):
+                    pass
+        assert active_injector() is None

@@ -52,6 +52,52 @@ class TestJsonRoundTrip:
             load_structure(bad)
 
 
+class TestCorruptJson:
+    """Loader hardening: corrupt documents fail with a position hint."""
+
+    @staticmethod
+    def doc(universe, relations):
+        return {"signature": {"E": 2}, "universe": universe, "relations": relations}
+
+    def test_duplicate_universe_element(self):
+        with pytest.raises(FormatError, match=r"universe\[2\]: duplicate element 1"):
+            structure_from_json(self.doc([1, 2, 1], {"E": []}))
+
+    def test_non_scalar_universe_element(self):
+        with pytest.raises(FormatError, match=r"universe\[1\].*JSON scalars"):
+            structure_from_json(self.doc([1, [2]], {"E": []}))
+
+    def test_universe_not_a_list(self):
+        with pytest.raises(FormatError, match="'universe'"):
+            structure_from_json(self.doc("abc", {"E": []}))
+
+    def test_unknown_element_in_tuple(self):
+        with pytest.raises(
+            FormatError, match=r"relations\['E'\]\[1\]: entry 1 is 9"
+        ):
+            structure_from_json(self.doc([1, 2], {"E": [[1, 2], [2, 9]]}))
+
+    def test_wrong_arity_tuple(self):
+        with pytest.raises(FormatError, match=r"relations\['E'\]\[0\].*arity 2"):
+            structure_from_json(self.doc([1, 2], {"E": [[1, 2, 1]]}))
+
+    def test_tuple_not_an_array(self):
+        with pytest.raises(FormatError, match=r"relations\['E'\]\[0\]"):
+            structure_from_json(self.doc([1, 2], {"E": ["12"]}))
+
+    def test_undeclared_relation(self):
+        with pytest.raises(FormatError, match=r"relations\['F'\]"):
+            structure_from_json(self.doc([1, 2], {"F": [[1, 2]]}))
+
+    def test_relations_not_a_dict(self):
+        with pytest.raises(FormatError, match="'relations'"):
+            structure_from_json(self.doc([1, 2], [[1, 2]]))
+
+    def test_edge_list_line_number_in_error(self):
+        with pytest.raises(FormatError, match="line 3"):
+            parse_edge_list("1 2\n2 3\n3 4 5\n")
+
+
 class TestEdgeLists:
     def test_basic_graph(self):
         structure = parse_edge_list("1 2\n2 3\n# comment\n4\n")
@@ -162,3 +208,107 @@ class TestCli:
             timeout=240,
         )
         assert result.returncode == 2
+
+
+class TestCliRobustness:
+    """Exit-code contract: 0 ok, 2 bad input, 3 internal bug, 4 budget."""
+
+    @pytest.fixture
+    def dense_file(self, tmp_path):
+        # K12 as an edge list: enumeration-heavy queries blow up here.
+        lines = [f"{u} {v}" for u in range(1, 13) for v in range(u + 1, 13)]
+        target = tmp_path / "dense.txt"
+        target.write_text("\n".join(lines) + "\n")
+        return str(target)
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        target = tmp_path / "graph.txt"
+        target.write_text("1 2\n2 3\n3 4\n4 1\n")
+        return str(target)
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+
+    @pytest.mark.parametrize("engine", ["foc1", "robust", "baseline"])
+    def test_budget_exhaustion_exits_4(self, dense_file, engine):
+        result = self._run(
+            "count",
+            dense_file,
+            "E(x, y) & E(y, z) & E(z, w)",
+            "--vars", "x", "y", "z", "w",
+            "--engine", engine,
+            "--max-steps", "5000",
+            "--timeout", "30",
+        )
+        assert result.returncode == 4, result.stderr
+        assert "budget exhausted" in result.stderr
+
+    @pytest.mark.parametrize("engine", ["foc1", "robust", "baseline"])
+    def test_engines_agree_on_the_cli(self, graph_file, engine):
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y", "--engine", engine
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "8"
+
+    def test_robust_engine_reports_on_stderr(self, graph_file):
+        result = self._run(
+            "check", graph_file, "exists x. @geq1(#(y). E(x, y))",
+            "--engine", "robust",
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "True"
+        assert "answered by foc1" in result.stderr
+
+    def test_generous_budget_still_answers(self, graph_file):
+        result = self._run(
+            "term", graph_file, "#(x, y). E(x, y)",
+            "--timeout", "60", "--max-steps", "1000000",
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "8"
+
+    def test_internal_error_exits_3_with_one_line(self, monkeypatch, capsys):
+        # Simulate a genuine bug behind the CLI surface: no traceback, one
+        # line on stderr, exit code 3 (in-process; subprocesses can't be
+        # monkeypatched).
+        import repro.__main__ as cli
+
+        def explode(path):
+            raise ZeroDivisionError("simulated internal bug")
+
+        monkeypatch.setattr(cli, "load_structure", explode)
+        code = cli.main(["info", "whatever.txt"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err.strip() == (
+            "internal error: ZeroDivisionError: simulated internal bug"
+        )
+        assert "Traceback" not in captured.err
+
+    def test_bad_input_still_exits_2_in_process(self, capsys):
+        import repro.__main__ as cli
+
+        code = cli.main(["info", "/nonexistent/file.txt"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags", [("--timeout", "-5"), ("--max-steps", "-1")]
+    )
+    def test_negative_limits_are_bad_input_not_internal(self, graph_file, flags):
+        # A nonsensical budget is the caller's mistake: exit 2, not 3.
+        result = self._run("count", graph_file, "E(x, y)", "--vars", "x", "y", *flags)
+        assert result.returncode == 2, result.stderr
+        assert "must be non-negative" in result.stderr
+
+    def test_exit_codes_are_distinct(self):
+        from repro.__main__ import EXIT_BAD_INPUT, EXIT_BUDGET, EXIT_INTERNAL, EXIT_OK
+
+        assert len({EXIT_OK, EXIT_BAD_INPUT, EXIT_INTERNAL, EXIT_BUDGET}) == 4

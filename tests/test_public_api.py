@@ -45,6 +45,9 @@ class TestPublicSurface:
         assert issubclass(repro.FragmentError, repro.ReproError)
         assert issubclass(repro.ParseError, repro.ReproError)
         assert issubclass(repro.SignatureError, repro.ReproError)
+        assert issubclass(repro.BudgetExceededError, repro.ReproError)
+        assert issubclass(repro.FaultInjectedError, repro.ReproError)
+        assert issubclass(repro.FormatError, repro.ReproError)
 
     def test_key_names_exported(self):
         for name in [
@@ -68,8 +71,48 @@ class TestPublicSurface:
             "pretty",
             "satisfies",
             "is_foc1",
+            # robustness surface
+            "EvaluationBudget",
+            "RobustEvaluator",
+            "RobustReport",
+            "StageReport",
+            "FaultInjector",
+            "inject_faults",
+            "FAULT_SITES",
+            "BudgetExceededError",
+            "FaultInjectedError",
+            # structure I/O
+            "FormatError",
+            "load_structure",
+            "save_structure",
         ]:
             assert hasattr(repro, name), name
+
+    def test_robust_quickstart_works(self):
+        from repro import EvaluationBudget, RobustEvaluator, graph_structure, parse_formula
+
+        g = graph_structure([1, 2, 3], [(1, 2), (2, 3)])
+        engine = RobustEvaluator(budget=EvaluationBudget(deadline=30.0))
+        assert engine.model_check(g, parse_formula("exists x. @eq(#(y). E(x, y), 2)"))
+        assert engine.last_report.answered_by == "foc1"
+
+    def test_budget_exhaustion_is_catchable_from_top_level(self):
+        import pytest
+
+        from repro import (
+            BudgetExceededError,
+            EvaluationBudget,
+            Foc1Evaluator,
+            complete_graph,
+            parse_formula,
+        )
+
+        engine = Foc1Evaluator(budget=EvaluationBudget(max_steps=100))
+        with pytest.raises(BudgetExceededError) as info:
+            engine.count(
+                complete_graph(8), parse_formula("E(x, y) & E(y, z)"), ["x", "y", "z"]
+            )
+        assert info.value.steps > 100
 
     def test_pretty_parse_roundtrip_via_top_level(self):
         phi = repro.parse_formula("exists x. @geq1(#(y). E(x, y))")
