@@ -36,6 +36,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .core.baseline import BruteForceEvaluator
 from .core.evaluator import Foc1Evaluator
 from .errors import BudgetExceededError, ReproError
@@ -108,11 +109,28 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="cooperative step budget; exhaustion exits with code 4",
         )
+        sub.add_argument(
+            "--trace",
+            action="store_true",
+            help="record spans around the pipeline and print a timing "
+            "report to stderr (see docs/OBSERVABILITY.md)",
+        )
+        sub.add_argument(
+            "--metrics",
+            action="store_true",
+            help="record engine counters/histograms and print a snapshot "
+            "to stderr",
+        )
     return parser
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     args = _build_parser().parse_args(argv)
+    obs.configure_from_env()
+    if getattr(args, "trace", False) and obs.active_tracer() is None:
+        obs.set_tracer(obs.Tracer())
+    if getattr(args, "metrics", False) and obs.active_metrics() is None:
+        obs.set_metrics(obs.MetricsRegistry())
     try:
         return _dispatch(args)
     except BudgetExceededError as error:
@@ -179,6 +197,22 @@ def _emit_report(engine) -> None:
     """For the robust engine, say on stderr which cascade stage answered."""
     if isinstance(engine, RobustEvaluator) and engine.last_report is not None:
         print(f"# {engine.last_report.summary()}", file=sys.stderr)
+    _emit_instruments()
+
+
+def _emit_instruments() -> None:
+    """Print whatever tracer/metrics are active to stderr, then reset them."""
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        for line in tracer.report():
+            print(f"# trace {line}", file=sys.stderr)
+    registry = obs.active_metrics()
+    if registry is not None:
+        snapshot = registry.snapshot()
+        rate = registry.memo_hit_rate()
+        if rate is not None:
+            snapshot["memo_hit_rate"] = rate
+        print(f"# metrics {json.dumps(snapshot, sort_keys=True)}", file=sys.stderr)
 
 
 def _make_engine(args: argparse.Namespace):

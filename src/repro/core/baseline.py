@@ -15,6 +15,7 @@ from ..errors import EvaluationError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.semantics import count_solutions, evaluate, satisfies, solutions
 from ..logic.syntax import Formula, Term, Variable, free_variables
+from ..obs import traced
 from ..robust.budget import EvaluationBudget
 from ..structures.structure import Element, Structure
 from .query import Foc1Query
@@ -38,16 +39,19 @@ class BruteForceEvaluator:
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
 
+    @traced("baseline.model_check")
     def model_check(self, structure: Structure, sentence: Formula) -> bool:
         if free_variables(sentence):
             raise EvaluationError("model_check expects a sentence")
         return satisfies(structure, sentence, None, self.predicates, self.budget)
 
+    @traced("baseline.ground_term_value")
     def ground_term_value(self, structure: Structure, term: Term) -> int:
         if free_variables(term):
             raise EvaluationError("ground_term_value expects a ground term")
         return evaluate(term, structure, None, self.predicates, self.budget)
 
+    @traced("baseline.unary_term_values")
     def unary_term_values(
         self,
         structure: Structure,
@@ -66,6 +70,7 @@ class BruteForceEvaluator:
             for a in targets
         }
 
+    @traced("baseline.count")
     def count(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> int:
@@ -80,5 +85,6 @@ class BruteForceEvaluator:
             structure, formula, variables, self.predicates, self.budget
         )
 
+    @traced("baseline.evaluate_query")
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
         return query.evaluate_naive(structure, self.predicates, self.budget)

@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from ..errors import EvaluationError, FormulaError, FragmentError
 from ..logic.foc1 import assert_foc1
+from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
 from ..robust.faults import fault_check
 from ..logic.predicates import PredicateCollection, standard_collection
@@ -118,6 +119,7 @@ class Foc1Evaluator:
 
     # -- public API --------------------------------------------------------------
 
+    @traced("foc1.model_check")
     def model_check(self, structure: Structure, sentence: Formula) -> bool:
         """Decide ``A |= phi`` for an FOC1(P) sentence."""
         if free_variables(sentence):
@@ -132,6 +134,7 @@ class Foc1Evaluator:
         )
         return final.holds(reduced, {})
 
+    @traced("foc1.ground_term_value")
     def ground_term_value(self, structure: Structure, term: Term) -> int:
         """Compute ``t^A`` for a ground FOC1(P) counting term."""
         if free_variables(term):
@@ -146,6 +149,7 @@ class Foc1Evaluator:
         )
         return final.term_value(reduced, {})
 
+    @traced("foc1.unary_term_values")
     def unary_term_values(
         self,
         structure: Structure,
@@ -171,6 +175,7 @@ class Foc1Evaluator:
         )
         return {a: final.term_value(reduced, {variable: a}) for a in targets}
 
+    @traced("foc1.count")
     def count(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> int:
@@ -208,6 +213,7 @@ class Foc1Evaluator:
         )
         yield from final.solutions(tuple(variables), reduced)
 
+    @traced("foc1.evaluate_query")
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
         """``q(A)`` for an FOC1(P)-query (Definition 5.2)."""
         if self.check_fragment:
@@ -246,7 +252,21 @@ class Foc1Evaluator:
 
 class _Session:
     """Evaluation state for one (possibly expanded) structure: memo tables,
-    ball caches, and the predicate-elimination pipeline."""
+    ball caches, and the predicate-elimination pipeline.
+
+    Memo lifetime contract
+    ----------------------
+    Every memo table keys on ``id(node)`` (identity is far cheaper than
+    hashing a deep AST on every lookup).  That is only sound while the
+    node object stays alive: CPython recycles ids, so a memo entry that
+    outlives its node can alias a *different* node created later.  The
+    session therefore pins every memoised node in ``_pins`` (id -> node)
+    and the two are only ever dropped **together**, via
+    :meth:`_reset_memos`.  Sessions themselves are scoped to one public
+    engine call (``Foc1Evaluator`` creates fresh sessions per call and
+    holds no reference afterwards), so repeated queries do not accumulate
+    memory across calls.
+    """
 
     def __init__(
         self,
@@ -261,18 +281,33 @@ class _Session:
         self.use_factoring = use_factoring
         self.use_guards = use_guards
         self.budget = budget
+        self._metrics = active_metrics()
         self._holds_memo: Dict[Tuple, bool] = {}
         self._count_memo: Dict[Tuple, int] = {}
         self._free_memo: Dict[int, FrozenSet[Variable]] = {}
-        # Memo tables key on id(node); temporaries must stay alive for
-        # the whole session or CPython may reuse their ids and poison
-        # the caches.  Every node that enters an id-keyed memo is pinned
-        # here.
-        self._keepalive: List[Expression] = []
+        # Pin every node that enters an id-keyed memo (id -> node, so a
+        # node pinned through several memos is stored once).  Dropped
+        # only together with the memos in _reset_memos().
+        self._pins: Dict[int, Expression] = {}
         self._free_sorted_memo: Dict[int, Tuple[Variable, ...]] = {}
         self._conjunct_memo: Dict[int, List[Formula]] = {}
         self._ball_caches: Dict[int, Dict[Element, FrozenSet[Element]]] = {}
         self._aux_counter = itertools.count()
+
+    def _reset_memos(self) -> None:
+        """Drop every id-keyed memo *and* its pins, atomically.
+
+        Clearing the pins without the memos (or vice versa) would let a
+        recycled id alias a stale entry; this is the only place either
+        is cleared.
+        """
+        self._holds_memo.clear()
+        self._count_memo.clear()
+        self._free_memo.clear()
+        self._free_sorted_memo.clear()
+        self._conjunct_memo.clear()
+        self._ball_caches.clear()
+        self._pins.clear()
 
     # -- small caches ------------------------------------------------------------
 
@@ -282,7 +317,7 @@ class _Session:
         if cached is None:
             cached = free_variables(node)
             self._free_memo[key] = cached
-            self._keepalive.append(node)
+            self._pins[key] = node
         return cached
 
     def free_sorted(self, node: Expression) -> Tuple[Variable, ...]:
@@ -291,7 +326,7 @@ class _Session:
         if cached is None:
             cached = tuple(sorted(self.free(node)))
             self._free_sorted_memo[key] = cached
-            self._keepalive.append(node)
+            self._pins[key] = node
         return cached
 
     def _conjuncts(self, formula: Formula) -> List[Formula]:
@@ -300,7 +335,7 @@ class _Session:
         if cached is None:
             cached = _flatten_and(formula)
             self._conjunct_memo[key] = cached
-            self._keepalive.append(formula)
+            self._pins[key] = formula
         return cached
 
     def ball(self, element: Element, distance: int) -> FrozenSet[Element]:
@@ -309,6 +344,8 @@ class _Session:
         if cached is None:
             cached = frozenset(distances_from(self.structure, [element], distance))
             cache[element] = cached
+            if self._metrics is not None:
+                self._metrics.inc("evaluator.ball.expansion")
         return cached
 
     # -- Theorem 6.10 stratification ----------------------------------------------
@@ -332,13 +369,7 @@ class _Session:
                 replacements[atom] = self._materialise(atom)
             current = _replace_atoms(current, replacements)
             # Rebuild memo state against the expanded structure.
-            self._holds_memo.clear()
-            self._count_memo.clear()
-            self._free_memo.clear()
-            self._free_sorted_memo.clear()
-            self._conjunct_memo.clear()
-            self._ball_caches.clear()
-            self._keepalive.clear()
+            self._reset_memos()
 
     def _innermost_predicate_atoms(self, expression: Expression) -> List[PredicateAtom]:
         """Predicate atoms ready for materialisation: no nested predicate
@@ -393,6 +424,8 @@ class _Session:
             replacement = Atom(fresh, (variable,))
         from ..structures.operations import expansion
 
+        if self._metrics is not None:
+            self._metrics.inc("evaluator.predicate.materialised")
         self.structure = expansion(
             self.structure, Signature([symbol]), {fresh: tuples}
         )
@@ -437,10 +470,14 @@ class _Session:
         if cached is None:
             if self.budget is not None:
                 self.budget.tick("evaluator.count")
+            if self._metrics is not None:
+                self._metrics.inc("evaluator.count.memo.miss")
             cached = self._count(variables, body, env)
             fault_check("memo.insert")
             self._count_memo[key] = cached
-            self._keepalive.append(body)
+            self._pins[id(body)] = body
+        elif self._metrics is not None:
+            self._metrics.inc("evaluator.count.memo.hit")
         return cached
 
     def _count(
@@ -574,7 +611,10 @@ class _Session:
         """Pick the next variable and its candidate pool, preferring the
         tightest available guard (index lookup, equality, distance ball)."""
         universe = self.structure.universe_order
+        metrics = self._metrics
         if not self.use_guards:
+            if metrics is not None:
+                metrics.inc("evaluator.guard.disabled")
             return remaining[0], universe
         # Phase 1: only guards anchored at an already-bound variable (index
         # or ball lookups — cheap).  Phase 2: un-anchored relation scans,
@@ -593,7 +633,16 @@ class _Session:
                     if size <= 1:
                         break
             if best is not None:
+                if metrics is not None:
+                    metrics.inc(
+                        "evaluator.guard.anchored"
+                        if anchored_only
+                        else "evaluator.guard.scan"
+                    )
+                    metrics.observe("evaluator.guard.pool_size", best[0])
                 return best[1], best[2]
+        if metrics is not None:
+            metrics.inc("evaluator.guard.universe")
         return remaining[0], universe
 
     def _guard_candidates(
@@ -713,10 +762,14 @@ class _Session:
         if cached is None:
             if self.budget is not None:
                 self.budget.tick("evaluator.holds")
+            if self._metrics is not None:
+                self._metrics.inc("evaluator.holds.memo.miss")
             cached = self._holds(formula, env)
             fault_check("memo.insert")
             self._holds_memo[key] = cached
-            self._keepalive.append(formula)
+            self._pins[id(formula)] = formula
+        elif self._metrics is not None:
+            self._metrics.inc("evaluator.holds.memo.hit")
         return cached
 
     def _holds(self, formula: Formula, env: Dict[Variable, Element]) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from ..errors import ArityError, FormulaError, SignatureError, UniverseError
+from ..errors import FormulaError, SignatureError
 from ..logic.predicates import PredicateCollection
 from ..robust.budget import EvaluationBudget
 from ..structures.gaifman import ball
@@ -35,24 +35,16 @@ from .local_eval import evaluate_basic_unary
 
 
 def _with_tuple(structure: Structure, relation: str, tup: Tup, present: bool) -> Structure:
-    """A copy of the structure with ``tup`` added to / removed from a relation."""
-    symbol = structure.signature.get(relation)
-    if symbol is None:
+    """A copy of the structure with ``tup`` added to / removed from a relation.
+
+    Delegates to :meth:`Structure.with_tuple`, which validates only the
+    delta and shares the untouched relations and their caches — rebuilding
+    and revalidating all of ``||A||`` per single-tuple update made every
+    update Omega(||A||) regardless of the locality analysis above.
+    """
+    if structure.signature.get(relation) is None:
         raise SignatureError(f"no relation named {relation!r}")
-    tup = tuple(tup)
-    if len(tup) != symbol.arity:
-        raise ArityError(
-            f"tuple {tup!r} does not match arity {symbol.arity} of {relation}"
-        )
-    for entry in tup:
-        if entry not in structure:
-            raise UniverseError(f"{entry!r} is not a universe element")
-    relations = {s: set(rel) for s, rel in structure.relations().items()}
-    if present:
-        relations[symbol].add(tup)
-    else:
-        relations[symbol].discard(tup)
-    return Structure(structure.signature, structure.universe_order, relations)
+    return structure.with_tuple(relation, tuple(tup), present)
 
 
 @dataclass

@@ -22,6 +22,7 @@ from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection
 from ..logic.semantics import satisfies
 from ..logic.syntax import Formula, Variable
+from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
 from ..structures.gaifman import distances_from, neighbourhood
 from ..structures.structure import Element, Structure
@@ -37,12 +38,13 @@ def _is_quantifier_free(formula: Formula) -> bool:
 class _BallCache:
     """Memoised D-balls (as frozensets) for one structure and one distance."""
 
-    __slots__ = ("structure", "distance", "_cache")
+    __slots__ = ("structure", "distance", "_cache", "_metrics")
 
     def __init__(self, structure: Structure, distance: int):
         self.structure = structure
         self.distance = distance
         self._cache: Dict[Element, FrozenSet[Element]] = {}
+        self._metrics = active_metrics()
 
     def __call__(self, element: Element) -> FrozenSet[Element]:
         cached = self._cache.get(element)
@@ -51,6 +53,12 @@ class _BallCache:
                 distances_from(self.structure, [element], self.distance)
             )
             self._cache[element] = cached
+            if self._metrics is not None:
+                self._metrics.inc("local.ball.expansion")
+                self._metrics.inc("local.ball.memo.miss")
+                self._metrics.observe("local.ball.size", len(cached))
+        elif self._metrics is not None:
+            self._metrics.inc("local.ball.memo.hit")
         return cached
 
 
@@ -126,6 +134,7 @@ def pattern_tuples(
     yield from extend(0)
 
 
+@traced("local.evaluate_basic_unary")
 def evaluate_basic_unary(
     structure: Structure,
     term: BasicClTerm,

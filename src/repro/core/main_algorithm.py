@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Variable
+from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
 from ..sparse.covers import sparse_cover
 from ..structures.gaifman import induced
@@ -79,6 +80,7 @@ def _ground_value(
     return engine.ground_term_value(structure, CountTerm(counted, body))
 
 
+@traced("main_algorithm.evaluate_unary")
 def evaluate_unary_main_algorithm(
     structure: Structure,
     term: BasicClTerm,
@@ -157,6 +159,7 @@ def _evaluate_level(
         )
 
     budget = engine.budget
+    metrics = active_metrics()
     cover = sparse_cover(structure, confinement, budget=budget)
     stats.covers_built += 1
     values: Dict[Element, int] = {}
@@ -168,6 +171,8 @@ def _evaluate_level(
             continue
         if budget is not None:
             budget.tick("main.cluster")
+        if metrics is not None:
+            metrics.inc("main.cluster.processed")
         stats.clusters_processed += 1
         local = induced(structure, cluster)
 
@@ -186,6 +191,8 @@ def _evaluate_level(
         # cen(X); removing the centre is a sound Splitter answer).
         d = cover.centres[index]
         removed = remove_element(local, d, removal_radius)
+        if metrics is not None:
+            metrics.inc("main.removal")
         stats.removals += 1
         ground_parts, unary_parts = removal_unary_term(
             free_variable, counted, body, removal_radius

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..errors import FormulaError, UniverseError
+from ..obs import traced
 from ..robust.faults import fault_check
 from ..logic.syntax import (
     And,
@@ -83,6 +84,7 @@ def removed_signature(signature: Signature, radius: int) -> Signature:
     return Signature(symbols)
 
 
+@traced("removal.surgery")
 def remove_element(structure: Structure, element: Element, radius: int) -> Structure:
     """``A astrix_r d`` — computable in linear time for fixed signature and r."""
     fault_check("removal.surgery")

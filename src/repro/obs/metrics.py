@@ -1,0 +1,220 @@
+"""Named counters and histograms for the evaluation engines.
+
+The engines' hot loops report *what happened* — memo hits and misses,
+guard selections, ball expansions, cover cluster sizes, budget ticks,
+fallback-stage transitions — through a process-global
+:class:`MetricsRegistry`.  Collection is **off by default**: when no
+registry is installed, every checkpoint is a single module-global load
+plus an ``is None`` test, the same near-free pattern the budget and
+fault-injection hooks already use.  Hot paths that sit inside tight
+loops capture the active registry *once* (``m = active_metrics()``) and
+branch on the local, so the disabled cost does not scale with the loop.
+
+Counters are plain integers in a dict; histograms track count / total /
+min / max (enough for mean cluster sizes and span statistics without
+keeping every sample).  Derived ratios — most importantly the memo hit
+rate — are computed at snapshot time by :func:`hit_rate`.
+
+Usage::
+
+    from repro.obs import collect_metrics
+
+    with collect_metrics() as metrics:
+        engine.count(structure, phi, ["x", "y"])
+    print(metrics.snapshot()["counters"]["evaluator.memo.hit"])
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "active_metrics",
+    "collect_metrics",
+    "hit_rate",
+    "set_metrics",
+    "tick",
+    "observe",
+]
+
+
+class Histogram:
+    """Streaming summary of a numeric series: count, total, min, max."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: "Optional[float]" = None
+        self.max: "Optional[float]" = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> "Optional[float]":
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> Dict[str, "float | int | None"]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, total={self.total})"
+
+
+class MetricsRegistry:
+    """A bag of named counters and histograms.
+
+    Counter and histogram names are dotted paths
+    (``evaluator.memo.hit``, ``cover.cluster_size``); the registry does
+    not pre-declare names — the first increment creates the series.
+    """
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name)
+            self.histograms[name] = histogram
+        histogram.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-serialisable view: counters plus histogram summaries."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def memo_hit_rate(self) -> "Optional[float]":
+        """Hits / (hits + misses) over all ``*.memo.hit|miss`` counters."""
+        hits = sum(
+            value
+            for name, value in self.counters.items()
+            if name.endswith(".memo.hit")
+        )
+        misses = sum(
+            value
+            for name, value in self.counters.items()
+            if name.endswith(".memo.miss")
+        )
+        return hit_rate(hits, misses)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = Histogram(name)
+                self.histograms[name] = mine
+            mine.count += histogram.count
+            mine.total += histogram.total
+            for bound in (histogram.min, histogram.max):
+                if bound is None:
+                    continue
+                if mine.min is None or bound < mine.min:
+                    mine.min = bound
+                if mine.max is None or bound > mine.max:
+                    mine.max = bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)})"
+        )
+
+
+def hit_rate(hits: int, misses: int) -> "Optional[float]":
+    """``hits / (hits + misses)``, or ``None`` when nothing was recorded."""
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+# ---------------------------------------------------------------------------
+# The process-global registry (same pattern as robust.faults)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: "Optional[MetricsRegistry]" = None
+
+
+def active_metrics() -> "Optional[MetricsRegistry]":
+    """The currently installed registry, or ``None`` (collection off)."""
+    return _ACTIVE
+
+
+def set_metrics(registry: "Optional[MetricsRegistry]") -> "Optional[MetricsRegistry]":
+    """Install (or clear, with ``None``) the global registry; returns the
+    previously installed one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def tick(name: str, value: int = 1) -> None:
+    """Increment a counter on the active registry; no-op when collection
+    is off.  Prefer capturing :func:`active_metrics` once around loops."""
+    if _ACTIVE is not None:
+        _ACTIVE.inc(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active registry; no-op when off."""
+    if _ACTIVE is not None:
+        _ACTIVE.observe(name, value)
+
+
+@contextmanager
+def collect_metrics(
+    registry: "Optional[MetricsRegistry]" = None,
+) -> Iterator[MetricsRegistry]:
+    """Install a registry for the duration of the ``with`` block.
+
+    Nested blocks are allowed; the inner block sees its own registry and
+    the outer one is restored on exit (inner results are *not* folded
+    into the outer registry automatically — use :meth:`MetricsRegistry.merge`).
+    """
+    chosen = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(chosen)
+    try:
+        yield chosen
+    finally:
+        set_metrics(previous)

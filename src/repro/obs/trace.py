@@ -1,0 +1,206 @@
+"""A zero-dependency structured tracer: named spans with wall time.
+
+A *span* is one timed region of the pipeline — an engine entry point, a
+cover construction, a removal surgery, one stage of the robust cascade.
+Spans nest: the tracer keeps a stack, records each span's depth and
+parent, and aggregates per-name statistics (calls, total/max wall time)
+for the CLI's ``--trace`` report and the bench runner's JSON.
+
+Tracing is **off by default**.  :func:`traced` wraps a function so that
+when no tracer is installed the call costs one module-global load and an
+``is None`` test; only coarse-grained functions are decorated (public
+engine API, cover construction, surgery, cascade stages), never inner
+loops — inner-loop visibility comes from the counters in
+:mod:`repro.obs.metrics` instead.
+
+Usage::
+
+    from repro.obs import trace_spans
+
+    with trace_spans() as tracer:
+        engine.model_check(structure, phi)
+    for line in tracer.report():
+        print(line)
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "set_tracer",
+    "span",
+    "trace_spans",
+    "traced",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class Span:
+    """One completed timed region."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: "Optional[str]" = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+
+
+class Tracer:
+    """Records spans with wall time and aggregates per-name statistics.
+
+    ``max_spans`` bounds the raw span log (the aggregate is unbounded but
+    has one entry per distinct name) so a long run cannot grow memory
+    without limit; when the log is full only the aggregates advance.
+    """
+
+    __slots__ = ("spans", "aggregate", "dropped", "max_spans", "_stack", "_origin")
+
+    def __init__(self, max_spans: int = 10_000):
+        self.spans: List[Span] = []
+        #: name -> [calls, total_seconds, max_seconds]
+        self.aggregate: Dict[str, List[float]] = {}
+        self.dropped = 0
+        self.max_spans = max_spans
+        self._stack: List[str] = []
+        self._origin = time.monotonic()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        start = time.monotonic()
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            duration = time.monotonic() - start
+            entry = self.aggregate.get(name)
+            if entry is None:
+                self.aggregate[name] = [1, duration, duration]
+            else:
+                entry[0] += 1
+                entry[1] += duration
+                if duration > entry[2]:
+                    entry[2] = duration
+            if len(self.spans) < self.max_spans:
+                self.spans.append(
+                    Span(name, start - self._origin, duration, depth, parent)
+                )
+            else:
+                self.dropped += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregates: calls, total and max wall seconds."""
+        return {
+            name: {"calls": int(calls), "total_s": total, "max_s": worst}
+            for name, (calls, total, worst) in sorted(self.aggregate.items())
+        }
+
+    def total_time(self, name: str) -> float:
+        entry = self.aggregate.get(name)
+        return entry[1] if entry is not None else 0.0
+
+    def report(self) -> List[str]:
+        """Human-readable per-name lines, slowest first."""
+        lines = []
+        ordered = sorted(
+            self.aggregate.items(), key=lambda item: item[1][1], reverse=True
+        )
+        for name, (calls, total, worst) in ordered:
+            lines.append(
+                f"{name}: {int(calls)} call(s), {total * 1e3:.2f} ms total, "
+                f"{worst * 1e3:.2f} ms max"
+            )
+        if self.dropped:
+            lines.append(f"({self.dropped} span(s) beyond the log limit)")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(spans={len(self.spans)}, names={len(self.aggregate)})"
+
+
+# ---------------------------------------------------------------------------
+# The process-global tracer
+# ---------------------------------------------------------------------------
+
+_ACTIVE: "Optional[Tracer]" = None
+
+
+def active_tracer() -> "Optional[Tracer]":
+    """The currently installed tracer, or ``None`` (tracing off)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: "Optional[Tracer]") -> "Optional[Tracer]":
+    """Install (or clear) the global tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time a region against the active tracer; no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name):
+        yield
+
+
+@contextmanager
+def trace_spans(tracer: "Optional[Tracer]" = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of the ``with`` block."""
+    chosen = tracer if tracer is not None else Tracer()
+    previous = set_tracer(chosen)
+    try:
+        yield chosen
+    finally:
+        set_tracer(previous)
+
+
+def traced(name: "Optional[str]" = None) -> Callable[[F], F]:
+    """Decorator: record a span around each call of the function.
+
+    With tracing off the wrapper costs one global load and an ``is None``
+    test.  ``name`` defaults to the function's qualified name.
+    """
+
+    def decorate(function: F) -> F:
+        span_name = name if name is not None else function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            tracer = _ACTIVE
+            if tracer is None:
+                return function(*args, **kwargs)
+            with tracer.span(span_name):
+                return function(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -33,6 +33,7 @@ import time
 from typing import Optional
 
 from ..errors import BudgetExceededError
+from ..obs import active_metrics
 
 __all__ = ["EvaluationBudget"]
 
@@ -65,6 +66,7 @@ class EvaluationBudget:
         "_deadline_at",
         "_check_interval",
         "_countdown",
+        "_metrics",
     )
 
     def __init__(
@@ -92,6 +94,9 @@ class EvaluationBudget:
             )
         self._check_interval = check_interval
         self._countdown = check_interval
+        # Captured once per budget: tick() is the hottest checkpoint in the
+        # codebase, so the disabled path must stay one load + one compare.
+        self._metrics = active_metrics()
 
     # -- the hot path ----------------------------------------------------------
 
@@ -102,6 +107,8 @@ class EvaluationBudget:
         raised error and costs nothing when the budget holds).
         """
         self.steps += weight
+        if self._metrics is not None:
+            self._metrics.inc("budget.ticks", weight)
         if self.max_steps is not None and self.steps > self.max_steps:
             self._exhaust("steps", site)
         self._countdown -= 1

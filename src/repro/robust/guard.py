@@ -45,6 +45,7 @@ from ..core.query import Foc1Query
 from ..errors import BudgetExceededError, ReproError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Term, Variable
+from ..obs import active_metrics, span
 from ..structures.structure import Element, Structure
 from .budget import EvaluationBudget
 
@@ -65,6 +66,9 @@ class StageReport:
     error: "Optional[str]" = None
     elapsed: float = 0.0
     steps: int = 0
+    #: Counter deltas attributed to this stage (only populated when a
+    #: metrics registry is active during the run; see repro.obs).
+    metrics: "Optional[Dict[str, int]]" = None
 
     def summary(self) -> str:
         if self.status == "ok":
@@ -294,14 +298,19 @@ class RobustEvaluator:
         answer: object = None
         last_error: "Optional[BaseException]" = None
         runnable_left = sum(1 for _, fn, _ in stages if fn is not None)
+        registry = active_metrics()
 
         for name, fn, skip_reason in stages:
             if fn is None:
+                if registry is not None:
+                    registry.inc(f"robust.stage.{name}.skipped")
                 report.stages.append(
                     StageReport(name, "skipped", detail=skip_reason)
                 )
                 continue
             if report.answered_by is not None:
+                if registry is not None:
+                    registry.inc(f"robust.stage.{name}.skipped")
                 report.stages.append(
                     StageReport(
                         name,
@@ -315,8 +324,10 @@ class RobustEvaluator:
             runnable_left -= 1
             stage_started = time.monotonic()
             entry = StageReport(name, "failed")
+            before = dict(registry.counters) if registry is not None else None
             try:
-                answer = fn(stage_budget)
+                with span(f"robust.stage.{name}"):
+                    answer = fn(stage_budget)
             except self.catch as error:
                 entry.status = "failed"
                 entry.error_type = type(error).__name__
@@ -326,6 +337,13 @@ class RobustEvaluator:
                 entry.status = "ok"
                 report.answered_by = name
             entry.elapsed = time.monotonic() - stage_started
+            if registry is not None:
+                entry.metrics = {
+                    key: value - before.get(key, 0)
+                    for key, value in registry.counters.items()
+                    if value != before.get(key, 0)
+                }
+                registry.inc(f"robust.stage.{name}.{entry.status}")
             if stage_budget is not None:
                 entry.steps = stage_budget.steps
                 self._charge_parent(stage_budget.steps, name)

@@ -20,9 +20,11 @@ measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
 from ..robust.faults import fault_check
 from ..structures.gaifman import ball, distances_from, induced, radius_of_set
@@ -55,11 +57,21 @@ class NeighbourhoodCover:
     def cluster_index_of(self, element: Element) -> int:
         return self.assignment[element]
 
+    @cached_property
+    def _members_by_cluster(self) -> Dict[int, Tuple[Element, ...]]:
+        # Grouped once, lazily.  The previous per-call universe scan made
+        # members_with_cluster O(|A|) *per cluster*, which on degenerate
+        # covers (one singleton cluster per element: r = 0, isolated
+        # vertices, dense graphs) turned every caller that loops over all
+        # clusters quadratic.
+        grouped: Dict[int, List[Element]] = {}
+        for element in self.structure.universe_order:
+            grouped.setdefault(self.assignment[element], []).append(element)
+        return {index: tuple(members) for index, members in grouped.items()}
+
     def members_with_cluster(self, index: int) -> Tuple[Element, ...]:
         """All ``a`` with ``X(a)`` = cluster ``index`` (the Q-sets of 8.2)."""
-        return tuple(
-            a for a in self.structure.universe_order if self.assignment[a] == index
-        )
+        return self._members_by_cluster.get(index, ())
 
     def covers_tuple(self, index: int, elements: Sequence[Element], s: int) -> bool:
         """Whether cluster ``index`` s-covers the tuple: ``N_s(a-bar) ⊆ X``."""
@@ -85,7 +97,7 @@ class NeighbourhoodCover:
         for cluster in self.clusters:
             for element in cluster:
                 counts[element] += 1
-        return max(counts.values())
+        return max(counts.values(), default=0)
 
     def average_degree(self) -> float:
         total = sum(len(cluster) for cluster in self.clusters)
@@ -126,6 +138,7 @@ class NeighbourhoodCover:
                 )
 
 
+@traced("cover.trivial")
 def trivial_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
     """The cover ``X(a) = N_r(a)`` — always valid, radius <= r, but with
     max degree up to |A| (the ablation baseline for E5)."""
@@ -144,11 +157,23 @@ def trivial_cover(structure: Structure, radius: int) -> NeighbourhoodCover:
             clusters.append(cluster)
             centres.append(element)
         assignment[element] = index
+    _record_cover_metrics(clusters)
     return NeighbourhoodCover(
         structure, radius, tuple(clusters), assignment, tuple(centres)
     )
 
 
+def _record_cover_metrics(clusters: Sequence[FrozenSet[Element]]) -> None:
+    metrics = active_metrics()
+    if metrics is None:
+        return
+    metrics.inc("cover.built")
+    metrics.inc("cover.clusters", len(clusters))
+    for cluster in clusters:
+        metrics.observe("cover.cluster_size", len(cluster))
+
+
+@traced("cover.sparse")
 def sparse_cover(
     structure: Structure,
     radius: int,
@@ -196,6 +221,7 @@ def sparse_cover(
         element: closest_centre[element][1]
         for element in structure.universe_order
     }
+    _record_cover_metrics(clusters)
     return NeighbourhoodCover(structure, radius, clusters, assignment, tuple(centres))
 
 

@@ -36,6 +36,20 @@ class Structure:
         of tuples.  Symbols of the signature that are missing from the mapping
         get the empty relation.  Every tuple must have the symbol's arity and
         all its entries must belong to the universe.
+
+    Cache contract
+    --------------
+    Derived data — the Gaifman :meth:`adjacency` and the per-position
+    :meth:`index` maps — is computed lazily and cached on the instance.
+    This is sound because the relational content never changes through the
+    public API.  "Updates" are expressed as *derivation*: :meth:`with_tuple`
+    returns a **new** structure sharing the unchanged relations (and the
+    still-valid caches) with its parent, so a query → update → query
+    sequence always sees fresh derived data on the derived structure while
+    the parent's caches stay valid for the parent.  Code that nevertheless
+    reaches into the internals (test harnesses, surgical subclasses) must
+    call :meth:`invalidate_caches` afterwards or the next :meth:`adjacency`
+    / :meth:`index` read will serve stale answers.
     """
 
     __slots__ = (
@@ -177,6 +191,90 @@ class Structure:
                 built.setdefault(tup[position], []).append(tup)
             self._indexes[cache_key] = {v: tuple(ts) for v, ts in built.items()}
         return self._indexes[cache_key]
+
+    def invalidate_caches(self) -> None:
+        """Drop all lazily derived data (adjacency, per-position indexes).
+
+        The public API never needs this — structures are immutable and the
+        caches are therefore always consistent.  It exists for code that
+        mutates ``_relations`` in place (test fixtures, instrumentation):
+        after any such mutation the caches are stale and *must* be dropped,
+        or :meth:`adjacency` / :meth:`index` will answer for the old
+        relational content.
+        """
+        self._adjacency = None
+        self._indexes.clear()
+
+    # -- derivation (copy-on-write updates) --------------------------------------
+
+    def with_tuple(self, key: object, tup: Tup, present: bool = True) -> "Structure":
+        """A structure that differs from this one by exactly one tuple.
+
+        Validates only the delta (arity and universe membership of ``tup``)
+        instead of revalidating every relation, and shares with the parent:
+
+        * the universe, signature and size bookkeeping;
+        * the per-position index caches of every *untouched* relation
+          (the touched relation's indexes are dropped and rebuilt lazily);
+        * the Gaifman adjacency, extended incrementally on insertion —
+          a deletion resets it, since other tuples may still witness the
+          affected edges.
+
+        Returns ``self`` unchanged when the update is a no-op (inserting a
+        present tuple / deleting an absent one).  The parent structure and
+        its caches are never touched — this is the copy-on-write leg of the
+        cache contract above.
+        """
+        symbol = self._resolve_symbol(self._signature, key)
+        tup = tuple(tup)
+        if len(tup) != symbol.arity:
+            raise ArityError(
+                f"tuple {tup!r} has length {len(tup)}, but "
+                f"{symbol.name} has arity {symbol.arity}"
+            )
+        for entry in tup:
+            if entry not in self._universe:
+                raise UniverseError(
+                    f"tuple {tup!r} of {symbol.name} mentions {entry!r}, "
+                    "which is not in the universe"
+                )
+        current = self._relations[symbol]
+        if (tup in current) == present:
+            return self
+
+        derived = Structure.__new__(Structure)
+        derived._signature = self._signature
+        derived._universe_order = self._universe_order
+        derived._universe = self._universe
+        relations = dict(self._relations)
+        relations[symbol] = (
+            current | {tup} if present else current - {tup}
+        )
+        derived._relations = relations
+        derived._size = self._size + (1 if present else -1)
+        # Index caches of untouched relations stay valid; the touched
+        # relation's are rebuilt lazily on demand.
+        derived._indexes = {
+            cache_key: index
+            for cache_key, index in self._indexes.items()
+            if cache_key[0] != symbol.name
+        }
+        derived._adjacency = None
+        if self._adjacency is not None:
+            distinct = set(tup)
+            if present:
+                if len(distinct) < 2:
+                    # No Gaifman edges in a (near-)singleton tuple: the
+                    # parent's adjacency is the derived one, share it.
+                    derived._adjacency = self._adjacency
+                else:
+                    adjacency = dict(self._adjacency)
+                    for a in distinct:
+                        adjacency[a] = adjacency[a] | (distinct - {a})
+                    derived._adjacency = adjacency
+            elif len(distinct) < 2:
+                derived._adjacency = self._adjacency
+        return derived
 
     # -- equality is extensional -----------------------------------------------
 

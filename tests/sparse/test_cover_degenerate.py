@@ -1,0 +1,101 @@
+"""Degenerate-input regression tests for the cover constructions.
+
+The cover machinery must produce *valid* covers (every element assigned,
+``N_r(a) ⊆ X(a)``, clusters connected) on the boundary cases where the
+centre-based construction has historically been fragile: radius 0,
+isolated vertices, self-loops, fully disconnected graphs, single-element
+universes.  Additionally, ``members_with_cluster`` must stay linear over a
+full sweep — on degenerate covers (one singleton cluster per element) a
+per-call universe scan turns every caller quadratic.
+"""
+
+import pytest
+
+from repro.sparse.covers import sparse_cover, trivial_cover
+from repro.structures.builders import graph_structure, path_graph
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+def isolated_vertices(n: int) -> Structure:
+    return graph_structure(range(n), [])
+
+
+def with_self_loop() -> Structure:
+    return graph_structure([0, 1, 2], [(0, 0), (1, 2)])
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("radius", (0, 1, 2))
+    @pytest.mark.parametrize("build", (trivial_cover, sparse_cover))
+    def test_isolated_vertices(self, build, radius):
+        cover = build(isolated_vertices(5), radius)
+        cover.verify(check_radius=2 * max(radius, 0))
+        # Each isolated vertex is its own singleton cluster.
+        assert all(len(c) == 1 for c in cover.clusters)
+        assert cover.max_degree() == 1
+
+    @pytest.mark.parametrize("build", (trivial_cover, sparse_cover))
+    def test_single_element_universe(self, build):
+        structure = graph_structure([42], [])
+        cover = build(structure, 3)
+        cover.verify()
+        assert cover.clusters == (frozenset([42]),)
+        assert cover.cluster_of(42) == frozenset([42])
+        assert cover.centres == (42,)
+
+    @pytest.mark.parametrize("build", (trivial_cover, sparse_cover))
+    def test_radius_zero_gives_singletons(self, build):
+        cover = build(path_graph(6), 0)
+        cover.verify(check_radius=0)
+        assert all(len(c) == 1 for c in cover.clusters)
+        assert len(cover.clusters) == 6
+
+    @pytest.mark.parametrize("build", (trivial_cover, sparse_cover))
+    def test_self_loops(self, build):
+        cover = build(with_self_loop(), 1)
+        cover.verify()
+        # The self-loop contributes no Gaifman edge: 0 stays isolated.
+        assert cover.cluster_of(0) == frozenset([0])
+
+    @pytest.mark.parametrize("build", (trivial_cover, sparse_cover))
+    def test_disconnected_components(self, build):
+        structure = graph_structure(range(6), [(0, 1), (2, 3)])
+        cover = build(structure, 2)
+        cover.verify()
+        # Clusters never straddle components (connectivity requirement).
+        for cluster in cover.clusters:
+            assert cluster <= {0, 1} or cluster <= {2, 3} or len(cluster) == 1
+
+    def test_no_relations_at_all(self):
+        structure = Structure(Signature.of(), [1, 2, 3])
+        for radius in (0, 1, 5):
+            cover = sparse_cover(structure, radius)
+            cover.verify()
+            assert len(cover.clusters) == 3
+
+    def test_statistics_on_degenerate_covers(self):
+        cover = sparse_cover(isolated_vertices(4), 1)
+        assert cover.max_degree() == 1
+        assert cover.average_degree() == 1.0
+        assert cover.max_cluster_radius() == 0
+
+
+class TestMembersSweepIsLinear:
+    def test_members_maps_are_grouped_once(self):
+        """members_with_cluster over all clusters visits the universe once,
+        not once per cluster (the quadratic degenerate-cover regression)."""
+        structure = isolated_vertices(64)
+        cover = sparse_cover(structure, 1)
+        assert len(cover.clusters) == 64
+        seen = []
+        for index in range(len(cover.clusters)):
+            seen.extend(cover.members_with_cluster(index))
+        # Partition: every element exactly once across all clusters.
+        assert sorted(seen) == sorted(structure.universe_order)
+        # And the grouped map is cached on the cover.
+        assert cover._members_by_cluster is cover._members_by_cluster
+
+    def test_members_of_unknown_cluster_is_empty(self):
+        cover = sparse_cover(path_graph(4), 1)
+        assert cover.members_with_cluster(9999) == ()

@@ -1,0 +1,130 @@
+"""Tests for tools/bench_runner.py: condensing and schema validation.
+
+The subprocess pytest run itself is exercised by CI's bench-smoke job;
+here we pin the pure parts — folding a pytest-benchmark payload into the
+repro-bench/2 schema, and the hand-rolled validator's acceptance and
+rejection behaviour.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from tools.bench_runner import SCHEMA_NAME, condense, validate_report
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def raw_payload():
+    return {
+        "machine_info": {"python_version": "3.12"},
+        "benchmarks": [
+            {
+                "name": "test_engine_counting[grid-100]",
+                "fullname": "benchmarks/bench_scaling_counting.py::test_engine_counting[grid-100]",
+                "group": None,
+                "stats": {
+                    "mean": 0.002,
+                    "stddev": 0.0001,
+                    "min": 0.0018,
+                    "rounds": 5,
+                },
+                "extra_info": {
+                    "family": "grid",
+                    "metrics": {
+                        "counters": {
+                            "evaluator.holds.memo.hit": 30,
+                            "evaluator.holds.memo.miss": 10,
+                        },
+                        "histograms": {},
+                    },
+                    "memo_hit_rate": 0.75,
+                },
+            }
+        ],
+    }
+
+
+class TestCondense:
+    def test_folds_into_schema(self):
+        report = condense(raw_payload(), quick=True)
+        assert report["schema"] == SCHEMA_NAME
+        assert report["quick"] is True
+        [bench] = report["benchmarks"]
+        assert bench["name"] == "test_engine_counting[grid-100]"
+        assert bench["module"] == "bench_scaling_counting"
+        assert bench["mean_s"] == 0.002
+        assert bench["rounds"] == 5
+        assert bench["memo_hit_rate"] == 0.75
+        assert bench["extra_info"] == {"family": "grid"}  # metrics lifted out
+        totals = report["totals"]
+        assert totals["benchmarks"] == 1
+        assert totals["wall_s"] == 0.002 * 5
+        assert totals["memo_hits"] == 30
+        assert totals["memo_misses"] == 10
+        assert totals["memo_hit_rate"] == 0.75
+
+    def test_condensed_report_is_valid(self):
+        assert validate_report(condense(raw_payload(), quick=False)) == []
+
+    def test_empty_run_is_valid(self):
+        report = condense({"benchmarks": []}, quick=True)
+        assert validate_report(report) == []
+        assert report["totals"]["memo_hit_rate"] is None
+
+
+class TestValidator:
+    def test_rejects_wrong_schema_tag(self):
+        report = condense(raw_payload(), quick=True)
+        report["schema"] = "something-else"
+        assert any("schema" in p for p in validate_report(report))
+
+    def test_rejects_negative_timings(self):
+        report = condense(raw_payload(), quick=True)
+        report["benchmarks"][0]["mean_s"] = -1
+        assert any("mean_s" in p for p in validate_report(report))
+
+    def test_rejects_out_of_range_hit_rate(self):
+        report = condense(raw_payload(), quick=True)
+        report["benchmarks"][0]["memo_hit_rate"] = 1.5
+        assert any("memo_hit_rate" in p for p in validate_report(report))
+
+    def test_rejects_inconsistent_totals(self):
+        report = condense(raw_payload(), quick=True)
+        report["totals"]["benchmarks"] = 7
+        assert any("totals.benchmarks" in p for p in validate_report(report))
+
+    def test_rejects_non_integer_counters(self):
+        report = condense(raw_payload(), quick=True)
+        report["benchmarks"][0]["metrics"]["counters"]["bad"] = "lots"
+        assert any("counters" in p for p in validate_report(report))
+
+    def test_rejects_non_dict(self):
+        assert validate_report([]) != []
+
+
+class TestCliValidate:
+    def test_validate_subcommand(self, tmp_path):
+        target = tmp_path / "report.json"
+        target.write_text(json.dumps(condense(raw_payload(), quick=True)))
+        completed = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "bench_runner.py"),
+             "--validate", str(target)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "valid" in completed.stdout
+
+    def test_validate_subcommand_rejects(self, tmp_path):
+        target = tmp_path / "report.json"
+        target.write_text(json.dumps({"schema": "nope"}))
+        completed = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "bench_runner.py"),
+             "--validate", str(target)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 1
+        assert "invalid" in completed.stderr

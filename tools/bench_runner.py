@@ -1,0 +1,318 @@
+"""Headless benchmark runner: execute the ``benchmarks/`` suites and emit
+a machine-readable ``BENCH_pr2.json``.
+
+The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
+plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
+attaches to ``extra_info`` (see ``REPRO_BENCH_METRICS``), and condenses
+everything into a small, stable report::
+
+    {
+      "schema": "repro-bench/2",
+      "quick": true,
+      "benchmarks": [
+        {"name": "...", "module": "bench_covers", "mean_s": ..., ...,
+         "metrics": {"counters": {...}, "histograms": {...}},
+         "memo_hit_rate": 0.93},
+        ...
+      ],
+      "totals": {"benchmarks": N, "wall_s": ..., "memo_hit_rate": ...}
+    }
+
+Usage::
+
+    python tools/bench_runner.py --quick              # smoke pass (seconds)
+    python tools/bench_runner.py                      # full pass (minutes)
+    python tools/bench_runner.py --validate BENCH_pr2.json
+
+``--quick`` selects the small parameter points (via ``REPRO_BENCH_QUICK``;
+the ceilings live in ``benchmarks/conftest.py``) and caps rounds, so CI can
+afford it on every push.  ``--validate`` checks an existing report against
+the schema without running anything — the CI smoke job uses it to keep the
+emitted artifact honest.  The schema validator is hand-rolled: no
+``jsonschema`` dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA_NAME = "repro-bench/2"
+
+#: Extra pytest flags for --quick: one round per benchmark, warmup off.
+QUICK_FLAGS = (
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0.25",
+    "--benchmark-warmup=off",
+)
+
+
+def run_benchmarks(
+    quick: bool,
+    select: "Optional[str]" = None,
+    extra_args: "Optional[List[str]]" = None,
+) -> Dict:
+    """Run the suites, return the condensed report dict.
+
+    Raises :class:`RuntimeError` when pytest fails for a reason other than
+    "no tests collected for this filter".
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        raw_path = Path(tmp) / "pytest-benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ]
+        if quick:
+            command.extend(QUICK_FLAGS)
+        if select:
+            command.extend(["-k", select])
+        if extra_args:
+            command.extend(extra_args)
+
+        env = dict(os.environ)
+        env["REPRO_BENCH_METRICS"] = "1"
+        if quick:
+            env["REPRO_BENCH_QUICK"] = "1"
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+
+        completed = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        # Exit code 5 is "no tests collected" (an over-narrow -k filter);
+        # everything else non-zero is a genuine failure.
+        if completed.returncode not in (0, 5):
+            sys.stderr.write(completed.stdout)
+            raise RuntimeError(
+                f"pytest exited with code {completed.returncode}"
+            )
+        raw = (
+            json.loads(raw_path.read_text())
+            if raw_path.exists()
+            else {"benchmarks": []}
+        )
+    return condense(raw, quick=quick)
+
+
+def condense(raw: Dict, quick: bool) -> Dict:
+    """Fold a pytest-benchmark JSON payload into the repro-bench schema."""
+    benchmarks: List[Dict] = []
+    total_wall = 0.0
+    memo_hits = 0
+    memo_misses = 0
+    for entry in raw.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        extra = dict(entry.get("extra_info", {}))
+        metrics = extra.pop("metrics", None)
+        memo_hit_rate = extra.pop("memo_hit_rate", None)
+        mean = float(stats.get("mean", 0.0))
+        rounds = int(stats.get("rounds", 0))
+        total_wall += mean * rounds
+        if metrics:
+            counters = metrics.get("counters", {})
+            memo_hits += sum(
+                v for k, v in counters.items() if k.endswith(".memo.hit")
+            )
+            memo_misses += sum(
+                v for k, v in counters.items() if k.endswith(".memo.miss")
+            )
+        benchmarks.append(
+            {
+                "name": entry.get("name", ""),
+                "module": Path(entry.get("fullname", "")).name.split("::")[0]
+                .removesuffix(".py"),
+                "group": entry.get("group"),
+                "mean_s": mean,
+                "stddev_s": float(stats.get("stddev", 0.0)),
+                "min_s": float(stats.get("min", 0.0)),
+                "rounds": rounds,
+                "extra_info": extra,
+                "metrics": metrics,
+                "memo_hit_rate": memo_hit_rate,
+            }
+        )
+    total = memo_hits + memo_misses
+    report = {
+        "schema": SCHEMA_NAME,
+        "quick": quick,
+        "machine_info": raw.get("machine_info", {}),
+        "benchmarks": benchmarks,
+        "totals": {
+            "benchmarks": len(benchmarks),
+            "wall_s": total_wall,
+            "memo_hits": memo_hits,
+            "memo_misses": memo_misses,
+            "memo_hit_rate": (memo_hits / total) if total else None,
+        },
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (hand-rolled; no jsonschema dependency)
+# ---------------------------------------------------------------------------
+
+
+def validate_report(report: Dict) -> List[str]:
+    """Return a list of schema violations (empty means valid)."""
+    problems: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    check(isinstance(report, dict), "report must be an object")
+    if not isinstance(report, dict):
+        return problems
+    check(report.get("schema") == SCHEMA_NAME, f"schema must be {SCHEMA_NAME!r}")
+    check(isinstance(report.get("quick"), bool), "quick must be a boolean")
+    benchmarks = report.get("benchmarks")
+    check(isinstance(benchmarks, list), "benchmarks must be a list")
+    for i, bench in enumerate(benchmarks or []):
+        where = f"benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        check(
+            isinstance(bench.get("name"), str) and bench["name"],
+            f"{where}.name must be a non-empty string",
+        )
+        check(isinstance(bench.get("module"), str), f"{where}.module must be a string")
+        for key in ("mean_s", "stddev_s", "min_s"):
+            value = bench.get(key)
+            check(
+                isinstance(value, (int, float)) and value >= 0,
+                f"{where}.{key} must be a non-negative number",
+            )
+        check(
+            isinstance(bench.get("rounds"), int) and bench["rounds"] >= 1,
+            f"{where}.rounds must be a positive integer",
+        )
+        rate = bench.get("memo_hit_rate")
+        check(
+            rate is None or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
+            f"{where}.memo_hit_rate must be null or in [0, 1]",
+        )
+        metrics = bench.get("metrics")
+        if metrics is not None:
+            check(
+                isinstance(metrics, dict)
+                and isinstance(metrics.get("counters"), dict)
+                and isinstance(metrics.get("histograms"), dict),
+                f"{where}.metrics must have counters and histograms objects",
+            )
+            if isinstance(metrics, dict):
+                for name, value in (metrics.get("counters") or {}).items():
+                    check(
+                        isinstance(value, int) and value >= 0,
+                        f"{where}.metrics.counters[{name!r}] must be a "
+                        "non-negative integer",
+                    )
+    totals = report.get("totals")
+    check(isinstance(totals, dict), "totals must be an object")
+    if isinstance(totals, dict):
+        check(
+            totals.get("benchmarks") == len(benchmarks or []),
+            "totals.benchmarks must equal len(benchmarks)",
+        )
+        wall = totals.get("wall_s")
+        check(
+            isinstance(wall, (int, float)) and wall >= 0,
+            "totals.wall_s must be a non-negative number",
+        )
+        rate = totals.get("memo_hit_rate")
+        check(
+            rate is None or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
+            "totals.memo_hit_rate must be null or in [0, 1]",
+        )
+    return problems
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suites and emit BENCH_pr2.json"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke pass: small parameter points only, one round each",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_pr2.json"),
+        metavar="FILE",
+        help="where to write the report (default: BENCH_pr2.json)",
+    )
+    parser.add_argument(
+        "-k",
+        dest="select",
+        metavar="EXPR",
+        help="pytest -k selection forwarded to the suites",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing report against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text())
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid {SCHEMA_NAME} report with "
+            f"{report['totals']['benchmarks']} benchmark(s)"
+        )
+        return 0
+
+    report = run_benchmarks(quick=args.quick, select=args.select)
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"internal schema violation: {problem}", file=sys.stderr)
+        return 1
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    totals = report["totals"]
+    rate = totals["memo_hit_rate"]
+    rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+    print(
+        f"wrote {output}: {totals['benchmarks']} benchmark(s), "
+        f"{totals['wall_s']:.2f}s measured wall time, "
+        f"memo hit rate {rate_text}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
