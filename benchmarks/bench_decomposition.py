@@ -15,7 +15,7 @@ import pytest
 from repro.core.decomposition import decompose_factored_count
 from repro.core.local_eval import evaluate_polynomial_ground
 from repro.logic.builder import Rel
-from repro.logic.syntax import And, conjunction
+from repro.logic.syntax import conjunction
 from repro.sparse.classes import nearly_square_grid, sparse_random_graph
 
 E = Rel("E", 2)

@@ -26,7 +26,6 @@ GRAPH_SIZES = (4, 8, 16, 32, 64)
 def test_string_construction(benchmark, n):
     graph = sparse_random_graph(n, 2.0, seed=n)
     reduction = benchmark(build_string, graph)
-    structure = reduction.string
     benchmark.extra_info["graph_size"] = graph.size()
     benchmark.extra_info["word_length"] = len(reduction.word)
     # |S_G| <= n(n+1) + sum over edges of (j+1) = O(n^2 + m*n)

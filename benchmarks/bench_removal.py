@@ -18,7 +18,7 @@ from repro.core.removal import (
 )
 from repro.logic.parser import parse_formula
 from repro.logic.semantics import satisfies
-from repro.logic.syntax import CountTerm, expression_size
+from repro.logic.syntax import expression_size
 from repro.sparse.classes import nearly_square_grid, random_tree
 
 RADIUS = 3

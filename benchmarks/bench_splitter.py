@@ -12,7 +12,7 @@ is the whole graph, so Splitter removes one vertex per round).
 import pytest
 
 from repro.sparse.classes import bounded_degree_graph, nearly_square_grid, random_tree
-from repro.sparse.splitter import play_splitter_game, rounds_needed
+from repro.sparse.splitter import rounds_needed
 from repro.structures.builders import complete_graph
 
 SPARSE = {

@@ -98,6 +98,15 @@ from .core import (
     remove_element,
     removal_formula,
 )
+from .plan import (
+    PlanCache,
+    PlanExecutor,
+    PlanOptions,
+    QueryPlan,
+    canonicalise,
+    compile_plan,
+    default_plan_cache,
+)
 from .sparse import (
     NeighbourhoodCover,
     play_splitter_game,

@@ -18,6 +18,11 @@ Usage examples::
     python -m repro info graph.txt
     python -m repro formula "exists x. @even(#(y). E(x, y))"
 
+    # render the compiled query plan (stratification stages, count DAG,
+    # guard annotations) without evaluating anything
+    python -m repro explain "exists x. @even(#(y). E(x, y))"
+    python -m repro explain --structure graph.txt "#(x, y). E(x, y)"
+
 Structures come from ``.json`` files (see :mod:`repro.io`) or edge lists.
 
 Resource governance (see ``docs/ROBUSTNESS.md``): ``--timeout`` and
@@ -41,9 +46,17 @@ from .core.baseline import BruteForceEvaluator
 from .core.evaluator import Foc1Evaluator
 from .errors import BudgetExceededError, ReproError
 from .io import load_structure
-from .logic.foc1 import fragment_summary
+from .logic.foc1 import assert_foc1, fragment_summary
 from .logic.parser import parse_formula, parse_term
 from .logic.printer import pretty
+from .logic.syntax import Expression, free_variables
+from .plan import (
+    PlanOptions,
+    canonicalise,
+    compile_plan,
+    default_plan_cache,
+    infer_signature,
+)
 from .robust import EvaluationBudget, RobustEvaluator
 from .sparse.measures import sparsity_report
 
@@ -83,6 +96,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
     formula = commands.add_parser("formula", help="parse and analyse a formula")
     formula.add_argument("text")
+
+    explain = commands.add_parser(
+        "explain",
+        help="compile an expression and render its query plan "
+        "(stratification stages, count DAG, guards) without evaluating",
+    )
+    explain.add_argument("expression", help="a formula or a counting term")
+    explain.add_argument(
+        "--structure",
+        help="take the signature from this structure file "
+        "(default: infer it from the expression's relation atoms)",
+    )
+    explain.add_argument(
+        "--vars",
+        nargs="+",
+        help="compile a count plan over these variables "
+        "(default for a formula with free variables: all of them)",
+    )
+    explain.add_argument(
+        "--no-fragment-check",
+        action="store_true",
+        help="allow full FOC(P) expressions",
+    )
+    explain.add_argument(
+        "--no-factoring",
+        action="store_true",
+        help="compile without the Lemma 6.4 component factoring",
+    )
+    explain.add_argument(
+        "--no-guards",
+        action="store_true",
+        help="compile without guard annotations (plain scans)",
+    )
 
     for sub in (check, count, term, unary):
         sub.add_argument(
@@ -165,6 +211,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2, default=str))
         return 0
 
+    if args.command == "explain":
+        return _explain(args)
+
     structure = load_structure(args.structure)
     engine = _make_engine(args)
 
@@ -191,6 +240,68 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit_report(engine)
         return 0
     raise AssertionError("unreachable")
+
+
+def _parse_expression(text: str) -> Expression:
+    """Parse ``text`` as a formula, falling back to a counting term."""
+    try:
+        return parse_formula(text)
+    except ReproError as formula_error:
+        try:
+            return parse_term(text)
+        except ReproError:
+            raise formula_error from None
+
+
+def _explain(args: argparse.Namespace) -> int:
+    """Compile (or fetch) the plan for one expression and render it."""
+    expression = _parse_expression(args.expression)
+    if not args.no_fragment_check:
+        assert_foc1(expression)
+    free = sorted(free_variables(expression))
+    # Pick the plan kind the way the engine facade would.
+    from .logic.syntax import Add, CountTerm, IntTerm, Mul
+
+    is_term = isinstance(expression, (CountTerm, IntTerm, Add, Mul))
+    if is_term:
+        if len(free) > 1:
+            raise ReproError(
+                f"term has free variables {free}; at most one is supported"
+            )
+        kind = "unary_term" if free else "ground_term"
+        variables = tuple(free)
+    elif args.vars:
+        missing = set(free) - set(args.vars)
+        if missing:
+            raise ReproError(f"free variables {sorted(missing)} not in --vars")
+        kind, variables = "count", tuple(args.vars)
+    elif free:
+        kind, variables = "count", tuple(free)
+    else:
+        kind, variables = "model_check", ()
+
+    if args.structure is not None:
+        signature = load_structure(args.structure).signature
+    else:
+        signature = infer_signature([expression])
+    options = PlanOptions(
+        factoring=not args.no_factoring, guards=not args.no_guards
+    )
+    cache = default_plan_cache()
+    canon = canonicalise(expression)
+    key = (kind, (canon,), variables, signature, options)
+    plan = cache.get_or_compile(
+        key, lambda: compile_plan(kind, (canon,), variables, signature, options)
+    )
+    print(plan.explain())
+    stats = cache.stats()
+    print(
+        "plan cache: "
+        f"size={stats['size']}/{stats['capacity']} "
+        f"hits={stats['hits']} misses={stats['misses']} "
+        f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.2f}"
+    )
+    return 0
 
 
 def _emit_report(engine) -> None:
@@ -227,7 +338,7 @@ def _make_engine(args: argparse.Namespace):
     if args.engine == "robust":
         return RobustEvaluator(budget=budget, check_fragment=check_fragment)
     if args.engine == "baseline":
-        return BruteForceEvaluator(budget=budget)
+        return BruteForceEvaluator(budget=budget, check_fragment=check_fragment)
     return Foc1Evaluator(check_fragment=check_fragment, budget=budget)
 
 

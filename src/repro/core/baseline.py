@@ -4,7 +4,12 @@
 Wraps the literal Definition 3.1 semantics of :mod:`repro.logic.semantics`:
 quantifiers and counting terms scan the full universe, giving the
 ``n^width`` behaviour the scaling benchmarks (E3) compare against.  It also
-serves as the correctness oracle in the property tests.
+serves as the correctness oracle in the property tests — which is why its
+input validation mirrors :class:`~repro.core.evaluator.Foc1Evaluator`'s
+exactly: both engines accept and reject the same inputs (same
+``check_fragment`` knob, same :class:`~repro.errors.FragmentError` /
+:class:`~repro.errors.EvaluationError` paths), so a differential test can
+never silently compare them on an input only one of them validated.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import EvaluationError
+from ..logic.foc1 import assert_foc1
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.semantics import count_solutions, evaluate, satisfies, solutions
 from ..logic.syntax import Formula, Term, Variable, free_variables
@@ -29,26 +35,37 @@ class BruteForceEvaluator:
     :class:`~repro.errors.BudgetExceededError` stops runaway evaluations of
     adversarial inputs (Section 4's hardness results make those
     unavoidable for full FOC(P)).
+
+    ``check_fragment`` matches :class:`~repro.core.evaluator.Foc1Evaluator`:
+    on by default, so the oracle rejects exactly what the subject engine
+    rejects; pass ``False`` to evaluate full FOC(P) (the naive semantics
+    handles it — slowly).
     """
 
     def __init__(
         self,
         predicates: "Optional[PredicateCollection]" = None,
         budget: "Optional[EvaluationBudget]" = None,
+        check_fragment: bool = True,
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
+        self.check_fragment = check_fragment
 
     @traced("baseline.model_check")
     def model_check(self, structure: Structure, sentence: Formula) -> bool:
         if free_variables(sentence):
             raise EvaluationError("model_check expects a sentence")
+        if self.check_fragment:
+            assert_foc1(sentence)
         return satisfies(structure, sentence, None, self.predicates, self.budget)
 
     @traced("baseline.ground_term_value")
     def ground_term_value(self, structure: Structure, term: Term) -> int:
         if free_variables(term):
             raise EvaluationError("ground_term_value expects a ground term")
+        if self.check_fragment:
+            assert_foc1(term)
         return evaluate(term, structure, None, self.predicates, self.budget)
 
     @traced("baseline.unary_term_values")
@@ -62,6 +79,8 @@ class BruteForceEvaluator:
         extra = free_variables(term) - {variable}
         if extra:
             raise EvaluationError(f"term has unexpected free variables {sorted(extra)}")
+        if self.check_fragment:
+            assert_foc1(term)
         targets = (
             list(elements) if elements is not None else list(structure.universe_order)
         )
@@ -74,6 +93,13 @@ class BruteForceEvaluator:
     def count(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> int:
+        missing = free_variables(formula) - set(variables)
+        if missing:
+            raise EvaluationError(f"free variables {sorted(missing)} not listed")
+        if len(set(variables)) != len(variables):
+            raise EvaluationError("count variables must be pairwise distinct")
+        if self.check_fragment:
+            assert_foc1(formula)
         return count_solutions(
             structure, formula, variables, self.predicates, self.budget
         )
@@ -81,10 +107,17 @@ class BruteForceEvaluator:
     def solutions(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> Iterator[Tuple[Element, ...]]:
+        missing = free_variables(formula) - set(variables)
+        if missing:
+            raise EvaluationError(f"free variables {sorted(missing)} not listed")
+        if self.check_fragment:
+            assert_foc1(formula)
         yield from solutions(
             structure, formula, variables, self.predicates, self.budget
         )
 
     @traced("baseline.evaluate_query")
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
+        if self.check_fragment:
+            query.validate_foc1()
         return query.evaluate_naive(structure, self.predicates, self.budget)

@@ -26,7 +26,6 @@ from ..logic.syntax import (
     And,
     CountTerm,
     Formula,
-    Term,
     Variable,
     conjunction,
     free_variables,

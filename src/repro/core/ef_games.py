@@ -148,7 +148,6 @@ def _formula_pool(
     yield from (Not(a) for a in atoms)
     if rounds >= 1:
         fresh = f"_g{len(variables)}"
-        inner_vars = variables + (fresh,)
         inner_atoms: List[Formula] = []
         for x in variables:
             inner_atoms.append(Atom("E", (x, fresh)))

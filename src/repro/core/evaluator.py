@@ -1,79 +1,57 @@
 """The FOC1(P) evaluation engine (Theorem 5.5 / Lemma 5.7 pipeline).
 
-The engine follows the paper's architecture:
+Since the plan-layer refactor the engine is a *facade* over
+:mod:`repro.plan`: every public call canonicalises its input
+(:func:`repro.plan.normalise.canonicalise`), fetches or compiles an
+immutable :class:`~repro.plan.ir.QueryPlan` from the plan cache, and runs
+it through a fresh :class:`~repro.plan.executor.PlanExecutor`.  The paper's
+static analyses — stratification by #-depth (Theorem 6.10), counting-term
+decomposition (Lemma 6.4), guard selection (Remark 6.3) — happen once per
+distinct (normalised expression, signature, options) triple instead of
+once per call; the runtime machinery (guarded enumeration, memoisation,
+budgets, faults, metrics) lives in the shared executor.
 
-1. **Stratification by #-depth (Theorem 6.10).**  Innermost numerical
-   predicate atoms ``P(t1..tm)`` have counting-term arguments whose bodies
-   are already first-order.  By rule (4') their joint free variables number
-   at most one, so each atom defines a 0-ary or unary relation: the engine
-   *materialises* that relation (evaluating the terms at every element and
-   consulting the P-oracle), extends the structure by a fresh symbol, and
-   replaces the atom.  Iterating removes all counting machinery, leaving an
-   FO expression over an expanded structure — exactly the sequence
-   ``A_0, A_1, ..., A_{d+1}`` of the Decomposition Theorem.
+The cache is keyed on the *canonicalised* AST, so alpha-equivalent queries
+share a plan, and every node a plan retains is a compile-time deep copy —
+caller ASTs are never pinned by the cache (see the memo-lifetime contract
+in :mod:`repro.plan.executor`).
 
-2. **Locality-aware counting (Lemma 6.4 / Remark 6.3, operationally).**
-   First-order counting terms ``#y-bar.theta`` are evaluated by
-   (a) *factoring* conjunctions into variable-disjoint components and
-   multiplying the component counts — the product step of Lemma 6.4;
-   (b) *complementing* negations (``#¬phi = n^k - #phi``) and
-   inclusion–exclusion for disjunctions — the subtraction step; and
-   (c) *guarded enumeration* of each component: candidates for a variable
-   come from relation indexes, equality bindings, or distance balls, so on
-   structures with small balls the enumeration explores neighbourhoods
-   instead of the full universe — Remark 6.3's ball exploration.
-
-3. **Quantification** is resolved by the same guarded machinery with early
-   exit, and all subformula evaluations are memoised per relevant
-   assignment.
-
-The engine is exact on *all* inputs (it degrades to enumeration when no
-guards exist); the sparse-class speedups the paper proves show up as the
-measured scaling of experiments E3/E8/E10.  The brute-force oracle with the
-same API lives in :mod:`repro.core.baseline`.
+The brute-force oracle with the same API lives in
+:mod:`repro.core.baseline`; it keeps the literal Definition 3.1 semantics
+and no plan layer, which is exactly what makes it a useful differential
+oracle.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import EvaluationError, FormulaError, FragmentError
+from ..errors import EvaluationError
 from ..logic.foc1 import assert_foc1
-from ..obs import active_metrics, traced
-from ..robust.budget import EvaluationBudget
-from ..robust.faults import fault_check
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import (
-    Add,
-    And,
-    Atom,
-    Bottom,
-    CountTerm,
-    DistAtom,
-    Eq,
-    Exists,
     Expression,
-    Forall,
     Formula,
-    Iff,
-    Implies,
-    IntTerm,
-    Mul,
-    Not,
-    Or,
-    PredicateAtom,
     Term,
-    Top,
     Variable,
     free_variables,
-    is_sentence,
-    subexpressions,
 )
-from ..structures.gaifman import distances_from
-from ..structures.signature import RelationSymbol, Signature
-from ..structures.structure import Element, Structure, Tup
+from ..obs import traced
+from ..plan.cache import PlanCache, default_plan_cache
+from ..plan.compiler import compile_plan
+from ..plan.executor import ExecutionState, PlanExecutor
+from ..plan.ir import PlanOptions, QueryPlan
+from ..plan.normalise import canonicalise, flatten_conjuncts, replace_atoms
+from ..robust.budget import EvaluationBudget
+from ..structures.structure import Element, Structure
 from .query import Foc1Query
+
+#: Backwards-compatible aliases: the evaluation session and its structural
+#: helpers moved to the plan layer; tests and downstream code may still
+#: import them from here.
+_Session = ExecutionState
+_flatten_and = flatten_conjuncts
+_replace_atoms = replace_atoms
 
 
 class Foc1Evaluator:
@@ -101,6 +79,11 @@ class Foc1Evaluator:
         predicate materialisation).  Exhaustion raises
         :class:`~repro.errors.BudgetExceededError`; Section 4's hardness
         results mean dense/adversarial inputs *will* need this.
+    plan_cache:
+        The :class:`~repro.plan.cache.PlanCache` compiled plans are stored
+        in.  Defaults to the process-wide shared cache, so repeated and
+        cross-engine evaluations of the same query reuse one plan; pass a
+        private instance to isolate (benchmarks do).
     """
 
     def __init__(
@@ -110,12 +93,48 @@ class Foc1Evaluator:
         use_guards: bool = True,
         check_fragment: bool = True,
         budget: "Optional[EvaluationBudget]" = None,
+        plan_cache: "Optional[PlanCache]" = None,
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.use_factoring = use_factoring
         self.use_guards = use_guards
         self.check_fragment = check_fragment
         self.budget = budget
+        self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
+
+    # -- compile-once plumbing ----------------------------------------------------
+
+    def _plan(
+        self,
+        kind: str,
+        expressions: Sequence[Expression],
+        variables: Sequence[Variable],
+        structure: Structure,
+    ) -> QueryPlan:
+        """Fetch (or compile) the plan for one engine operation.
+
+        The cache key is built from the canonicalised expressions, so
+        alpha-equivalent inputs share an entry and the key never references
+        caller AST objects.
+        """
+        options = PlanOptions(self.use_factoring, self.use_guards)
+        canon = tuple(canonicalise(e) for e in expressions)
+        key: Hashable = (
+            kind,
+            canon,
+            tuple(variables),
+            structure.signature,
+            options,
+        )
+        return self.plan_cache.get_or_compile(
+            key,
+            lambda: compile_plan(
+                kind, canon, tuple(variables), structure.signature, options
+            ),
+        )
+
+    def _executor(self, plan: QueryPlan, structure: Structure) -> PlanExecutor:
+        return PlanExecutor(plan, structure, self.predicates, self.budget)
 
     # -- public API --------------------------------------------------------------
 
@@ -126,13 +145,8 @@ class Foc1Evaluator:
             raise EvaluationError("model_check expects a sentence; use count()")
         if self.check_fragment:
             assert_foc1(sentence)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced = session.reduce_formula(sentence)
-        final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
-        )
-        return final.holds(reduced, {})
+        plan = self._plan("model_check", (sentence,), (), structure)
+        return self._executor(plan, structure).model_check()
 
     @traced("foc1.ground_term_value")
     def ground_term_value(self, structure: Structure, term: Term) -> int:
@@ -141,13 +155,8 @@ class Foc1Evaluator:
             raise EvaluationError("ground_term_value expects a ground term")
         if self.check_fragment:
             assert_foc1(term)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced = session.reduce_term(term)
-        final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
-        )
-        return final.term_value(reduced, {})
+        plan = self._plan("ground_term", (term,), (), structure)
+        return self._executor(plan, structure).ground_term_value()
 
     @traced("foc1.unary_term_values")
     def unary_term_values(
@@ -164,16 +173,8 @@ class Foc1Evaluator:
             raise EvaluationError(f"term has unexpected free variables {sorted(extra)}")
         if self.check_fragment:
             assert_foc1(term)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced = session.reduce_term(term)
-        final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
-        )
-        targets = (
-            list(elements) if elements is not None else list(structure.universe_order)
-        )
-        return {a: final.term_value(reduced, {variable: a}) for a in targets}
+        plan = self._plan("unary_term", (term,), (variable,), structure)
+        return self._executor(plan, structure).unary_term_values(variable, elements)
 
     @traced("foc1.count")
     def count(
@@ -188,13 +189,8 @@ class Foc1Evaluator:
             raise EvaluationError("count variables must be pairwise distinct")
         if self.check_fragment:
             assert_foc1(formula)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced = session.reduce_formula(formula)
-        final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
-        )
-        return final.count(tuple(variables), reduced, {})
+        plan = self._plan("count", (formula,), tuple(variables), structure)
+        return self._executor(plan, structure).count_value()
 
     def solutions(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
@@ -205,722 +201,18 @@ class Foc1Evaluator:
             raise EvaluationError(f"free variables {sorted(missing)} not listed")
         if self.check_fragment:
             assert_foc1(formula)
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced = session.reduce_formula(formula)
-        final = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
-        )
-        yield from final.solutions(tuple(variables), reduced)
+        plan = self._plan("solutions", (formula,), tuple(variables), structure)
+        yield from self._executor(plan, structure).solutions()
 
     @traced("foc1.evaluate_query")
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
         """``q(A)`` for an FOC1(P)-query (Definition 5.2)."""
         if self.check_fragment:
             query.validate_foc1()
-        session = _Session(structure, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        reduced_structure, reduced_condition = session.reduce_formula(query.condition)
-        # Reduce head terms against the possibly-further-expanded structure.
-        reduce_session = _Session(
-            reduced_structure, self.predicates, self.use_factoring, self.use_guards,
-            self.budget,
+        plan = self._plan(
+            "query",
+            (query.condition, *query.head_terms),
+            query.head_variables,
+            structure,
         )
-        reduced_terms: List[Term] = []
-        current = reduced_structure
-        for term in query.head_terms:
-            current, reduced_term = reduce_session.reduce_term(term)
-            reduce_session = _Session(
-                current, self.predicates, self.use_factoring, self.use_guards,
-                self.budget,
-            )
-            reduced_terms.append(reduced_term)
-        final = _Session(current, self.predicates, self.use_factoring, self.use_guards, self.budget)
-        results: List[Tuple] = []
-        for tup in final.solutions(query.head_variables, reduced_condition):
-            assignment = dict(zip(query.head_variables, tup))
-            values = tuple(
-                final.term_value(term, assignment) for term in reduced_terms
-            )
-            results.append(tup + values)
-        return results
-
-
-# ---------------------------------------------------------------------------
-# Evaluation session: reduction + counting machinery for one structure
-# ---------------------------------------------------------------------------
-
-
-class _Session:
-    """Evaluation state for one (possibly expanded) structure: memo tables,
-    ball caches, and the predicate-elimination pipeline.
-
-    Memo lifetime contract
-    ----------------------
-    Every memo table keys on ``id(node)`` (identity is far cheaper than
-    hashing a deep AST on every lookup).  That is only sound while the
-    node object stays alive: CPython recycles ids, so a memo entry that
-    outlives its node can alias a *different* node created later.  The
-    session therefore pins every memoised node in ``_pins`` (id -> node)
-    and the two are only ever dropped **together**, via
-    :meth:`_reset_memos`.  Sessions themselves are scoped to one public
-    engine call (``Foc1Evaluator`` creates fresh sessions per call and
-    holds no reference afterwards), so repeated queries do not accumulate
-    memory across calls.
-    """
-
-    def __init__(
-        self,
-        structure: Structure,
-        predicates: PredicateCollection,
-        use_factoring: bool,
-        use_guards: bool,
-        budget: "Optional[EvaluationBudget]" = None,
-    ):
-        self.structure = structure
-        self.predicates = predicates
-        self.use_factoring = use_factoring
-        self.use_guards = use_guards
-        self.budget = budget
-        self._metrics = active_metrics()
-        self._holds_memo: Dict[Tuple, bool] = {}
-        self._count_memo: Dict[Tuple, int] = {}
-        self._free_memo: Dict[int, FrozenSet[Variable]] = {}
-        # Pin every node that enters an id-keyed memo (id -> node, so a
-        # node pinned through several memos is stored once).  Dropped
-        # only together with the memos in _reset_memos().
-        self._pins: Dict[int, Expression] = {}
-        self._free_sorted_memo: Dict[int, Tuple[Variable, ...]] = {}
-        self._conjunct_memo: Dict[int, List[Formula]] = {}
-        self._ball_caches: Dict[int, Dict[Element, FrozenSet[Element]]] = {}
-        self._aux_counter = itertools.count()
-
-    def _reset_memos(self) -> None:
-        """Drop every id-keyed memo *and* its pins, atomically.
-
-        Clearing the pins without the memos (or vice versa) would let a
-        recycled id alias a stale entry; this is the only place either
-        is cleared.
-        """
-        self._holds_memo.clear()
-        self._count_memo.clear()
-        self._free_memo.clear()
-        self._free_sorted_memo.clear()
-        self._conjunct_memo.clear()
-        self._ball_caches.clear()
-        self._pins.clear()
-
-    # -- small caches ------------------------------------------------------------
-
-    def free(self, node: Expression) -> FrozenSet[Variable]:
-        key = id(node)
-        cached = self._free_memo.get(key)
-        if cached is None:
-            cached = free_variables(node)
-            self._free_memo[key] = cached
-            self._pins[key] = node
-        return cached
-
-    def free_sorted(self, node: Expression) -> Tuple[Variable, ...]:
-        key = id(node)
-        cached = self._free_sorted_memo.get(key)
-        if cached is None:
-            cached = tuple(sorted(self.free(node)))
-            self._free_sorted_memo[key] = cached
-            self._pins[key] = node
-        return cached
-
-    def _conjuncts(self, formula: Formula) -> List[Formula]:
-        key = id(formula)
-        cached = self._conjunct_memo.get(key)
-        if cached is None:
-            cached = _flatten_and(formula)
-            self._conjunct_memo[key] = cached
-            self._pins[key] = formula
-        return cached
-
-    def ball(self, element: Element, distance: int) -> FrozenSet[Element]:
-        cache = self._ball_caches.setdefault(distance, {})
-        cached = cache.get(element)
-        if cached is None:
-            cached = frozenset(distances_from(self.structure, [element], distance))
-            cache[element] = cached
-            if self._metrics is not None:
-                self._metrics.inc("evaluator.ball.expansion")
-        return cached
-
-    # -- Theorem 6.10 stratification ----------------------------------------------
-
-    def reduce_formula(self, formula: Formula) -> Tuple[Structure, Formula]:
-        return self._reduce(formula)  # type: ignore[return-value]
-
-    def reduce_term(self, term: Term) -> Tuple[Structure, Term]:
-        return self._reduce(term)  # type: ignore[return-value]
-
-    def _reduce(self, expression: Expression) -> Tuple[Structure, Expression]:
-        """Iteratively materialise innermost predicate atoms as fresh <=1-ary
-        relations (the L_1..L_{d+1} stages of Theorem 6.10)."""
-        current = expression
-        while True:
-            innermost = self._innermost_predicate_atoms(current)
-            if not innermost:
-                return self.structure, current
-            replacements: Dict[PredicateAtom, Atom] = {}
-            for atom in innermost:
-                replacements[atom] = self._materialise(atom)
-            current = _replace_atoms(current, replacements)
-            # Rebuild memo state against the expanded structure.
-            self._reset_memos()
-
-    def _innermost_predicate_atoms(self, expression: Expression) -> List[PredicateAtom]:
-        """Predicate atoms ready for materialisation: no nested predicate
-        atoms and at most one joint free variable (rule 4').
-
-        Atoms with more free variables (full FOC(P), outside the fragment)
-        are left in place; :meth:`_holds` evaluates them inline, which is
-        correct but loses the fpt structure — exactly the paper's point, and
-        what experiment E4 measures.
-        """
-        found: Dict[PredicateAtom, None] = {}
-        for node in subexpressions(expression):
-            if isinstance(node, PredicateAtom):
-                nested = any(
-                    isinstance(inner, PredicateAtom) and inner is not node
-                    for inner in subexpressions(node)
-                )
-                if not nested and len(self.free(node)) <= 1:
-                    found.setdefault(node, None)
-        return list(found)
-
-    def _materialise(self, atom: PredicateAtom) -> Atom:
-        """Evaluate a predicate atom everywhere and add it as a relation."""
-        names = sorted(self.free(atom))
-        if len(names) > 1:
-            raise FragmentError(
-                f"predicate atom @{atom.predicate} has free variables {names}; "
-                "not FOC1(P)"
-            )
-        fresh = f"Paux__{next(self._aux_counter)}"
-        while fresh in self.structure.signature:
-            fresh = f"Paux__{next(self._aux_counter)}"
-        if not names:
-            values = tuple(self.term_value(t, {}) for t in atom.terms)
-            fault_check("predicate.oracle")
-            holds = self.predicates.query(atom.predicate, values)
-            tuples: Set[Tup] = {()} if holds else set()
-            symbol = RelationSymbol(fresh, 0)
-            replacement = Atom(fresh, ())
-        else:
-            variable = names[0]
-            tuples = set()
-            for element in self.structure.universe_order:
-                if self.budget is not None:
-                    self.budget.tick("evaluator.materialise")
-                env = {variable: element}
-                values = tuple(self.term_value(t, env) for t in atom.terms)
-                fault_check("predicate.oracle")
-                if self.predicates.query(atom.predicate, values):
-                    tuples.add((element,))
-            symbol = RelationSymbol(fresh, 1)
-            replacement = Atom(fresh, (variable,))
-        from ..structures.operations import expansion
-
-        if self._metrics is not None:
-            self._metrics.inc("evaluator.predicate.materialised")
-        self.structure = expansion(
-            self.structure, Signature([symbol]), {fresh: tuples}
-        )
-        return replacement
-
-    # -- terms ----------------------------------------------------------------------
-
-    def term_value(self, term: Term, env: Dict[Variable, Element]) -> int:
-        if isinstance(term, IntTerm):
-            return term.value
-        if isinstance(term, Add):
-            return self.term_value(term.left, env) + self.term_value(term.right, env)
-        if isinstance(term, Mul):
-            left = self.term_value(term.left, env)
-            if left == 0:
-                return 0
-            return left * self.term_value(term.right, env)
-        if isinstance(term, CountTerm):
-            return self.count(term.variables, term.inner, env)
-        raise EvaluationError(f"unexpected term node {type(term).__name__}")
-
-    # -- counting ---------------------------------------------------------------------
-
-    def count(
-        self,
-        variables: Tuple[Variable, ...],
-        body: Formula,
-        env: Dict[Variable, Element],
-    ) -> int:
-        # Outer bindings of the counted variables are shadowed by the binder.
-        if any(v in env for v in variables):
-            env = {k: val for k, val in env.items() if k not in variables}
-        relevant = tuple(
-            sorted(
-                (v, env[v])
-                for v in (self.free(body) - set(variables))
-                if v in env
-            )
-        )
-        key = (id(body), variables, relevant)
-        cached = self._count_memo.get(key)
-        if cached is None:
-            if self.budget is not None:
-                self.budget.tick("evaluator.count")
-            if self._metrics is not None:
-                self._metrics.inc("evaluator.count.memo.miss")
-            cached = self._count(variables, body, env)
-            fault_check("memo.insert")
-            self._count_memo[key] = cached
-            self._pins[id(body)] = body
-        elif self._metrics is not None:
-            self._metrics.inc("evaluator.count.memo.hit")
-        return cached
-
-    def _count(
-        self,
-        variables: Tuple[Variable, ...],
-        body: Formula,
-        env: Dict[Variable, Element],
-    ) -> int:
-        n = self.structure.order()
-        k = len(variables)
-        if k == 0:
-            return 1 if self.holds(body, env) else 0
-        if isinstance(body, Top):
-            return n**k
-        if isinstance(body, Bottom):
-            return 0
-        if isinstance(body, Not):
-            return n**k - self.count(variables, body.inner, env)
-        if isinstance(body, Or):
-            both = And(body.left, body.right)
-            return (
-                self.count(variables, body.left, env)
-                + self.count(variables, body.right, env)
-                - self.count(variables, both, env)
-            )
-        if isinstance(body, Implies):
-            return self.count(variables, Or(Not(body.left), body.right), env)
-        if isinstance(body, Iff):
-            rewritten = Or(
-                And(body.left, body.right), And(Not(body.left), Not(body.right))
-            )
-            return self.count(variables, rewritten, env)
-
-        conjuncts = self._conjuncts(body)
-        counted = set(variables)
-
-        # Conjuncts with no counted variables gate the whole count.
-        active: List[Formula] = []
-        for conjunct in conjuncts:
-            if self.free(conjunct) & counted:
-                active.append(conjunct)
-            elif not self.holds(conjunct, env):
-                return 0
-
-        if not active:
-            return n**k
-
-        if not self.use_factoring:
-            return self._count_component(tuple(variables), active, env)
-
-        # Factor into variable-disjoint components (Lemma 6.4 product step).
-        groups: List[Tuple[Set[Variable], List[Formula]]] = []
-        for conjunct in active:
-            names = set(self.free(conjunct)) & counted
-            touching = [g for g in groups if g[0] & names]
-            merged_names = set(names)
-            merged_parts = [conjunct]
-            for group in touching:
-                merged_names |= group[0]
-                merged_parts = group[1] + merged_parts
-                groups.remove(group)
-            groups.append((merged_names, merged_parts))
-
-        used: Set[Variable] = set()
-        result = 1
-        for names, parts in groups:
-            used |= names
-            ordered = tuple(v for v in variables if v in names)
-            part = self._count_component(ordered, parts, env)
-            if part == 0:
-                return 0
-            result *= part
-        unused = counted - used
-        return result * (n ** len(unused))
-
-    def _count_component(
-        self,
-        variables: Tuple[Variable, ...],
-        conjuncts: List[Formula],
-        env: Dict[Variable, Element],
-    ) -> int:
-        """Guarded backtracking count of one variable-connected component."""
-        local_env = dict(env)
-        total = 0
-        for _ in self._assignments(variables, conjuncts, local_env):
-            total += 1
-        return total
-
-    def _assignments(
-        self,
-        variables: Tuple[Variable, ...],
-        conjuncts: List[Formula],
-        env: Dict[Variable, Element],
-    ) -> Iterator[None]:
-        """Yield once per assignment of ``variables`` satisfying the
-        conjuncts; ``env`` is mutated in place and restored."""
-        remaining = [v for v in variables if v not in env]
-        if not remaining:
-            if all(self.holds(c, env) for c in conjuncts):
-                yield None
-            return
-
-        variable, candidates = self._choose_variable(remaining, conjuncts, env)
-        ready_after: List[Formula] = []
-        later: List[Formula] = []
-        remaining_after = set(remaining) - {variable}
-        for conjunct in conjuncts:
-            unbound = (self.free(conjunct) & set(remaining)) - {variable}
-            if unbound & remaining_after:
-                later.append(conjunct)
-            else:
-                ready_after.append(conjunct)
-
-        budget = self.budget
-        for candidate in candidates:
-            if budget is not None:
-                budget.tick("evaluator.enumerate")
-            env[variable] = candidate
-            if all(self.holds(c, env) for c in ready_after):
-                yield from self._assignments(
-                    tuple(v for v in variables if v != variable), later, env
-                )
-        env.pop(variable, None)
-
-    def _choose_variable(
-        self,
-        remaining: List[Variable],
-        conjuncts: List[Formula],
-        env: Dict[Variable, Element],
-    ) -> Tuple[Variable, Iterable]:
-        """Pick the next variable and its candidate pool, preferring the
-        tightest available guard (index lookup, equality, distance ball)."""
-        universe = self.structure.universe_order
-        metrics = self._metrics
-        if not self.use_guards:
-            if metrics is not None:
-                metrics.inc("evaluator.guard.disabled")
-            return remaining[0], universe
-        # Phase 1: only guards anchored at an already-bound variable (index
-        # or ball lookups — cheap).  Phase 2: un-anchored relation scans,
-        # which cost O(|R|) to materialise and therefore must not run at
-        # every search node; with connected conjunct components they are
-        # needed at most once, for the first variable.
-        for anchored_only in (True, False):
-            best: "Optional[Tuple[int, Variable, Iterable]]" = None
-            for variable in remaining:
-                pool = self._guard_candidates(variable, conjuncts, env, anchored_only)
-                if pool is None:
-                    continue
-                size = len(pool)
-                if best is None or size < best[0]:
-                    best = (size, variable, pool)
-                    if size <= 1:
-                        break
-            if best is not None:
-                if metrics is not None:
-                    metrics.inc(
-                        "evaluator.guard.anchored"
-                        if anchored_only
-                        else "evaluator.guard.scan"
-                    )
-                    metrics.observe("evaluator.guard.pool_size", best[0])
-                return best[1], best[2]
-        if metrics is not None:
-            metrics.inc("evaluator.guard.universe")
-        return remaining[0], universe
-
-    def _guard_candidates(
-        self,
-        variable: Variable,
-        conjuncts: List[Formula],
-        env: Dict[Variable, Element],
-        anchored_only: bool = False,
-    ) -> "Optional[List[Element]]":
-        """Smallest candidate pool any positive guard offers for ``variable``,
-        or None when no guard applies."""
-        best: "Optional[Set[Element]]" = None
-        for conjunct in conjuncts:
-            pool = self._candidates_from(conjunct, variable, env, anchored_only)
-            if pool is None:
-                continue
-            if best is None or len(pool) < len(best):
-                best = pool
-                if len(best) <= 1:
-                    break
-        if best is None:
-            return None
-        return list(best)
-
-    def _candidates_from(
-        self,
-        conjunct: Formula,
-        variable: Variable,
-        env: Dict[Variable, Element],
-        anchored_only: bool = False,
-    ) -> "Optional[Set[Element]]":
-        if isinstance(conjunct, Eq):
-            other = None
-            if conjunct.left == variable and conjunct.right != variable:
-                other = conjunct.right
-            elif conjunct.right == variable and conjunct.left != variable:
-                other = conjunct.left
-            if other is not None and other in env:
-                return {env[other]}
-            return None
-        if isinstance(conjunct, DistAtom):
-            other = None
-            if conjunct.left == variable and conjunct.right != variable:
-                other = conjunct.right
-            elif conjunct.right == variable and conjunct.left != variable:
-                other = conjunct.left
-            if other is not None and other in env:
-                return set(self.ball(env[other], conjunct.bound))
-            return None
-        if isinstance(conjunct, Atom):
-            if variable not in conjunct.args:
-                return None
-            symbol = self.structure.signature.get(conjunct.relation)
-            if symbol is None:
-                raise EvaluationError(
-                    f"relation {conjunct.relation!r} missing from the signature"
-                )
-            positions = [i for i, arg in enumerate(conjunct.args) if arg == variable]
-            bound_positions = [
-                (i, env[arg])
-                for i, arg in enumerate(conjunct.args)
-                if arg != variable and arg in env
-            ]
-            if bound_positions:
-                anchor, value = bound_positions[0]
-                tuples = self.structure.index(symbol, anchor).get(value, ())
-            elif anchored_only:
-                return None
-            else:
-                tuples = self.structure.relation(symbol)
-            pool: Set[Element] = set()
-            for tup in tuples:
-                consistent = True
-                for i, value in bound_positions:
-                    if tup[i] != value:
-                        consistent = False
-                        break
-                if not consistent:
-                    continue
-                first = tup[positions[0]]
-                if any(tup[p] != first for p in positions[1:]):
-                    continue
-                pool.add(first)
-            return pool
-        if isinstance(conjunct, Exists):
-            # Look through an exists-block: a positive atom inside it still
-            # restricts the candidates for a variable free in the block
-            # (the pool is a superset of the witnesses, which is sound —
-            # every candidate is re-checked against the full conjunct).
-            shadowed: Set[Variable] = set()
-            inner: Formula = conjunct
-            while isinstance(inner, Exists):
-                shadowed.add(inner.variable)
-                inner = inner.inner
-            if variable in shadowed:
-                return None
-            if shadowed & set(env):
-                env = {k: v for k, v in env.items() if k not in shadowed}
-            best: "Optional[Set[Element]]" = None
-            for piece in self._conjuncts(inner):
-                pool = self._candidates_from(piece, variable, env, anchored_only)
-                if pool is None:
-                    continue
-                if best is None or len(pool) < len(best):
-                    best = pool
-            return best
-        return None
-
-    # -- first-order satisfaction -----------------------------------------------------
-
-    def holds(self, formula: Formula, env: Dict[Variable, Element]) -> bool:
-        relevant = tuple(
-            (v, env[v]) for v in self.free_sorted(formula) if v in env
-        )
-        key = (id(formula), relevant)
-        cached = self._holds_memo.get(key)
-        if cached is None:
-            if self.budget is not None:
-                self.budget.tick("evaluator.holds")
-            if self._metrics is not None:
-                self._metrics.inc("evaluator.holds.memo.miss")
-            cached = self._holds(formula, env)
-            fault_check("memo.insert")
-            self._holds_memo[key] = cached
-            self._pins[id(formula)] = formula
-        elif self._metrics is not None:
-            self._metrics.inc("evaluator.holds.memo.hit")
-        return cached
-
-    def _holds(self, formula: Formula, env: Dict[Variable, Element]) -> bool:
-        structure = self.structure
-        if isinstance(formula, Eq):
-            return self._value(formula.left, env) == self._value(formula.right, env)
-        if isinstance(formula, Atom):
-            symbol = structure.signature.get(formula.relation)
-            if symbol is None:
-                raise EvaluationError(
-                    f"relation {formula.relation!r} missing from the signature"
-                )
-            tup = tuple(self._value(arg, env) for arg in formula.args)
-            return tup in structure.relation(symbol)
-        if isinstance(formula, DistAtom):
-            a = self._value(formula.left, env)
-            b = self._value(formula.right, env)
-            return b in self.ball(a, formula.bound)
-        if isinstance(formula, Top):
-            return True
-        if isinstance(formula, Bottom):
-            return False
-        if isinstance(formula, Not):
-            return not self.holds(formula.inner, env)
-        if isinstance(formula, And):
-            return self.holds(formula.left, env) and self.holds(formula.right, env)
-        if isinstance(formula, Or):
-            return self.holds(formula.left, env) or self.holds(formula.right, env)
-        if isinstance(formula, Implies):
-            return (not self.holds(formula.left, env)) or self.holds(formula.right, env)
-        if isinstance(formula, Iff):
-            return self.holds(formula.left, env) == self.holds(formula.right, env)
-        if isinstance(formula, Exists):
-            # Peel the whole exists-block so guards deep inside the body can
-            # drive candidate generation for every bound variable at once.
-            prefix: List[Variable] = []
-            body: Formula = formula
-            while isinstance(body, Exists) and body.variable not in prefix:
-                prefix.append(body.variable)
-                body = body.inner
-            return self._exists_block(tuple(prefix), body, env)
-        if isinstance(formula, Forall):
-            return not self._exists_block(
-                (formula.variable,), Not(formula.inner), env
-            )
-        if isinstance(formula, PredicateAtom):
-            # Inline evaluation: reached only for atoms outside FOC1 (more
-            # than one joint free variable) when fragment checking is off.
-            values = tuple(self.term_value(t, env) for t in formula.terms)
-            fault_check("predicate.oracle")
-            return self.predicates.query(formula.predicate, values)
-        raise EvaluationError(f"unexpected formula node {type(formula).__name__}")
-
-    def _exists_block(
-        self,
-        variables: Tuple[Variable, ...],
-        body: Formula,
-        env: Dict[Variable, Element],
-    ) -> bool:
-        """Witness search for ``exists v1..vk. body`` with guard-driven
-        candidate pools and early exit."""
-        conjuncts = self._conjuncts(body)
-        scratch = {k: val for k, val in env.items() if k not in variables}
-        for _ in self._assignments(variables, conjuncts, scratch):
-            return True
-        return False
-
-    def _value(self, variable: Variable, env: Dict[Variable, Element]) -> Element:
-        try:
-            return env[variable]
-        except KeyError:
-            raise EvaluationError(f"free variable {variable!r} is not assigned") from None
-
-    # -- enumeration ----------------------------------------------------------------------
-
-    def solutions(
-        self, variables: Tuple[Variable, ...], body: Formula
-    ) -> Iterator[Tuple[Element, ...]]:
-        """Enumerate satisfying assignments (guard-driven where possible)."""
-        conjuncts = self._conjuncts(body)
-        env: Dict[Variable, Element] = {}
-        for _ in self._assignments(tuple(variables), conjuncts, env):
-            yield tuple(env[v] for v in variables)
-
-
-def _flatten_and(formula: Formula) -> List[Formula]:
-    parts: List[Formula] = []
-
-    def walk(node: Formula) -> None:
-        if isinstance(node, And):
-            walk(node.left)
-            walk(node.right)
-        elif not isinstance(node, Top):
-            parts.append(node)
-
-    walk(formula)
-    return parts
-
-
-def _replace_atoms(
-    expression: Expression, mapping: Dict[PredicateAtom, Atom]
-) -> Expression:
-    """Structurally replace predicate atoms (value equality) everywhere."""
-    if isinstance(expression, PredicateAtom):
-        replacement = mapping.get(expression)
-        if replacement is not None:
-            return replacement
-        return PredicateAtom(
-            expression.predicate,
-            tuple(_replace_atoms(t, mapping) for t in expression.terms),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, (Eq, Atom, DistAtom, Top, Bottom, IntTerm)):
-        return expression
-    if isinstance(expression, Not):
-        return Not(_replace_atoms(expression.inner, mapping))  # type: ignore[arg-type]
-    if isinstance(expression, Or):
-        return Or(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, And):
-        return And(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, Implies):
-        return Implies(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, Iff):
-        return Iff(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, Exists):
-        return Exists(expression.variable, _replace_atoms(expression.inner, mapping))  # type: ignore[arg-type]
-    if isinstance(expression, Forall):
-        return Forall(expression.variable, _replace_atoms(expression.inner, mapping))  # type: ignore[arg-type]
-    if isinstance(expression, Add):
-        return Add(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, Mul):
-        return Mul(
-            _replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
-            _replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
-        )
-    if isinstance(expression, CountTerm):
-        return CountTerm(
-            expression.variables, _replace_atoms(expression.inner, mapping)  # type: ignore[arg-type]
-        )
-    raise FormulaError(f"unexpected node {type(expression).__name__}")
+        return self._executor(plan, structure).query_rows()

@@ -18,6 +18,12 @@ which this prototype keeps simple and immutable).
 :class:`IncrementalUnaryCache` maintains ``u^A[a]`` for all ``a`` under
 single-tuple insertions and deletions, recomputing only the affected
 elements; the tests compare every state against full recomputation.
+
+Recomputation goes through :func:`repro.core.local_eval.evaluate_basic_unary`,
+which reuses the compile-once BFS pattern order
+(:func:`repro.core.local_eval.pattern_order`) — the maintained term's
+pattern graph never changes across updates, so the static half of the walk
+is paid exactly once for the cache's lifetime.
 """
 
 from __future__ import annotations

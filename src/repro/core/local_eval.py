@@ -62,12 +62,25 @@ class _BallCache:
         return cached
 
 
-def _pattern_order(k: int, edges: Edges) -> List[Tuple[int, int]]:
-    """BFS order over the connected pattern graph from vertex 1.
+#: Compile-once cache for pattern walk orders: the BFS placement order
+#: depends only on (k, edges), never on the structure, so it is computed
+#: once per distinct pattern graph for the life of the process (the same
+#: compile/execute split the plan layer applies to full expressions —
+#: cover_eval, incremental maintenance and the Section 8.2 loop all walk
+#: the same handful of patterns thousands of times).
+_PATTERN_ORDERS: Dict[Tuple[int, Edges], Tuple[Tuple[int, int], ...]] = {}
 
-    Returns [(position, parent_position), ...] for positions 2..k in
+
+def pattern_order(k: int, edges: Edges) -> Tuple[Tuple[int, int], ...]:
+    """BFS order over the connected pattern graph from vertex 1, cached.
+
+    Returns ((position, parent_position), ...) for positions 2..k in
     placement order; parent_position is already placed and pattern-adjacent.
     """
+    key = (k, edges)
+    cached = _PATTERN_ORDERS.get(key)
+    if cached is not None:
+        return cached
     adjacency: Dict[int, List[int]] = {i: [] for i in range(1, k + 1)}
     for i, j in edges:
         adjacency[i].append(j)
@@ -84,7 +97,13 @@ def _pattern_order(k: int, edges: Edges) -> List[Tuple[int, int]]:
                 frontier.append(neighbour)
     if len(seen) != k:
         raise FormulaError("pattern graph must be connected")
-    return order
+    result = tuple(order)
+    _PATTERN_ORDERS[key] = result
+    return result
+
+
+#: Backwards-compatible alias (pre-plan-layer name).
+_pattern_order = pattern_order
 
 
 def pattern_tuples(
@@ -106,7 +125,7 @@ def pattern_tuples(
         yield (first,)
         return
     balls = ball_cache if ball_cache is not None else _BallCache(structure, link_distance)
-    order = _pattern_order(k, edges)
+    order = pattern_order(k, edges)
     edge_set = set(edges)
 
     placed: Dict[int, Element] = {1: first}

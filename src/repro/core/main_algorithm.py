@@ -35,6 +35,7 @@ from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Variable
 from ..obs import active_metrics, traced
+from ..plan.cache import PlanCache
 from ..robust.budget import EvaluationBudget
 from ..sparse.covers import sparse_cover
 from ..structures.gaifman import induced
@@ -89,6 +90,7 @@ def evaluate_unary_main_algorithm(
     predicates: "Optional[PredicateCollection]" = None,
     stats: "Optional[MainAlgorithmStats]" = None,
     budget: "Optional[EvaluationBudget]" = None,
+    plan_cache: "Optional[PlanCache]" = None,
 ) -> Dict[Element, int]:
     """Evaluate ``u^A[a]`` for all ``a`` via the Section 8.2 loop.
 
@@ -98,7 +100,10 @@ def evaluate_unary_main_algorithm(
     performed before falling back to the engine; the answer is exact for
     every depth.  An optional ``budget`` is drawn on per processed cluster
     and inside every engine call; exhaustion raises
-    :class:`~repro.errors.BudgetExceededError`.
+    :class:`~repro.errors.BudgetExceededError`.  The removal rewrite
+    produces the same sub-terms for every cluster, so the base-case engine
+    leans hard on the plan cache (``plan_cache`` overrides the shared
+    process-wide one).
     """
     if not term.unary:
         raise FormulaError("the main algorithm evaluates unary basic cl-terms")
@@ -106,6 +111,7 @@ def evaluate_unary_main_algorithm(
         predicates=predicates if predicates is not None else standard_collection(),
         check_fragment=False,
         budget=budget,
+        plan_cache=plan_cache,
     )
     if stats is None:
         stats = MainAlgorithmStats()

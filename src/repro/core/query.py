@@ -21,17 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import FormulaError, FragmentError
+from ..errors import FormulaError
 from ..logic.foc1 import assert_foc1
 from ..logic.predicates import PredicateCollection
 from ..logic.semantics import evaluate, satisfies
-from ..robust.budget import EvaluationBudget
 from ..logic.syntax import (
     Add,
     And,
     Atom,
     CountTerm,
-    Exists,
     Formula,
     IntTerm,
     Mul,
@@ -40,8 +38,8 @@ from ..logic.syntax import (
     conjunction,
     exists_block,
     free_variables,
-    is_sentence,
 )
+from ..robust.budget import EvaluationBudget
 from ..structures.operations import pin_elements
 from ..structures.structure import Element, Structure
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from ..errors import FormulaError, UniverseError
 from ..obs import traced
@@ -43,7 +43,6 @@ from ..logic.syntax import (
     Top,
     Variable,
     disjunction,
-    free_variables,
     subexpressions,
 )
 from ..structures.gaifman import distances_from

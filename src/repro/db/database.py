@@ -11,7 +11,16 @@ logic without constants (Example 5.3).
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
 
 from ..errors import ArityError, SignatureError, UniverseError
 from ..structures.signature import RelationSymbol, Signature

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.evaluator import Foc1Evaluator
 from ..core.query import Foc1Query
@@ -164,7 +164,7 @@ def join_group_count(
     condition_bindings = dict(group_vars)
     filter_atoms: List[Formula] = []
     for column, value in filters:
-        position = left.position(column)
+        left.position(column)  # validates the column exists
         variable = condition_bindings.get(column, f"f_{column}")
         condition_bindings[column] = variable
         filter_atoms.append(Atom(constant_relation_name(value), (variable,)))

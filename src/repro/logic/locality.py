@@ -33,11 +33,9 @@ from .syntax import (
     And,
     Atom,
     Bottom,
-    CountTerm,
     DistAtom,
     Eq,
     Exists,
-    Expression,
     Forall,
     Formula,
     Iff,

@@ -41,7 +41,6 @@ from .syntax import (
     Top,
     Variable,
     all_variables,
-    free_variables,
 )
 
 

@@ -1,0 +1,92 @@
+"""The plan cache: LRU over compiled :class:`~repro.plan.ir.QueryPlan`.
+
+Keys are built by the engine facades from ``(kind, canonicalised
+expressions, variables, signature, options)`` — all hashable, all
+plan-owned (canonicalisation deep-copies the AST), so a cache entry never
+keeps a caller's objects alive.  Hits, misses and evictions are exposed
+both as instance counters (``stats()``) and through the metrics registry
+(``plan.cache.hit`` / ``plan.cache.miss`` / ``plan.cache.eviction``);
+compile time is observed into the ``plan.compile.seconds`` histogram so
+benchmarks can split compile cost from execute cost.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from ..obs.metrics import active_metrics
+from .ir import QueryPlan
+
+__all__ = ["PlanCache", "default_plan_cache"]
+
+
+class PlanCache:
+    """A bounded LRU mapping cache keys to compiled plans."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._plans: "OrderedDict[Hashable, QueryPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get_or_compile(
+        self, key: Hashable, compile_fn: Callable[[], QueryPlan]
+    ) -> QueryPlan:
+        """The cached plan for ``key``, compiling (and timing) on a miss."""
+        metrics = active_metrics()
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            if metrics is not None:
+                metrics.inc("plan.cache.hit")
+            return plan
+        self.misses += 1
+        if metrics is not None:
+            metrics.inc("plan.cache.miss")
+        started = time.perf_counter()
+        plan = compile_fn()
+        if metrics is not None:
+            metrics.observe(
+                "plan.compile.seconds", time.perf_counter() - started
+            )
+        self._plans[key] = plan
+        if len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            if metrics is not None:
+                metrics.inc("plan.cache.eviction")
+        return plan
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._plans),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+_default_cache = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache engines share unless given their own."""
+    return _default_cache

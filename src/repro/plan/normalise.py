@@ -1,0 +1,170 @@
+"""Expression normalisation for plan caching.
+
+Two alpha-equivalent FOC(P) expressions — same shape, different bound
+variable names — must compile to the *same* plan, and a cached plan must
+never hold references to the caller's AST objects (the engine's memo
+lifetime contract pins memoised nodes per session, so a cache that
+retained caller nodes would leak them across calls).
+
+:func:`canonicalise` solves both at once: it rebuilds the expression
+bottom-up (every node is a fresh object, even unchanged leaves) while
+renaming every bound variable — quantifier binders *and* counting-term
+binders — to a canonical ``_b0, _b1, ...`` sequence assigned in traversal
+order.  Free variables keep their names (they are part of the query's
+meaning: they name count columns, unary evaluation points, and query
+heads), and the generator skips any canonical name that happens to
+collide with a free variable.
+
+The module also hosts the two structural helpers shared by the compiler
+and the executor: conjunction flattening and predicate-atom replacement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping
+
+from ..errors import FormulaError
+from ..logic.syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Expression,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    Variable,
+    free_variables,
+)
+
+__all__ = ["canonicalise", "flatten_conjuncts", "replace_atoms"]
+
+
+def canonicalise(expression: Expression) -> Expression:
+    """A deep, alpha-renamed copy with canonical bound-variable names.
+
+    Properties (all property-tested in ``tests/plan/test_normalise.py``):
+
+    * alpha-equivalent inputs produce structurally *equal* outputs, so
+      frozen-dataclass equality/hashing makes them share a cache entry;
+    * free variables keep their names;
+    * the result shares **no** node objects with the input, so plans (and
+      cache keys) built from it never pin caller ASTs alive;
+    * the function is idempotent up to structural equality.
+    """
+    free = free_variables(expression)
+    counter = itertools.count()
+
+    def fresh() -> Variable:
+        while True:
+            name = f"_b{next(counter)}"
+            if name not in free:
+                return name
+
+    def walk(node: Expression, env: Mapping[Variable, Variable]) -> Expression:
+        if isinstance(node, Eq):
+            return Eq(env.get(node.left, node.left), env.get(node.right, node.right))
+        if isinstance(node, Atom):
+            return Atom(node.relation, tuple(env.get(a, a) for a in node.args))
+        if isinstance(node, DistAtom):
+            return DistAtom(
+                env.get(node.left, node.left),
+                env.get(node.right, node.right),
+                node.bound,
+            )
+        if isinstance(node, Top):
+            return Top()
+        if isinstance(node, Bottom):
+            return Bottom()
+        if isinstance(node, Not):
+            return Not(walk(node.inner, env))  # type: ignore[arg-type]
+        if isinstance(node, (And, Or, Implies, Iff)):
+            return type(node)(
+                walk(node.left, env),  # type: ignore[arg-type]
+                walk(node.right, env),  # type: ignore[arg-type]
+            )
+        if isinstance(node, (Exists, Forall)):
+            name = fresh()
+            scope = dict(env)
+            scope[node.variable] = name
+            return type(node)(name, walk(node.inner, scope))  # type: ignore[arg-type]
+        if isinstance(node, PredicateAtom):
+            return PredicateAtom(
+                node.predicate, tuple(walk(t, env) for t in node.terms)  # type: ignore[arg-type]
+            )
+        if isinstance(node, IntTerm):
+            return IntTerm(node.value)
+        if isinstance(node, (Add, Mul)):
+            return type(node)(
+                walk(node.left, env),  # type: ignore[arg-type]
+                walk(node.right, env),  # type: ignore[arg-type]
+            )
+        if isinstance(node, CountTerm):
+            names = [fresh() for _ in node.variables]
+            scope = dict(env)
+            scope.update(zip(node.variables, names))
+            return CountTerm(tuple(names), walk(node.inner, scope))  # type: ignore[arg-type]
+        raise FormulaError(f"unexpected node {type(node).__name__}")
+
+    return walk(expression, {})
+
+
+def flatten_conjuncts(formula: Formula) -> List[Formula]:
+    """The conjuncts of a (nested) conjunction, ``Top`` dropped."""
+    parts: List[Formula] = []
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, And):
+            walk(node.left)
+            walk(node.right)
+        elif not isinstance(node, Top):
+            parts.append(node)
+
+    walk(formula)
+    return parts
+
+
+def replace_atoms(
+    expression: Expression, mapping: Dict[PredicateAtom, Atom]
+) -> Expression:
+    """Structurally replace predicate atoms (value equality) everywhere."""
+    if isinstance(expression, PredicateAtom):
+        replacement = mapping.get(expression)
+        if replacement is not None:
+            return replacement
+        return PredicateAtom(
+            expression.predicate,
+            tuple(replace_atoms(t, mapping) for t in expression.terms),  # type: ignore[arg-type]
+        )
+    if isinstance(expression, (Eq, Atom, DistAtom, Top, Bottom, IntTerm)):
+        return expression
+    if isinstance(expression, Not):
+        return Not(replace_atoms(expression.inner, mapping))  # type: ignore[arg-type]
+    if isinstance(expression, (Or, And, Implies, Iff, Add, Mul)):
+        return type(expression)(
+            replace_atoms(expression.left, mapping),  # type: ignore[arg-type]
+            replace_atoms(expression.right, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(expression, (Exists, Forall)):
+        return type(expression)(
+            expression.variable,
+            replace_atoms(expression.inner, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(expression, CountTerm):
+        return CountTerm(
+            expression.variables,
+            replace_atoms(expression.inner, mapping),  # type: ignore[arg-type]
+        )
+    raise FormulaError(f"unexpected node {type(expression).__name__}")

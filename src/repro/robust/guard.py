@@ -46,6 +46,7 @@ from ..errors import BudgetExceededError, ReproError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Term, Variable
 from ..obs import active_metrics, span
+from ..plan.cache import PlanCache
 from ..structures.structure import Element, Structure
 from .budget import EvaluationBudget
 
@@ -140,6 +141,12 @@ class RobustEvaluator:
         rather than evaluator failures.  Defaults to the library's typed
         errors plus ``RecursionError``; genuine programming errors
         (``TypeError`` &c.) always propagate.
+    plan_cache:
+        The :class:`~repro.plan.cache.PlanCache` shared by every planned
+        stage (``main_algorithm`` base cases and ``foc1``), so a retry of
+        the same query after a budget failure — and every later stage of
+        the cascade — reuses the compiled plan instead of re-analysing.
+        Defaults to the process-wide shared cache.
     """
 
     def __init__(
@@ -149,12 +156,14 @@ class RobustEvaluator:
         check_fragment: bool = True,
         main_depth: int = 1,
         catch: Tuple[type, ...] = (ReproError, RecursionError),
+        plan_cache: "Optional[PlanCache]" = None,
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
         self.check_fragment = check_fragment
         self.main_depth = main_depth
         self.catch = tuple(catch)
+        self.plan_cache = plan_cache
         self.last_report: "Optional[RobustReport]" = None
 
     # -- engine-API mirror -----------------------------------------------------
@@ -254,11 +263,15 @@ class RobustEvaluator:
                 predicates=self.predicates,
                 stats=stats,
                 budget=budget,
+                plan_cache=self.plan_cache,
             )
 
         def foc1_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
             engine = Foc1Evaluator(
-                predicates=self.predicates, check_fragment=False, budget=budget
+                predicates=self.predicates,
+                check_fragment=False,
+                budget=budget,
+                plan_cache=self.plan_cache,
             )
             return engine.unary_term_values(structure, term.count_term(), free)
 
@@ -283,10 +296,16 @@ class RobustEvaluator:
             predicates=self.predicates,
             check_fragment=self.check_fragment,
             budget=budget,
+            plan_cache=self.plan_cache,
         )
 
     def _baseline(self, budget: "Optional[EvaluationBudget]") -> BruteForceEvaluator:
-        return BruteForceEvaluator(predicates=self.predicates, budget=budget)
+        # The last stage answers on all of FOC(P): fragment checking stays
+        # off so out-of-fragment inputs rejected by the foc1 stage still
+        # fall through to an exact brute-force answer.
+        return BruteForceEvaluator(
+            predicates=self.predicates, budget=budget, check_fragment=False
+        )
 
     @staticmethod
     def _not_applicable(name: str) -> _Stage:

@@ -18,14 +18,12 @@ from typing import Callable, Dict, List, Tuple
 
 from ..errors import UniverseError
 from ..structures.builders import (
-    balanced_tree,
     complete_graph,
     coloured_graph_structure,
     cycle_graph,
     graph_structure,
     grid_graph,
     path_graph,
-    star_graph,
 )
 from ..structures.structure import Structure
 

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core.baseline import BruteForceEvaluator
+from repro.core.evaluator import Foc1Evaluator
 from repro.core.query import Foc1Query
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, FragmentError
 from repro.logic.builder import Rel, count
 from repro.logic.parser import parse_formula, parse_term
 from repro.logic.syntax import Eq
@@ -53,9 +54,61 @@ class TestApi:
             (3, 2),
         ]
 
-    def test_full_foc_supported(self, engine, triangle):
-        # the baseline does not restrict to FOC1
+    def test_full_foc_supported(self, triangle):
+        # the naive semantics handles full FOC(P) once the fragment
+        # check — on by default, to match Foc1Evaluator — is disabled
         bad = parse_formula(
             "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))"
         )
+        engine = BruteForceEvaluator(check_fragment=False)
         assert engine.model_check(triangle, bad) is True
+
+
+#: An FOC(P) sentence outside FOC1 (the counting terms jointly carry two
+#: free variables) and an in-fragment one, for the parity tests below.
+OUT_OF_FRAGMENT = "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))"
+IN_FRAGMENT = "exists x. @eq(#(z). E(x, z), 2)"
+
+
+class TestOracleParity:
+    """The oracle and the subject engine accept/reject the same inputs, so
+    differential tests never silently compare them on an input that only
+    one of them validated."""
+
+    def test_both_reject_out_of_fragment(self, triangle):
+        bad = parse_formula(OUT_OF_FRAGMENT)
+        for engine in (BruteForceEvaluator(), Foc1Evaluator()):
+            with pytest.raises(FragmentError):
+                engine.model_check(triangle, bad)
+
+    def test_both_accept_out_of_fragment_when_disabled(self, triangle):
+        bad = parse_formula(OUT_OF_FRAGMENT)
+        brute = BruteForceEvaluator(check_fragment=False)
+        clever = Foc1Evaluator(check_fragment=False)
+        assert brute.model_check(triangle, bad) == clever.model_check(triangle, bad)
+
+    def test_both_accept_in_fragment(self, triangle):
+        good = parse_formula(IN_FRAGMENT)
+        assert BruteForceEvaluator().model_check(
+            triangle, good
+        ) == Foc1Evaluator().model_check(triangle, good)
+
+    def test_count_rejections_match(self, triangle):
+        phi = parse_formula("E(x, y)")
+        for engine in (BruteForceEvaluator(), Foc1Evaluator()):
+            with pytest.raises(EvaluationError):
+                engine.count(triangle, phi, ["x"])  # y not listed
+            with pytest.raises(EvaluationError):
+                engine.count(triangle, phi, ["x", "y", "x"])  # duplicate
+
+    def test_term_rejections_match(self, triangle):
+        bad_term = parse_term("#(z). @eq(#(w). E(z, w), #(w). E(x, w))")
+        for engine in (BruteForceEvaluator(), Foc1Evaluator()):
+            with pytest.raises(FragmentError):
+                engine.unary_term_values(triangle, bad_term, "x")
+
+    def test_solutions_rejections_match(self, triangle):
+        phi = parse_formula("E(x, y)")
+        for engine in (BruteForceEvaluator(), Foc1Evaluator()):
+            with pytest.raises(EvaluationError):
+                list(engine.solutions(triangle, phi, ["x"]))

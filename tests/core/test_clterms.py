@@ -6,7 +6,7 @@ from repro.core.clterms import BasicClTerm, ClPolynomial, CoverTerm
 from repro.errors import FormulaError
 from repro.logic.builder import Rel
 from repro.logic.semantics import evaluate
-from repro.logic.syntax import And, Atom, Eq, Top
+from repro.logic.syntax import Atom, Top
 
 E = Rel("E", 2)
 

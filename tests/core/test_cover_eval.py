@@ -13,9 +13,9 @@ from repro.core.cover_eval import (
 from repro.core.decomposition import decompose_cover_term
 from repro.errors import FormulaError
 from repro.logic.builder import Rel
-from repro.logic.syntax import And, DistAtom, Eq, Exists, Not, Top
+from repro.logic.syntax import And, Eq, Exists, Not, Top
 from repro.sparse.covers import CoverError, sparse_cover, trivial_cover
-from repro.structures.builders import graph_structure, grid_graph, path_graph
+from repro.structures.builders import grid_graph, path_graph
 
 from ..conftest import small_graphs
 

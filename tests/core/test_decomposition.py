@@ -23,7 +23,7 @@ from repro.core.local_eval import (
 from repro.errors import FormulaError
 from repro.logic.builder import Rel
 from repro.logic.semantics import count_solutions, evaluate
-from repro.logic.syntax import And, Atom, CountTerm, DistAtom, Eq, Exists, Not, Top
+from repro.logic.syntax import And, CountTerm, DistAtom, Eq, Exists, Not, Top
 
 from ..conftest import small_graphs
 

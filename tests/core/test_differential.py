@@ -35,7 +35,6 @@ from repro.logic.syntax import (
 from repro.robust import FAULT_SITES, FaultInjector, RobustEvaluator, inject_faults
 from repro.structures.builders import graph_structure, grid_graph
 
-from repro import Atom as TopAtom  # noqa: F401  (same class; keeps import honest)
 from repro import BasicClTerm
 
 VARS = ("x", "y", "z")

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.baseline import BruteForceEvaluator
 from repro.core.evaluator import Foc1Evaluator
-from repro.logic.builder import Rel, count
 from repro.logic.parser import parse_formula, parse_term
 from repro.logic.predicates import NumericalPredicate, standard_collection
 from repro.logic.syntax import (
@@ -16,11 +15,7 @@ from repro.logic.syntax import (
     DistAtom,
     Eq,
     Exists,
-    Forall,
-    IntTerm,
     Not,
-    Or,
-    PredicateAtom,
     Top,
 )
 from repro.structures.builders import graph_structure, path_graph

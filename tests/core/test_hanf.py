@@ -14,7 +14,7 @@ from repro.errors import FormulaError
 from repro.logic.builder import Rel
 from repro.logic.syntax import And, Eq, Exists, Not
 from repro.sparse.classes import bounded_degree_graph
-from repro.structures.builders import cycle_graph, graph_structure, grid_graph, path_graph
+from repro.structures.builders import cycle_graph, grid_graph, path_graph
 from repro.structures.gaifman import ball, induced
 
 from ..conftest import small_graphs

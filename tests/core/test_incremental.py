@@ -10,7 +10,7 @@ from repro.core.clterms import BasicClTerm
 from repro.core.incremental import IncrementalUnaryCache
 from repro.errors import ArityError, FormulaError, SignatureError, UniverseError
 from repro.logic.builder import Rel
-from repro.logic.syntax import And, Eq, Exists, Not
+from repro.logic.syntax import And
 from repro.sparse.classes import bounded_degree_graph
 from repro.structures.builders import graph_structure, path_graph
 

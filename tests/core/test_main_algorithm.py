@@ -12,7 +12,7 @@ from repro.core.main_algorithm import (
 )
 from repro.errors import FormulaError
 from repro.logic.builder import Rel
-from repro.logic.syntax import And, Eq, Exists, Not, Top
+from repro.logic.syntax import And, Eq, Exists, Not
 from repro.sparse.classes import random_tree
 from repro.structures.builders import complete_graph, grid_graph, path_graph
 

@@ -13,16 +13,9 @@ from repro.core.query import (
 )
 from repro.errors import FormulaError, FragmentError
 from repro.logic.builder import Rel, count
-from repro.logic.parser import parse_formula, parse_term
+from repro.logic.parser import parse_formula
 from repro.logic.semantics import evaluate, satisfies
-from repro.logic.syntax import (
-    And,
-    CountTerm,
-    Eq,
-    Exists,
-    Top,
-    free_variables,
-)
+from repro.logic.syntax import And, Eq, Exists, Top, free_variables
 
 from ..conftest import foc1_formulas, small_graphs
 

@@ -10,7 +10,7 @@ from repro.core.rank import (
     q_rank_report,
 )
 from repro.errors import FormulaError
-from repro.logic.syntax import And, Atom, DistAtom, Exists, Not
+from repro.logic.syntax import And, Atom, DistAtom, Exists
 
 
 class TestFq:

@@ -17,19 +17,8 @@ from repro.core.removal import (
 from repro.errors import FormulaError, UniverseError
 from repro.logic.parser import parse_formula
 from repro.logic.semantics import evaluate, satisfies
-from repro.logic.syntax import (
-    And,
-    Atom,
-    CountTerm,
-    DistAtom,
-    Eq,
-    Exists,
-    Forall,
-    Not,
-    free_variables,
-)
+from repro.logic.syntax import CountTerm, DistAtom, free_variables
 from repro.structures.builders import graph_structure, path_graph
-from repro.structures.gaifman import distance
 from repro.structures.signature import Signature
 
 from ..conftest import fo_formulas, small_graphs

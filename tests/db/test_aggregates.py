@@ -6,7 +6,6 @@ import pytest
 
 from repro.db.aggregates import (
     AGGREGATES,
-    AggregateQuery,
     group_by_aggregate,
     reference_group_by_aggregate,
 )

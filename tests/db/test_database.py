@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db.database import Database, constant_relation_name
-from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Schema, Table
+from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, Schema, Table
 from repro.errors import ArityError, SignatureError, UniverseError
 
 

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.db.database import Database
-from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Table
+from repro.db.schema import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER
 from repro.db.sqlcount import (
     group_by_count,
     join_group_count,

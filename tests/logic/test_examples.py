@@ -19,8 +19,8 @@ from repro.logic.examples import (
     triangle_term,
 )
 from repro.logic.foc1 import is_foc1
-from repro.logic.semantics import evaluate, satisfies, term_value
-from repro.structures.builders import coloured_graph_structure, graph_structure
+from repro.logic.semantics import satisfies, term_value
+from repro.structures.builders import coloured_graph_structure
 
 
 @pytest.fixture

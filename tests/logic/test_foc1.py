@@ -20,7 +20,7 @@ from repro.logic.foc1 import (
     max_counting_width,
 )
 from repro.logic.parser import parse_formula
-from repro.logic.syntax import And, Exists, PredicateAtom
+from repro.logic.syntax import PredicateAtom
 
 from ..conftest import fo_formulas, foc1_formulas
 

@@ -13,7 +13,6 @@ from repro.logic.locality import (
     delta_formula,
     dist_formula,
     dist_gt_formula,
-    evaluate_in_neighbourhood,
     expand_distance_atoms,
     gaifman_locality_radius,
     graph_components,
@@ -22,8 +21,8 @@ from repro.logic.locality import (
     quantifier_rank,
 )
 from repro.logic.semantics import satisfies
-from repro.logic.syntax import And, Atom, DistAtom, Eq, Exists, Not
-from repro.structures.builders import graph_structure, grid_graph, path_graph
+from repro.logic.syntax import And, DistAtom, Eq, Exists, Not
+from repro.structures.builders import grid_graph, path_graph
 from repro.structures.gaifman import connectivity_graph, distance
 from repro.structures.signature import GRAPH_SIGNATURE, Signature
 

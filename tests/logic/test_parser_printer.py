@@ -17,7 +17,6 @@ from repro.logic.syntax import (
     Eq,
     Exists,
     Forall,
-    Iff,
     Implies,
     IntTerm,
     Mul,

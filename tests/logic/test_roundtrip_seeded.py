@@ -1,0 +1,172 @@
+"""Seeded parser <-> printer round-trip property tests.
+
+``parse(pretty(e)) == e`` over random FOC1(P) expressions drawn from the
+*full* concrete grammar: every formula connective (including ``->`` and
+``<->``, whose right-associativity stresses the printer's parenthesis
+placement), distance atoms, numerical predicate atoms, and the whole term
+algebra — integer literals, ``+``/``*`` with their precedence, and
+counting terms with one- and two-variable binders.
+
+Plain ``random.Random(seed)`` (not hypothesis) so each case is a fixed,
+individually re-runnable pytest id, matching the convention of
+``tests/core/test_differential.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.printer import pretty
+from repro.logic.syntax import (
+    Add,
+    And,
+    Atom,
+    Bottom,
+    CountTerm,
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    IntTerm,
+    Mul,
+    Not,
+    Or,
+    PredicateAtom,
+    Top,
+    free_variables,
+)
+
+VARS = ("x", "y", "z", "w")
+PREDICATES = {"geq1": 1, "eq": 2, "leq": 2, "even": 1, "prime": 1}
+
+
+def _random_term(rng: random.Random, depth: int):
+    """A random counting term; covers +, *, literals, and #-binders."""
+    if depth == 0 or rng.random() < 0.3:
+        return IntTerm(rng.randint(-3, 9))
+    choice = rng.randint(0, 2)
+    if choice == 0:
+        return Add(_random_term(rng, depth - 1), _random_term(rng, depth - 1))
+    if choice == 1:
+        return Mul(_random_term(rng, depth - 1), _random_term(rng, depth - 1))
+    bound = rng.sample(VARS, rng.randint(1, 2))
+    return CountTerm(tuple(bound), _random_formula(rng, depth - 1, predicates=False))
+
+
+def _random_formula(rng: random.Random, depth: int, predicates: bool = True):
+    """A random formula over {E/2}; every connective of the grammar."""
+    if depth == 0:
+        leaves = [
+            lambda: Eq(rng.choice(VARS), rng.choice(VARS)),
+            lambda: Atom("E", (rng.choice(VARS), rng.choice(VARS))),
+            lambda: DistAtom(rng.choice(VARS), rng.choice(VARS), rng.randint(0, 5)),
+            lambda: Top(),
+            lambda: Bottom(),
+        ]
+        return rng.choice(leaves)()
+    choice = rng.randint(0, 7 if predicates else 6)
+    if choice == 0:
+        return _random_formula(rng, 0)
+    if choice == 1:
+        return Not(_random_formula(rng, depth - 1, predicates))
+    if choice == 2:
+        return And(
+            _random_formula(rng, depth - 1, predicates),
+            _random_formula(rng, depth - 1, predicates),
+        )
+    if choice == 3:
+        return Or(
+            _random_formula(rng, depth - 1, predicates),
+            _random_formula(rng, depth - 1, predicates),
+        )
+    if choice == 4:
+        return Implies(
+            _random_formula(rng, depth - 1, predicates),
+            _random_formula(rng, depth - 1, predicates),
+        )
+    if choice == 5:
+        return Iff(
+            _random_formula(rng, depth - 1, predicates),
+            _random_formula(rng, depth - 1, predicates),
+        )
+    if choice == 6:
+        quantifier = Exists if rng.random() < 0.5 else Forall
+        return quantifier(rng.choice(VARS), _random_formula(rng, depth - 1, predicates))
+    name = rng.choice(sorted(PREDICATES))
+    terms = tuple(_random_term(rng, depth - 1) for _ in range(PREDICATES[name]))
+    return PredicateAtom(name, terms)
+
+
+class TestSeededRoundTrip:
+    @pytest.mark.parametrize("seed", range(150))
+    def test_formula_roundtrip(self, seed):
+        rng = random.Random(seed)
+        phi = _random_formula(rng, rng.randint(1, 4))
+        assert parse_formula(pretty(phi)) == phi
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_term_roundtrip(self, seed):
+        rng = random.Random(1000 + seed)
+        term = _random_term(rng, rng.randint(1, 4))
+        assert parse_term(pretty(term)) == term
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_roundtrip_preserves_free_variables(self, seed):
+        rng = random.Random(2000 + seed)
+        phi = _random_formula(rng, rng.randint(1, 3))
+        assert free_variables(parse_formula(pretty(phi))) == free_variables(phi)
+
+
+class TestPrecedenceCorners:
+    """Hand-picked shapes where one missing parenthesis flips the AST."""
+
+    CASES = [
+        # right-nested And/Or need parens (left-associative parse)
+        And(Atom("E", ("x", "y")), And(Atom("E", ("y", "z")), Eq("x", "z"))),
+        Or(Eq("x", "y"), Or(Eq("y", "z"), Eq("x", "z"))),
+        # left-nested Implies/Iff need parens (right-associative parse)
+        Implies(Implies(Eq("x", "y"), Eq("y", "z")), Eq("x", "z")),
+        Iff(Iff(Top(), Bottom()), Top()),
+        # mixed precedence: & binds tighter than |, both tighter than ->
+        Or(And(Eq("x", "y"), Eq("y", "z")), Eq("x", "z")),
+        And(Or(Eq("x", "y"), Eq("y", "z")), Eq("x", "z")),
+        Implies(Or(Eq("x", "y"), Eq("y", "z")), And(Eq("x", "z"), Top())),
+        # negation scoping over a binary connective
+        Not(And(Atom("E", ("x", "y")), Eq("x", "y"))),
+        # quantifier bodies extend maximally to the right
+        And(Exists("x", Atom("E", ("x", "x"))), Eq("y", "y")),
+        Forall("x", Or(Atom("E", ("x", "x")), Eq("x", "x"))),
+    ]
+
+    TERM_CASES = [
+        # * binds tighter than +; right-nested sums/products need parens
+        Mul(Add(IntTerm(1), IntTerm(2)), IntTerm(3)),
+        Add(IntTerm(1), Mul(IntTerm(2), IntTerm(3))),
+        Add(IntTerm(1), Add(IntTerm(2), IntTerm(3))),
+        Mul(IntTerm(2), Mul(IntTerm(3), IntTerm(4))),
+        # negative literals inside a product
+        Mul(IntTerm(-2), IntTerm(3)),
+        Mul(IntTerm(3), IntTerm(-2)),
+        # the s - t sugar (Add of a (-1)-scaled right operand)
+        Add(IntTerm(5), Mul(IntTerm(-1), IntTerm(2))),
+        # counting-term binders: one and two variables, complex bodies
+        CountTerm(("y",), Atom("E", ("x", "y"))),
+        CountTerm(("y", "z"), And(Atom("E", ("x", "y")), Atom("E", ("y", "z")))),
+        CountTerm(("y",), Exists("z", Or(Atom("E", ("y", "z")), Eq("y", "z")))),
+        # a predicate atom nested through the term algebra
+        Add(
+            CountTerm(("y",), PredicateAtom("geq1", (CountTerm(("z",), Atom("E", ("y", "z"))),))),
+            IntTerm(1),
+        ),
+    ]
+
+    @pytest.mark.parametrize("phi", CASES, ids=[pretty(c) for c in CASES])
+    def test_formula_corner(self, phi):
+        assert parse_formula(pretty(phi)) == phi
+
+    @pytest.mark.parametrize("term", TERM_CASES, ids=[pretty(c) for c in TERM_CASES])
+    def test_term_corner(self, term):
+        assert parse_term(pretty(term)) == term

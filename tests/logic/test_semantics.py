@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.errors import ArityError, EvaluationError
-from repro.logic.builder import Rel, count, variables
+from repro.logic.builder import Rel
 from repro.logic.examples import (
     blue_neighbour_term,
     edges_term,
@@ -34,7 +34,6 @@ from repro.logic.syntax import (
     Forall,
     Iff,
     Implies,
-    IntTerm,
     Not,
     Or,
     Top,

@@ -13,7 +13,6 @@ from repro.logic.syntax import (
     DistAtom,
     Eq,
     Exists,
-    Forall,
     IntTerm,
     Mul,
     Not,

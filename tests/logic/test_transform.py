@@ -4,22 +4,16 @@ relativization, simplification) — all checked semantically."""
 import pytest
 from hypothesis import given, settings
 
-from repro.errors import FormulaError
 from repro.logic.builder import Rel
 from repro.logic.parser import parse_formula, parse_term
 from repro.logic.semantics import evaluate, satisfies
 from repro.logic.syntax import (
     And,
-    Atom,
-    Bottom,
     CountTerm,
     Eq,
     Exists,
-    Forall,
     IntTerm,
     Not,
-    Or,
-    Top,
     free_variables,
     subexpressions,
 )
@@ -32,7 +26,7 @@ from repro.logic.transform import (
 )
 from repro.structures.builders import graph_structure
 
-from ..conftest import fo_formulas, foc1_formulas, small_graphs
+from ..conftest import foc1_formulas, small_graphs
 
 E = Rel("E", 2)
 

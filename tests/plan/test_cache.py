@@ -1,0 +1,95 @@
+"""The plan cache: LRU behaviour, counters, and metrics emission."""
+
+import pytest
+
+from repro.logic.parser import parse_formula
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.plan import PlanCache, compile_plan, default_plan_cache, infer_signature
+
+
+def _compile(text):
+    phi = parse_formula(text)
+    return lambda: compile_plan("model_check", [phi], (), infer_signature([phi]))
+
+
+class TestPlanCache:
+    def test_miss_compiles_then_hit_reuses(self):
+        cache = PlanCache()
+        calls = []
+        phi = parse_formula("exists x. E(x, x)")
+
+        def build():
+            calls.append(1)
+            return compile_plan("model_check", [phi], (), infer_signature([phi]))
+
+        first = cache.get_or_compile("k", build)
+        second = cache.get_or_compile("k", build)
+        assert first is second
+        assert calls == [1]
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_evicts_the_oldest_entry(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_compile("a", _compile("E(x, x)"))
+        cache.get_or_compile("b", _compile("E(x, y)"))
+        cache.get_or_compile("a", _compile("E(x, x)"))  # refresh "a"
+        cache.get_or_compile("c", _compile("E(y, y)"))  # evicts "b"
+        assert cache.evictions == 1
+        cache.get_or_compile("a", _compile("E(x, x)"))  # still cached
+        assert cache.hits == 2
+        cache.get_or_compile("b", _compile("E(x, y)"))  # was evicted
+        assert cache.misses == 4
+
+    def test_stats_shape_and_hit_rate(self):
+        cache = PlanCache(capacity=8)
+        assert cache.stats()["hit_rate"] == 0.0
+        cache.get_or_compile("k", _compile("E(x, x)"))
+        cache.get_or_compile("k", _compile("E(x, x)"))
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "capacity": 8,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
+
+    def test_clear_resets_everything(self):
+        cache = PlanCache()
+        cache.get_or_compile("k", _compile("E(x, x)"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_default_cache_is_shared(self):
+        assert default_plan_cache() is default_plan_cache()
+
+
+class TestCacheMetrics:
+    def test_hit_miss_eviction_counters_and_compile_histogram(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            cache = PlanCache(capacity=1)
+            cache.get_or_compile("a", _compile("E(x, x)"))  # miss
+            cache.get_or_compile("a", _compile("E(x, x)"))  # hit
+            cache.get_or_compile("b", _compile("E(x, y)"))  # miss + eviction
+        finally:
+            set_metrics(previous)
+        assert registry.counter("plan.cache.hit") == 1
+        assert registry.counter("plan.cache.miss") == 2
+        assert registry.counter("plan.cache.eviction") == 1
+        histogram = registry.snapshot()["histograms"]["plan.compile.seconds"]
+        assert histogram["count"] == 2
+
+    def test_no_registry_means_no_crash(self):
+        previous = set_metrics(None)
+        try:
+            PlanCache().get_or_compile("a", _compile("E(x, x)"))
+        finally:
+            set_metrics(previous)

@@ -1,0 +1,204 @@
+"""Plan execution: differential correctness and cache reuse.
+
+The planned executor is the subject, the literal Definition 3.1
+:class:`BruteForceEvaluator` is the oracle.  Plain ``random.Random(seed)``
+so each case is a fixed, re-runnable pytest id (same convention as
+``tests/core/test_differential.py``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.baseline import BruteForceEvaluator
+from repro.core.evaluator import Foc1Evaluator
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.predicates import standard_collection
+from repro.logic.syntax import (
+    And,
+    Atom,
+    CountTerm,
+    Eq,
+    Exists,
+    Not,
+    Or,
+    PredicateAtom,
+    exists_block,
+    free_variables,
+)
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.plan import PlanCache, PlanExecutor, compile_plan
+from repro.structures.builders import cycle_graph, graph_structure, path_graph
+
+VARS = ("x", "y", "z")
+
+
+def _random_graph(rng: random.Random):
+    n = rng.randint(1, 6)
+    vertices = list(range(1, n + 1))
+    pairs = [(u, v) for u in vertices for v in vertices if u < v]
+    edges = [pair for pair in pairs if rng.random() < 0.4]
+    return graph_structure(vertices, edges)
+
+
+def _random_sentence(rng: random.Random):
+    """A random FOC1(P) sentence: FO shell + rule-(4') predicate atoms."""
+
+    def atom():
+        a, b = rng.choice(VARS), rng.choice(VARS)
+        return Eq(a, b) if rng.random() < 0.25 else Atom("E", (a, b))
+
+    def counting_atom():
+        free = rng.choice(VARS)
+        bound = [v for v in VARS if v != free][: rng.randint(1, 2)]
+        body = atom()
+        stray = sorted(free_variables(body) - set(bound) - {free})
+        term = CountTerm(tuple(bound), exists_block(stray, body))
+        predicate = rng.choice(["geq1", "even"])
+        return PredicateAtom(predicate, (term,))
+
+    def formula(depth):
+        if depth == 0:
+            return counting_atom() if rng.random() < 0.5 else atom()
+        choice = rng.randint(0, 3)
+        if choice == 0:
+            return Not(formula(depth - 1))
+        if choice == 1:
+            return And(formula(depth - 1), formula(depth - 1))
+        if choice == 2:
+            return Or(formula(depth - 1), formula(depth - 1))
+        return Exists(rng.choice(VARS), formula(depth - 1))
+
+    phi = formula(rng.randint(1, 3))
+    return exists_block(sorted(free_variables(phi)), phi)
+
+
+class TestDifferential:
+    """PlanExecutor (subject) versus BruteForceEvaluator (oracle)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_model_check_agrees_with_oracle(self, seed):
+        rng = random.Random(seed)
+        structure = _random_graph(rng)
+        sentence = _random_sentence(rng)
+        plan = compile_plan("model_check", [sentence], (), structure.signature)
+        subject = PlanExecutor(plan, structure, standard_collection()).model_check()
+        oracle = BruteForceEvaluator().model_check(structure, sentence)
+        assert subject is oracle
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_count_agrees_with_oracle(self, seed):
+        rng = random.Random(seed)
+        structure = _random_graph(rng)
+        phi = parse_formula(
+            rng.choice(
+                [
+                    "E(x, y)",
+                    "E(x, y) & E(y, z)",
+                    "E(x, y) | x = y",
+                    "!E(x, y) & @geq1(#(w). E(x, w))",
+                    "E(x, y) -> E(y, x)",
+                ]
+            )
+        )
+        variables = tuple(sorted(free_variables(phi)))
+        plan = compile_plan("count", [phi], variables, structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        oracle = BruteForceEvaluator().count(structure, phi, variables)
+        assert executor.count_value() == oracle
+
+    def test_ground_and_unary_terms_agree(self):
+        structure = path_graph(5)
+        ground = parse_term("#(x, y). E(x, y)")
+        plan = compile_plan("ground_term", [ground], (), structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        assert executor.ground_term_value() == BruteForceEvaluator().ground_term_value(
+            structure, ground
+        )
+
+        unary = parse_term("#(y). E(x, y)")
+        plan = compile_plan("unary_term", [unary], ("x",), structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        assert executor.unary_term_values("x") == BruteForceEvaluator().unary_term_values(
+            structure, unary, "x"
+        )
+
+    def test_solutions_agree(self):
+        structure = cycle_graph(5)
+        phi = parse_formula("E(x, y) & @eq(#(z). E(x, z), 2)")
+        variables = ("x", "y")
+        plan = compile_plan("solutions", [phi], variables, structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        assert sorted(executor.solutions()) == sorted(
+            BruteForceEvaluator().solutions(structure, phi, variables)
+        )
+
+
+class TestExecutorContracts:
+    def test_signature_mismatch_is_rejected(self):
+        from repro.structures.builders import coloured_graph_structure
+
+        phi = parse_formula("exists x. E(x, x)")
+        plan = compile_plan("model_check", [phi], (), path_graph(3).signature)
+        # Same shape, different structure object: fine.
+        PlanExecutor(plan, cycle_graph(4), standard_collection())
+        # Different signature ({E, R, B, G} vs {E}): rejected.
+        mismatched = coloured_graph_structure([1, 2], [(1, 2)], red=[1])
+        with pytest.raises(EvaluationError):
+            PlanExecutor(plan, mismatched, standard_collection())
+
+    def test_materialising_an_existing_symbol_is_an_error(self):
+        structure = path_graph(3)
+        phi = parse_formula("exists x. @even(#(y). E(x, y))")
+        plan = compile_plan("model_check", [phi], (), structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        executor.prepare()
+        with pytest.raises(EvaluationError):
+            executor.state.apply_materialise_step(plan.steps[0])
+
+    def test_prepare_is_idempotent(self):
+        structure = path_graph(3)
+        phi = parse_formula("exists x. @even(#(y). E(x, y))")
+        plan = compile_plan("model_check", [phi], (), structure.signature)
+        executor = PlanExecutor(plan, structure, standard_collection())
+        assert executor.model_check() == executor.model_check()
+
+
+class TestFacadeCaching:
+    def test_repeated_evaluation_hits_the_plan_cache(self):
+        cache = PlanCache()
+        engine = Foc1Evaluator(plan_cache=cache)
+        structure = path_graph(6)
+        sentence = parse_formula("forall x. @geq1(#(y). E(x, y))")
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            first = engine.model_check(structure, sentence)
+            second = engine.model_check(structure, sentence)
+        finally:
+            set_metrics(previous)
+        assert first is second is True
+        assert cache.hits >= 1
+        assert registry.counter("plan.cache.hit") >= 1
+        assert registry.counter("plan.cache.miss") >= 1
+
+    def test_alpha_equivalent_queries_share_a_plan(self):
+        cache = PlanCache()
+        engine = Foc1Evaluator(plan_cache=cache)
+        structure = path_graph(4)
+        engine.model_check(structure, parse_formula("exists u. E(u, u)"))
+        misses = cache.misses
+        engine.model_check(structure, parse_formula("exists v. E(v, v)"))
+        assert cache.misses == misses  # same canonical key, pure hit
+        assert cache.hits >= 1
+
+    def test_count_via_facade_matches_oracle_with_shared_cache(self):
+        cache = PlanCache()
+        engine = Foc1Evaluator(plan_cache=cache)
+        oracle = BruteForceEvaluator()
+        phi = parse_formula("E(x, y) & !E(y, x)")
+        for structure in (path_graph(4), cycle_graph(5)):
+            assert engine.count(structure, phi, ["x", "y"]) == oracle.count(
+                structure, phi, ["x", "y"]
+            )

@@ -1,0 +1,110 @@
+"""Properties of the plan-cache normaliser (``repro.plan.normalise``)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    PredicateAtom,
+    Top,
+    free_variables,
+    subexpressions,
+)
+from repro.plan import canonicalise, flatten_conjuncts, replace_atoms
+
+from ..conftest import foc1_formulas
+
+
+class TestCanonicalise:
+    def test_alpha_equivalent_inputs_are_structurally_equal(self):
+        left = parse_formula("exists u. E(u, y)")
+        right = parse_formula("exists v. E(v, y)")
+        assert left != right
+        assert canonicalise(left) == canonicalise(right)
+
+    def test_counting_term_binders_are_renamed_too(self):
+        left = parse_term("#(a). E(x, a)")
+        right = parse_term("#(b). E(x, b)")
+        assert left != right
+        assert canonicalise(left) == canonicalise(right)
+
+    def test_bound_names_follow_traversal_order(self):
+        phi = parse_formula("exists a. exists b. E(a, b)")
+        assert canonicalise(phi) == Exists("_b0", Exists("_b1", Atom("E", ("_b0", "_b1"))))
+
+    def test_free_variables_keep_their_names(self):
+        phi = parse_formula("E(x, y) & exists z. E(z, y)")
+        assert free_variables(canonicalise(phi)) == {"x", "y"}
+
+    def test_canonical_names_skip_free_variable_collisions(self):
+        # A free variable already named _b0 must not be captured.
+        phi = Exists("u", And(Atom("E", ("u", "_b0")), Top()))
+        result = canonicalise(phi)
+        assert free_variables(result) == {"_b0"}
+        assert result.variable != "_b0"
+
+    def test_result_shares_no_nodes_with_input(self):
+        phi = parse_formula("exists x. @eq(#(y). E(x, y), 2) & E(x, x)")
+        original = {id(node) for node in subexpressions(phi)}
+        copied = {id(node) for node in subexpressions(canonicalise(phi))}
+        assert original.isdisjoint(copied)
+
+    def test_idempotent_up_to_equality(self):
+        phi = parse_formula("exists a. @even(#(b). (E(a, b) | E(b, a)))")
+        once = canonicalise(phi)
+        assert canonicalise(once) == once
+
+    @settings(max_examples=50, deadline=None)
+    @given(foc1_formulas())
+    def test_random_formulas_canonicalise_idempotently(self, phi):
+        once = canonicalise(phi)
+        assert canonicalise(once) == once
+        assert free_variables(once) == free_variables(phi)
+        original = {id(node) for node in subexpressions(phi)}
+        copied = {id(node) for node in subexpressions(once)}
+        assert original.isdisjoint(copied)
+
+
+class TestFlattenConjuncts:
+    def test_nested_conjunctions_flatten_in_order(self):
+        phi = parse_formula("(E(x, y) & E(y, z)) & (x = y & true)")
+        parts = flatten_conjuncts(phi)
+        assert parts == [
+            Atom("E", ("x", "y")),
+            Atom("E", ("y", "z")),
+            parse_formula("x = y"),
+        ]
+
+    def test_non_conjunction_is_a_singleton(self):
+        phi = parse_formula("E(x, y) | E(y, x)")
+        assert flatten_conjuncts(phi) == [phi]
+
+    def test_top_alone_flattens_to_nothing(self):
+        assert flatten_conjuncts(Top()) == []
+
+
+class TestReplaceAtoms:
+    def test_replaces_structurally_equal_predicate_atoms(self):
+        phi = parse_formula("exists x. @even(#(y). E(x, y))")
+        atom = next(
+            node for node in subexpressions(phi) if isinstance(node, PredicateAtom)
+        )
+        # A structurally-equal copy must hit the mapping too (value equality).
+        copy = PredicateAtom(atom.predicate, atom.terms)
+        replacement = Atom("Paux__0", ("x",))
+        rewritten = replace_atoms(phi, {copy: replacement})
+        assert not any(
+            isinstance(node, PredicateAtom) for node in subexpressions(rewritten)
+        )
+        assert any(node == replacement for node in subexpressions(rewritten))
+
+    def test_unmapped_expressions_pass_through(self):
+        phi = parse_formula("E(x, y) & dist(x, y) <= 2")
+        assert replace_atoms(phi, {}) == phi
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

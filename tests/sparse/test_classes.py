@@ -16,7 +16,7 @@ from repro.sparse.classes import (
     sparse_random_graph,
     triangulated_grid,
 )
-from repro.structures.gaifman import connected_components, is_connected
+from repro.structures.gaifman import is_connected
 
 
 class TestGenerators:

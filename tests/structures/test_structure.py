@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ArityError, SignatureError, UniverseError
-from repro.structures.signature import RelationSymbol, Signature
+from repro.structures.signature import Signature
 from repro.structures.structure import Structure
 
 

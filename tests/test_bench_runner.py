@@ -11,7 +11,13 @@ import pathlib
 import subprocess
 import sys
 
-from tools.bench_runner import SCHEMA_NAME, condense, validate_report
+from tools.bench_runner import (
+    SCHEMA_NAME,
+    baseline_delta,
+    condense,
+    delta_table,
+    validate_report,
+)
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -128,3 +134,87 @@ class TestCliValidate:
         )
         assert completed.returncode == 1
         assert "invalid" in completed.stderr
+
+
+def plan_payload():
+    """A payload whose metrics carry the plan layer's counters/histograms."""
+    payload = raw_payload()
+    metrics = payload["benchmarks"][0]["extra_info"]["metrics"]
+    metrics["counters"]["plan.cache.hit"] = 9
+    metrics["counters"]["plan.cache.miss"] = 1
+    metrics["histograms"]["plan.compile.seconds"] = {
+        "count": 1,
+        "total": 0.004,
+        "min": 0.004,
+        "max": 0.004,
+        "mean": 0.004,
+    }
+    return payload
+
+
+class TestPlanCacheFields:
+    def test_plan_fields_folded_from_metrics(self):
+        report = condense(plan_payload(), quick=True)
+        [bench] = report["benchmarks"]
+        assert bench["plan_cache_hit_rate"] == 0.9
+        assert bench["compile_s"] == 0.004
+        totals = report["totals"]
+        assert totals["plan_cache_hits"] == 9
+        assert totals["plan_cache_misses"] == 1
+        assert totals["plan_cache_hit_rate"] == 0.9
+        assert totals["compile_s"] == 0.004
+        assert totals["execute_s"] == totals["wall_s"] - 0.004
+
+    def test_plan_fields_null_without_plan_metrics(self):
+        report = condense(raw_payload(), quick=True)
+        [bench] = report["benchmarks"]
+        assert bench["plan_cache_hit_rate"] is None
+        assert bench["compile_s"] is None
+        assert report["totals"]["plan_cache_hit_rate"] is None
+        assert report["totals"]["execute_s"] == report["totals"]["wall_s"]
+
+    def test_plan_report_is_valid(self):
+        assert validate_report(condense(plan_payload(), quick=True)) == []
+
+    def test_validator_rejects_bad_plan_rate(self):
+        report = condense(plan_payload(), quick=True)
+        report["benchmarks"][0]["plan_cache_hit_rate"] = 2.0
+        assert any("plan_cache_hit_rate" in p for p in validate_report(report))
+
+
+class TestBaselineDelta:
+    def test_matching_benchmarks_produce_rows_and_geomean(self):
+        baseline = condense(raw_payload(), quick=True)
+        report = condense(plan_payload(), quick=True)
+        report["benchmarks"][0]["mean_s"] = 0.001  # 2x speedup vs 0.002
+        delta = baseline_delta(report, baseline, "BENCH_pr2.json")
+        assert delta["common"] == 1
+        [row] = delta["rows"]
+        assert row["base_mean_s"] == 0.002
+        assert row["mean_s"] == 0.001
+        assert abs(row["ratio"] - 0.5) < 1e-12
+        assert abs(delta["speedup_geomean"] - 0.5) < 1e-12
+
+    def test_disjoint_reports_share_nothing(self):
+        baseline = condense({"benchmarks": []}, quick=True)
+        delta = baseline_delta(
+            condense(raw_payload(), quick=True), baseline, "old.json"
+        )
+        assert delta["common"] == 0
+        assert delta["speedup_geomean"] is None
+
+    def test_report_with_delta_is_valid(self):
+        report = condense(plan_payload(), quick=True)
+        report["baseline_delta"] = baseline_delta(
+            report, condense(raw_payload(), quick=True), "BENCH_pr2.json"
+        )
+        assert validate_report(report) == []
+
+    def test_delta_table_renders(self):
+        report = condense(plan_payload(), quick=True)
+        delta = baseline_delta(
+            report, condense(raw_payload(), quick=True), "BENCH_pr2.json"
+        )
+        lines = delta_table(delta)
+        assert "BENCH_pr2.json" in lines[0]
+        assert any("bench_scaling_counting" in line for line in lines)

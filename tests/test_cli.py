@@ -6,16 +6,14 @@ import sys
 
 import pytest
 
-from repro.errors import ReproError
 from repro.io import (
     FormatError,
     load_structure,
     parse_edge_list,
     save_structure,
     structure_from_json,
-    structure_to_json,
 )
-from repro.structures.builders import graph_structure, path_graph
+from repro.structures.builders import graph_structure
 
 
 class TestJsonRoundTrip:
@@ -208,6 +206,54 @@ class TestCli:
             timeout=240,
         )
         assert result.returncode == 2
+
+
+class TestCliExplain:
+    """`explain` renders a compiled plan without evaluating; exit codes
+    follow the CLI contract (0 ok, 2 bad input)."""
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "explain", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+
+    def test_sentence_plan_exits_0_with_stage_annotations(self):
+        result = self._run("exists x. @even(#(y). E(x, y))")
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "plan: model_check" in out
+        assert "stratification (Theorem 6.10)" in out
+        assert "count DAG (Lemma 6.4)" in out
+        assert "Paux__0" in out
+        assert "plan cache:" in out
+
+    def test_counting_term_plan_exits_0(self):
+        result = self._run("#(x, y). E(x, y)")
+        assert result.returncode == 0, result.stderr
+        assert "plan: ground_term" in result.stdout
+        assert "guard" in result.stdout
+
+    def test_parse_error_exits_2(self):
+        result = self._run("E(x,")
+        assert result.returncode == 2
+        assert "error:" in result.stderr
+        assert result.stdout == ""
+
+    def test_fragment_violation_exits_2(self):
+        result = self._run(
+            "exists x. exists y. @eq(#(z). E(x, z), #(z). E(y, z))"
+        )
+        assert result.returncode == 2
+        assert "FOC1" in result.stderr
+
+    def test_fragment_check_can_be_disabled(self):
+        result = self._run(
+            "exists x. @even(#(y). E(x, y))", "--no-fragment-check"
+        )
+        assert result.returncode == 0, result.stderr
 
 
 class TestCliRobustness:

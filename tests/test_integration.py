@@ -3,14 +3,12 @@ subsystems, mirroring how a downstream user composes the library."""
 
 import random
 
-import pytest
 
 from repro import (
     BruteForceEvaluator,
     Foc1Evaluator,
     Foc1Query,
     Rel,
-    count,
     graph_structure,
     parse_formula,
 )
@@ -19,7 +17,7 @@ from repro.core.decomposition import decompose_factored_count
 from repro.core.local_eval import evaluate_polynomial_unary
 from repro.core.main_algorithm import evaluate_unary_main_algorithm
 from repro.core.query import eliminate_free_variables
-from repro.db import CUSTOMER, EXAMPLE_5_3_SCHEMA, ORDER, Database, group_by_count
+from repro.db import CUSTOMER, EXAMPLE_5_3_SCHEMA, Database, group_by_count
 from repro.hardness import reduce_to_string, reduce_to_tree
 from repro.logic.semantics import satisfies
 from repro.sparse import rounds_needed, sparse_cover

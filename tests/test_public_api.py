@@ -71,6 +71,14 @@ class TestPublicSurface:
             "pretty",
             "satisfies",
             "is_foc1",
+            # plan layer
+            "QueryPlan",
+            "PlanCache",
+            "PlanExecutor",
+            "PlanOptions",
+            "compile_plan",
+            "canonicalise",
+            "default_plan_cache",
             # robustness surface
             "EvaluationBudget",
             "RobustEvaluator",

@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr2.json``.
+a machine-readable ``BENCH_pr3.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -7,22 +7,36 @@ attaches to ``extra_info`` (see ``REPRO_BENCH_METRICS``), and condenses
 everything into a small, stable report::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "quick": true,
       "benchmarks": [
         {"name": "...", "module": "bench_covers", "mean_s": ..., ...,
          "metrics": {"counters": {...}, "histograms": {...}},
-         "memo_hit_rate": 0.93},
+         "memo_hit_rate": 0.93,
+         "plan_cache_hit_rate": 0.98, "compile_s": 0.004},
         ...
       ],
-      "totals": {"benchmarks": N, "wall_s": ..., "memo_hit_rate": ...}
+      "totals": {"benchmarks": N, "wall_s": ..., "memo_hit_rate": ...,
+                 "plan_cache_hit_rate": ..., "compile_s": ...,
+                 "execute_s": ...},
+      "baseline_delta": {"file": "BENCH_pr2.json", "common": M,
+                         "speedup_geomean": ..., "rows": [...]}
     }
+
+Schema 3 adds the compile-once plan layer's split: per benchmark, the
+plan-cache hit rate (``plan.cache.hit`` / ``plan.cache.miss`` counters)
+and the time spent compiling plans (the ``plan.compile.seconds``
+histogram's total); in the totals, ``execute_s`` is the measured wall
+time minus the compile share.  When a baseline report (default:
+``BENCH_pr2.json``) is present, the runner also emits a per-benchmark
+delta table — baseline mean vs new mean — so plan-layer regressions are
+visible in the artifact itself.
 
 Usage::
 
     python tools/bench_runner.py --quick              # smoke pass (seconds)
     python tools/bench_runner.py                      # full pass (minutes)
-    python tools/bench_runner.py --validate BENCH_pr2.json
+    python tools/bench_runner.py --validate BENCH_pr3.json
 
 ``--quick`` selects the small parameter points (via ``REPRO_BENCH_QUICK``;
 the ceilings live in ``benchmarks/conftest.py``) and caps rounds, so CI can
@@ -36,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import subprocess
 import sys
@@ -45,7 +60,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/2"
+SCHEMA_NAME = "repro-bench/3"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -125,6 +140,9 @@ def condense(raw: Dict, quick: bool) -> Dict:
     total_wall = 0.0
     memo_hits = 0
     memo_misses = 0
+    plan_hits = 0
+    plan_misses = 0
+    total_compile = 0.0
     for entry in raw.get("benchmarks", []):
         stats = entry.get("stats", {})
         extra = dict(entry.get("extra_info", {}))
@@ -133,6 +151,8 @@ def condense(raw: Dict, quick: bool) -> Dict:
         mean = float(stats.get("mean", 0.0))
         rounds = int(stats.get("rounds", 0))
         total_wall += mean * rounds
+        plan_cache_hit_rate = None
+        compile_s = None
         if metrics:
             counters = metrics.get("counters", {})
             memo_hits += sum(
@@ -141,6 +161,18 @@ def condense(raw: Dict, quick: bool) -> Dict:
             memo_misses += sum(
                 v for k, v in counters.items() if k.endswith(".memo.miss")
             )
+            hits = counters.get("plan.cache.hit", 0)
+            misses = counters.get("plan.cache.miss", 0)
+            plan_hits += hits
+            plan_misses += misses
+            if hits + misses:
+                plan_cache_hit_rate = hits / (hits + misses)
+            histogram = (metrics.get("histograms") or {}).get(
+                "plan.compile.seconds"
+            )
+            if histogram is not None:
+                compile_s = float(histogram.get("total", 0.0))
+                total_compile += compile_s
         benchmarks.append(
             {
                 "name": entry.get("name", ""),
@@ -154,9 +186,12 @@ def condense(raw: Dict, quick: bool) -> Dict:
                 "extra_info": extra,
                 "metrics": metrics,
                 "memo_hit_rate": memo_hit_rate,
+                "plan_cache_hit_rate": plan_cache_hit_rate,
+                "compile_s": compile_s,
             }
         )
     total = memo_hits + memo_misses
+    plan_total = plan_hits + plan_misses
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -168,9 +203,90 @@ def condense(raw: Dict, quick: bool) -> Dict:
             "memo_hits": memo_hits,
             "memo_misses": memo_misses,
             "memo_hit_rate": (memo_hits / total) if total else None,
+            "plan_cache_hits": plan_hits,
+            "plan_cache_misses": plan_misses,
+            "plan_cache_hit_rate": (
+                (plan_hits / plan_total) if plan_total else None
+            ),
+            "compile_s": total_compile,
+            "execute_s": max(total_wall - total_compile, 0.0),
         },
     }
     return report
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def baseline_delta(report: Dict, baseline: Dict, filename: str) -> Dict:
+    """Per-benchmark deltas against an earlier report (any schema version).
+
+    Benchmarks are matched on ``(module, name)``; ``ratio`` is new mean
+    over baseline mean, so values below 1.0 are speedups.
+    """
+    older = {
+        (bench.get("module"), bench.get("name")): bench
+        for bench in baseline.get("benchmarks", [])
+    }
+    rows: List[Dict] = []
+    ratios: List[float] = []
+    for bench in report.get("benchmarks", []):
+        before = older.get((bench.get("module"), bench.get("name")))
+        if before is None:
+            continue
+        base_mean = float(before.get("mean_s", 0.0))
+        mean = float(bench.get("mean_s", 0.0))
+        ratio = (mean / base_mean) if base_mean > 0 and mean > 0 else None
+        if ratio is not None:
+            ratios.append(ratio)
+        rows.append(
+            {
+                "name": bench.get("name"),
+                "module": bench.get("module"),
+                "base_mean_s": base_mean,
+                "mean_s": mean,
+                "ratio": ratio,
+            }
+        )
+    geomean = None
+    if ratios:
+        log_sum = sum(math.log(r) for r in ratios)
+        geomean = math.exp(log_sum / len(ratios))
+    return {
+        "file": filename,
+        "baseline_schema": baseline.get("schema"),
+        "common": len(rows),
+        "speedup_geomean": geomean,
+        "rows": rows,
+    }
+
+
+def delta_table(delta: Dict, limit: int = 12) -> List[str]:
+    """A printable table of the largest movers (both directions)."""
+    rows = [row for row in delta["rows"] if row["ratio"] is not None]
+    rows.sort(key=lambda row: abs(math.log(row["ratio"])), reverse=True)
+    lines = [
+        f"delta vs {delta['file']} ({delta['common']} shared benchmark(s), "
+        + (
+            f"geomean ratio {delta['speedup_geomean']:.3f})"
+            if delta["speedup_geomean"] is not None
+            else "no comparable timings)"
+        ),
+        f"  {'benchmark':<58} {'base_ms':>9} {'new_ms':>9} {'ratio':>7}",
+    ]
+    for row in rows[:limit]:
+        name = f"{row['module']}::{row['name']}"
+        if len(name) > 58:
+            name = name[:55] + "..."
+        lines.append(
+            f"  {name:<58} {row['base_mean_s'] * 1e3:>9.3f} "
+            f"{row['mean_s'] * 1e3:>9.3f} {row['ratio']:>7.3f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"  ... {len(rows) - limit} more in the report")
+    return lines
 
 
 # ---------------------------------------------------------------------------
@@ -213,10 +329,18 @@ def validate_report(report: Dict) -> List[str]:
             isinstance(bench.get("rounds"), int) and bench["rounds"] >= 1,
             f"{where}.rounds must be a positive integer",
         )
-        rate = bench.get("memo_hit_rate")
+        for key in ("memo_hit_rate", "plan_cache_hit_rate"):
+            rate = bench.get(key)
+            check(
+                rate is None
+                or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
+                f"{where}.{key} must be null or in [0, 1]",
+            )
+        compile_s = bench.get("compile_s")
         check(
-            rate is None or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
-            f"{where}.memo_hit_rate must be null or in [0, 1]",
+            compile_s is None
+            or (isinstance(compile_s, (int, float)) and compile_s >= 0),
+            f"{where}.compile_s must be null or a non-negative number",
         )
         metrics = bench.get("metrics")
         if metrics is not None:
@@ -240,22 +364,41 @@ def validate_report(report: Dict) -> List[str]:
             totals.get("benchmarks") == len(benchmarks or []),
             "totals.benchmarks must equal len(benchmarks)",
         )
-        wall = totals.get("wall_s")
-        check(
-            isinstance(wall, (int, float)) and wall >= 0,
-            "totals.wall_s must be a non-negative number",
-        )
-        rate = totals.get("memo_hit_rate")
-        check(
-            rate is None or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
-            "totals.memo_hit_rate must be null or in [0, 1]",
-        )
+        for key in ("wall_s", "compile_s", "execute_s"):
+            value = totals.get(key)
+            check(
+                isinstance(value, (int, float)) and value >= 0,
+                f"totals.{key} must be a non-negative number",
+            )
+        for key in ("memo_hit_rate", "plan_cache_hit_rate"):
+            rate = totals.get(key)
+            check(
+                rate is None
+                or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
+                f"totals.{key} must be null or in [0, 1]",
+            )
+    delta = report.get("baseline_delta")
+    if delta is not None:
+        check(isinstance(delta, dict), "baseline_delta must be an object")
+        if isinstance(delta, dict):
+            check(
+                isinstance(delta.get("file"), str),
+                "baseline_delta.file must be a string",
+            )
+            check(
+                isinstance(delta.get("common"), int) and delta["common"] >= 0,
+                "baseline_delta.common must be a non-negative integer",
+            )
+            check(
+                isinstance(delta.get("rows"), list),
+                "baseline_delta.rows must be a list",
+            )
     return problems
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr2.json"
+        description="Run the benchmark suites and emit BENCH_pr3.json"
     )
     parser.add_argument(
         "--quick",
@@ -264,9 +407,16 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
+        default=str(REPO_ROOT / "BENCH_pr3.json"),
+        metavar="FILE",
+        help="where to write the report (default: BENCH_pr3.json)",
+    )
+    parser.add_argument(
+        "--baseline",
         default=str(REPO_ROOT / "BENCH_pr2.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr2.json)",
+        help="earlier report to diff against (default: BENCH_pr2.json; "
+        "skipped silently when the file does not exist)",
     )
     parser.add_argument(
         "-k",
@@ -295,6 +445,12 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         return 0
 
     report = run_benchmarks(quick=args.quick, select=args.select)
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        report["baseline_delta"] = baseline_delta(
+            report, baseline, baseline_path.name
+        )
     problems = validate_report(report)
     if problems:
         for problem in problems:
@@ -306,11 +462,17 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     totals = report["totals"]
     rate = totals["memo_hit_rate"]
     rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+    plan_rate = totals["plan_cache_hit_rate"]
+    plan_text = f"{plan_rate:.1%}" if plan_rate is not None else "n/a"
     print(
         f"wrote {output}: {totals['benchmarks']} benchmark(s), "
-        f"{totals['wall_s']:.2f}s measured wall time, "
-        f"memo hit rate {rate_text}"
+        f"{totals['wall_s']:.2f}s measured wall time "
+        f"({totals['compile_s']:.3f}s compiling plans), "
+        f"memo hit rate {rate_text}, plan cache hit rate {plan_text}"
     )
+    if "baseline_delta" in report:
+        for line in delta_table(report["baseline_delta"]):
+            print(line)
     return 0
 
 
