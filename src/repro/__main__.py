@@ -156,6 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="cooperative step budget; exhaustion exits with code 4",
         )
         sub.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="worker count for the parallel evaluation paths "
+            "(default: REPRO_WORKERS or 1 = serial; see docs/PARALLEL.md)",
+        )
+        sub.add_argument(
             "--trace",
             action="store_true",
             help="record spans around the pipeline and print a timing "
@@ -335,11 +342,19 @@ def _make_engine(args: argparse.Namespace):
             # A nonsensical limit is the caller's mistake (exit 2), not ours.
             raise ReproError(str(error)) from None
     check_fragment = not args.no_fragment_check
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ReproError("--workers must be a positive integer")
     if args.engine == "robust":
-        return RobustEvaluator(budget=budget, check_fragment=check_fragment)
+        return RobustEvaluator(
+            budget=budget, check_fragment=check_fragment, workers=workers
+        )
     if args.engine == "baseline":
+        # The brute-force oracle stays deliberately serial.
         return BruteForceEvaluator(budget=budget, check_fragment=check_fragment)
-    return Foc1Evaluator(check_fragment=check_fragment, budget=budget)
+    return Foc1Evaluator(
+        check_fragment=check_fragment, budget=budget, workers=workers
+    )
 
 
 if __name__ == "__main__":

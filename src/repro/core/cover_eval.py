@@ -23,17 +23,25 @@ compiled once per pattern graph (see
 same handful of patterns across every cluster, so the order is static
 analysis, not per-tuple work.  Polynomial evaluation additionally shares
 one ball cache across all basic terms with the same link distance.
+
+Both entry points accept ``workers``/``backend``: clusters (for the
+per-cluster path) or target elements (for the semantic path) are sharded
+deterministically across a :class:`~repro.parallel.WorkerPool` and the
+shard results merge in shard-index order, so any worker count produces
+byte-identical output to the serial loop (see ``docs/PARALLEL.md``).
+``workers=1`` (the default) *is* the serial loop.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection
 from ..logic.semantics import satisfies
 from ..obs import active_metrics, traced
+from ..parallel import WorkerPool, shard
 from ..robust.budget import EvaluationBudget
 from ..logic.syntax import Formula, Variable
 from ..sparse.covers import CoverError, NeighbourhoodCover
@@ -90,36 +98,20 @@ def _holds_in_cluster(
     return first
 
 
-@traced("cover_eval.basic_unary")
-def evaluate_basic_cover_unary(
+def _basic_unary_shard(
     structure: Structure,
     cover: NeighbourhoodCover,
     term: CoverTerm,
-    elements: "Optional[Sequence[Element]]" = None,
-    predicates: "Optional[PredicateCollection]" = None,
-    check_well_defined: bool = False,
-    budget: "Optional[EvaluationBudget]" = None,
-    ball_cache: "Optional[_BallCache]" = None,
+    psi: Formula,
+    targets: Sequence[Element],
+    predicates: "Optional[PredicateCollection]",
+    check_well_defined: bool,
+    budget: "Optional[EvaluationBudget]",
+    balls: "Optional[_BallCache]",
 ) -> Dict[Element, int]:
-    """``u^{A,X}[a]`` for a *basic* (connected) cover-cl-term, all ``a``.
-
-    Counted tuples are generated by pattern walking (distances measured in
-    the full structure A, as Definition 7.4 requires); the single component
-    formula is then checked inside an r-covering cluster.  An optional
-    ``ball_cache`` (for this structure and link distance) is reused instead
-    of building a fresh one, so batch callers share ball expansions.
-    """
-    if not term.unary:
-        raise FormulaError("expected a unary cover term")
-    if not term.is_basic():
-        raise FormulaError("expected a basic (connected) cover-cl-term")
-    psi = term.component_formulas[0][1]
-    targets = list(elements) if elements is not None else list(structure.universe_order)
-    balls = (
-        ball_cache
-        if ball_cache is not None and ball_cache.distance == term.link_distance
-        else _BallCache(structure, term.link_distance)
-    )
+    """One shard of the semantic path: ``u^{A,X}[a]`` for the given targets."""
+    if balls is None:
+        balls = _BallCache(structure, term.link_distance)
     metrics = active_metrics()
     values: Dict[Element, int] = {}
     for element in targets:
@@ -144,6 +136,77 @@ def evaluate_basic_cover_unary(
             ):
                 total += 1
         values[element] = total
+    return values
+
+
+@traced("cover_eval.basic_unary")
+def evaluate_basic_cover_unary(
+    structure: Structure,
+    cover: NeighbourhoodCover,
+    term: CoverTerm,
+    elements: "Optional[Sequence[Element]]" = None,
+    predicates: "Optional[PredicateCollection]" = None,
+    check_well_defined: bool = False,
+    budget: "Optional[EvaluationBudget]" = None,
+    ball_cache: "Optional[_BallCache]" = None,
+    workers: "Optional[int]" = None,
+    backend: str = "thread",
+) -> Dict[Element, int]:
+    """``u^{A,X}[a]`` for a *basic* (connected) cover-cl-term, all ``a``.
+
+    Counted tuples are generated by pattern walking (distances measured in
+    the full structure A, as Definition 7.4 requires); the single component
+    formula is then checked inside an r-covering cluster.  An optional
+    ``ball_cache`` (for this structure and link distance) is reused instead
+    of building a fresh one, so batch callers share ball expansions.
+
+    With ``workers > 1`` the targets are sharded deterministically across
+    a :class:`~repro.parallel.WorkerPool` (each shard gets its own ball
+    cache — the memo is not shared across workers) and the shard results
+    merge in shard order, reproducing the serial output exactly.
+    """
+    if not term.unary:
+        raise FormulaError("expected a unary cover term")
+    if not term.is_basic():
+        raise FormulaError("expected a basic (connected) cover-cl-term")
+    psi = term.component_formulas[0][1]
+    targets = list(elements) if elements is not None else list(structure.universe_order)
+    pool = WorkerPool(workers, backend)
+    if pool.workers <= 1 or len(targets) <= 1:
+        balls = (
+            ball_cache
+            if ball_cache is not None
+            and ball_cache.distance == term.link_distance
+            else None
+        )
+        return _basic_unary_shard(
+            structure,
+            cover,
+            term,
+            psi,
+            targets,
+            predicates,
+            check_well_defined,
+            budget,
+            balls,
+        )
+    tasks = [
+        lambda b, chunk=chunk: _basic_unary_shard(
+            structure,
+            cover,
+            term,
+            psi,
+            chunk,
+            predicates,
+            check_well_defined,
+            b,
+            None,
+        )
+        for chunk in shard(targets, pool.workers)
+    ]
+    values: Dict[Element, int] = {}
+    for part in pool.run_tasks(tasks, budget):
+        values.update(part)
     return values
 
 
@@ -269,37 +332,29 @@ def evaluate_cover_polynomial_unary(
     return result
 
 
-@traced("cover_eval.per_cluster")
-def evaluate_per_cluster(
+def _cluster_shard_values(
     structure: Structure,
     cover: NeighbourhoodCover,
     term: CoverTerm,
-    predicates: "Optional[PredicateCollection]" = None,
-    budget: "Optional[EvaluationBudget]" = None,
+    psi: Formula,
+    indices: Sequence[int],
+    predicates: "Optional[PredicateCollection]",
+    budget: "Optional[EvaluationBudget]",
 ) -> Dict[Element, int]:
-    """Section 8.2's per-cluster evaluation of a unary basic cover-cl-term.
+    """One shard of the Section 8.2 loop: the listed clusters, in order.
 
-    For each cluster X, evaluates the count *inside* ``A[X]`` for exactly the
-    elements assigned to X (the paper's ``Q`` relativisation).  Requires the
-    cover to be a ``k * link_distance``-neighbourhood cover so that patterns
-    measured in the cluster agree with patterns in A.
+    Shard-local state only (the induced substructure and its ball cache
+    are per cluster), so shards are safe to run on any
+    :class:`~repro.parallel.WorkerPool` backend; iterating a contiguous
+    index range reproduces the serial loop's member order exactly.
     """
-    if not term.unary or not term.is_basic():
-        raise FormulaError("per-cluster evaluation expects a unary basic term")
-    needed = term.width * term.link_distance
-    if cover.radius < needed:
-        raise CoverError(
-            f"per-cluster evaluation needs a {needed}-neighbourhood cover; "
-            f"this one has radius parameter {cover.radius}"
-        )
-    psi = term.component_formulas[0][1]
     metrics = active_metrics()
     values: Dict[Element, int] = {}
-    for index, cluster in enumerate(cover.clusters):
+    for index in indices:
         members = cover.members_with_cluster(index)
         if not members:
             continue
-        local = induced(structure, cluster)
+        local = induced(structure, cover.clusters[index])
         balls = _BallCache(local, term.link_distance)
         for element in members:
             total = 0
@@ -315,4 +370,67 @@ def evaluate_per_cluster(
                 ):
                     total += 1
             values[element] = total
+    return values
+
+
+@traced("cover_eval.per_cluster")
+def evaluate_per_cluster(
+    structure: Structure,
+    cover: NeighbourhoodCover,
+    term: CoverTerm,
+    predicates: "Optional[PredicateCollection]" = None,
+    budget: "Optional[EvaluationBudget]" = None,
+    workers: "Optional[int]" = None,
+    backend: str = "thread",
+) -> Dict[Element, int]:
+    """Section 8.2's per-cluster evaluation of a unary basic cover-cl-term.
+
+    For each cluster X, evaluates the count *inside* ``A[X]`` for exactly the
+    elements assigned to X (the paper's ``Q`` relativisation).  Requires the
+    cover to be a ``k * link_distance``-neighbourhood cover so that patterns
+    measured in the cluster agree with patterns in A.
+
+    Clusters are independent, so with ``workers > 1`` they are sharded
+    (contiguously, in cluster-index order) across a
+    :class:`~repro.parallel.WorkerPool`; merging the shard dicts in shard
+    order makes the result byte-identical to the serial loop at every
+    worker count.  ``backend="process"`` ships each shard to a child
+    interpreter (inputs must be picklable; only the standard predicate
+    collection is supported there).
+    """
+    if not term.unary or not term.is_basic():
+        raise FormulaError("per-cluster evaluation expects a unary basic term")
+    needed = term.width * term.link_distance
+    if cover.radius < needed:
+        raise CoverError(
+            f"per-cluster evaluation needs a {needed}-neighbourhood cover; "
+            f"this one has radius parameter {cover.radius}"
+        )
+    psi = term.component_formulas[0][1]
+    pool = WorkerPool(workers, backend)
+    indices = [
+        index
+        for index in range(len(cover.clusters))
+        if cover.members_with_cluster(index)
+    ]
+    if pool.workers <= 1 or len(indices) <= 1:
+        return _cluster_shard_values(
+            structure, cover, term, psi, indices, predicates, budget
+        )
+    shards = shard(indices, pool.workers)
+    if pool.backend == "process":
+        from ..parallel.tasks import run_per_cluster_shards
+
+        return run_per_cluster_shards(
+            pool, structure, cover, term, psi, shards, predicates, budget
+        )
+    tasks = [
+        lambda b, chunk=chunk: _cluster_shard_values(
+            structure, cover, term, psi, chunk, predicates, b
+        )
+        for chunk in shards
+    ]
+    values: Dict[Element, int] = {}
+    for part in pool.run_tasks(tasks, budget):
+        values.update(part)
     return values

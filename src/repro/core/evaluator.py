@@ -37,12 +37,14 @@ from ..logic.syntax import (
     free_variables,
 )
 from ..obs import traced
+from ..parallel import WorkerPool, shard
 from ..plan.cache import PlanCache, default_plan_cache
 from ..plan.compiler import compile_plan
 from ..plan.executor import ExecutionState, PlanExecutor
 from ..plan.ir import PlanOptions, QueryPlan
 from ..plan.normalise import canonicalise, flatten_conjuncts, replace_atoms
 from ..robust.budget import EvaluationBudget
+from ..structures.signature import Signature
 from ..structures.structure import Element, Structure
 from .query import Foc1Query
 
@@ -84,6 +86,13 @@ class Foc1Evaluator:
         in.  Defaults to the process-wide shared cache, so repeated and
         cross-engine evaluations of the same query reuse one plan; pass a
         private instance to isolate (benchmarks do).
+    workers:
+        Worker count for the parallel entry points (sharded
+        :meth:`unary_term_values` targets and :meth:`count_many` inputs).
+        ``None`` resolves ``REPRO_WORKERS`` (default 1 = serial, the
+        pre-parallel code path).  See ``docs/PARALLEL.md``.
+    parallel_backend:
+        ``"thread"`` (default) or ``"process"``; ignored at ``workers=1``.
     """
 
     def __init__(
@@ -94,6 +103,8 @@ class Foc1Evaluator:
         check_fragment: bool = True,
         budget: "Optional[EvaluationBudget]" = None,
         plan_cache: "Optional[PlanCache]" = None,
+        workers: "Optional[int]" = None,
+        parallel_backend: str = "thread",
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.use_factoring = use_factoring
@@ -101,6 +112,7 @@ class Foc1Evaluator:
         self.check_fragment = check_fragment
         self.budget = budget
         self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
+        self.pool = WorkerPool(workers, parallel_backend)
 
     # -- compile-once plumbing ----------------------------------------------------
 
@@ -117,19 +129,32 @@ class Foc1Evaluator:
         alpha-equivalent inputs share an entry and the key never references
         caller AST objects.
         """
+        return self._plan_for_signature(
+            kind, expressions, variables, structure.signature
+        )
+
+    def _plan_for_signature(
+        self,
+        kind: str,
+        expressions: Sequence[Expression],
+        variables: Sequence[Variable],
+        signature: Signature,
+    ) -> QueryPlan:
+        """The signature-keyed core of :meth:`_plan` — what batch entry
+        points use to compile once and execute across many structures."""
         options = PlanOptions(self.use_factoring, self.use_guards)
         canon = tuple(canonicalise(e) for e in expressions)
         key: Hashable = (
             kind,
             canon,
             tuple(variables),
-            structure.signature,
+            signature,
             options,
         )
         return self.plan_cache.get_or_compile(
             key,
             lambda: compile_plan(
-                kind, canon, tuple(variables), structure.signature, options
+                kind, canon, tuple(variables), signature, options
             ),
         )
 
@@ -167,14 +192,93 @@ class Foc1Evaluator:
         elements: "Optional[Sequence[Element]]" = None,
     ) -> Dict[Element, int]:
         """``t^A[a]`` for all ``a`` (the simultaneous evaluation of Lemma 5.7's
-        stronger form)."""
+        stronger form).
+
+        With ``workers > 1`` the targets are sharded across the engine's
+        pool: one compiled plan, one executor (and hence one memo/ball
+        state) per shard, results merged in shard order — byte-identical
+        to the serial pass.  Thread backend only; each shard re-runs the
+        plan's materialisation steps, a fixed per-worker cost that the
+        per-element saving amortises on all but tiny structures.
+        """
         extra = free_variables(term) - {variable}
         if extra:
             raise EvaluationError(f"term has unexpected free variables {sorted(extra)}")
         if self.check_fragment:
             assert_foc1(term)
         plan = self._plan("unary_term", (term,), (variable,), structure)
-        return self._executor(plan, structure).unary_term_values(variable, elements)
+        targets = (
+            list(elements)
+            if elements is not None
+            else list(structure.universe_order)
+        )
+        if self.pool.workers <= 1 or len(targets) <= 1:
+            return self._executor(plan, structure).unary_term_values(
+                variable, targets
+            )
+        tasks = [
+            lambda b, chunk=chunk: PlanExecutor(
+                plan, structure, self.predicates, b
+            ).unary_term_values(variable, chunk)
+            for chunk in shard(targets, self.pool.workers)
+        ]
+        values: Dict[Element, int] = {}
+        for part in self.pool.run_tasks(tasks, self.budget):
+            values.update(part)
+        return values
+
+    @traced("foc1.count_many")
+    def count_many(
+        self,
+        structures: Sequence[Structure],
+        formula: Formula,
+        variables: Sequence[Variable],
+    ) -> List[int]:
+        """``|phi(A_i)|`` for a batch of structures — one plan, many inputs.
+
+        The formula is validated once and compiled once per *distinct
+        signature* in the batch (plans are structure-independent, so a
+        homogeneous batch reuses a single compiled plan for every input);
+        execution then fans out across the engine's pool with proportional
+        budget slices, and the results come back in input order.  The
+        process backend ships ``(plan, structure)`` payloads to child
+        interpreters and is restricted to the standard predicate
+        collection (closures do not pickle).
+        """
+        structures = list(structures)
+        missing = free_variables(formula) - set(variables)
+        if missing:
+            raise EvaluationError(f"free variables {sorted(missing)} not listed")
+        if len(set(variables)) != len(variables):
+            raise EvaluationError("count variables must be pairwise distinct")
+        if self.check_fragment:
+            assert_foc1(formula)
+        if not structures:
+            return []
+        plans = [
+            self._plan_for_signature(
+                "count", (formula,), tuple(variables), s.signature
+            )
+            for s in structures
+        ]
+        if self.pool.workers <= 1 or len(structures) <= 1:
+            return [
+                PlanExecutor(
+                    plans[i], structures[i], self.predicates, self.budget
+                ).count_value()
+                for i in range(len(structures))
+            ]
+        if self.pool.backend == "process":
+            from ..parallel.tasks import run_count_many_shards
+
+            return run_count_many_shards(self.pool, plans, structures, self.budget)
+        tasks = [
+            lambda b, i=i: PlanExecutor(
+                plans[i], structures[i], self.predicates, b
+            ).count_value()
+            for i in range(len(structures))
+        ]
+        return self.pool.run_tasks(tasks, self.budget)
 
     @traced("foc1.count")
     def count(

@@ -61,7 +61,9 @@ class UpdateStats:
     recomputed_elements: int = 0
 
     def recompute_ratio(self, order: int) -> float:
-        if self.updates == 0:
+        if self.updates == 0 or order == 0:
+            # No updates, or an empty universe (nothing to recompute per
+            # update): the ratio is 0 by convention, never a division crash.
             return 0.0
         return self.recomputed_elements / (self.updates * order)
 

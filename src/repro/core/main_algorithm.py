@@ -35,6 +35,7 @@ from ..errors import FormulaError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Variable
 from ..obs import active_metrics, traced
+from ..parallel import WorkerPool, shard
 from ..plan.cache import PlanCache
 from ..robust.budget import EvaluationBudget
 from ..sparse.covers import sparse_cover
@@ -54,6 +55,16 @@ class MainAlgorithmStats:
     removals: int = 0
     base_case_elements: int = 0
     max_depth_reached: int = 0
+
+    def merge(self, other: "MainAlgorithmStats") -> None:
+        """Fold a worker shard's counters into this (parent) record."""
+        self.covers_built += other.covers_built
+        self.clusters_processed += other.clusters_processed
+        self.removals += other.removals
+        self.base_case_elements += other.base_case_elements
+        self.max_depth_reached = max(
+            self.max_depth_reached, other.max_depth_reached
+        )
 
 
 def _direct_unary_values(
@@ -91,6 +102,7 @@ def evaluate_unary_main_algorithm(
     stats: "Optional[MainAlgorithmStats]" = None,
     budget: "Optional[EvaluationBudget]" = None,
     plan_cache: "Optional[PlanCache]" = None,
+    workers: "Optional[int]" = None,
 ) -> Dict[Element, int]:
     """Evaluate ``u^A[a]`` for all ``a`` via the Section 8.2 loop.
 
@@ -104,6 +116,13 @@ def evaluate_unary_main_algorithm(
     produces the same sub-terms for every cluster, so the base-case engine
     leans hard on the plan cache (``plan_cache`` overrides the shared
     process-wide one).
+
+    With ``workers > 1`` the top-level cluster loop fans out across a
+    thread :class:`~repro.parallel.WorkerPool`: clusters are sharded in
+    index order, each shard runs on its own engine (sharing the
+    thread-safe plan cache) under a proportional budget slice, and shard
+    results merge deterministically, so the output is byte-identical to
+    the serial loop.
     """
     if not term.unary:
         raise FormulaError("the main algorithm evaluates unary basic cl-terms")
@@ -139,7 +158,89 @@ def evaluate_unary_main_algorithm(
         engine,
         stats,
         level=1,
+        pool=WorkerPool(workers),
     )
+    return values
+
+
+def _process_cluster(
+    structure: Structure,
+    cover,
+    index: int,
+    members: List[Element],
+    free_variable: Variable,
+    counted: Tuple[Variable, ...],
+    body: Formula,
+    confinement: int,
+    removal_radius: int,
+    small_threshold: int,
+    engine: Foc1Evaluator,
+    stats: MainAlgorithmStats,
+    level: int,
+) -> Dict[Element, int]:
+    """One cluster of the Section 8.2 loop (cover move, surgery, rewrite)."""
+    budget = engine.budget
+    metrics = active_metrics()
+    if budget is not None:
+        budget.tick("main.cluster")
+    if metrics is not None:
+        metrics.inc("main.cluster.processed")
+    stats.clusters_processed += 1
+    local = induced(structure, cover.clusters[index])
+    values: Dict[Element, int] = {}
+
+    if local.order() < 2 or local.order() >= structure.order():
+        # Removal impossible (singleton) or useless (cluster is the
+        # whole structure, e.g. on dense inputs): evaluate directly.
+        stats.base_case_elements += len(members)
+        return _direct_unary_values(
+            local, free_variable, counted, body, members, engine
+        )
+
+    # Splitter's move: remove the cluster centre (Connector plays
+    # cen(X); removing the centre is a sound Splitter answer).
+    d = cover.centres[index]
+    removed = remove_element(local, d, removal_radius)
+    if metrics is not None:
+        metrics.inc("main.removal")
+    stats.removals += 1
+    ground_parts, unary_parts = removal_unary_term(
+        free_variable, counted, body, removal_radius
+    )
+
+    live_members = [a for a in members if a != d]
+    if live_members:
+        # The rewritten parts are evaluated directly on the removed
+        # structure (depth 0): a further cover/removal round would need
+        # the rank-preserving re-localisation of Theorem 7.1 to restore
+        # the confinement invariant, because the surgery can only grow
+        # distances.  One round already exercises the full pipeline and
+        # keeps the result exact.
+        per_part: List[Dict[Element, int]] = []
+        for part in unary_parts:
+            per_part.append(
+                _evaluate_level(
+                    removed,
+                    part.free_variable,
+                    part.variables,
+                    part.formula,
+                    live_members,
+                    confinement,
+                    removal_radius,
+                    0,
+                    small_threshold,
+                    engine,
+                    stats,
+                    level + 1,
+                )
+            )
+        for a in live_members:
+            values[a] = sum(part[a] for part in per_part)
+    if d in set(members):
+        values[d] = sum(
+            _ground_value(removed, part.variables, part.formula, engine)
+            for part in ground_parts
+        )
     return values
 
 
@@ -156,6 +257,7 @@ def _evaluate_level(
     engine: Foc1Evaluator,
     stats: MainAlgorithmStats,
     level: int,
+    pool: "Optional[WorkerPool]" = None,
 ) -> Dict[Element, int]:
     stats.max_depth_reached = max(stats.max_depth_reached, level)
     if depth <= 0 or structure.order() <= small_threshold:
@@ -165,76 +267,64 @@ def _evaluate_level(
         )
 
     budget = engine.budget
-    metrics = active_metrics()
     cover = sparse_cover(structure, confinement, budget=budget)
     stats.covers_built += 1
-    values: Dict[Element, int] = {}
     target_set = set(targets)
-
-    for index, cluster in enumerate(cover.clusters):
+    per_cluster_members = []
+    for index in range(len(cover.clusters)):
         members = [a for a in cover.members_with_cluster(index) if a in target_set]
-        if not members:
-            continue
-        if budget is not None:
-            budget.tick("main.cluster")
-        if metrics is not None:
-            metrics.inc("main.cluster.processed")
-        stats.clusters_processed += 1
-        local = induced(structure, cluster)
+        if members:
+            per_cluster_members.append((index, members))
 
-        if local.order() < 2 or local.order() >= structure.order():
-            # Removal impossible (singleton) or useless (cluster is the
-            # whole structure, e.g. on dense inputs): evaluate directly.
-            stats.base_case_elements += len(members)
+    def process_serial(work, engine, stats):
+        values: Dict[Element, int] = {}
+        for index, members in work:
             values.update(
-                _direct_unary_values(
-                    local, free_variable, counted, body, members, engine
+                _process_cluster(
+                    structure,
+                    cover,
+                    index,
+                    members,
+                    free_variable,
+                    counted,
+                    body,
+                    confinement,
+                    removal_radius,
+                    small_threshold,
+                    engine,
+                    stats,
+                    level,
                 )
             )
-            continue
+        return values
 
-        # Splitter's move: remove the cluster centre (Connector plays
-        # cen(X); removing the centre is a sound Splitter answer).
-        d = cover.centres[index]
-        removed = remove_element(local, d, removal_radius)
-        if metrics is not None:
-            metrics.inc("main.removal")
-        stats.removals += 1
-        ground_parts, unary_parts = removal_unary_term(
-            free_variable, counted, body, removal_radius
-        )
+    if pool is None or pool.workers <= 1 or len(per_cluster_members) <= 1:
+        return process_serial(per_cluster_members, engine, stats)
 
-        live_members = [a for a in members if a != d]
-        if live_members:
-            # The rewritten parts are evaluated directly on the removed
-            # structure (depth 0): a further cover/removal round would need
-            # the rank-preserving re-localisation of Theorem 7.1 to restore
-            # the confinement invariant, because the surgery can only grow
-            # distances.  One round already exercises the full pipeline and
-            # keeps the result exact.
-            per_part: List[Dict[Element, int]] = []
-            for part in unary_parts:
-                per_part.append(
-                    _evaluate_level(
-                        removed,
-                        part.free_variable,
-                        part.variables,
-                        part.formula,
-                        live_members,
-                        confinement,
-                        removal_radius,
-                        0,
-                        small_threshold,
-                        engine,
-                        stats,
-                        level + 1,
-                    )
-                )
-            for a in live_members:
-                values[a] = sum(part[a] for part in per_part)
-        if d in set(members):
-            values[d] = sum(
-                _ground_value(removed, part.variables, part.formula, engine)
-                for part in ground_parts
+    # Cluster-sharded fan-out: each shard gets its own engine (sharing the
+    # thread-safe plan cache, so the identical rewritten sub-terms still
+    # compile once) and its own stats record, merged in shard order below.
+    shard_stats = []
+
+    def make_task(chunk):
+        def task(slice_budget):
+            worker_engine = Foc1Evaluator(
+                predicates=engine.predicates,
+                check_fragment=False,
+                budget=slice_budget,
+                plan_cache=engine.plan_cache,
             )
+            worker_stats = MainAlgorithmStats()
+            result = process_serial(chunk, worker_engine, worker_stats)
+            return result, worker_stats
+
+        return task
+
+    tasks = [make_task(chunk) for chunk in shard(per_cluster_members, pool.workers)]
+    values: Dict[Element, int] = {}
+    for part, worker_stats in pool.run_tasks(tasks, budget):
+        values.update(part)
+        shard_stats.append(worker_stats)
+    for worker_stats in shard_stats:
+        stats.merge(worker_stats)
     return values

@@ -37,6 +37,8 @@ from .metrics import (
     hit_rate,
     observe,
     set_metrics,
+    set_thread_metrics,
+    thread_metrics,
     tick,
 )
 from .trace import (
@@ -61,8 +63,10 @@ __all__ = [
     "hit_rate",
     "observe",
     "set_metrics",
+    "set_thread_metrics",
     "set_tracer",
     "span",
+    "thread_metrics",
     "tick",
     "trace_spans",
     "traced",

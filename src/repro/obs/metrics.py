@@ -26,6 +26,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -36,6 +37,8 @@ __all__ = [
     "collect_metrics",
     "hit_rate",
     "set_metrics",
+    "set_thread_metrics",
+    "thread_metrics",
     "tick",
     "observe",
 ]
@@ -85,25 +88,35 @@ class MetricsRegistry:
     Counter and histogram names are dotted paths
     (``evaluator.memo.hit``, ``cover.cluster_size``); the registry does
     not pre-declare names — the first increment creates the series.
+
+    Recording is thread-safe: ``inc``/``observe``/``merge`` serialise on a
+    single per-registry lock, so concurrent workers sharing one registry
+    never lose updates.  The disabled path is unaffected — with no
+    registry installed nothing here runs at all — and parallel hot loops
+    avoid the shared lock entirely by recording into a per-worker
+    registry that is merged on join (see :mod:`repro.parallel`).
     """
 
-    __slots__ = ("counters", "histograms")
+    __slots__ = ("counters", "histograms", "_lock")
 
     def __init__(self):
         self.counters: Dict[str, int] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
     def inc(self, name: str, value: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = Histogram(name)
-            self.histograms[name] = histogram
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(name)
+                self.histograms[name] = histogram
+            histogram.observe(value)
 
     # -- reading -----------------------------------------------------------
 
@@ -112,13 +125,14 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict]:
         """A JSON-serialisable view: counters plus histogram summaries."""
-        return {
-            "counters": dict(self.counters),
-            "histograms": {
-                name: histogram.snapshot()
-                for name, histogram in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in self.histograms.items()
+                },
+            }
 
     def memo_hit_rate(self) -> "Optional[float]":
         """Hits / (hits + misses) over all ``*.memo.hit|miss`` counters."""
@@ -135,23 +149,63 @@ class MetricsRegistry:
         return hit_rate(hits, misses)
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry's series into this one."""
-        for name, value in other.counters.items():
-            self.inc(name, value)
-        for name, histogram in other.histograms.items():
-            mine = self.histograms.get(name)
-            if mine is None:
-                mine = Histogram(name)
-                self.histograms[name] = mine
-            mine.count += histogram.count
-            mine.total += histogram.total
-            for bound in (histogram.min, histogram.max):
-                if bound is None:
-                    continue
-                if mine.min is None or bound < mine.min:
-                    mine.min = bound
-                if mine.max is None or bound > mine.max:
-                    mine.max = bound
+        """Fold another registry's series into this one.
+
+        ``other`` is snapshotted under its own lock first, so merging a
+        still-active worker registry sees a consistent point-in-time view;
+        the fold into ``self`` then holds only ``self``'s lock (never both
+        at once, so two registries merging into each other cannot
+        deadlock).
+        """
+        with other._lock:
+            counters = dict(other.counters)
+            histograms = {
+                name: (h.count, h.total, h.min, h.max)
+                for name, h in other.histograms.items()
+            }
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, (count, total, low, high) in histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = Histogram(name)
+                    self.histograms[name] = mine
+                mine.count += count
+                mine.total += total
+                for bound in (low, high):
+                    if bound is None:
+                        continue
+                    if mine.min is None or bound < mine.min:
+                        mine.min = bound
+                    if mine.max is None or bound > mine.max:
+                        mine.max = bound
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        The cross-process twin of :meth:`merge`: process-backend workers
+        cannot ship live registries back (and should not — snapshots are
+        plain JSON-safe dicts), so they return snapshots that the parent
+        folds in on join.
+        """
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, summary in (snapshot.get("histograms") or {}).items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = Histogram(name)
+                    self.histograms[name] = mine
+                mine.count += summary.get("count", 0)
+                mine.total += summary.get("total", 0.0)
+                for bound in (summary.get("min"), summary.get("max")):
+                    if bound is None:
+                        continue
+                    if mine.min is None or bound < mine.min:
+                        mine.min = bound
+                    if mine.max is None or bound > mine.max:
+                        mine.max = bound
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -169,14 +223,25 @@ def hit_rate(hits: int, misses: int) -> "Optional[float]":
 
 
 # ---------------------------------------------------------------------------
-# The process-global registry (same pattern as robust.faults)
+# The process-global registry (same pattern as robust.faults), plus a
+# thread-local override used by worker pools: each worker records into a
+# private registry (no lock contention with its siblings) that the pool
+# merges into the parent registry on join.
 # ---------------------------------------------------------------------------
 
 _ACTIVE: "Optional[MetricsRegistry]" = None
+_THREAD_OVERRIDE = threading.local()
 
 
 def active_metrics() -> "Optional[MetricsRegistry]":
-    """The currently installed registry, or ``None`` (collection off)."""
+    """The registry for the calling thread, or ``None`` (collection off).
+
+    A thread-local override installed by :func:`set_thread_metrics` (the
+    worker-pool hook) wins over the process-global registry.
+    """
+    override = getattr(_THREAD_OVERRIDE, "registry", None)
+    if override is not None:
+        return override
     return _ACTIVE
 
 
@@ -189,17 +254,43 @@ def set_metrics(registry: "Optional[MetricsRegistry]") -> "Optional[MetricsRegis
     return previous
 
 
+def set_thread_metrics(
+    registry: "Optional[MetricsRegistry]",
+) -> "Optional[MetricsRegistry]":
+    """Install (or clear) this thread's override; returns the previous one.
+
+    Only the calling thread is affected; other threads keep seeing the
+    process-global registry.  Worker pools use this so each worker's hot
+    loops record lock-free into a private registry.
+    """
+    previous = getattr(_THREAD_OVERRIDE, "registry", None)
+    _THREAD_OVERRIDE.registry = registry
+    return previous
+
+
+@contextmanager
+def thread_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope a thread-local registry override to a ``with`` block."""
+    previous = set_thread_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_thread_metrics(previous)
+
+
 def tick(name: str, value: int = 1) -> None:
     """Increment a counter on the active registry; no-op when collection
     is off.  Prefer capturing :func:`active_metrics` once around loops."""
-    if _ACTIVE is not None:
-        _ACTIVE.inc(name, value)
+    registry = active_metrics()
+    if registry is not None:
+        registry.inc(name, value)
 
 
 def observe(name: str, value: float) -> None:
     """Record a histogram sample on the active registry; no-op when off."""
-    if _ACTIVE is not None:
-        _ACTIVE.observe(name, value)
+    registry = active_metrics()
+    if registry is not None:
+        registry.observe(name, value)
 
 
 @contextmanager

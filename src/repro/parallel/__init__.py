@@ -1,0 +1,27 @@
+"""Parallel execution for the evaluation engines (worker pools, sharding).
+
+The paper's per-cluster loop (Section 8.2) and the engine's batch
+entry points are embarrassingly parallel; this package supplies the
+:class:`WorkerPool` they fan out through, the deterministic
+:func:`shard` helper, and the ``REPRO_WORKERS`` resolution shared by the
+CLI and the engine facades.  See ``docs/PARALLEL.md`` for the pool
+model, the budget-slicing semantics and the determinism guarantee.
+"""
+
+from .pool import (
+    BACKENDS,
+    WORKERS_ENV_VAR,
+    ParallelError,
+    WorkerPool,
+    resolve_workers,
+    shard,
+)
+
+__all__ = [
+    "BACKENDS",
+    "WORKERS_ENV_VAR",
+    "ParallelError",
+    "WorkerPool",
+    "resolve_workers",
+    "shard",
+]

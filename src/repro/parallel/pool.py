@@ -1,0 +1,281 @@
+"""The worker-pool abstraction behind every parallel evaluation path.
+
+Section 8.2's main algorithm is embarrassingly parallel across cover
+clusters: each cluster's members are evaluated entirely inside the induced
+substructure ``A[X]``, with no shared mutable state between clusters.
+:class:`WorkerPool` turns that structure (and the analogous fan-outs over
+target elements and over batched inputs) into actual concurrency:
+
+* ``backend="thread"`` (default) — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Structures, covers and compiled plans are shared by reference; the
+  thread-safe :class:`~repro.plan.cache.PlanCache` and the per-worker
+  metrics registries (below) make that sharing sound.  On CPython the GIL
+  serialises pure-Python bytecode, so thread speedups materialise only
+  where workers release the GIL; the backend's real value today is that
+  it exercises (and therefore keeps honest) the engine's concurrency
+  contracts at near-zero shipping cost.
+* ``backend="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Work items are pickled to child interpreters, which sidesteps the GIL
+  for CPU-bound evaluation at the cost of serialising the inputs; tasks
+  must be module-level functions over picklable payloads.
+* ``backend="serial"`` — run inline on the calling thread.  This is also
+  what any backend degrades to when the effective worker count is 1 or
+  there is at most one work item, so ``workers=1`` follows *exactly* the
+  pre-parallel code path (no executor, no budget slicing, no registry
+  swapping) and costs nothing over it.
+
+Determinism guarantee
+---------------------
+``map`` and ``run_tasks`` return results in **input order** regardless of
+completion order, and every engine integration shards its work
+deterministically (contiguous chunks of the cluster-index / target /
+input order, via :func:`shard`) and merges shard results in shard-index
+order.  A parallel evaluation therefore produces *byte-identical* output
+— same values, same dict insertion order — as the serial path, for every
+worker count.  Failures are deterministic too: when several tasks raise,
+the exception of the lowest-indexed task is the one re-raised.
+
+Budget semantics
+----------------
+``run_tasks`` gives each task a proportional slice of the caller's
+:class:`~repro.robust.budget.EvaluationBudget` via
+:meth:`~repro.robust.budget.EvaluationBudget.split`: the **deadline stays
+authoritative** (children inherit the parent's absolute deadline — wall
+clock is not divisible across concurrent workers), while the remaining
+*step* budget is divided evenly.  On join, each task's spent steps are
+charged back to the parent in task order, so a following serial phase
+sees the true total.
+
+Metrics semantics
+-----------------
+When a metrics registry is active, each task runs against a fresh
+per-worker :class:`~repro.obs.metrics.MetricsRegistry` (installed as a
+thread-local override) and the deltas are merged into the parent registry
+in task order on join — counters are additive, so totals match the serial
+run exactly; workers never contend on the parent registry's lock from
+inside hot loops.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import ReproError
+from ..obs.metrics import (
+    MetricsRegistry,
+    active_metrics,
+    set_thread_metrics,
+)
+from ..robust.budget import EvaluationBudget
+
+__all__ = [
+    "BACKENDS",
+    "ParallelError",
+    "WORKERS_ENV_VAR",
+    "WorkerPool",
+    "resolve_workers",
+    "shard",
+]
+
+#: Environment variable consulted when no explicit worker count is given
+#: (the CLI's ``--workers`` and the engines' ``workers=None`` default).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+BACKENDS = ("serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelError(ReproError):
+    """A worker pool was misconfigured or a backend cannot run the task."""
+
+
+def resolve_workers(
+    workers: "Optional[int]" = None, environ: "Optional[dict]" = None
+) -> int:
+    """The effective worker count: explicit argument, else ``REPRO_WORKERS``,
+    else 1 (serial).  Values below 1 are rejected, not clamped."""
+    if workers is None:
+        raw = (environ if environ is not None else os.environ).get(
+            WORKERS_ENV_VAR, ""
+        ).strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ParallelError(f"worker count must be positive, got {workers}")
+    return workers
+
+
+def shard(items: Sequence[T], shards: int) -> List[List[T]]:
+    """Split ``items`` into at most ``shards`` contiguous, order-preserving
+    chunks whose sizes differ by at most one.  Deterministic: the same
+    input always yields the same chunks, and concatenating the chunks
+    restores the input — this is what makes shard-order merges reproduce
+    the serial iteration order exactly.  Empty chunks are dropped."""
+    if shards < 1:
+        raise ParallelError(f"shard count must be positive, got {shards}")
+    items = list(items)
+    count = len(items)
+    if count == 0:
+        return []
+    shards = min(shards, count)
+    base, extra = divmod(count, shards)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+class WorkerPool:
+    """A deterministic fan-out/fan-in pool over one of the three backends.
+
+    Pools are cheap value objects: executors are created per call and torn
+    down before returning, so a pool can be stored on an engine and used
+    from any thread.  ``workers`` defaults to :func:`resolve_workers`
+    (``REPRO_WORKERS`` or 1).
+    """
+
+    def __init__(
+        self,
+        workers: "Optional[int]" = None,
+        backend: str = "thread",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ParallelError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.workers = resolve_workers(workers)
+        self.backend = backend if self.workers > 1 else "serial"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool(workers={self.workers}, backend={self.backend!r})"
+
+    # -- the bare ordered map ------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        With an effective worker count of 1 (or at most one item) this is
+        a plain loop on the calling thread.  The process backend requires
+        ``fn`` and the items to be picklable (module-level functions).
+        """
+        items = list(items)
+        workers = min(self.workers, len(items))
+        if workers <= 1 or self.backend == "serial":
+            return [fn(item) for item in items]
+        if self.backend == "process":
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                return list(executor.map(fn, items))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [executor.submit(fn, item) for item in items]
+            # Collect in submission order; the first (lowest-index) failure
+            # wins so errors are as deterministic as results.
+            return [future.result() for future in futures]
+
+    # -- the instrumented fan-out used by the engines --------------------------
+
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[["Optional[EvaluationBudget]"], R]],
+        budget: "Optional[EvaluationBudget]" = None,
+    ) -> List[R]:
+        """Run budget-aware thunks with slicing, charge-back and metrics merge.
+
+        Each task is a callable taking its own
+        :class:`~repro.robust.budget.EvaluationBudget` slice (or ``None``
+        when the caller runs unbudgeted).  See the module docstring for
+        the budget, metrics and determinism contracts.  Thunks close over
+        live engine state, so this entry point is for the serial and
+        thread backends; process-backed integrations go through
+        :meth:`map` with module-level payload functions.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = min(self.workers, len(tasks))
+        if workers <= 1 or self.backend == "serial":
+            # The serial path is the pre-parallel code path: the parent
+            # budget is consumed directly (no slicing) and metrics go
+            # straight to the active registry.
+            return [task(budget) for task in tasks]
+        if self.backend == "process":
+            raise ParallelError(
+                "run_tasks thunks close over live engine state and cannot "
+                "cross a process boundary; use WorkerPool.map with a "
+                "module-level payload function instead"
+            )
+
+        slices = (
+            budget.split(len(tasks))
+            if budget is not None
+            else [None] * len(tasks)
+        )
+        parent_registry = active_metrics()
+        workspaces: List[Optional[MetricsRegistry]] = [
+            MetricsRegistry() if parent_registry is not None else None
+            for _ in tasks
+        ]
+
+        def run_one(index: int) -> R:
+            task_budget = slices[index]
+            workspace = workspaces[index]
+            if workspace is None:
+                return tasks[index](task_budget)
+            previous = set_thread_metrics(workspace)
+            if task_budget is not None:
+                # The slice captured the parent thread's registry at
+                # construction; rebind so its ticks land in the worker's
+                # private registry instead of contending on the parent's.
+                task_budget._metrics = workspace
+            try:
+                return tasks[index](task_budget)
+            finally:
+                set_thread_metrics(previous)
+
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(run_one, index) for index in range(len(tasks))
+            ]
+            results: List[R] = []
+            first_error: "Optional[BaseException]" = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = error
+                    results.append(None)  # type: ignore[arg-type]
+
+        # Deterministic joins: metrics deltas and step charge-back fold in
+        # task-index order whether or not a task failed (a failed shard's
+        # partial work still happened and must be accounted for).
+        if parent_registry is not None:
+            for workspace in workspaces:
+                if workspace is not None:
+                    parent_registry.merge(workspace)
+        if budget is not None:
+            spent = sum(s.steps for s in slices if s is not None)
+            if spent:
+                try:
+                    budget.charge(spent, site="parallel.join")
+                except Exception:
+                    # Charging may itself trip the parent's step limit; a
+                    # worker failure (e.g. the slice that exhausted first)
+                    # is the more precise signal, so prefer re-raising it.
+                    if first_error is None:
+                        raise
+        if first_error is not None:
+            raise first_error
+        return results

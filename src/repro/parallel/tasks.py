@@ -1,0 +1,195 @@
+"""Module-level work units for the process backend.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` can only run picklable
+callables over picklable arguments, so the closures the thread backend
+enjoys are off the table.  This module holds the top-level task functions
+and their payload plumbing: each task reconstructs its instruments in the
+child — a fresh :class:`~repro.robust.budget.EvaluationBudget` built from
+the parent slice's remaining allowance, a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` when the parent had one
+active — runs the shard, and ships back ``(result, steps,
+metrics_snapshot)`` for the parent to fold in deterministically (shard
+order), mirroring the thread backend's join semantics.
+
+Budget caveat: an absolute monotonic deadline does not serialise
+meaningfully, so child budgets restart the clock from the slice's
+*remaining seconds* at payload-build time.  The parent deadline stays
+authoritative up to the (small) pickling latency.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import MetricsRegistry, active_metrics, set_thread_metrics
+from ..robust.budget import EvaluationBudget
+from .pool import ParallelError, WorkerPool
+
+__all__ = ["run_per_cluster_shards", "run_count_many_shards"]
+
+#: ``(remaining_seconds, max_steps)`` — all a child needs to rebuild a slice.
+_BudgetParams = Optional[Tuple[Optional[float], Optional[int]]]
+
+
+def _slice_params(slice_budget: "Optional[EvaluationBudget]") -> _BudgetParams:
+    if slice_budget is None:
+        return None
+    return (slice_budget.remaining_seconds(), slice_budget.remaining_steps())
+
+
+def _ensure_picklable(obj: object, what: str) -> object:
+    if obj is None:
+        return None
+    try:
+        pickle.dumps(obj)
+    except Exception as error:
+        raise ParallelError(
+            f"the process backend must pickle {what} to child workers "
+            f"({type(error).__name__}: {error}); pass a picklable value or "
+            "None, or use the thread backend"
+        ) from None
+    return obj
+
+
+def _run_in_child(fn, budget_params: _BudgetParams, want_metrics: bool):
+    """Child-side harness: install instruments, run, return with accounting."""
+    registry = MetricsRegistry() if want_metrics else None
+    previous = set_thread_metrics(registry) if want_metrics else None
+    try:
+        # Built after the registry is installed so the budget's captured
+        # metrics hook points at the child registry.
+        budget = (
+            None
+            if budget_params is None
+            else EvaluationBudget(
+                deadline=budget_params[0], max_steps=budget_params[1]
+            )
+        )
+        result = fn(budget)
+        steps = budget.steps if budget is not None else 0
+    finally:
+        if want_metrics:
+            set_thread_metrics(previous)
+    snapshot = registry.snapshot() if registry is not None else None
+    return result, steps, snapshot
+
+
+def _join_shards(
+    pool: WorkerPool,
+    task,
+    payloads: List[tuple],
+    budget: "Optional[EvaluationBudget]",
+) -> list:
+    """Run payloads on the pool and fold accounting back in shard order."""
+    registry = active_metrics()
+    outcomes = pool.map(task, payloads)
+    results = []
+    spent = 0
+    for result, steps, snapshot in outcomes:
+        results.append(result)
+        spent += steps
+        if registry is not None and snapshot is not None:
+            registry.merge_snapshot(snapshot)
+    if budget is not None and spent:
+        budget.charge(spent, site="parallel.join")
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Per-cluster evaluation (Section 8.2)
+# ---------------------------------------------------------------------------
+
+
+def _per_cluster_task(payload: tuple):
+    (structure, cover, term, psi, indices, predicates, params, metrics) = payload
+    from ..core.cover_eval import _cluster_shard_values
+
+    return _run_in_child(
+        lambda budget: _cluster_shard_values(
+            structure, cover, term, psi, indices, predicates, budget
+        ),
+        params,
+        metrics,
+    )
+
+
+def run_per_cluster_shards(
+    pool: WorkerPool,
+    structure,
+    cover,
+    term,
+    psi,
+    shards: Sequence[Sequence[int]],
+    predicates,
+    budget: "Optional[EvaluationBudget]",
+) -> Dict:
+    """Process-backend fan-out for :func:`~repro.core.cover_eval.evaluate_per_cluster`."""
+    _ensure_picklable(predicates, "the predicate collection")
+    want_metrics = active_metrics() is not None
+    slices = (
+        budget.split(len(shards)) if budget is not None else [None] * len(shards)
+    )
+    payloads = [
+        (
+            structure,
+            cover,
+            term,
+            psi,
+            list(chunk),
+            predicates,
+            _slice_params(slices[i]),
+            want_metrics,
+        )
+        for i, chunk in enumerate(shards)
+    ]
+    values: Dict = {}
+    for part in _join_shards(pool, _per_cluster_task, payloads, budget):
+        values.update(part)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Batched counting (Evaluator.count_many)
+# ---------------------------------------------------------------------------
+
+
+def _count_many_task(payload: tuple):
+    (plan, structure, params, metrics) = payload
+    from ..logic.predicates import standard_collection
+    from ..plan.executor import PlanExecutor
+
+    return _run_in_child(
+        lambda budget: PlanExecutor(
+            plan, structure, standard_collection(), budget
+        ).count_value(),
+        params,
+        metrics,
+    )
+
+
+def run_count_many_shards(
+    pool: WorkerPool,
+    plans: Sequence,
+    structures: Sequence,
+    budget: "Optional[EvaluationBudget]",
+) -> List[int]:
+    """Process-backend fan-out for ``Evaluator.count_many``.
+
+    One payload per input structure; ``plans[i]`` is the compiled plan for
+    ``structures[i]`` (already deduplicated by signature on the parent
+    side, so pickling ships each distinct plan once per worker at worst).
+    Child workers evaluate with the standard predicate collection —
+    custom collections are closures and stay a thread-backend feature.
+    """
+    want_metrics = active_metrics() is not None
+    slices = (
+        budget.split(len(structures))
+        if budget is not None
+        else [None] * len(structures)
+    )
+    payloads = [
+        (plans[i], structures[i], _slice_params(slices[i]), want_metrics)
+        for i in range(len(structures))
+    ]
+    return _join_shards(pool, _count_many_task, payloads, budget)

@@ -12,6 +12,7 @@ benchmarks can split compile cost from execute cost.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Hashable
@@ -23,33 +24,47 @@ __all__ = ["PlanCache", "default_plan_cache"]
 
 
 class PlanCache:
-    """A bounded LRU mapping cache keys to compiled plans."""
+    """A bounded LRU mapping cache keys to compiled plans.
+
+    The cache is thread-safe: lookup, insert and the hit/miss/eviction
+    counters are serialised on an internal :class:`threading.RLock`, so
+    concurrent workers sharing one cache (the parallel per-cluster path
+    hammers exactly this) never corrupt the LRU order or the statistics.
+    Compilation itself runs *outside* the critical section — a slow
+    compile must not stall every other worker's hits — so two threads
+    missing on the same key may both compile; the second insert then
+    defers to the plan already in the cache, keeping plans canonical
+    (one object per key) for the id-keyed memo tables downstream.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be positive")
         self.capacity = capacity
         self._plans: "OrderedDict[Hashable, QueryPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get_or_compile(
         self, key: Hashable, compile_fn: Callable[[], QueryPlan]
     ) -> QueryPlan:
         """The cached plan for ``key``, compiling (and timing) on a miss."""
         metrics = active_metrics()
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            self.hits += 1
-            if metrics is not None:
-                metrics.inc("plan.cache.hit")
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                if metrics is not None:
+                    metrics.inc("plan.cache.hit")
+                return plan
+            self.misses += 1
         if metrics is not None:
             metrics.inc("plan.cache.miss")
         started = time.perf_counter()
@@ -58,30 +73,39 @@ class PlanCache:
             metrics.observe(
                 "plan.compile.seconds", time.perf_counter() - started
             )
-        self._plans[key] = plan
-        if len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.evictions += 1
-            if metrics is not None:
-                metrics.inc("plan.cache.eviction")
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                # Another thread compiled and inserted while we were
+                # compiling; keep its plan canonical and drop ours.
+                self._plans.move_to_end(key)
+                return existing
+            self._plans[key] = plan
+            if len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                if metrics is not None:
+                    metrics.inc("plan.cache.eviction")
         return plan
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "size": len(self._plans),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
 
 _default_cache = PlanCache()

@@ -186,6 +186,36 @@ class EvaluationBudget:
             _deadline_at=child_deadline_at,
         )
 
+    def split(self, shards: int) -> "list[EvaluationBudget]":
+        """Proportional child budgets for ``shards`` parallel workers.
+
+        Unlike :meth:`slice` (sequential stages, where a stage's unused
+        time rolls over to the next), parallel shards all run *now*, so
+        every child keeps the **parent's full deadline** — wall clock is
+        not divisible across concurrent workers and the parent deadline
+        stays authoritative.  The *step* budget, by contrast, is genuinely
+        additive work: each child gets an even share of the remaining
+        steps (at least 1).  Steps spent in a child must be charged back
+        via :meth:`charge` when the worker joins.
+        """
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        remaining_steps = self.remaining_steps()
+        child_steps = (
+            None
+            if remaining_steps is None
+            else max(1, remaining_steps // shards)
+        )
+        return [
+            EvaluationBudget(
+                deadline=self.remaining_seconds(),
+                max_steps=child_steps,
+                check_interval=self._check_interval,
+                _deadline_at=self._deadline_at,
+            )
+            for _ in range(shards)
+        ]
+
     def charge(self, steps: int, site: str = "") -> None:
         """Account for ``steps`` of work done elsewhere (e.g. in a slice).
 

@@ -46,6 +46,7 @@ from ..errors import BudgetExceededError, ReproError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Term, Variable
 from ..obs import active_metrics, span
+from ..parallel import resolve_workers
 from ..plan.cache import PlanCache
 from ..structures.structure import Element, Structure
 from .budget import EvaluationBudget
@@ -147,6 +148,16 @@ class RobustEvaluator:
         the same query after a budget failure — and every later stage of
         the cascade — reuses the compiled plan instead of re-analysing.
         Defaults to the process-wide shared cache.
+    workers:
+        Worker count honoured by the cascade stages that have parallel
+        paths: the ``main_algorithm`` stage fans its cluster loop out, and
+        the ``foc1`` stage's engines inherit the count for their sharded
+        entry points (:meth:`count_many`, unary targets).  The
+        ``baseline`` stage stays deliberately serial — it is the
+        last-resort oracle and takes no shortcuts.  ``None`` resolves
+        ``REPRO_WORKERS`` (default 1).
+    parallel_backend:
+        ``"thread"`` (default) or ``"process"``; ignored at ``workers=1``.
     """
 
     def __init__(
@@ -157,6 +168,8 @@ class RobustEvaluator:
         main_depth: int = 1,
         catch: Tuple[type, ...] = (ReproError, RecursionError),
         plan_cache: "Optional[PlanCache]" = None,
+        workers: "Optional[int]" = None,
+        parallel_backend: str = "thread",
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
@@ -164,6 +177,8 @@ class RobustEvaluator:
         self.main_depth = main_depth
         self.catch = tuple(catch)
         self.plan_cache = plan_cache
+        self.workers = resolve_workers(workers)
+        self.parallel_backend = parallel_backend
         self.last_report: "Optional[RobustReport]" = None
 
     # -- engine-API mirror -----------------------------------------------------
@@ -187,6 +202,40 @@ class RobustEvaluator:
                 self._not_applicable("main_algorithm"),
                 ("foc1", lambda b: self._foc1(b).count(structure, formula, variables), ""),
                 ("baseline", lambda b: self._baseline(b).count(structure, formula, variables), ""),
+            ],
+        )
+
+    def count_many(
+        self,
+        structures: Sequence[Structure],
+        formula: Formula,
+        variables: Sequence[Variable],
+    ) -> List[int]:
+        """Batched counting through the cascade (one plan, many inputs).
+
+        The ``foc1`` stage runs :meth:`Foc1Evaluator.count_many` — compile
+        once per distinct signature, fan out across this evaluator's
+        workers.  The ``baseline`` stage answers with a deliberately serial
+        brute-force loop over the batch.
+        """
+        structures = list(structures)
+        return self._run(
+            "count_many",
+            [
+                self._not_applicable("main_algorithm"),
+                (
+                    "foc1",
+                    lambda b: self._foc1(b).count_many(structures, formula, variables),
+                    "",
+                ),
+                (
+                    "baseline",
+                    lambda b: [
+                        self._baseline(b).count(s, formula, variables)
+                        for s in structures
+                    ],
+                    "",
+                ),
             ],
         )
 
@@ -264,6 +313,7 @@ class RobustEvaluator:
                 stats=stats,
                 budget=budget,
                 plan_cache=self.plan_cache,
+                workers=self.workers,
             )
 
         def foc1_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
@@ -297,6 +347,8 @@ class RobustEvaluator:
             check_fragment=self.check_fragment,
             budget=budget,
             plan_cache=self.plan_cache,
+            workers=self.workers,
+            parallel_backend=self.parallel_backend,
         )
 
     def _baseline(self, budget: "Optional[EvaluationBudget]") -> BruteForceEvaluator:

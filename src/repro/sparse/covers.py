@@ -100,8 +100,13 @@ class NeighbourhoodCover:
         return max(counts.values(), default=0)
 
     def average_degree(self) -> float:
+        order = self.structure.order()
+        if order == 0:
+            # The empty structure has an (empty) cover with no memberships;
+            # its average degree is 0, not a ZeroDivisionError.
+            return 0.0
         total = sum(len(cluster) for cluster in self.clusters)
-        return total / self.structure.order()
+        return total / order
 
     def max_cluster_radius(self) -> float:
         return max(

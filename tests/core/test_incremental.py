@@ -128,3 +128,26 @@ class TestLocality:
         # each touching a ball of <= 3 elements in old+new structures.
         assert cache.stats.recomputed_elements <= 12
         assert cache.stats.recompute_ratio(structure.order()) < 0.05
+
+
+class TestRecomputeRatioGuards:
+    def test_ratio_is_zero_when_order_is_zero(self):
+        """Regression: ``recomputed / (updates * order)`` crashed with
+        ZeroDivisionError whenever the caller passed ``order == 0``."""
+        from repro.core.incremental import UpdateStats
+
+        stats = UpdateStats(updates=3, recomputed_elements=5)
+        assert stats.recompute_ratio(0) == 0.0
+
+    def test_ratio_is_zero_before_any_update(self):
+        from repro.core.incremental import UpdateStats
+
+        assert UpdateStats().recompute_ratio(10) == 0.0
+
+    def test_fresh_cache_reports_zero_ratio_at_any_order(self):
+        """An untouched cache must report ratio 0 even when asked about a
+        hypothetical order of 0 (the empty-universe convention)."""
+        structure = path_graph(3)
+        cache = IncrementalUnaryCache(structure, degree_term())
+        assert cache.stats.recompute_ratio(structure.order()) == 0.0
+        assert cache.stats.recompute_ratio(0) == 0.0

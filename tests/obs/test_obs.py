@@ -192,3 +192,86 @@ class TestEngineWiring:
         with trace_spans(), collect_metrics():
             instrumented = Foc1Evaluator().count(structure, phi, ["x", "y", "z"])
         assert plain == instrumented
+
+
+class TestMetricsThreadSafety:
+    def test_concurrent_increments_lose_no_updates(self):
+        """Regression: inc() was a bare ``dict[key] += delta`` — a
+        read-modify-write that drops updates under contention."""
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2_000
+        barrier = threading.Barrier(threads_n)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                registry.inc("contended")
+                registry.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert registry.counter("contended") == threads_n * per_thread
+        assert registry.histograms["lat"].count == threads_n * per_thread
+
+    def test_disabled_metrics_still_noop(self):
+        """The lock lives inside the registry: with no registry active the
+        module-level tick/observe helpers stay a cheap None check."""
+        previous = set_metrics(None)
+        try:
+            assert active_metrics() is None
+            # module-level helpers must not raise with nothing active
+            from repro.obs.metrics import tick
+
+            tick("anything")
+        finally:
+            set_metrics(previous)
+
+    def test_thread_local_override_shadows_global(self):
+        from repro.obs.metrics import set_thread_metrics, thread_metrics
+
+        shared = MetricsRegistry()
+        previous = set_metrics(shared)
+        try:
+            local = MetricsRegistry()
+            token = set_thread_metrics(local)
+            try:
+                assert active_metrics() is local
+                active_metrics().inc("k")
+            finally:
+                set_thread_metrics(token)
+            assert active_metrics() is shared
+            assert local.counter("k") == 1
+            assert shared.counter("k") == 0
+            with thread_metrics(MetricsRegistry()) as scoped:
+                assert active_metrics() is scoped
+            assert active_metrics() is shared
+        finally:
+            set_metrics(previous)
+
+    def test_merge_is_safe_against_concurrent_writers(self):
+        import threading
+
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                child.inc("busy")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(50):
+                parent.merge(child)
+        finally:
+            stop.set()
+            t.join()
+        # No exception and a sane (monotone) folded value.
+        assert parent.counter("busy") >= 0

@@ -1,0 +1,226 @@
+"""The worker-pool abstraction: sharding, ordering, budget slicing,
+metrics merging, and error determinism (see docs/PARALLEL.md)."""
+
+import threading
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.parallel import (
+    BACKENDS,
+    WORKERS_ENV_VAR,
+    ParallelError,
+    WorkerPool,
+    resolve_workers,
+    shard,
+)
+from repro.robust.budget import EvaluationBudget
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self):
+        assert resolve_workers(3, environ={WORKERS_ENV_VAR: "7"}) == 3
+
+    def test_env_var_is_the_fallback(self):
+        assert resolve_workers(None, environ={WORKERS_ENV_VAR: "4"}) == 4
+        assert resolve_workers(None, environ={WORKERS_ENV_VAR: " 2 "}) == 2
+
+    def test_default_is_serial(self):
+        assert resolve_workers(None, environ={}) == 1
+        assert resolve_workers(None, environ={WORKERS_ENV_VAR: ""}) == 1
+
+    def test_rejects_non_positive_and_junk(self):
+        with pytest.raises(ParallelError):
+            resolve_workers(0)
+        with pytest.raises(ParallelError):
+            resolve_workers(-2)
+        with pytest.raises(ParallelError):
+            resolve_workers(None, environ={WORKERS_ENV_VAR: "many"})
+        with pytest.raises(ParallelError):
+            resolve_workers(None, environ={WORKERS_ENV_VAR: "0"})
+
+
+class TestShard:
+    def test_contiguous_order_preserving_partition(self):
+        items = list(range(10))
+        chunks = shard(items, 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_more_shards_than_items_drops_empties(self):
+        assert shard([1, 2], 5) == [[1], [2]]
+        assert shard([], 4) == []
+
+    def test_single_shard_is_the_whole_list(self):
+        assert shard([3, 1, 2], 1) == [[3, 1, 2]]
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ParallelError):
+            shard([1], 0)
+
+    def test_deterministic(self):
+        items = list(range(17))
+        assert shard(items, 4) == shard(items, 4)
+
+
+class TestWorkerPool:
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+    def test_workers_one_degrades_to_serial_backend(self):
+        assert WorkerPool(1, "thread").backend == "serial"
+        assert WorkerPool(1, "process").backend == "serial"
+        assert WorkerPool(4, "thread").backend == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParallelError):
+            WorkerPool(2, "greenlet")
+
+    def test_map_preserves_input_order(self):
+        pool = WorkerPool(4)
+        # Make late items finish first to prove ordering is by input, not
+        # completion.
+        import time
+
+        def slow_for_small(x):
+            time.sleep(0.02 if x < 2 else 0)
+            return x * x
+
+        assert pool.map(slow_for_small, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_map_serial_runs_inline(self):
+        thread_ids = []
+        WorkerPool(1).map(lambda _: thread_ids.append(threading.get_ident()), [1, 2])
+        assert set(thread_ids) == {threading.get_ident()}
+
+    def test_map_first_index_error_wins(self):
+        pool = WorkerPool(4)
+
+        def boom(x):
+            raise ValueError(f"item {x}")
+
+        with pytest.raises(ValueError, match="item 0"):
+            pool.map(boom, range(4))
+
+    def test_run_tasks_results_in_task_order(self):
+        pool = WorkerPool(4)
+        tasks = [lambda b, i=i: i * 10 for i in range(8)]
+        assert pool.run_tasks(tasks) == [i * 10 for i in range(8)]
+
+    def test_run_tasks_empty(self):
+        assert WorkerPool(4).run_tasks([]) == []
+
+    def test_run_tasks_serial_path_uses_parent_budget_directly(self):
+        budget = EvaluationBudget(max_steps=100)
+        seen = []
+        WorkerPool(1).run_tasks([lambda b: seen.append(b)], budget)
+        assert seen == [budget]
+
+    def test_run_tasks_first_index_error_wins(self):
+        pool = WorkerPool(4)
+
+        def make(i):
+            def task(b):
+                if i in (1, 3):
+                    raise RuntimeError(f"task {i}")
+                return i
+
+            return task
+
+        with pytest.raises(RuntimeError, match="task 1"):
+            pool.run_tasks([make(i) for i in range(4)])
+
+    def test_run_tasks_rejects_process_backend(self):
+        with pytest.raises(ParallelError, match="process boundary"):
+            WorkerPool(2, "process").run_tasks([lambda b: 1, lambda b: 2])
+
+
+class TestBudgetSplit:
+    def test_children_share_the_parent_deadline(self):
+        parent = EvaluationBudget(deadline=60.0, max_steps=90)
+        children = parent.split(3)
+        assert len(children) == 3
+        assert all(c._deadline_at == parent._deadline_at for c in children)
+
+    def test_steps_divide_evenly_over_remaining(self):
+        parent = EvaluationBudget(max_steps=90)
+        parent.charge(30)
+        children = parent.split(3)
+        assert [c.remaining_steps() for c in children] == [20, 20, 20]
+
+    def test_unlimited_steps_stay_unlimited(self):
+        children = EvaluationBudget(deadline=60.0).split(4)
+        assert all(c.remaining_steps() is None for c in children)
+
+    def test_each_child_gets_at_least_one_step(self):
+        parent = EvaluationBudget(max_steps=2)
+        children = parent.split(8)
+        assert all(c.remaining_steps() == 1 for c in children)
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ValueError):
+            EvaluationBudget(max_steps=10).split(0)
+
+    def test_run_tasks_charges_worker_steps_back_to_parent(self):
+        parent = EvaluationBudget(max_steps=1_000)
+
+        def task(b):
+            for _ in range(10):
+                b.tick("work")
+            return True
+
+        assert WorkerPool(4).run_tasks([task] * 4, parent) == [True] * 4
+        assert parent.steps == 40
+
+    def test_slice_exhaustion_raises_budget_exceeded(self):
+        parent = EvaluationBudget(max_steps=8)
+
+        def hungry(b):
+            for _ in range(100):
+                b.tick("work")
+
+        with pytest.raises(BudgetExceededError):
+            WorkerPool(4).run_tasks([hungry] * 4, parent)
+
+
+class TestMetricsMerge:
+    def test_worker_counters_fold_into_parent(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            from repro.obs.metrics import active_metrics
+
+            def task(b):
+                active_metrics().inc("worker.work", 5)
+                active_metrics().observe("worker.lat", 1.0)
+                return True
+
+            WorkerPool(4).run_tasks([task] * 4)
+        finally:
+            set_metrics(previous)
+        assert registry.counter("worker.work") == 20
+        assert registry.histograms["worker.lat"].count == 4
+
+    def test_budget_ticks_land_in_worker_registry_then_parent(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            parent = EvaluationBudget(max_steps=1_000)
+
+            def task(b):
+                for _ in range(7):
+                    b.tick("work")
+                return True
+
+            WorkerPool(2).run_tasks([task] * 2, parent)
+        finally:
+            set_metrics(previous)
+        assert registry.counter("budget.ticks") == 14
+
+    def test_no_registry_active_means_no_registry_plumbing(self):
+        previous = set_metrics(None)
+        try:
+            assert WorkerPool(4).run_tasks([lambda b: 1] * 4) == [1] * 4
+        finally:
+            set_metrics(previous)

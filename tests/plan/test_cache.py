@@ -93,3 +93,72 @@ class TestCacheMetrics:
             PlanCache().get_or_compile("a", _compile("E(x, x)"))
         finally:
             set_metrics(previous)
+
+
+class TestCacheThreadSafety:
+    def test_hammering_one_key_compiles_once_and_returns_one_plan(self):
+        """Regression: get_or_compile was an unsynchronised check-then-act,
+        so concurrent misses on one key could each compile their own plan
+        and corrupt the OrderedDict.  The plan identity matters — executor
+        memo tables key on id(plan node)."""
+        import threading
+
+        cache = PlanCache(capacity=8)
+        compiles = []
+        compile_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+        results = [None] * 8
+
+        def build():
+            with compile_lock:
+                compiles.append(1)
+            return compile_plan(
+                "model_check",
+                [parse_formula("exists x. E(x, x)")],
+                (),
+                infer_signature([parse_formula("exists x. E(x, x)")]),
+            )
+
+        def worker(slot):
+            barrier.wait()
+            for _ in range(50):
+                results[slot] = cache.get_or_compile("hot", build)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Everyone got the same canonical plan object...
+        assert all(r is results[0] for r in results)
+        # ...the cache holds exactly that plan...
+        assert len(cache) == 1
+        # ...and the accounting is exact: 400 calls split hit/miss with one
+        # stored plan.  (Several racers may have compiled before the first
+        # insert won; later compiles were discarded, never returned.)
+        assert cache.hits + cache.misses == 400
+        assert cache.misses == len(compiles)
+        assert cache.evictions == 0
+
+    def test_concurrent_distinct_keys_keep_lru_consistent(self):
+        import threading
+
+        cache = PlanCache(capacity=4)
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(40):
+                key = (seed + i) % 10
+                cache.get_or_compile(("k", key), _compile("E(x, y)"))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(cache) <= 4
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 240

@@ -99,3 +99,32 @@ class TestMembersSweepIsLinear:
     def test_members_of_unknown_cluster_is_empty(self):
         cover = sparse_cover(path_graph(4), 1)
         assert cover.members_with_cluster(9999) == ()
+
+
+class TestEmptyStructureStatistics:
+    def test_average_degree_of_order_zero_structure_is_zero(self):
+        """Regression: average_degree divided by the order unconditionally,
+        so a cover around an order-0 structure raised ZeroDivisionError.
+
+        Structure itself rejects empty universes, but covers arrive from
+        other front ends too (database-backed adapters, mocks in callers'
+        tests), so the statistic has to be total: NeighbourhoodCover is a
+        plain frozen dataclass and makes no non-emptiness promise.
+        """
+        from repro.sparse.covers import NeighbourhoodCover
+
+        class OrderZero:
+            universe_order = ()
+
+            def order(self):
+                return 0
+
+        cover = NeighbourhoodCover(
+            structure=OrderZero(),
+            radius=1,
+            clusters=(),
+            assignment={},
+            centres=(),
+        )
+        assert cover.average_degree() == 0.0
+        assert cover.max_degree() == 0

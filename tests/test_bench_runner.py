@@ -2,8 +2,8 @@
 
 The subprocess pytest run itself is exercised by CI's bench-smoke job;
 here we pin the pure parts — folding a pytest-benchmark payload into the
-repro-bench/2 schema, and the hand-rolled validator's acceptance and
-rejection behaviour.
+repro-bench schema (including schema 4's parallel speedup section), and
+the hand-rolled validator's acceptance and rejection behaviour.
 """
 
 import json
@@ -218,3 +218,68 @@ class TestBaselineDelta:
         lines = delta_table(delta)
         assert "BENCH_pr2.json" in lines[0]
         assert any("bench_scaling_counting" in line for line in lines)
+
+
+def parallel_payload():
+    """A worker-sweep payload like benchmarks/bench_parallel.py emits."""
+    payload = raw_payload()
+    for workers, mean in ((1, 0.008), (2, 0.005), (4, 0.004)):
+        payload["benchmarks"].append(
+            {
+                "name": f"test_per_cluster_workers[100-{workers}]",
+                "fullname": "benchmarks/bench_parallel.py"
+                f"::test_per_cluster_workers[100-{workers}]",
+                "group": None,
+                "stats": {
+                    "mean": mean,
+                    "stddev": 0.0001,
+                    "min": mean,
+                    "rounds": 3,
+                },
+                "extra_info": {
+                    "parallel_group": "per_cluster/n=100",
+                    "workers": workers,
+                },
+            }
+        )
+    return payload
+
+
+class TestParallelSection:
+    def test_speedups_relative_to_workers_one(self):
+        report = condense(parallel_payload(), quick=True)
+        parallel = report["parallel"]
+        assert isinstance(parallel["cpu_count"], int)
+        [group] = parallel["groups"]
+        assert group["group"] == "per_cluster/n=100"
+        rows = {row["workers"]: row for row in group["rows"]}
+        assert rows[1]["speedup"] == 1.0
+        assert abs(rows[2]["speedup"] - 1.6) < 1e-12
+        assert abs(rows[4]["speedup"] - 2.0) < 1e-12
+
+    def test_untagged_benchmarks_stay_out(self):
+        report = condense(raw_payload(), quick=True)
+        assert report["parallel"]["groups"] == []
+
+    def test_parallel_report_is_valid(self):
+        assert validate_report(condense(parallel_payload(), quick=True)) == []
+
+    def test_validator_rejects_bad_workers(self):
+        report = condense(parallel_payload(), quick=True)
+        report["parallel"]["groups"][0]["rows"][0]["workers"] = 0
+        assert any("workers" in p for p in validate_report(report))
+
+    def test_validator_requires_parallel_section(self):
+        report = condense(parallel_payload(), quick=True)
+        del report["parallel"]
+        assert any("parallel" in p for p in validate_report(report))
+
+    def test_table_renders(self):
+        from tools.bench_runner import parallel_table
+
+        report = condense(parallel_payload(), quick=True)
+        lines = parallel_table(report["parallel"])
+        assert "cpu_count" in lines[0]
+        assert any("per_cluster/n=100" in line for line in lines)
+        empty = parallel_table({"cpu_count": 1, "groups": []})
+        assert any("no worker-sweep" in line for line in empty)

@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr3.json``.
+a machine-readable ``BENCH_pr4.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -7,7 +7,7 @@ attaches to ``extra_info`` (see ``REPRO_BENCH_METRICS``), and condenses
 everything into a small, stable report::
 
     {
-      "schema": "repro-bench/3",
+      "schema": "repro-bench/4",
       "quick": true,
       "benchmarks": [
         {"name": "...", "module": "bench_covers", "mean_s": ..., ...,
@@ -19,18 +19,30 @@ everything into a small, stable report::
       "totals": {"benchmarks": N, "wall_s": ..., "memo_hit_rate": ...,
                  "plan_cache_hit_rate": ..., "compile_s": ...,
                  "execute_s": ...},
-      "baseline_delta": {"file": "BENCH_pr2.json", "common": M,
+      "parallel": {"cpu_count": C,
+                   "groups": [{"group": "per_cluster/n=100",
+                               "rows": [{"workers": 1, "mean_s": ...,
+                                         "speedup": 1.0}, ...]}]},
+      "baseline_delta": {"file": "BENCH_pr3.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
 
-Schema 3 adds the compile-once plan layer's split: per benchmark, the
+Schema 3 added the compile-once plan layer's split: per benchmark, the
 plan-cache hit rate (``plan.cache.hit`` / ``plan.cache.miss`` counters)
 and the time spent compiling plans (the ``plan.compile.seconds``
 histogram's total); in the totals, ``execute_s`` is the measured wall
 time minus the compile share.  When a baseline report (default:
-``BENCH_pr2.json``) is present, the runner also emits a per-benchmark
-delta table — baseline mean vs new mean — so plan-layer regressions are
-visible in the artifact itself.
+``BENCH_pr3.json``) is present, the runner also emits a per-benchmark
+delta table — baseline mean vs new mean — so regressions are visible in
+the artifact itself.
+
+Schema 4 adds the ``parallel`` section: benchmarks that tag themselves
+with ``extra_info["parallel_group"]`` and ``extra_info["workers"]``
+(``benchmarks/bench_parallel.py``) are grouped, and each row's *speedup*
+is the group's workers=1 mean over this row's mean (>1.0 is faster).
+``cpu_count`` is recorded alongside because thread-backend speedups are
+bounded by the core count (and, on CPython, the GIL): a ~1.0x table on a
+one-core runner is the expected honest result, not a defect.
 
 Usage::
 
@@ -60,7 +72,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/3"
+SCHEMA_NAME = "repro-bench/4"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -192,6 +204,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
         )
     total = memo_hits + memo_misses
     plan_total = plan_hits + plan_misses
+    parallel = parallel_section(benchmarks)
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -211,8 +224,59 @@ def condense(raw: Dict, quick: bool) -> Dict:
             "compile_s": total_compile,
             "execute_s": max(total_wall - total_compile, 0.0),
         },
+        "parallel": parallel,
     }
     return report
+
+
+def parallel_section(benchmarks: List[Dict]) -> Dict:
+    """Fold the worker-sweep benchmarks into a speedup table.
+
+    Rows come from benchmarks that tagged ``extra_info`` with
+    ``parallel_group`` and ``workers``; each group's workers=1 row is the
+    denominator (speedup = serial mean / this mean, so >1.0 is faster).
+    ``cpu_count`` contextualises the table: thread speedups cannot exceed
+    the core count, so a flat table on a small runner is expected.
+    """
+    grouped: "Dict[str, List[Dict]]" = {}
+    for bench in benchmarks:
+        extra = bench.get("extra_info") or {}
+        group = extra.get("parallel_group")
+        workers = extra.get("workers")
+        if not isinstance(group, str) or not isinstance(workers, int):
+            continue
+        grouped.setdefault(group, []).append(
+            {"workers": workers, "mean_s": bench["mean_s"], "name": bench["name"]}
+        )
+    groups = []
+    for group in sorted(grouped):
+        rows = sorted(grouped[group], key=lambda row: row["workers"])
+        serial = next(
+            (row["mean_s"] for row in rows if row["workers"] == 1), None
+        )
+        for row in rows:
+            row["speedup"] = (
+                serial / row["mean_s"]
+                if serial and row["mean_s"] > 0
+                else None
+            )
+        groups.append({"group": group, "rows": rows})
+    return {"cpu_count": os.cpu_count(), "groups": groups}
+
+
+def parallel_table(parallel: Dict) -> List[str]:
+    """A printable serial-vs-parallel speedup table."""
+    lines = [f"parallel speedups (cpu_count={parallel.get('cpu_count')})"]
+    for group in parallel.get("groups", []):
+        cells = ", ".join(
+            f"{row['workers']}w: "
+            + (f"{row['speedup']:.2f}x" if row["speedup"] is not None else "n/a")
+            for row in group["rows"]
+        )
+        lines.append(f"  {group['group']:<28} {cells}")
+    if len(lines) == 1:
+        lines.append("  (no worker-sweep benchmarks in this run)")
+    return lines
 
 
 # ---------------------------------------------------------------------------
@@ -377,6 +441,47 @@ def validate_report(report: Dict) -> List[str]:
                 or (isinstance(rate, (int, float)) and 0 <= rate <= 1),
                 f"totals.{key} must be null or in [0, 1]",
             )
+    parallel = report.get("parallel")
+    check(isinstance(parallel, dict), "parallel must be an object")
+    if isinstance(parallel, dict):
+        cpu_count = parallel.get("cpu_count")
+        check(
+            cpu_count is None or (isinstance(cpu_count, int) and cpu_count >= 1),
+            "parallel.cpu_count must be null or a positive integer",
+        )
+        groups = parallel.get("groups")
+        check(isinstance(groups, list), "parallel.groups must be a list")
+        for i, group in enumerate(groups or []):
+            where = f"parallel.groups[{i}]"
+            if not isinstance(group, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            check(
+                isinstance(group.get("group"), str) and group["group"],
+                f"{where}.group must be a non-empty string",
+            )
+            rows = group.get("rows")
+            check(isinstance(rows, list) and rows, f"{where}.rows must be a non-empty list")
+            for j, row in enumerate(rows or []):
+                where_row = f"{where}.rows[{j}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where_row} must be an object")
+                    continue
+                check(
+                    isinstance(row.get("workers"), int) and row["workers"] >= 1,
+                    f"{where_row}.workers must be a positive integer",
+                )
+                mean = row.get("mean_s")
+                check(
+                    isinstance(mean, (int, float)) and mean >= 0,
+                    f"{where_row}.mean_s must be a non-negative number",
+                )
+                speedup = row.get("speedup")
+                check(
+                    speedup is None
+                    or (isinstance(speedup, (int, float)) and speedup >= 0),
+                    f"{where_row}.speedup must be null or non-negative",
+                )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -398,7 +503,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr3.json"
+        description="Run the benchmark suites and emit BENCH_pr4.json"
     )
     parser.add_argument(
         "--quick",
@@ -407,15 +512,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr3.json"),
+        default=str(REPO_ROOT / "BENCH_pr4.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr3.json)",
+        help="where to write the report (default: BENCH_pr4.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr2.json"),
+        default=str(REPO_ROOT / "BENCH_pr3.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr2.json; "
+        help="earlier report to diff against (default: BENCH_pr3.json; "
         "skipped silently when the file does not exist)",
     )
     parser.add_argument(
@@ -470,6 +575,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         f"({totals['compile_s']:.3f}s compiling plans), "
         f"memo hit rate {rate_text}, plan cache hit rate {plan_text}"
     )
+    for line in parallel_table(report["parallel"]):
+        print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):
             print(line)
