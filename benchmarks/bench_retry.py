@@ -1,0 +1,93 @@
+"""Retry-machinery overhead on fault-free runs (docs/ROBUSTNESS.md).
+
+PR 5's acceptance bar: arming a :class:`~repro.robust.retry.RetryPolicy`
+on a run that never faults must cost < 5% over the plain parallel path.
+The only per-shard additions on the happy path are the fault checkpoints
+(one ``is None`` test each when no injector is installed) and the
+fresh-slice bookkeeping, so the expected overhead is noise-level.
+
+Each benchmark runs the same workload twice across the ``retries``
+parameter — ``0`` (``retry=None``, the pre-PR5 path) and ``2``
+(``RetryPolicy(retries=2)`` armed but never triggered) — and records a
+``retry_group`` key plus its ``retries`` value in ``extra_info``.
+``tools/bench_runner.py`` folds matching groups into the report's
+``retry_overhead`` section (overhead = this mean over the retries=0
+mean, so 1.0 is free and the gate is < 1.05).
+
+Workloads mirror ``bench_parallel.py`` at workers=2: the Section 8.2
+per-cluster loop and a raw ``WorkerPool.run_tasks`` fan-out, both
+asserted byte-identical to their serial/plain counterparts.
+"""
+
+import pytest
+
+from repro.core.clterms import CoverTerm
+from repro.core.cover_eval import evaluate_per_cluster
+from repro.logic.builder import Rel
+from repro.parallel.pool import WorkerPool
+from repro.robust.retry import RetryPolicy
+from repro.sparse.classes import nearly_square_grid
+from repro.sparse.covers import sparse_cover
+
+E = Rel("E", 2)
+
+RETRY_COUNTS = (0, 2)
+
+#: Quick mode (REPRO_BENCH_QUICK=1) keeps only n <= 100.
+SIZES = (100, 400)
+
+DEGREE_TERM = CoverTerm(
+    variables=("y1", "y2"),
+    edges=frozenset({(1, 2)}),
+    link_distance=1,
+    component_formulas=((frozenset({1, 2}), E("y1", "y2")),),
+    unary=True,
+)
+
+
+def _policy(retries):
+    """``None`` for the plain path, an armed deterministic policy otherwise."""
+    if retries == 0:
+        return None
+    return RetryPolicy(retries=retries)
+
+
+@pytest.mark.parametrize("retries", RETRY_COUNTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_per_cluster_retry_overhead(benchmark, n, retries):
+    structure = nearly_square_grid(n)
+    cover = sparse_cover(structure, 2)
+
+    values = benchmark(
+        evaluate_per_cluster,
+        structure,
+        cover,
+        DEGREE_TERM,
+        workers=2,
+        retry=_policy(retries),
+    )
+    # Fault-free, so the armed run must match the serial loop byte-for-byte.
+    serial = evaluate_per_cluster(structure, cover, DEGREE_TERM)
+    assert list(values.items()) == list(serial.items())
+    benchmark.extra_info["retry_group"] = f"per_cluster/n={structure.order()}"
+    benchmark.extra_info["retries"] = retries
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["clusters"] = len(cover.clusters)
+
+
+@pytest.mark.parametrize("retries", RETRY_COUNTS)
+@pytest.mark.parametrize("tasks", (16,))
+def test_run_tasks_retry_overhead(benchmark, tasks, retries):
+    # A raw pool fan-out isolates the driver's own bookkeeping from engine
+    # costs: each task is a small pure-Python loop.
+    pool = WorkerPool(workers=2, backend="thread")
+    work = [
+        (lambda i: (lambda budget=None: sum(range(2_000 + i))))(i)
+        for i in range(tasks)
+    ]
+
+    results = benchmark(pool.run_tasks, work, retry=_policy(retries))
+    assert results == [sum(range(2_000 + i)) for i in range(tasks)]
+    benchmark.extra_info["retry_group"] = f"run_tasks/t={tasks}"
+    benchmark.extra_info["retries"] = retries
+    benchmark.extra_info["tasks"] = tasks

@@ -118,10 +118,15 @@ from .db import Database, Schema, Table, group_by_count, join_group_count, total
 from .io import FormatError, load_structure, save_structure
 from .robust import (
     FAULT_SITES,
+    PARALLEL_FAULT_SITES,
+    CircuitBreaker,
     EvaluationBudget,
     FaultInjector,
+    PartialResult,
+    RetryPolicy,
     RobustEvaluator,
     RobustReport,
+    ShardFailure,
     StageReport,
     inject_faults,
 )

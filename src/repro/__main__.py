@@ -28,10 +28,13 @@ Structures come from ``.json`` files (see :mod:`repro.io`) or edge lists.
 Resource governance (see ``docs/ROBUSTNESS.md``): ``--timeout`` and
 ``--max-steps`` bound the evaluation; ``--engine robust`` runs the
 fallback cascade (main algorithm → FOC1 engine → brute force).
+``--retries`` retries failed parallel shards with deterministic backoff;
+``--on-shard-failure salvage`` returns the completed shards of a partly
+failed parallel run instead of raising.
 
 Exit codes: 0 on success (for ``check``: also when the answer is False —
 the answer is printed, not encoded), 2 on bad input, 3 on an unexpected
-internal error, 4 on budget exhaustion.
+internal error, 4 on budget exhaustion, 5 on a partial (salvaged) result.
 """
 
 from __future__ import annotations
@@ -57,13 +60,19 @@ from .plan import (
     default_plan_cache,
     infer_signature,
 )
-from .robust import EvaluationBudget, RobustEvaluator
+from .robust import (
+    EvaluationBudget,
+    PartialResult,
+    RetryPolicy,
+    RobustEvaluator,
+)
 from .sparse.measures import sparsity_report
 
 EXIT_OK = 0
 EXIT_BAD_INPUT = 2
 EXIT_INTERNAL = 3
 EXIT_BUDGET = 4
+EXIT_PARTIAL = 5
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -163,6 +172,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "(default: REPRO_WORKERS or 1 = serial; see docs/PARALLEL.md)",
         )
         sub.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="retry each failed parallel shard up to N times with "
+            "deterministic backoff (default: 0 = fail fast)",
+        )
+        sub.add_argument(
+            "--on-shard-failure",
+            choices=("raise", "salvage"),
+            default="raise",
+            help="'raise' (default) fails the whole query when a shard "
+            "dies after its retries; 'salvage' returns the completed "
+            "shards as a partial result and exits with code 5",
+        )
+        sub.add_argument(
             "--trace",
             action="store_true",
             help="record spans around the pipeline and print a timing "
@@ -226,27 +251,39 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "check":
         sentence = parse_formula(args.sentence)
-        print(engine.model_check(structure, sentence))
-        _emit_report(engine)
-        return 0
+        return _print_result(engine, engine.model_check(structure, sentence))
     if args.command == "count":
         phi = parse_formula(args.formula)
-        print(engine.count(structure, phi, args.vars))
-        _emit_report(engine)
-        return 0
+        return _print_result(engine, engine.count(structure, phi, args.vars))
     if args.command == "term":
         t = parse_term(args.term)
-        print(engine.ground_term_value(structure, t))
-        _emit_report(engine)
-        return 0
+        return _print_result(engine, engine.ground_term_value(structure, t))
     if args.command == "unary":
         t = parse_term(args.term)
         values = engine.unary_term_values(structure, t, args.var)
+        exit_code = EXIT_OK
+        if isinstance(values, PartialResult):
+            print(f"# partial: {values.summary()}", file=sys.stderr)
+            exit_code = EXIT_PARTIAL
+            values = values.value
         for element in structure.universe_order:
-            print(f"{element}\t{values[element]}")
+            if element in values:
+                print(f"{element}\t{values[element]}")
         _emit_report(engine)
-        return 0
+        return exit_code
     raise AssertionError("unreachable")
+
+
+def _print_result(engine, result) -> int:
+    """Print one scalar answer; a salvaged partial result exits with 5."""
+    if isinstance(result, PartialResult):
+        print(f"# partial: {result.summary()}", file=sys.stderr)
+        print(result.value)
+        _emit_report(engine)
+        return EXIT_PARTIAL
+    print(result)
+    _emit_report(engine)
+    return EXIT_OK
 
 
 def _parse_expression(text: str) -> Expression:
@@ -345,15 +382,28 @@ def _make_engine(args: argparse.Namespace):
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 1:
         raise ReproError("--workers must be a positive integer")
+    retries = getattr(args, "retries", 0)
+    if retries < 0:
+        raise ReproError("--retries must be >= 0")
+    retry = RetryPolicy(retries=retries) if retries > 0 else None
+    on_shard_failure = getattr(args, "on_shard_failure", "raise")
     if args.engine == "robust":
         return RobustEvaluator(
-            budget=budget, check_fragment=check_fragment, workers=workers
+            budget=budget,
+            check_fragment=check_fragment,
+            workers=workers,
+            retry=retry,
+            on_shard_failure=on_shard_failure,
         )
     if args.engine == "baseline":
         # The brute-force oracle stays deliberately serial.
         return BruteForceEvaluator(budget=budget, check_fragment=check_fragment)
     return Foc1Evaluator(
-        check_fragment=check_fragment, budget=budget, workers=workers
+        check_fragment=check_fragment,
+        budget=budget,
+        workers=workers,
+        retry=retry,
+        on_shard_failure=on_shard_failure,
     )
 
 

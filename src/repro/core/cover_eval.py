@@ -43,6 +43,8 @@ from ..logic.semantics import satisfies
 from ..obs import active_metrics, traced
 from ..parallel import WorkerPool, shard
 from ..robust.budget import EvaluationBudget
+from ..robust.partial import PartialResult, ShardFailure, validate_failure_mode
+from ..robust.retry import RetryPolicy
 from ..logic.syntax import Formula, Variable
 from ..sparse.covers import CoverError, NeighbourhoodCover
 from ..structures.gaifman import connectivity_graph, induced
@@ -98,6 +100,45 @@ def _holds_in_cluster(
     return first
 
 
+def _merge_unary_outcomes(
+    outcomes,
+    chunks: List[list],
+    chunk_sizes: List[int],
+    operation: str,
+) -> "Dict[Element, int] | PartialResult":
+    """Fold salvage-mode shard outcomes into a dict or a PartialResult.
+
+    ``chunks[i]`` holds the work items shard ``i`` carried (targets or
+    cluster indices) and ``chunk_sizes[i]`` how many *result elements*
+    that shard would contribute.  A full success returns the plain merged
+    dict — salvage never changes the type of a complete answer.
+    """
+    values: Dict[Element, int] = {}
+    failures: List[ShardFailure] = []
+    for outcome in outcomes:
+        if outcome.error is None:
+            values.update(outcome.value)
+        else:
+            failures.append(
+                ShardFailure(
+                    shard=outcome.index,
+                    items=tuple(chunks[outcome.index]),
+                    error_type=type(outcome.error).__name__,
+                    error=str(outcome.error),
+                    attempts=outcome.attempts,
+                )
+            )
+    if not failures:
+        return values
+    return PartialResult(
+        operation=operation,
+        value=values,
+        failures=failures,
+        expected=sum(chunk_sizes),
+        covered=len(values),
+    )
+
+
 def _basic_unary_shard(
     structure: Structure,
     cover: NeighbourhoodCover,
@@ -151,7 +192,9 @@ def evaluate_basic_cover_unary(
     ball_cache: "Optional[_BallCache]" = None,
     workers: "Optional[int]" = None,
     backend: str = "thread",
-) -> Dict[Element, int]:
+    retry: "Optional[RetryPolicy]" = None,
+    on_shard_failure: str = "raise",
+) -> "Dict[Element, int] | PartialResult":
     """``u^{A,X}[a]`` for a *basic* (connected) cover-cl-term, all ``a``.
 
     Counted tuples are generated by pattern walking (distances measured in
@@ -163,8 +206,13 @@ def evaluate_basic_cover_unary(
     With ``workers > 1`` the targets are sharded deterministically across
     a :class:`~repro.parallel.WorkerPool` (each shard gets its own ball
     cache — the memo is not shared across workers) and the shard results
-    merge in shard order, reproducing the serial output exactly.
+    merge in shard order, reproducing the serial output exactly.  A
+    ``retry`` policy re-runs failed shards alone;
+    ``on_shard_failure="salvage"`` keeps completed shards and returns a
+    :class:`~repro.robust.partial.PartialResult` when failures remain
+    (the plain dict whenever nothing was lost).
     """
+    validate_failure_mode(on_shard_failure)
     if not term.unary:
         raise FormulaError("expected a unary cover term")
     if not term.is_basic():
@@ -172,7 +220,8 @@ def evaluate_basic_cover_unary(
     psi = term.component_formulas[0][1]
     targets = list(elements) if elements is not None else list(structure.universe_order)
     pool = WorkerPool(workers, backend)
-    if pool.workers <= 1 or len(targets) <= 1:
+    plain = retry is None and on_shard_failure == "raise"
+    if (pool.workers <= 1 or len(targets) <= 1) and plain:
         balls = (
             ball_cache
             if ball_cache is not None
@@ -190,6 +239,7 @@ def evaluate_basic_cover_unary(
             budget,
             balls,
         )
+    chunks = shard(targets, max(pool.workers, 1))
     tasks = [
         lambda b, chunk=chunk: _basic_unary_shard(
             structure,
@@ -202,10 +252,20 @@ def evaluate_basic_cover_unary(
             b,
             None,
         )
-        for chunk in shard(targets, pool.workers)
+        for chunk in chunks
     ]
+    if on_shard_failure == "salvage":
+        outcomes = pool.run_tasks(
+            tasks, budget, retry=retry, on_failure="salvage"
+        )
+        return _merge_unary_outcomes(
+            outcomes,
+            chunks,
+            [len(chunk) for chunk in chunks],
+            "evaluate_basic_cover_unary",
+        )
     values: Dict[Element, int] = {}
-    for part in pool.run_tasks(tasks, budget):
+    for part in pool.run_tasks(tasks, budget, retry=retry):
         values.update(part)
     return values
 
@@ -382,7 +442,9 @@ def evaluate_per_cluster(
     budget: "Optional[EvaluationBudget]" = None,
     workers: "Optional[int]" = None,
     backend: str = "thread",
-) -> Dict[Element, int]:
+    retry: "Optional[RetryPolicy]" = None,
+    on_shard_failure: str = "raise",
+) -> "Dict[Element, int] | PartialResult":
     """Section 8.2's per-cluster evaluation of a unary basic cover-cl-term.
 
     For each cluster X, evaluates the count *inside* ``A[X]`` for exactly the
@@ -397,7 +459,15 @@ def evaluate_per_cluster(
     worker count.  ``backend="process"`` ships each shard to a child
     interpreter (inputs must be picklable; only the standard predicate
     collection is supported there).
+
+    A ``retry`` policy re-runs a failed shard alone (fresh budget slice,
+    deterministic backoff).  ``on_shard_failure="salvage"`` keeps the
+    completed shards when retries are exhausted and returns a
+    :class:`~repro.robust.partial.PartialResult` carrying the failed
+    cluster ids and the coverage fraction; a run without failures still
+    returns the plain dict.
     """
+    validate_failure_mode(on_shard_failure)
     if not term.unary or not term.is_basic():
         raise FormulaError("per-cluster evaluation expects a unary basic term")
     needed = term.width * term.link_distance
@@ -413,16 +483,35 @@ def evaluate_per_cluster(
         for index in range(len(cover.clusters))
         if cover.members_with_cluster(index)
     ]
-    if pool.workers <= 1 or len(indices) <= 1:
+    plain = retry is None and on_shard_failure == "raise"
+    if (pool.workers <= 1 or len(indices) <= 1) and plain:
         return _cluster_shard_values(
             structure, cover, term, psi, indices, predicates, budget
         )
-    shards = shard(indices, pool.workers)
+    shards = shard(indices, max(pool.workers, 1))
+    chunk_sizes = [
+        sum(len(cover.members_with_cluster(i)) for i in chunk)
+        for chunk in shards
+    ]
     if pool.backend == "process":
         from ..parallel.tasks import run_per_cluster_shards
 
-        return run_per_cluster_shards(
-            pool, structure, cover, term, psi, shards, predicates, budget
+        joined = run_per_cluster_shards(
+            pool,
+            structure,
+            cover,
+            term,
+            psi,
+            shards,
+            predicates,
+            budget,
+            retry=retry,
+            salvage=on_shard_failure == "salvage",
+        )
+        if on_shard_failure != "salvage":
+            return joined
+        return _merge_unary_outcomes(
+            joined, shards, chunk_sizes, "evaluate_per_cluster"
         )
     tasks = [
         lambda b, chunk=chunk: _cluster_shard_values(
@@ -430,7 +519,14 @@ def evaluate_per_cluster(
         )
         for chunk in shards
     ]
+    if on_shard_failure == "salvage":
+        outcomes = pool.run_tasks(
+            tasks, budget, retry=retry, on_failure="salvage"
+        )
+        return _merge_unary_outcomes(
+            outcomes, shards, chunk_sizes, "evaluate_per_cluster"
+        )
     values: Dict[Element, int] = {}
-    for part in pool.run_tasks(tasks, budget):
+    for part in pool.run_tasks(tasks, budget, retry=retry):
         values.update(part)
     return values

@@ -44,6 +44,8 @@ from ..plan.executor import ExecutionState, PlanExecutor
 from ..plan.ir import PlanOptions, QueryPlan
 from ..plan.normalise import canonicalise, flatten_conjuncts, replace_atoms
 from ..robust.budget import EvaluationBudget
+from ..robust.partial import PartialResult, ShardFailure, validate_failure_mode
+from ..robust.retry import RetryPolicy
 from ..structures.signature import Signature
 from ..structures.structure import Element, Structure
 from .query import Foc1Query
@@ -93,6 +95,16 @@ class Foc1Evaluator:
         pre-parallel code path).  See ``docs/PARALLEL.md``.
     parallel_backend:
         ``"thread"`` (default) or ``"process"``; ignored at ``workers=1``.
+    retry:
+        Optional :class:`~repro.robust.retry.RetryPolicy` applied by the
+        parallel entry points: a transiently failing shard is re-run —
+        alone, under a fresh budget slice — instead of aborting the whole
+        evaluation.
+    on_shard_failure:
+        ``"raise"`` (default): a permanently failed shard aborts the call.
+        ``"salvage"``: the parallel entry points keep completed shards and
+        return a :class:`~repro.robust.partial.PartialResult` when
+        failures remain (the plain result whenever nothing was lost).
     """
 
     def __init__(
@@ -105,6 +117,8 @@ class Foc1Evaluator:
         plan_cache: "Optional[PlanCache]" = None,
         workers: "Optional[int]" = None,
         parallel_backend: str = "thread",
+        retry: "Optional[RetryPolicy]" = None,
+        on_shard_failure: str = "raise",
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.use_factoring = use_factoring
@@ -113,6 +127,8 @@ class Foc1Evaluator:
         self.budget = budget
         self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
         self.pool = WorkerPool(workers, parallel_backend)
+        self.retry = retry
+        self.on_shard_failure = validate_failure_mode(on_shard_failure)
 
     # -- compile-once plumbing ----------------------------------------------------
 
@@ -190,7 +206,7 @@ class Foc1Evaluator:
         term: Term,
         variable: Variable,
         elements: "Optional[Sequence[Element]]" = None,
-    ) -> Dict[Element, int]:
+    ) -> "Dict[Element, int] | PartialResult":
         """``t^A[a]`` for all ``a`` (the simultaneous evaluation of Lemma 5.7's
         stronger form).
 
@@ -200,6 +216,12 @@ class Foc1Evaluator:
         to the serial pass.  Thread backend only; each shard re-runs the
         plan's materialisation steps, a fixed per-worker cost that the
         per-element saving amortises on all but tiny structures.
+
+        The engine's ``retry`` policy re-runs failed shards alone; with
+        ``on_shard_failure="salvage"`` a permanently failed shard no
+        longer aborts the call — completed shards come back in a
+        :class:`~repro.robust.partial.PartialResult` (the plain dict when
+        nothing was lost).
         """
         extra = free_variables(term) - {variable}
         if extra:
@@ -212,18 +234,48 @@ class Foc1Evaluator:
             if elements is not None
             else list(structure.universe_order)
         )
-        if self.pool.workers <= 1 or len(targets) <= 1:
+        plain = self.retry is None and self.on_shard_failure == "raise"
+        if (self.pool.workers <= 1 or len(targets) <= 1) and plain:
             return self._executor(plan, structure).unary_term_values(
                 variable, targets
             )
+        chunks = shard(targets, max(self.pool.workers, 1))
         tasks = [
             lambda b, chunk=chunk: PlanExecutor(
                 plan, structure, self.predicates, b
             ).unary_term_values(variable, chunk)
-            for chunk in shard(targets, self.pool.workers)
+            for chunk in chunks
         ]
-        values: Dict[Element, int] = {}
-        for part in self.pool.run_tasks(tasks, self.budget):
+        if self.on_shard_failure == "salvage":
+            outcomes = self.pool.run_tasks(
+                tasks, self.budget, retry=self.retry, on_failure="salvage"
+            )
+            values: Dict[Element, int] = {}
+            failures: List[ShardFailure] = []
+            for outcome in outcomes:
+                if outcome.error is None:
+                    values.update(outcome.value)
+                else:
+                    failures.append(
+                        ShardFailure(
+                            shard=outcome.index,
+                            items=tuple(chunks[outcome.index]),
+                            error_type=type(outcome.error).__name__,
+                            error=str(outcome.error),
+                            attempts=outcome.attempts,
+                        )
+                    )
+            if not failures:
+                return values
+            return PartialResult(
+                operation="unary_term_values",
+                value=values,
+                failures=failures,
+                expected=len(targets),
+                covered=len(values),
+            )
+        values = {}
+        for part in self.pool.run_tasks(tasks, self.budget, retry=self.retry):
             values.update(part)
         return values
 
@@ -233,7 +285,7 @@ class Foc1Evaluator:
         structures: Sequence[Structure],
         formula: Formula,
         variables: Sequence[Variable],
-    ) -> List[int]:
+    ) -> "List[int] | PartialResult":
         """``|phi(A_i)|`` for a batch of structures — one plan, many inputs.
 
         The formula is validated once and compiled once per *distinct
@@ -244,6 +296,12 @@ class Foc1Evaluator:
         process backend ships ``(plan, structure)`` payloads to child
         interpreters and is restricted to the standard predicate
         collection (closures do not pickle).
+
+        The engine's ``retry`` policy re-runs failed batch entries alone;
+        with ``on_shard_failure="salvage"`` permanent failures leave
+        ``None`` holes in the batch, returned inside a
+        :class:`~repro.robust.partial.PartialResult` (the plain list when
+        nothing was lost).
         """
         structures = list(structures)
         missing = free_variables(formula) - set(variables)
@@ -261,24 +319,69 @@ class Foc1Evaluator:
             )
             for s in structures
         ]
-        if self.pool.workers <= 1 or len(structures) <= 1:
+        salvage = self.on_shard_failure == "salvage"
+        plain = self.retry is None and not salvage
+        if (self.pool.workers <= 1 or len(structures) <= 1) and plain:
             return [
                 PlanExecutor(
                     plans[i], structures[i], self.predicates, self.budget
                 ).count_value()
                 for i in range(len(structures))
             ]
-        if self.pool.backend == "process":
+        if self.pool.backend == "process" and self.pool.workers > 1:
             from ..parallel.tasks import run_count_many_shards
 
-            return run_count_many_shards(self.pool, plans, structures, self.budget)
-        tasks = [
-            lambda b, i=i: PlanExecutor(
-                plans[i], structures[i], self.predicates, b
-            ).count_value()
-            for i in range(len(structures))
+            joined = run_count_many_shards(
+                self.pool,
+                plans,
+                structures,
+                self.budget,
+                retry=self.retry,
+                salvage=salvage,
+            )
+            if not salvage:
+                return joined
+            outcomes = joined
+        else:
+            tasks = [
+                lambda b, i=i: PlanExecutor(
+                    plans[i], structures[i], self.predicates, b
+                ).count_value()
+                for i in range(len(structures))
+            ]
+            if not salvage:
+                return self.pool.run_tasks(
+                    tasks, self.budget, retry=self.retry
+                )
+            outcomes = self.pool.run_tasks(
+                tasks, self.budget, retry=self.retry, on_failure="salvage"
+            )
+        # Salvage merge: the batch comes back with ``None`` holes at the
+        # failed positions plus a structured account of what was lost.
+        counts = [
+            outcome.value if outcome.error is None else None
+            for outcome in outcomes
         ]
-        return self.pool.run_tasks(tasks, self.budget)
+        failures = [
+            ShardFailure(
+                shard=outcome.index,
+                items=(outcome.index,),
+                error_type=type(outcome.error).__name__,
+                error=str(outcome.error),
+                attempts=outcome.attempts,
+            )
+            for outcome in outcomes
+            if outcome.error is not None
+        ]
+        if not failures:
+            return counts
+        return PartialResult(
+            operation="count_many",
+            value=counts,
+            failures=failures,
+            expected=len(structures),
+            covered=len(structures) - len(failures),
+        )
 
     @traced("foc1.count")
     def count(

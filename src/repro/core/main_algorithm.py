@@ -38,6 +38,8 @@ from ..obs import active_metrics, traced
 from ..parallel import WorkerPool, shard
 from ..plan.cache import PlanCache
 from ..robust.budget import EvaluationBudget
+from ..robust.partial import PartialResult, ShardFailure, validate_failure_mode
+from ..robust.retry import RetryPolicy
 from ..sparse.covers import sparse_cover
 from ..structures.gaifman import induced
 from ..structures.structure import Element, Structure
@@ -103,7 +105,9 @@ def evaluate_unary_main_algorithm(
     budget: "Optional[EvaluationBudget]" = None,
     plan_cache: "Optional[PlanCache]" = None,
     workers: "Optional[int]" = None,
-) -> Dict[Element, int]:
+    retry: "Optional[RetryPolicy]" = None,
+    on_shard_failure: str = "raise",
+) -> "Dict[Element, int] | PartialResult":
     """Evaluate ``u^A[a]`` for all ``a`` via the Section 8.2 loop.
 
     ``term`` must be a unary basic cl-term; its ``psi`` must genuinely be
@@ -122,15 +126,25 @@ def evaluate_unary_main_algorithm(
     index order, each shard runs on its own engine (sharing the
     thread-safe plan cache) under a proportional budget slice, and shard
     results merge deterministically, so the output is byte-identical to
-    the serial loop.
+    the serial loop.  A ``retry`` policy re-runs a failed cluster shard
+    alone; ``on_shard_failure="salvage"`` keeps the completed shards and
+    returns a :class:`~repro.robust.partial.PartialResult` carrying the
+    failed cluster ids when retries are exhausted (the plain dict when
+    nothing was lost).
     """
+    validate_failure_mode(on_shard_failure)
     if not term.unary:
         raise FormulaError("the main algorithm evaluates unary basic cl-terms")
+    # The cluster loop below owns all the parallelism (and the configured
+    # retry/salvage policy); the base-case engine stays serial so that a
+    # REPRO_WORKERS default cannot open an ungoverned nested fan-out
+    # inside it — or inside a worker shard, which would oversubscribe.
     engine = Foc1Evaluator(
         predicates=predicates if predicates is not None else standard_collection(),
         check_fragment=False,
         budget=budget,
         plan_cache=plan_cache,
+        workers=1,
     )
     if stats is None:
         stats = MainAlgorithmStats()
@@ -159,6 +173,8 @@ def evaluate_unary_main_algorithm(
         stats,
         level=1,
         pool=WorkerPool(workers),
+        retry=retry,
+        on_shard_failure=on_shard_failure,
     )
     return values
 
@@ -258,7 +274,9 @@ def _evaluate_level(
     stats: MainAlgorithmStats,
     level: int,
     pool: "Optional[WorkerPool]" = None,
-) -> Dict[Element, int]:
+    retry: "Optional[RetryPolicy]" = None,
+    on_shard_failure: str = "raise",
+) -> "Dict[Element, int] | PartialResult":
     stats.max_depth_reached = max(stats.max_depth_reached, level)
     if depth <= 0 or structure.order() <= small_threshold:
         stats.base_case_elements += len(targets)
@@ -298,13 +316,17 @@ def _evaluate_level(
             )
         return values
 
-    if pool is None or pool.workers <= 1 or len(per_cluster_members) <= 1:
+    plain = retry is None and on_shard_failure == "raise"
+    if (
+        pool is None or pool.workers <= 1 or len(per_cluster_members) <= 1
+    ) and plain:
         return process_serial(per_cluster_members, engine, stats)
+    if pool is None:
+        pool = WorkerPool(1)
 
     # Cluster-sharded fan-out: each shard gets its own engine (sharing the
     # thread-safe plan cache, so the identical rewritten sub-terms still
     # compile once) and its own stats record, merged in shard order below.
-    shard_stats = []
 
     def make_task(chunk):
         def task(slice_budget):
@@ -313,6 +335,7 @@ def _evaluate_level(
                 check_fragment=False,
                 budget=slice_budget,
                 plan_cache=engine.plan_cache,
+                workers=1,
             )
             worker_stats = MainAlgorithmStats()
             result = process_serial(chunk, worker_engine, worker_stats)
@@ -320,9 +343,42 @@ def _evaluate_level(
 
         return task
 
-    tasks = [make_task(chunk) for chunk in shard(per_cluster_members, pool.workers)]
-    values: Dict[Element, int] = {}
-    for part, worker_stats in pool.run_tasks(tasks, budget):
+    chunks = shard(per_cluster_members, max(pool.workers, 1))
+    tasks = [make_task(chunk) for chunk in chunks]
+    if on_shard_failure == "salvage":
+        outcomes = pool.run_tasks(tasks, budget, retry=retry, on_failure="salvage")
+        values: Dict[Element, int] = {}
+        failures: List[ShardFailure] = []
+        expected = sum(len(members) for _, members in per_cluster_members)
+        for outcome in outcomes:
+            if outcome.error is None:
+                part, worker_stats = outcome.value
+                values.update(part)
+                stats.merge(worker_stats)
+            else:
+                failures.append(
+                    ShardFailure(
+                        shard=outcome.index,
+                        items=tuple(
+                            index for index, _ in chunks[outcome.index]
+                        ),
+                        error_type=type(outcome.error).__name__,
+                        error=str(outcome.error),
+                        attempts=outcome.attempts,
+                    )
+                )
+        if not failures:
+            return values
+        return PartialResult(
+            operation="evaluate_unary_main_algorithm",
+            value=values,
+            failures=failures,
+            expected=expected,
+            covered=len(values),
+        )
+    shard_stats = []
+    values = {}
+    for part, worker_stats in pool.run_tasks(tasks, budget, retry=retry):
         values.update(part)
         shard_stats.append(worker_stats)
     for worker_stats in shard_stats:

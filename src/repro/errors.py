@@ -8,8 +8,32 @@ down the precise failure mode.
 from __future__ import annotations
 
 
+def _rebuild_error(cls: type, args: tuple, state: dict) -> "ReproError":
+    """Reconstruct a pickled :class:`ReproError` without calling ``__init__``.
+
+    Several subclasses take keyword-only or multi-positional constructor
+    arguments (:class:`BudgetExceededError`, :class:`FaultInjectedError`)
+    while storing only the formatted message in ``args``; the default
+    ``Exception`` reduction would call ``cls(*args)`` and crash or lose the
+    structured attributes when an error crosses a process boundary.
+    """
+    error = cls.__new__(cls)
+    error.args = args
+    if state:
+        error.__dict__.update(state)
+    return error
+
+
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    All subclasses pickle faithfully — type, message *and* structured
+    attributes survive a process boundary — so the process worker backend
+    can re-raise the original error instead of a lossy generic wrapper.
+    """
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
 
 
 class SignatureError(ReproError):

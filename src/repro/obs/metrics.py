@@ -15,6 +15,19 @@ min / max (enough for mean cluster sizes and span statistics without
 keeping every sample).  Derived ratios — most importantly the memo hit
 rate — are computed at snapshot time by :func:`hit_rate`.
 
+Fault-tolerance counters (PR 5) follow a ``layer.mechanism.event``
+naming convention:
+
+* ``parallel.retry.attempt`` — a failed shard was re-run;
+* ``parallel.retry.recovered`` — a shard succeeded after >= 1 retry;
+* ``parallel.retry.exhausted`` — a shard failed permanently (its final
+  error is either re-raised or salvaged);
+* ``robust.breaker.trip`` — a cascade stage's circuit just opened;
+* ``robust.breaker.skipped`` — a stage was skipped because its circuit
+  was open (also counted per stage as ``robust.stage.<name>.skipped``);
+* ``robust.salvage.partial`` — a cascade stage answered with a
+  :class:`~repro.robust.partial.PartialResult`.
+
 Usage::
 
     from repro.obs import collect_metrics

@@ -12,6 +12,7 @@ from .pool import (
     BACKENDS,
     WORKERS_ENV_VAR,
     ParallelError,
+    ShardOutcome,
     WorkerPool,
     resolve_workers,
     shard,
@@ -21,6 +22,7 @@ __all__ = [
     "BACKENDS",
     "WORKERS_ENV_VAR",
     "ParallelError",
+    "ShardOutcome",
     "WorkerPool",
     "resolve_workers",
     "shard",

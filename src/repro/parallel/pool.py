@@ -54,25 +54,53 @@ thread-local override) and the deltas are merged into the parent registry
 in task order on join — counters are additive, so totals match the serial
 run exactly; workers never contend on the parent registry's lock from
 inside hot loops.
+
+Fault tolerance
+---------------
+``run_tasks`` and ``map_outcomes`` accept a
+:class:`~repro.robust.retry.RetryPolicy`: a failed shard is re-run — only
+that shard — up to the policy's bounded attempt count, with deterministic
+seeded backoff.  Each retry attempt gets a **fresh** budget slice of the
+original share (a slice a failed attempt exhausted would doom the retry),
+and every attempt's spent steps — failed or not — are accumulated and
+charged back to the parent exactly once on join, so retrying never
+double-counts.  With ``on_failure="salvage"`` permanent shard failures no
+longer raise: the call returns one :class:`ShardOutcome` per shard, and
+the caller merges the completed shards into a
+:class:`~repro.robust.partial.PartialResult`.
+
+The pool is also a chaos surface: when a pool actually fans out, each
+shard attempt passes three parent-side fault checkpoints —
+``worker.task`` at submission, ``worker.join`` when the shard's outcome
+is collected, and ``shard.result`` when its result is accepted into the
+merge.  Checking in the parent (in deterministic shard order) keeps hit
+numbering identical across the thread and process backends; an injected
+fault counts as that attempt's failure and is retried like any other
+transient error.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
-from ..errors import ReproError
+from ..errors import FaultInjectedError, ReproError
 from ..obs.metrics import (
     MetricsRegistry,
     active_metrics,
     set_thread_metrics,
 )
 from ..robust.budget import EvaluationBudget
+from ..robust.faults import fault_check
+from ..robust.partial import validate_failure_mode
+from ..robust.retry import RetryPolicy
 
 __all__ = [
     "BACKENDS",
     "ParallelError",
+    "ShardOutcome",
     "WORKERS_ENV_VAR",
     "WorkerPool",
     "resolve_workers",
@@ -91,6 +119,28 @@ R = TypeVar("R")
 
 class ParallelError(ReproError):
     """A worker pool was misconfigured or a backend cannot run the task."""
+
+
+@dataclass
+class ShardOutcome:
+    """The final fate of one shard after all its attempts.
+
+    ``error is None`` means the shard completed (possibly after retries)
+    and ``value`` holds its result; otherwise ``error`` is the *final*
+    attempt's exception and ``value`` is ``None``.  ``steps`` accumulates
+    the budget steps of every attempt, failed ones included — the work
+    happened and is charged to the parent either way.
+    """
+
+    index: int
+    value: Any = None
+    error: "Optional[BaseException]" = None
+    attempts: int = 1
+    steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def resolve_workers(
@@ -184,79 +234,250 @@ class WorkerPool:
             # wins so errors are as deterministic as results.
             return [future.result() for future in futures]
 
+    # -- the retrying attempt driver -------------------------------------------
+
+    def _drive(
+        self,
+        attempt: Callable[[int], Any],
+        count: int,
+        retry: "Optional[RetryPolicy]",
+        submit: "Optional[Callable[[int], Any]]",
+        check_faults: bool,
+    ) -> List[ShardOutcome]:
+        """Run ``attempt(index)`` for every shard with retries and fault checks.
+
+        When ``submit`` is given it schedules one shard on an executor and
+        returns the future; first attempts are all submitted up front and
+        collected in index order, while retries are driven one at a time
+        from the collection loop — still through ``submit``, so a process
+        shard's retry keeps its isolation (the caller's ``submit`` ships
+        the module-level function, never a closure).  All fault
+        checkpoints run on the calling thread, in index order, which is
+        what makes their hit numbering deterministic and
+        backend-independent.
+        """
+        registry = active_metrics()
+
+        def checked(site: str) -> None:
+            if check_faults:
+                fault_check(site)
+
+        futures: List[Optional[object]] = [None] * count
+        pre_error: List[Optional[BaseException]] = [None] * count
+        if submit is not None:
+            for index in range(count):
+                try:
+                    checked("worker.task")
+                except FaultInjectedError as error:
+                    pre_error[index] = error
+                    continue
+                futures[index] = submit(index)
+
+        def run_attempt(index: int) -> Any:
+            if submit is not None:
+                return submit(index).result()
+            return attempt(index)
+
+        outcomes: List[ShardOutcome] = []
+        for index in range(count):
+            attempts = 1
+            value: Any = None
+            error: "Optional[BaseException]" = None
+            if submit is not None:
+                error = pre_error[index]
+                future = futures[index]
+                if future is not None:
+                    try:
+                        value = future.result()
+                    except BaseException as raised:  # noqa: BLE001 — kept per shard
+                        error = raised
+                if error is None:
+                    try:
+                        checked("worker.join")
+                        checked("shard.result")
+                    except FaultInjectedError as raised:
+                        error = raised
+                        value = None
+            else:
+                try:
+                    checked("worker.task")
+                    value = attempt(index)
+                    checked("worker.join")
+                    checked("shard.result")
+                except BaseException as raised:  # noqa: BLE001 — kept per shard
+                    error = raised
+                    value = None
+
+            lost_steps = 0
+            while (
+                error is not None
+                and retry is not None
+                and retry.should_retry(error, attempts)
+            ):
+                # Failed remote attempts carry their spent steps on the
+                # exception (see repro.parallel.tasks); keep charging them.
+                lost_steps += getattr(error, "remote_steps", 0)
+                if registry is not None:
+                    registry.inc("parallel.retry.attempt")
+                retry.pause(index, attempts)
+                attempts += 1
+                error = None
+                try:
+                    checked("worker.task")
+                    value = run_attempt(index)
+                    checked("worker.join")
+                    checked("shard.result")
+                except BaseException as raised:  # noqa: BLE001 — kept per shard
+                    error = raised
+                    value = None
+
+            if error is not None:
+                lost_steps += getattr(error, "remote_steps", 0)
+                if not isinstance(error, Exception):
+                    raise error  # KeyboardInterrupt &c. are never shard-scoped
+                if registry is not None:
+                    registry.inc("parallel.retry.exhausted")
+            elif attempts > 1 and registry is not None:
+                registry.inc("parallel.retry.recovered")
+            outcomes.append(
+                ShardOutcome(
+                    index=index,
+                    value=value,
+                    error=error,
+                    attempts=attempts,
+                    steps=lost_steps,
+                )
+            )
+        return outcomes
+
+    @staticmethod
+    def _finalize(
+        outcomes: List[ShardOutcome], on_failure: str
+    ) -> "List[ShardOutcome] | List[Any]":
+        if on_failure == "salvage":
+            return outcomes
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
+
     # -- the instrumented fan-out used by the engines --------------------------
 
     def run_tasks(
         self,
         tasks: Sequence[Callable[["Optional[EvaluationBudget]"], R]],
         budget: "Optional[EvaluationBudget]" = None,
-    ) -> List[R]:
+        retry: "Optional[RetryPolicy]" = None,
+        on_failure: str = "raise",
+    ) -> "List[R] | List[ShardOutcome]":
         """Run budget-aware thunks with slicing, charge-back and metrics merge.
 
         Each task is a callable taking its own
         :class:`~repro.robust.budget.EvaluationBudget` slice (or ``None``
         when the caller runs unbudgeted).  See the module docstring for
-        the budget, metrics and determinism contracts.  Thunks close over
-        live engine state, so this entry point is for the serial and
-        thread backends; process-backed integrations go through
-        :meth:`map` with module-level payload functions.
+        the budget, metrics, determinism and fault-tolerance contracts.
+        Thunks close over live engine state, so this entry point is for
+        the serial and thread backends; process-backed integrations go
+        through :meth:`map_outcomes` with module-level payload functions.
+
+        With ``retry`` set, a failed shard re-runs (alone) under a fresh
+        slice of its original share per attempt.  ``on_failure="raise"``
+        (default) re-raises the lowest-indexed permanent failure and
+        returns plain results; ``"salvage"`` returns one
+        :class:`ShardOutcome` per shard and never raises for shard
+        failures (parent budget exhaustion still raises).
         """
+        validate_failure_mode(on_failure)
         tasks = list(tasks)
         if not tasks:
             return []
         workers = min(self.workers, len(tasks))
-        if workers <= 1 or self.backend == "serial":
+        serial = workers <= 1 or self.backend == "serial"
+        if serial and retry is None and on_failure == "raise":
             # The serial path is the pre-parallel code path: the parent
             # budget is consumed directly (no slicing) and metrics go
             # straight to the active registry.
             return [task(budget) for task in tasks]
-        if self.backend == "process":
+        if self.backend == "process" and not serial:
             raise ParallelError(
                 "run_tasks thunks close over live engine state and cannot "
-                "cross a process boundary; use WorkerPool.map with a "
-                "module-level payload function instead"
+                "cross a process boundary; use WorkerPool.map_outcomes with "
+                "a module-level payload function instead"
             )
 
-        slices = (
-            budget.split(len(tasks))
-            if budget is not None
-            else [None] * len(tasks)
-        )
+        if serial:
+            # Same inline semantics, plus the retry loop / salvage
+            # bookkeeping: the parent budget is consumed directly, so
+            # there is nothing to slice or charge back, and the worker
+            # fault sites stay silent (no pool actually fans out).
+            outcomes = self._drive(
+                lambda index: tasks[index](budget),
+                len(tasks),
+                retry,
+                submit=None,
+                check_faults=False,
+            )
+            return self._finalize(outcomes, on_failure)
+
+        count = len(tasks)
+        slices = budget.split(count) if budget is not None else [None] * count
+        shares = [s.max_steps if s is not None else None for s in slices]
+        spent = [0] * count
+        started = [False] * count
+        current: List[Optional[EvaluationBudget]] = list(slices)
         parent_registry = active_metrics()
         workspaces: List[Optional[MetricsRegistry]] = [
             MetricsRegistry() if parent_registry is not None else None
             for _ in tasks
         ]
 
-        def run_one(index: int) -> R:
-            task_budget = slices[index]
+        def attempt(index: int) -> R:
+            if started[index]:
+                # A retry: the previous slice may be exhausted or
+                # deadline-stale, so rebuild one with the original step
+                # share under the parent's (authoritative) deadline.
+                current[index] = (
+                    None
+                    if budget is None
+                    else EvaluationBudget(
+                        deadline=budget.remaining_seconds(),
+                        max_steps=shares[index],
+                        check_interval=budget._check_interval,
+                        _deadline_at=budget._deadline_at,
+                    )
+                )
+            started[index] = True
+            task_budget = current[index]
             workspace = workspaces[index]
-            if workspace is None:
-                return tasks[index](task_budget)
-            previous = set_thread_metrics(workspace)
-            if task_budget is not None:
-                # The slice captured the parent thread's registry at
-                # construction; rebind so its ticks land in the worker's
-                # private registry instead of contending on the parent's.
-                task_budget._metrics = workspace
             try:
-                return tasks[index](task_budget)
+                if workspace is None:
+                    return tasks[index](task_budget)
+                previous = set_thread_metrics(workspace)
+                if task_budget is not None:
+                    # The slice captured the parent thread's registry at
+                    # construction; rebind so its ticks land in the
+                    # worker's private registry instead of contending on
+                    # the parent's.
+                    task_budget._metrics = workspace
+                try:
+                    return tasks[index](task_budget)
+                finally:
+                    set_thread_metrics(previous)
             finally:
-                set_thread_metrics(previous)
+                # Every attempt's work — failed or not — is accounted.
+                if task_budget is not None:
+                    spent[index] += task_budget.steps
 
         with ThreadPoolExecutor(max_workers=workers) as executor:
-            futures = [
-                executor.submit(run_one, index) for index in range(len(tasks))
-            ]
-            results: List[R] = []
-            first_error: "Optional[BaseException]" = None
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except BaseException as error:  # noqa: BLE001 — re-raised below
-                    if first_error is None:
-                        first_error = error
-                    results.append(None)  # type: ignore[arg-type]
+            outcomes = self._drive(
+                attempt,
+                count,
+                retry,
+                submit=lambda index: executor.submit(attempt, index),
+                check_faults=True,
+            )
+        for outcome in outcomes:
+            outcome.steps = spent[outcome.index]
 
         # Deterministic joins: metrics deltas and step charge-back fold in
         # task-index order whether or not a task failed (a failed shard's
@@ -265,17 +486,74 @@ class WorkerPool:
             for workspace in workspaces:
                 if workspace is not None:
                     parent_registry.merge(workspace)
+        first_error = next(
+            (o.error for o in outcomes if o.error is not None), None
+        )
         if budget is not None:
-            spent = sum(s.steps for s in slices if s is not None)
-            if spent:
+            total = sum(spent)
+            if total:
                 try:
-                    budget.charge(spent, site="parallel.join")
+                    budget.charge(total, site="parallel.join")
                 except Exception:
                     # Charging may itself trip the parent's step limit; a
                     # worker failure (e.g. the slice that exhausted first)
-                    # is the more precise signal, so prefer re-raising it.
-                    if first_error is None:
+                    # is the more precise signal, so prefer re-raising it
+                    # in fail-fast mode.  Salvage callers asked to keep
+                    # shard failures, but a dry *parent* still raises.
+                    if first_error is None or on_failure == "salvage":
                         raise
-        if first_error is not None:
-            raise first_error
-        return results
+        return self._finalize(outcomes, on_failure)
+
+    # -- the process-capable fan-out over picklable payloads -------------------
+
+    def map_outcomes(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        retry: "Optional[RetryPolicy]" = None,
+        on_failure: str = "raise",
+    ) -> "List[R] | List[ShardOutcome]":
+        """:meth:`map` with per-item retries, fault checkpoints and salvage.
+
+        The retrying/salvage counterpart of :meth:`map`, usable on every
+        backend (the process backend requires ``fn`` and the items to be
+        picklable, as for :meth:`map`).  Budget slicing stays with the
+        caller — payload builders bake each item's slice into the payload
+        (see :mod:`repro.parallel.tasks`) — so a failed item's retry
+        re-runs with the slice its payload carries.
+        """
+        validate_failure_mode(on_failure)
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.workers, len(items))
+
+        def attempt(index: int) -> R:
+            return fn(items[index])
+
+        if workers <= 1 or self.backend == "serial":
+            outcomes = self._drive(
+                attempt, len(items), retry, submit=None, check_faults=False
+            )
+        elif self.backend == "process":
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                # Ship the module-level ``fn`` and the item — never the
+                # ``attempt`` closure, which cannot cross a process
+                # boundary.
+                outcomes = self._drive(
+                    attempt,
+                    len(items),
+                    retry,
+                    submit=lambda index: executor.submit(fn, items[index]),
+                    check_faults=True,
+                )
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                outcomes = self._drive(
+                    attempt,
+                    len(items),
+                    retry,
+                    submit=lambda index: executor.submit(fn, items[index]),
+                    check_faults=True,
+                )
+        return self._finalize(outcomes, on_failure)

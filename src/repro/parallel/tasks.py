@@ -15,15 +15,26 @@ Budget caveat: an absolute monotonic deadline does not serialise
 meaningfully, so child budgets restart the clock from the slice's
 *remaining seconds* at payload-build time.  The parent deadline stays
 authoritative up to the (small) pickling latency.
+
+Error fidelity: a failing child re-raises the **original** exception in
+the parent — :class:`~repro.errors.ReproError` subclasses pickle
+faithfully (type, message and structured attributes) — annotated with the
+child's formatted traceback (``error.remote_traceback``) and the steps it
+spent before dying (``error.remote_steps``, which the retry driver keeps
+charging to the parent).  Only a genuinely unpicklable exception is
+wrapped in a :class:`~repro.parallel.ParallelError` carrying the same
+annotations.
 """
 
 from __future__ import annotations
 
 import pickle
+import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import MetricsRegistry, active_metrics, set_thread_metrics
 from ..robust.budget import EvaluationBudget
+from ..robust.retry import RetryPolicy
 from .pool import ParallelError, WorkerPool
 
 __all__ = ["run_per_cluster_shards", "run_count_many_shards"]
@@ -52,10 +63,29 @@ def _ensure_picklable(obj: object, what: str) -> object:
     return obj
 
 
+def _remote_failure(
+    error: BaseException, budget: "Optional[EvaluationBudget]"
+) -> BaseException:
+    """Annotate (and if necessary wrap) a child failure for the parent."""
+    formatted = traceback.format_exc()
+    steps = budget.steps if budget is not None else 0
+    try:
+        pickle.loads(pickle.dumps(error))
+    except Exception:
+        error = ParallelError(
+            f"process worker failed with unpicklable "
+            f"{type(error).__name__}: {error}"
+        )
+    error.remote_traceback = formatted
+    error.remote_steps = steps
+    return error
+
+
 def _run_in_child(fn, budget_params: _BudgetParams, want_metrics: bool):
     """Child-side harness: install instruments, run, return with accounting."""
     registry = MetricsRegistry() if want_metrics else None
     previous = set_thread_metrics(registry) if want_metrics else None
+    budget: "Optional[EvaluationBudget]" = None
     try:
         # Built after the registry is installed so the budget's captured
         # metrics hook points at the child registry.
@@ -68,6 +98,8 @@ def _run_in_child(fn, budget_params: _BudgetParams, want_metrics: bool):
         )
         result = fn(budget)
         steps = budget.steps if budget is not None else 0
+    except BaseException as error:  # noqa: BLE001 — re-raised, annotated
+        raise _remote_failure(error, budget) from None
     finally:
         if want_metrics:
             set_thread_metrics(previous)
@@ -80,20 +112,46 @@ def _join_shards(
     task,
     payloads: List[tuple],
     budget: "Optional[EvaluationBudget]",
+    retry: "Optional[RetryPolicy]" = None,
+    salvage: bool = False,
 ) -> list:
-    """Run payloads on the pool and fold accounting back in shard order."""
+    """Run payloads on the pool and fold accounting back in shard order.
+
+    Returns plain results (raising the lowest-indexed permanent failure)
+    by default; with ``salvage`` returns the
+    :class:`~repro.parallel.ShardOutcome` list with each completed
+    outcome's ``value`` unwrapped to the shard's result.
+    """
     registry = active_metrics()
-    outcomes = pool.map(task, payloads)
-    results = []
+    outcomes = pool.map_outcomes(
+        task, payloads, retry=retry, on_failure="salvage"
+    )
     spent = 0
-    for result, steps, snapshot in outcomes:
-        results.append(result)
-        spent += steps
-        if registry is not None and snapshot is not None:
-            registry.merge_snapshot(snapshot)
+    for outcome in outcomes:
+        spent += outcome.steps  # steps lost to failed remote attempts
+        if outcome.error is None:
+            result, steps, snapshot = outcome.value
+            outcome.value = result
+            outcome.steps += steps
+            spent += steps
+            if registry is not None and snapshot is not None:
+                registry.merge_snapshot(snapshot)
+    first_error = next(
+        (o.error for o in outcomes if o.error is not None), None
+    )
     if budget is not None and spent:
-        budget.charge(spent, site="parallel.join")
-    return results
+        try:
+            budget.charge(spent, site="parallel.join")
+        except Exception:
+            # A dry parent always surfaces in salvage mode; in fail-fast
+            # mode the shard's own failure is the more precise signal.
+            if first_error is None or salvage:
+                raise
+    if salvage:
+        return outcomes
+    if first_error is not None:
+        raise first_error
+    return [outcome.value for outcome in outcomes]
 
 
 # ---------------------------------------------------------------------------
@@ -123,8 +181,15 @@ def run_per_cluster_shards(
     shards: Sequence[Sequence[int]],
     predicates,
     budget: "Optional[EvaluationBudget]",
-) -> Dict:
-    """Process-backend fan-out for :func:`~repro.core.cover_eval.evaluate_per_cluster`."""
+    retry: "Optional[RetryPolicy]" = None,
+    salvage: bool = False,
+):
+    """Process-backend fan-out for :func:`~repro.core.cover_eval.evaluate_per_cluster`.
+
+    Returns the merged per-element dict; with ``salvage`` returns the raw
+    shard outcome list (values are the shard dicts) for the caller to
+    merge into a :class:`~repro.robust.partial.PartialResult`.
+    """
     _ensure_picklable(predicates, "the predicate collection")
     want_metrics = active_metrics() is not None
     slices = (
@@ -143,8 +208,13 @@ def run_per_cluster_shards(
         )
         for i, chunk in enumerate(shards)
     ]
+    joined = _join_shards(
+        pool, _per_cluster_task, payloads, budget, retry=retry, salvage=salvage
+    )
+    if salvage:
+        return joined
     values: Dict = {}
-    for part in _join_shards(pool, _per_cluster_task, payloads, budget):
+    for part in joined:
         values.update(part)
     return values
 
@@ -173,7 +243,9 @@ def run_count_many_shards(
     plans: Sequence,
     structures: Sequence,
     budget: "Optional[EvaluationBudget]",
-) -> List[int]:
+    retry: "Optional[RetryPolicy]" = None,
+    salvage: bool = False,
+):
     """Process-backend fan-out for ``Evaluator.count_many``.
 
     One payload per input structure; ``plans[i]`` is the compiled plan for
@@ -181,6 +253,8 @@ def run_count_many_shards(
     side, so pickling ships each distinct plan once per worker at worst).
     Child workers evaluate with the standard predicate collection —
     custom collections are closures and stay a thread-backend feature.
+    With ``salvage`` the raw shard outcome list comes back (one outcome
+    per input structure) instead of the plain count list.
     """
     want_metrics = active_metrics() is not None
     slices = (
@@ -192,4 +266,6 @@ def run_count_many_shards(
         (plans[i], structures[i], _slice_params(slices[i]), want_metrics)
         for i in range(len(structures))
     ]
-    return _join_shards(pool, _count_many_task, payloads, budget)
+    return _join_shards(
+        pool, _count_many_task, payloads, budget, retry=retry, salvage=salvage
+    )

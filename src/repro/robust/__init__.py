@@ -1,39 +1,55 @@
 """Resource governance and graceful degradation (the robustness layer).
 
-Three pieces:
+The pieces:
 
 * :mod:`repro.robust.budget` — :class:`EvaluationBudget`, a wall-clock +
   step budget checked cooperatively inside every engine's hot loops;
 * :mod:`repro.robust.faults` — deterministic, site-named fault injection
   used by the tests to prove the cascade degrades gracefully;
+* :mod:`repro.robust.retry` — :class:`RetryPolicy`, bounded per-shard
+  retries with deterministic backoff, applied by the worker pool;
+* :mod:`repro.robust.breaker` — :class:`CircuitBreaker`, which stops the
+  cascade paying for a persistently failing stage;
+* :mod:`repro.robust.partial` — :class:`PartialResult`, the structured
+  salvaged answer (completed shards + coverage fraction);
 * :mod:`repro.robust.guard` — :class:`RobustEvaluator`, a façade running
   the fallback cascade *main algorithm → FOC1 engine → brute force* with
   per-stage budget slices and a structured :class:`RobustReport`.
 
-``budget`` and ``faults`` are leaf modules (they depend only on
-:mod:`repro.errors`) so the instrumented production modules can import
-them freely.  ``guard`` sits on top of the whole engine stack and is
-loaded lazily (PEP 562) to keep this package importable from inside those
-low-level modules without an import cycle.
+``budget``, ``faults``, ``retry``, ``breaker`` and ``partial`` are leaf
+modules (they depend only on :mod:`repro.errors`) so the instrumented
+production modules can import them freely.  ``guard`` sits on top of the
+whole engine stack and is loaded lazily (PEP 562) to keep this package
+importable from inside those low-level modules without an import cycle.
 """
 
 from __future__ import annotations
 
+from .breaker import BreakerOpenError, CircuitBreaker
 from .budget import EvaluationBudget
 from .faults import (
     FAULT_SITES,
+    PARALLEL_FAULT_SITES,
     FaultInjector,
     active_injector,
     fault_check,
     inject_faults,
 )
+from .partial import PartialResult, ShardFailure
+from .retry import RetryPolicy
 
 __all__ = [
+    "BreakerOpenError",
+    "CircuitBreaker",
     "EvaluationBudget",
     "FAULT_SITES",
     "FaultInjector",
+    "PARALLEL_FAULT_SITES",
+    "PartialResult",
+    "RetryPolicy",
     "RobustEvaluator",
     "RobustReport",
+    "ShardFailure",
     "StageReport",
     "active_injector",
     "fault_check",

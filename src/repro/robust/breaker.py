@@ -1,0 +1,172 @@
+"""Circuit breakers for the fallback cascade.
+
+:class:`~repro.robust.guard.RobustEvaluator` gives every cascade stage a
+slice of the shared :class:`~repro.robust.budget.EvaluationBudget` on
+every call.  When a stage is *persistently* broken — a defect in the main
+algorithm, an engine that keeps exhausting its slice on this workload —
+paying that slice on every request just to watch the stage fail again is
+exactly the cost a heavily-loaded service cannot afford.
+
+:class:`CircuitBreaker` is the standard remedy: after ``threshold``
+**consecutive** failures of a key (here: a cascade stage name), the
+breaker *opens* and :meth:`allow` answers ``False``, so the cascade
+routes straight to the next stage without spending the failed stage's
+budget slice.  A success at any point closes the circuit and resets the
+count.  With a ``cooldown``, an open circuit turns *half-open* after that
+many seconds: exactly one probe call is let through — success closes the
+circuit, failure re-opens it for another cooldown.  Without a cooldown
+(the default) an open circuit stays open for the breaker's lifetime,
+which for the cascade means "this evaluator session" — construct a fresh
+evaluator (or call :meth:`reset`) to re-arm.
+
+All methods are thread-safe; breakers are cheap enough to attach one per
+evaluator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["BreakerOpenError", "CircuitBreaker"]
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.guard` when the circuit is open.
+
+    The cascade does not use this (it checks :meth:`allow` and records a
+    skip); it exists for callers that prefer exception control flow.
+    """
+
+
+class _KeyState:
+    __slots__ = ("consecutive_failures", "opened_at", "probing")
+
+    def __init__(self):
+        self.consecutive_failures = 0
+        self.opened_at: "Optional[float]" = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker (closed → open → half-open).
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures of a key that trip its circuit (>= 1).
+    cooldown:
+        Seconds an open circuit waits before allowing one half-open probe,
+        or ``None`` (default) to stay open until :meth:`reset` / a new
+        breaker.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: "Optional[float]" = None):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown is not None and cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._states: Dict[str, _KeyState] = {}
+        self._lock = threading.Lock()
+
+    # -- queries ---------------------------------------------------------------
+
+    def state(self, key: str) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` for ``key``."""
+        with self._lock:
+            entry = self._states.get(key)
+            if entry is None or entry.opened_at is None:
+                return "closed"
+            if self._cooled_down(entry):
+                return "half_open"
+            return "open"
+
+    def is_open(self, key: str) -> bool:
+        return self.state(key) == "open"
+
+    def failures(self, key: str) -> int:
+        """Current consecutive-failure count for ``key``."""
+        with self._lock:
+            entry = self._states.get(key)
+            return entry.consecutive_failures if entry is not None else 0
+
+    # -- the gate --------------------------------------------------------------
+
+    def allow(self, key: str) -> bool:
+        """Whether a call keyed ``key`` may proceed right now.
+
+        Closed: always.  Open: no.  Half-open (cooldown elapsed): yes for
+        exactly one concurrent probe; further callers are refused until
+        the probe reports its outcome.
+        """
+        with self._lock:
+            entry = self._states.get(key)
+            if entry is None or entry.opened_at is None:
+                return True
+            if self._cooled_down(entry) and not entry.probing:
+                entry.probing = True
+                return True
+            return False
+
+    def guard(self, key: str) -> None:
+        """:meth:`allow` as an exception: raises :class:`BreakerOpenError`."""
+        if not self.allow(key):
+            raise BreakerOpenError(
+                f"circuit for {key!r} is open "
+                f"({self.failures(key)} consecutive failures)"
+            )
+
+    # -- outcome reporting -----------------------------------------------------
+
+    def record_success(self, key: str) -> None:
+        """A call keyed ``key`` succeeded: close the circuit, reset counts."""
+        with self._lock:
+            self._states.pop(key, None)
+
+    def record_failure(self, key: str) -> bool:
+        """A call keyed ``key`` failed; returns ``True`` iff this failure
+        just tripped the circuit open (callers use that to count trips)."""
+        with self._lock:
+            entry = self._states.setdefault(key, _KeyState())
+            entry.consecutive_failures += 1
+            entry.probing = False
+            if entry.opened_at is not None:
+                # A failed half-open probe re-opens for a fresh cooldown.
+                entry.opened_at = time.monotonic()
+                return False
+            if entry.consecutive_failures >= self.threshold:
+                entry.opened_at = time.monotonic()
+                return True
+            return False
+
+    def reset(self, key: "Optional[str]" = None) -> None:
+        """Close the circuit for ``key`` (or every key with ``None``)."""
+        with self._lock:
+            if key is None:
+                self._states.clear()
+            else:
+                self._states.pop(key, None)
+
+    # -- internals -------------------------------------------------------------
+
+    def _cooled_down(self, entry: _KeyState) -> bool:
+        return (
+            self.cooldown is not None
+            and entry.opened_at is not None
+            and time.monotonic() - entry.opened_at >= self.cooldown
+        )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            open_keys = sorted(
+                key
+                for key, entry in self._states.items()
+                if entry.opened_at is not None
+            )
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"cooldown={self.cooldown}, open={open_keys})"
+        )

@@ -18,12 +18,25 @@ where the real algorithms can go wrong.  This module provides that:
 Armed faults raise :class:`~repro.errors.FaultInjectedError`; they fire
 *once* per (site, hit) so a fallback stage that retries the same machinery
 is not re-broken — which is exactly how the cascade tests prove graceful
-degradation rather than permanent corruption.
+degradation rather than permanent corruption, and how per-shard retries
+prove recovery: a retried shard registers a *new* hit number, so the same
+armed fault cannot strike it twice.
+
+Concurrency and determinism
+---------------------------
+The parallel layer checks faults from worker threads, so all counter
+updates happen under a lock — hits are never lost to races.  Rate-mode
+draws are a pure function of ``(seed, site, hit)`` (seeded with a *string*,
+which hashes deterministically across processes): whether hit N of a site
+faults does not depend on thread interleaving or on draws at other sites,
+so the same seed produces the same fault schedule under ``workers=1``, the
+thread backend and the process backend alike.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Mapping, Optional
 
@@ -31,6 +44,7 @@ from ..errors import FaultInjectedError
 
 __all__ = [
     "FAULT_SITES",
+    "PARALLEL_FAULT_SITES",
     "FaultInjector",
     "fault_check",
     "inject_faults",
@@ -45,7 +59,18 @@ FAULT_SITES = (
     "removal.surgery",
     "memo.insert",
     "predicate.oracle",
+    "worker.task",
+    "worker.join",
+    "shard.result",
 )
+
+#: The parallel-layer sites, checked by :class:`~repro.parallel.WorkerPool`
+#: once per shard *in the parent* — at submission (``worker.task``), when a
+#: shard's outcome is collected (``worker.join``) and when its result is
+#: accepted into the merge (``shard.result``).  Parent-side checking keeps
+#: hit numbering deterministic and identical across thread and process
+#: backends (process children would otherwise each start a fresh counter).
+PARALLEL_FAULT_SITES = ("worker.task", "worker.join", "shard.result")
 
 
 class FaultInjector:
@@ -59,10 +84,14 @@ class FaultInjector:
     rate:
         Additional probability of firing at *any* armed-by-rate check.
         ``rate_sites`` restricts which sites participate (default: all
-        registered sites).  Draws come from ``random.Random(seed)``, so a
-        fixed seed gives a fixed fault schedule.
+        registered sites).  Each draw is seeded by ``(seed, site, hit)``,
+        so a fixed seed gives a fixed fault schedule independent of thread
+        interleaving and of draws at other sites.
     limit:
         Maximum number of rate-based faults to fire (``None`` = unlimited).
+
+    All counter updates are lock-protected: injectors are safe to share
+    across the worker threads of a :class:`~repro.parallel.WorkerPool`.
     """
 
     def __init__(
@@ -92,32 +121,38 @@ class FaultInjector:
                 raise ValueError(f"unknown fault site {site!r}")
         self.limit = limit
         self.seed = seed
-        self._rng = random.Random(seed)
         self.hits: Dict[str, int] = {site: 0 for site in FAULT_SITES}
         self.fired: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self._lock = threading.Lock()
 
     def check(self, site: str) -> None:
         """Register one hit of ``site``; raise if a fault is armed for it."""
-        count = self.hits.get(site)
-        if count is None:
-            raise ValueError(f"fault_check called with unregistered site {site!r}")
-        count += 1
-        self.hits[site] = count
-        armed = self.sites.get(site)
-        if armed is not None and count == armed:
-            self.fired[site] += 1
-            raise FaultInjectedError(site, count)
-        if (
-            self.rate > 0.0
-            and site in self.rate_sites
-            and (self.limit is None or sum(self.fired.values()) < self.limit)
-            and self._rng.random() < self.rate
-        ):
-            self.fired[site] += 1
+        with self._lock:
+            count = self.hits.get(site)
+            if count is None:
+                raise ValueError(
+                    f"fault_check called with unregistered site {site!r}"
+                )
+            count += 1
+            self.hits[site] = count
+            fire = self.sites.get(site) == count
+            if (
+                not fire
+                and self.rate > 0.0
+                and site in self.rate_sites
+                and (self.limit is None or sum(self.fired.values()) < self.limit)
+                and random.Random(f"{self.seed}:{site}:{count}").random()
+                < self.rate
+            ):
+                fire = True
+            if fire:
+                self.fired[site] += 1
+        if fire:
             raise FaultInjectedError(site, count)
 
     def total_fired(self) -> int:
-        return sum(self.fired.values())
+        with self._lock:
+            return sum(self.fired.values())
 
     def __repr__(self) -> str:
         return (

@@ -49,7 +49,10 @@ from ..obs import active_metrics, span
 from ..parallel import resolve_workers
 from ..plan.cache import PlanCache
 from ..structures.structure import Element, Structure
+from .breaker import CircuitBreaker
 from .budget import EvaluationBudget
+from .partial import PartialResult, validate_failure_mode
+from .retry import RetryPolicy
 
 __all__ = ["RobustEvaluator", "RobustReport", "StageReport", "STAGES"]
 
@@ -75,6 +78,8 @@ class StageReport:
     def summary(self) -> str:
         if self.status == "ok":
             return f"{self.stage}: ok ({self.elapsed:.3f}s, {self.steps} steps)"
+        if self.status == "partial":
+            return f"{self.stage}: partial ({self.detail})"
         if self.status == "failed":
             return f"{self.stage}: failed [{self.error_type}] {self.error}"
         return f"{self.stage}: skipped ({self.detail})"
@@ -89,6 +94,9 @@ class RobustReport:
     stages: List[StageReport] = field(default_factory=list)
     elapsed: float = 0.0
     steps: int = 0
+    #: The salvaged :class:`~repro.robust.partial.PartialResult` when the
+    #: answering stage lost shards (``None`` for complete answers).
+    partial: "Optional[PartialResult]" = None
 
     def stage(self, name: str) -> StageReport:
         for entry in self.stages:
@@ -105,12 +113,17 @@ class RobustReport:
     def succeeded(self) -> bool:
         return self.answered_by is not None
 
+    def is_partial(self) -> bool:
+        return self.partial is not None
+
     def summary(self) -> str:
         head = (
             f"{self.operation}: answered by {self.answered_by}"
             if self.answered_by
             else f"{self.operation}: no stage answered"
         )
+        if self.partial is not None:
+            head += f" (partial, coverage {self.partial.coverage:.1%})"
         parts = "; ".join(s.summary() for s in self.stages)
         return f"{head} ({parts})"
 
@@ -158,6 +171,24 @@ class RobustEvaluator:
         ``REPRO_WORKERS`` (default 1).
     parallel_backend:
         ``"thread"`` (default) or ``"process"``; ignored at ``workers=1``.
+    retry:
+        Optional :class:`~repro.robust.retry.RetryPolicy` handed to every
+        parallel stage, so a transient shard failure re-runs only that
+        shard instead of failing the stage (and paying a whole fallback).
+    on_shard_failure:
+        ``"raise"`` (default) or ``"salvage"``, forwarded to the parallel
+        stages.  A salvaged stage *answers* with its
+        :class:`~repro.robust.partial.PartialResult` — recorded as status
+        ``"partial"`` in the report with the coverage fraction — instead
+        of falling through the cascade.
+    breaker:
+        The :class:`~repro.robust.breaker.CircuitBreaker` guarding the
+        cascade stages: after its ``threshold`` *consecutive* failures of
+        a stage (across this evaluator's calls), that stage is skipped —
+        without consuming a budget slice — until a success or
+        :meth:`CircuitBreaker.reset` closes the circuit.  Defaults to a
+        fresh ``CircuitBreaker(threshold=3)`` per evaluator; share one
+        instance across evaluators to pool their failure counts.
     """
 
     def __init__(
@@ -170,6 +201,9 @@ class RobustEvaluator:
         plan_cache: "Optional[PlanCache]" = None,
         workers: "Optional[int]" = None,
         parallel_backend: str = "thread",
+        retry: "Optional[RetryPolicy]" = None,
+        on_shard_failure: str = "raise",
+        breaker: "Optional[CircuitBreaker]" = None,
     ):
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
@@ -179,6 +213,9 @@ class RobustEvaluator:
         self.plan_cache = plan_cache
         self.workers = resolve_workers(workers)
         self.parallel_backend = parallel_backend
+        self.retry = retry
+        self.on_shard_failure = validate_failure_mode(on_shard_failure)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.last_report: "Optional[RobustReport]" = None
 
     # -- engine-API mirror -----------------------------------------------------
@@ -314,6 +351,8 @@ class RobustEvaluator:
                 budget=budget,
                 plan_cache=self.plan_cache,
                 workers=self.workers,
+                retry=self.retry,
+                on_shard_failure=self.on_shard_failure,
             )
 
         def foc1_stage(budget: "Optional[EvaluationBudget]") -> Dict[Element, int]:
@@ -349,6 +388,8 @@ class RobustEvaluator:
             plan_cache=self.plan_cache,
             workers=self.workers,
             parallel_backend=self.parallel_backend,
+            retry=self.retry,
+            on_shard_failure=self.on_shard_failure,
         )
 
     def _baseline(self, budget: "Optional[EvaluationBudget]") -> BruteForceEvaluator:
@@ -390,6 +431,26 @@ class RobustEvaluator:
                     )
                 )
                 continue
+            if not self.breaker.allow(name):
+                # Circuit open: route straight to the next stage without
+                # paying this stage's budget slice (runnable_left drops,
+                # so the remaining stages split the freed share).
+                runnable_left -= 1
+                if registry is not None:
+                    registry.inc(f"robust.stage.{name}.skipped")
+                    registry.inc("robust.breaker.skipped")
+                report.stages.append(
+                    StageReport(
+                        name,
+                        "skipped",
+                        detail=(
+                            "circuit open: "
+                            f"{self.breaker.failures(name)} consecutive "
+                            "failures"
+                        ),
+                    )
+                )
+                continue
 
             stage_budget = self._slice_for(runnable_left)
             runnable_left -= 1
@@ -404,9 +465,25 @@ class RobustEvaluator:
                 entry.error_type = type(error).__name__
                 entry.error = str(error)
                 last_error = error
+                if self.breaker.record_failure(name):
+                    if registry is not None:
+                        registry.inc("robust.breaker.trip")
             else:
-                entry.status = "ok"
+                if isinstance(answer, PartialResult):
+                    # A salvaged stage answers with what it kept; record
+                    # the degraded coverage rather than falling through.
+                    entry.status = "partial"
+                    entry.detail = (
+                        f"coverage {answer.coverage:.1%} "
+                        f"({answer.covered}/{answer.expected})"
+                    )
+                    report.partial = answer
+                    if registry is not None:
+                        registry.inc("robust.salvage.partial")
+                else:
+                    entry.status = "ok"
                 report.answered_by = name
+                self.breaker.record_success(name)
             entry.elapsed = time.monotonic() - stage_started
             if registry is not None:
                 entry.metrics = {

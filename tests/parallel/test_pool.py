@@ -1,21 +1,44 @@
 """The worker-pool abstraction: sharding, ordering, budget slicing,
-metrics merging, and error determinism (see docs/PARALLEL.md)."""
+metrics merging, error determinism, retries and salvage
+(see docs/PARALLEL.md)."""
 
 import threading
 
 import pytest
 
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, ReproError
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.parallel import (
     BACKENDS,
     WORKERS_ENV_VAR,
     ParallelError,
+    ShardOutcome,
     WorkerPool,
     resolve_workers,
     shard,
 )
 from repro.robust.budget import EvaluationBudget
+from repro.robust.retry import RetryPolicy
+
+
+def _no_sleep_policy(retries=2):
+    return RetryPolicy(retries=retries, base_delay=0.0)
+
+
+class _Flaky:
+    """A thread-safe callable failing its first ``failures`` calls per key."""
+
+    def __init__(self, failures, error=ReproError):
+        self.failures = dict(failures)
+        self.error = error
+        self.calls = {}
+        self._lock = threading.Lock()
+
+    def seen(self, key):
+        with self._lock:
+            self.calls[key] = self.calls.get(key, 0) + 1
+            if self.calls[key] <= self.failures.get(key, 0):
+                raise self.error(f"transient failure of {key}")
 
 
 class TestResolveWorkers:
@@ -182,6 +205,320 @@ class TestBudgetSplit:
 
         with pytest.raises(BudgetExceededError):
             WorkerPool(4).run_tasks([hungry] * 4, parent)
+
+
+class TestRetry:
+    def test_flaky_task_recovers(self):
+        flaky = _Flaky({1: 2})
+
+        def make(i):
+            def task(b):
+                flaky.seen(i)
+                return i * 10
+
+            return task
+
+        pool = WorkerPool(4)
+        results = pool.run_tasks(
+            [make(i) for i in range(4)], retry=_no_sleep_policy(retries=2)
+        )
+        assert results == [0, 10, 20, 30]
+        assert flaky.calls[1] == 3  # first attempt + two retries
+
+    def test_retry_exhausted_reraises_lowest_index(self):
+        pool = WorkerPool(4)
+
+        def doomed(b):
+            raise ReproError("permanent")
+
+        with pytest.raises(ReproError, match="permanent"):
+            pool.run_tasks(
+                [doomed, lambda b: 1], retry=_no_sleep_policy(retries=1)
+            )
+
+    def test_budget_exhaustion_is_not_retried(self):
+        attempts = []
+
+        def dry(b):
+            attempts.append(1)
+            raise BudgetExceededError("dry", reason="steps", site="t", steps=1)
+
+        with pytest.raises(BudgetExceededError):
+            WorkerPool(2).run_tasks(
+                [dry, lambda b: 1], retry=_no_sleep_policy(retries=5)
+            )
+        assert len(attempts) == 1
+
+    def test_serial_pool_supports_retry(self):
+        flaky = _Flaky({0: 1})
+
+        def task(b):
+            flaky.seen(0)
+            return "ok"
+
+        assert WorkerPool(1).run_tasks(
+            [task], retry=_no_sleep_policy()
+        ) == ["ok"]
+        assert flaky.calls[0] == 2
+
+    def test_retry_counters(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            flaky = _Flaky({0: 1, 2: 5})
+
+            def make(i):
+                def task(b):
+                    flaky.seen(i)
+                    return i
+
+                return task
+
+            outcomes = WorkerPool(4).run_tasks(
+                [make(i) for i in range(3)],
+                retry=_no_sleep_policy(retries=2),
+                on_failure="salvage",
+            )
+        finally:
+            set_metrics(previous)
+        assert [o.ok for o in outcomes] == [True, True, False]
+        # Shard 0: 1 retry then recovered; shard 2: 2 retries then exhausted.
+        assert registry.counter("parallel.retry.attempt") == 3
+        assert registry.counter("parallel.retry.recovered") == 1
+        assert registry.counter("parallel.retry.exhausted") == 1
+
+
+class TestRetryBudgetAccounting:
+    def test_failed_attempts_charge_back_exactly_once(self):
+        # 2 tasks split a 100-step parent into 50-step shares.  Task 0
+        # spends 30 steps and fails, then 20 steps and succeeds; task 1
+        # spends 10.  The parent must see 30 + 20 + 10 = 60 — every
+        # attempt's work charged, nothing double-counted.
+        parent = EvaluationBudget(max_steps=100)
+        flaky = _Flaky({0: 1})
+
+        def task0(b):
+            for _ in range(30 if flaky.calls.get(0, 0) == 0 else 20):
+                b.tick("work")
+            flaky.seen(0)
+            return "a"
+
+        def task1(b):
+            for _ in range(10):
+                b.tick("work")
+            return "b"
+
+        results = WorkerPool(2).run_tasks(
+            [task0, task1], parent, retry=_no_sleep_policy()
+        )
+        assert results == ["a", "b"]
+        assert parent.steps == 60
+
+    def test_retry_attempt_gets_a_fresh_slice(self):
+        # The share is 6 steps; the first attempt exhausts all 6 before
+        # failing, so only a *fresh* slice lets the retry's 4-step run
+        # succeed.  (A reused slice would raise BudgetExceededError,
+        # which never retries.)
+        parent = EvaluationBudget(max_steps=12)
+        flaky = _Flaky({0: 1})
+
+        def task0(b):
+            first = flaky.calls.get(0, 0) == 0
+            for _ in range(6 if first else 4):
+                b.tick("work")
+            flaky.seen(0)
+            return "recovered"
+
+        results = WorkerPool(2).run_tasks(
+            [task0, lambda b: "other"], parent, retry=_no_sleep_policy()
+        )
+        assert results == ["recovered", "other"]
+        assert parent.steps == 10  # 6 failed + 4 retried; task1 untracked
+
+    def test_salvage_still_charges_failed_shard_work(self):
+        parent = EvaluationBudget(max_steps=100)
+
+        def doomed(b):
+            for _ in range(5):
+                b.tick("work")
+            raise ReproError("down")
+
+        def fine(b):
+            for _ in range(7):
+                b.tick("work")
+            return 1
+
+        outcomes = WorkerPool(2).run_tasks(
+            [doomed, fine], parent, on_failure="salvage"
+        )
+        assert [o.ok for o in outcomes] == [False, True]
+        assert parent.steps == 12
+
+
+class TestSalvage:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="on_shard_failure"):
+            WorkerPool(2).run_tasks([lambda b: 1], on_failure="ignore")
+
+    def test_salvage_returns_outcomes_in_order(self):
+        def make(i):
+            def task(b):
+                if i == 1:
+                    raise ReproError("shard down")
+                return i * 10
+
+            return task
+
+        outcomes = WorkerPool(4).run_tasks(
+            [make(i) for i in range(4)], on_failure="salvage"
+        )
+        assert all(isinstance(o, ShardOutcome) for o in outcomes)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert [o.value for o in outcomes] == [0, None, 20, 30]
+        assert isinstance(outcomes[1].error, ReproError)
+        assert outcomes[1].attempts == 1
+
+    def test_salvage_with_retries_records_attempts(self):
+        def doomed(b):
+            raise ReproError("down")
+
+        outcomes = WorkerPool(2).run_tasks(
+            [doomed, lambda b: 1],
+            retry=_no_sleep_policy(retries=2),
+            on_failure="salvage",
+        )
+        assert outcomes[0].attempts == 3
+        assert not outcomes[0].ok
+        assert outcomes[1].ok
+
+    def test_serial_salvage(self):
+        def doomed(b):
+            raise ReproError("down")
+
+        outcomes = WorkerPool(1).run_tasks(
+            [lambda b: "x", doomed], on_failure="salvage"
+        )
+        assert [o.ok for o in outcomes] == [True, False]
+        assert outcomes[0].value == "x"
+
+    def test_keyboard_interrupt_is_never_salvaged(self):
+        def interrupted(b):
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            WorkerPool(1).run_tasks(
+                [interrupted, lambda b: 1], on_failure="salvage"
+            )
+
+
+class TestMapOutcomes:
+    def test_matches_map_on_success(self):
+        pool = WorkerPool(4)
+        items = list(range(6))
+        assert pool.map_outcomes(_square, items) == pool.map(_square, items)
+
+    def test_thread_retry_recovers(self):
+        flaky = _Flaky({2: 1})
+
+        def fn(x):
+            flaky.seen(x)
+            return x + 100
+
+        results = WorkerPool(4).map_outcomes(
+            fn, range(4), retry=_no_sleep_policy()
+        )
+        assert results == [100, 101, 102, 103]
+        assert flaky.calls[2] == 2
+
+    def test_salvage_outcomes(self):
+        def fn(x):
+            if x == 1:
+                raise ReproError("bad item")
+            return x
+
+        outcomes = WorkerPool(4).map_outcomes(
+            fn, range(3), on_failure="salvage"
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert [o.value for o in outcomes] == [0, None, 2]
+
+
+def _square(x):
+    return x * x
+
+
+def _process_task(x):
+    """Module-level (hence picklable) process-backend work item."""
+    if x < 0:
+        raise BudgetExceededError(
+            "child ran dry",
+            reason="steps",
+            site="process.test",
+            steps=7,
+            max_steps=7,
+        )
+    return x * x
+
+
+class TestProcessErrorFidelity:
+    def test_budget_error_survives_as_itself(self):
+        outcomes = WorkerPool(2, "process").map_outcomes(
+            _process_task, [3, -1], on_failure="salvage"
+        )
+        assert outcomes[0].ok and outcomes[0].value == 9
+        error = outcomes[1].error
+        assert type(error) is BudgetExceededError
+        assert error.reason == "steps"
+        assert error.site == "process.test"
+        assert error.steps == 7
+
+    def test_fail_fast_reraises_original_type(self):
+        with pytest.raises(BudgetExceededError, match="child ran dry"):
+            WorkerPool(2, "process").map_outcomes(_process_task, [-1, 2])
+
+    def test_process_retry_reruns_in_a_child(self):
+        # Deterministic failures retry and fail again — proving the retry
+        # actually re-entered a worker process rather than silently
+        # succeeding in the parent.
+        outcomes = WorkerPool(2, "process").map_outcomes(
+            _process_task,
+            [-1, 4],
+            retry=RetryPolicy(retries=2, retry_on=(Exception,), no_retry=()),
+            on_failure="salvage",
+        )
+        assert outcomes[0].attempts == 3
+        assert type(outcomes[0].error) is BudgetExceededError
+        assert outcomes[1].ok and outcomes[1].value == 16
+
+
+def _child_harness(x):
+    """Run through the child-side harness of :mod:`repro.parallel.tasks`."""
+    from repro.parallel.tasks import _run_in_child
+
+    def fn(budget):
+        for _ in range(x if x > 0 else 5):
+            budget.tick("work")
+        if x < 0:
+            raise ReproError("child exploded")
+        return x
+
+    return _run_in_child(fn, (None, 100), False)
+
+
+class TestRemoteAnnotations:
+    def test_child_failure_carries_traceback_and_steps(self):
+        outcomes = WorkerPool(2, "process").map_outcomes(
+            _child_harness, [3, -1], on_failure="salvage"
+        )
+        ok, failed = outcomes
+        assert ok.ok and ok.value == (3, 3, None)
+        error = failed.error
+        assert isinstance(error, ReproError)
+        assert "child exploded" in error.remote_traceback
+        assert "Traceback" in error.remote_traceback
+        # The work done before dying is accounted and charged on join.
+        assert error.remote_steps == 5
+        assert failed.steps == 5
 
 
 class TestMetricsMerge:

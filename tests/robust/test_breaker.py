@@ -1,0 +1,115 @@
+"""Unit tests for the cascade circuit breaker (see docs/ROBUSTNESS.md)."""
+
+import threading
+
+import pytest
+
+from repro.robust import CircuitBreaker
+from repro.robust.breaker import BreakerOpenError
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestTripping:
+    def test_closed_until_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.allow("main")
+        assert breaker.record_failure("main") is False
+        assert breaker.record_failure("main") is False
+        assert breaker.allow("main")  # still closed at 2/3
+        assert breaker.record_failure("main") is True  # trips now
+        assert breaker.state("main") == "open"
+        assert not breaker.allow("main")
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("main")
+        breaker.record_success("main")
+        breaker.record_failure("main")
+        assert breaker.state("main") == "closed"
+        assert breaker.failures("main") == 1
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("main")
+        assert not breaker.allow("main")
+        assert breaker.allow("foc1")
+
+    def test_trip_reported_exactly_once(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("main") is True
+        assert breaker.record_failure("main") is False  # already open
+
+    def test_reset_closes_one_key_or_all(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        breaker.reset("a")
+        assert breaker.allow("a")
+        assert not breaker.allow("b")
+        breaker.reset()
+        assert breaker.allow("b")
+
+    def test_guard_raises_when_open(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.guard("main")  # closed: no-op
+        breaker.record_failure("main")
+        with pytest.raises(BreakerOpenError, match="main"):
+            breaker.guard("main")
+
+
+class TestHalfOpen:
+    def test_without_cooldown_stays_open(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("main")
+        assert breaker.state("main") == "open"
+        assert not breaker.allow("main")
+
+    def test_cooldown_allows_exactly_one_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure("main")
+        assert breaker.state("main") == "half_open"
+        assert breaker.allow("main")  # the probe
+        assert not breaker.allow("main")  # a second concurrent caller
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure("main")
+        assert breaker.allow("main")
+        breaker.record_success("main")
+        assert breaker.state("main") == "closed"
+        assert breaker.allow("main")
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1e9)
+        breaker.record_failure("main")
+        # Fake a probe outcome directly: a failed probe re-opens for a
+        # fresh cooldown and does not count as a new trip.
+        assert breaker.record_failure("main") is False
+        assert breaker.state("main") == "open"
+
+
+class TestThreadSafety:
+    def test_concurrent_failures_trip_exactly_once(self):
+        breaker = CircuitBreaker(threshold=10)
+        trips = []
+        barrier = threading.Barrier(10)
+
+        def worker():
+            barrier.wait()
+            if breaker.record_failure("main"):
+                trips.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trips) == 1
+        assert not breaker.allow("main")

@@ -1,0 +1,304 @@
+"""Chaos harness: seeded faults at the parallel sites, healed or salvaged.
+
+The differential gate for PR 5 (see docs/ROBUSTNESS.md): for seeded
+random structures, injecting deterministic faults at each parallel fault
+site (``worker.task``, ``worker.join``, ``shard.result``) on both the
+thread and the process backend must
+
+* with ``retries=2``: produce **byte-identical** answers to the fault-free
+  serial run (the retry genuinely healed the shard), and
+* with ``retries=0`` and ``on_shard_failure="salvage"``: produce a
+  :class:`~repro.robust.PartialResult` whose covered values are *exactly*
+  the corresponding slice of the serial answer, with accurate coverage
+  bookkeeping.
+
+Rate-mode schedules are pure functions of ``(seed, site, hit)`` checked in
+the parent, so the same chaos schedule falls out of every backend; the
+cross-backend tests pin that down.
+
+Plain ``random.Random(seed)`` so each case is a fixed, individually
+re-runnable pytest id.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.core.clterms import BasicClTerm, CoverTerm
+from repro.core.cover_eval import evaluate_per_cluster
+from repro.core.evaluator import Foc1Evaluator
+from repro.core.main_algorithm import evaluate_unary_main_algorithm
+from repro.logic.builder import Rel
+from repro.logic.parser import parse_formula
+from repro.robust import (
+    PARALLEL_FAULT_SITES,
+    FaultInjector,
+    PartialResult,
+    RetryPolicy,
+    inject_faults,
+)
+from repro.sparse.covers import sparse_cover
+from repro.structures.builders import graph_structure
+
+E = Rel("E", 2)
+
+SEEDS = range(30)
+BACKENDS = ("thread", "process")
+
+
+def _retry(retries=2):
+    return RetryPolicy(retries=retries, base_delay=0.0)
+
+
+def _random_graph(rng, max_n=10):
+    n = rng.randint(3, max_n)
+    vertices = list(range(1, n + 1))
+    pairs = [(u, v) for u in vertices for v in vertices if u < v]
+    edges = [pair for pair in pairs if rng.random() < 0.3]
+    return graph_structure(vertices, edges)
+
+
+def _degree_cover_term():
+    return CoverTerm(
+        variables=("y1", "y2"),
+        edges=frozenset({(1, 2)}),
+        link_distance=1,
+        component_formulas=((frozenset({1, 2}), E("y1", "y2")),),
+        unary=True,
+    )
+
+
+@lru_cache(maxsize=None)
+def _per_cluster_case(seed):
+    """(structure, cover, term, fault-free serial baseline) for one seed."""
+    rng = random.Random(8000 + seed)
+    structure = _random_graph(rng)
+    cover = sparse_cover(structure, 2)
+    term = _degree_cover_term()
+    serial = evaluate_per_cluster(structure, cover, term, workers=1)
+    return structure, cover, term, serial
+
+
+def _assert_partial_slice_of(partial, serial):
+    """The salvage contract: exact covered values, honest bookkeeping."""
+    assert isinstance(partial, PartialResult)
+    assert partial.failures
+    assert partial.covered == len(partial.value)
+    assert partial.expected == len(serial)
+    assert 0.0 <= partial.coverage < 1.0
+    # Byte-identical slice: same values in the same insertion order.
+    expected_slice = [
+        (key, value) for key, value in serial.items() if key in partial.value
+    ]
+    assert list(partial.value.items()) == expected_slice
+
+
+class TestChaosPerCluster:
+    """The ISSUE-mandated matrix: 30 seeds × 3 sites × 2 backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_retries_heal_to_byte_identical(self, seed, site, backend):
+        structure, cover, term, serial = _per_cluster_case(seed)
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            healed = evaluate_per_cluster(
+                structure,
+                cover,
+                term,
+                workers=2,
+                backend=backend,
+                retry=_retry(),
+            )
+        assert list(healed.items()) == list(serial.items())
+        if len(cover.clusters) > 1:
+            # The pool fanned out, so the fault genuinely fired — and the
+            # retry healed it (exact-hit faults fire exactly once).
+            assert injector.fired[site] == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_salvage_returns_exact_partial_result(self, seed, site, backend):
+        structure, cover, term, serial = _per_cluster_case(seed)
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            result = evaluate_per_cluster(
+                structure,
+                cover,
+                term,
+                workers=2,
+                backend=backend,
+                on_shard_failure="salvage",
+            )
+        if len(cover.clusters) <= 1:
+            # Single shard: no fan-out, no fault checkpoint, full answer.
+            assert list(result.items()) == list(serial.items())
+            return
+        _assert_partial_slice_of(result, serial)
+        # Hit 1 always lands on shard 0.
+        assert result.failed_shards() == [0]
+        assert result.failures[0].error_type == "FaultInjectedError"
+        # Per-cluster failures carry the lost *cluster ids*; expanding
+        # them to members accounts for exactly the missing elements.
+        lost = {
+            member
+            for index in result.failed_items()
+            for member in cover.members_with_cluster(index)
+        }
+        assert lost == set(serial) - set(result.value)
+
+
+class TestChaosDeterminism:
+    """Rate-mode chaos: one schedule, every backend, every run."""
+
+    def _run(self, seed, backend):
+        structure, cover, term, serial = _per_cluster_case(seed)
+        injector = FaultInjector(
+            seed=seed, rate=0.35, rate_sites=PARALLEL_FAULT_SITES
+        )
+        with inject_faults(injector):
+            result = evaluate_per_cluster(
+                structure,
+                cover,
+                term,
+                workers=2,
+                backend=backend,
+                retry=_retry(retries=1),
+                on_shard_failure="salvage",
+            )
+        if isinstance(result, PartialResult):
+            fingerprint = (
+                tuple(result.failed_shards()),
+                tuple(result.value.items()),
+            )
+        else:
+            fingerprint = ((), tuple(result.items()))
+        return fingerprint, dict(injector.hits), dict(injector.fired)
+
+    @pytest.mark.parametrize("seed", (0, 3, 11, 17, 26))
+    def test_same_schedule_across_backends(self, seed):
+        assert self._run(seed, "thread") == self._run(seed, "process")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", (2, 9))
+    def test_same_schedule_across_runs(self, seed, backend):
+        assert self._run(seed, backend) == self._run(seed, backend)
+
+    @pytest.mark.parametrize("seed", (4, 13))
+    def test_salvaged_values_stay_exact_under_rate_chaos(self, seed):
+        structure, cover, term, serial = _per_cluster_case(seed)
+        injector = FaultInjector(
+            seed=seed, rate=0.5, rate_sites=PARALLEL_FAULT_SITES
+        )
+        with inject_faults(injector):
+            result = evaluate_per_cluster(
+                structure,
+                cover,
+                term,
+                workers=2,
+                on_shard_failure="salvage",
+            )
+        if isinstance(result, PartialResult):
+            _assert_partial_slice_of(result, serial)
+        else:
+            assert list(result.items()) == list(serial.items())
+
+
+class TestChaosCountMany:
+    FORMULA = "E(x, y)"
+
+    @lru_cache(maxsize=None)
+    def _case(self, seed):
+        rng = random.Random(9000 + seed)
+        structures = tuple(
+            _random_graph(rng, max_n=6) for _ in range(rng.randint(3, 5))
+        )
+        phi = parse_formula(self.FORMULA)
+        serial = [
+            Foc1Evaluator().count(s, phi, ["x", "y"]) for s in structures
+        ]
+        return structures, phi, serial
+
+    @pytest.mark.parametrize("process", (False, True))
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", (0, 5, 12, 21))
+    def test_retries_heal(self, seed, site, process):
+        structures, phi, serial = self._case(seed)
+        engine = Foc1Evaluator(
+            workers=2,
+            parallel_backend="process" if process else "thread",
+            retry=_retry(),
+        )
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            counts = engine.count_many(list(structures), phi, ["x", "y"])
+        assert counts == serial
+        assert injector.fired[site] == 1
+
+    @pytest.mark.parametrize("process", (False, True))
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", (1, 8))
+    def test_salvage_leaves_none_holes(self, seed, site, process):
+        structures, phi, serial = self._case(seed)
+        engine = Foc1Evaluator(
+            workers=2,
+            parallel_backend="process" if process else "thread",
+            on_shard_failure="salvage",
+        )
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            result = engine.count_many(list(structures), phi, ["x", "y"])
+        assert isinstance(result, PartialResult)
+        assert result.value[0] is None  # hit 1 lands on batch position 0
+        assert result.value[1:] == serial[1:]
+        assert result.expected == len(structures)
+        assert result.covered == len(structures) - 1
+        assert result.coverage == pytest.approx(
+            (len(structures) - 1) / len(structures)
+        )
+
+
+class TestChaosMainAlgorithm:
+    @lru_cache(maxsize=None)
+    def _case(self, seed):
+        rng = random.Random(9500 + seed)
+        structure = _random_graph(rng)
+        term = BasicClTerm(
+            ("y1", "y2"), E("y1", "y2"), 1, 1, frozenset({(1, 2)}), unary=True
+        )
+        serial = evaluate_unary_main_algorithm(structure, term, workers=1)
+        return structure, term, serial
+
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", (0, 6, 14, 23))
+    def test_retries_heal(self, seed, site):
+        structure, term, serial = self._case(seed)
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            healed = evaluate_unary_main_algorithm(
+                structure, term, workers=2, retry=_retry()
+            )
+        assert list(healed.items()) == list(serial.items())
+
+    @pytest.mark.parametrize("site", PARALLEL_FAULT_SITES)
+    @pytest.mark.parametrize("seed", (3, 10))
+    def test_salvage_covers_surviving_clusters(self, seed, site):
+        structure, term, serial = self._case(seed)
+        injector = FaultInjector({site: 1})
+        with inject_faults(injector):
+            result = evaluate_unary_main_algorithm(
+                structure, term, workers=2, on_shard_failure="salvage"
+            )
+        if isinstance(result, PartialResult):
+            assert result.covered == len(result.value)
+            assert result.expected == len(serial)
+            expected_slice = [
+                (k, v) for k, v in serial.items() if k in result.value
+            ]
+            assert list(result.value.items()) == expected_slice
+        else:
+            # Single shard: no fan-out, so no fault and a full answer.
+            assert list(result.items()) == list(serial.items())

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import FaultInjectedError, ReproError
-from repro.robust import FAULT_SITES, FaultInjector, inject_faults
+from repro.robust import (
+    FAULT_SITES,
+    PARALLEL_FAULT_SITES,
+    FaultInjector,
+    inject_faults,
+)
 from repro.robust.faults import active_injector, fault_check
 
 
@@ -14,7 +19,18 @@ class TestRegistry:
             "removal.surgery",
             "memo.insert",
             "predicate.oracle",
+            "worker.task",
+            "worker.join",
+            "shard.result",
         )
+
+    def test_parallel_sites_are_registered(self):
+        assert PARALLEL_FAULT_SITES == (
+            "worker.task",
+            "worker.join",
+            "shard.result",
+        )
+        assert set(PARALLEL_FAULT_SITES) <= set(FAULT_SITES)
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError):
@@ -98,6 +114,48 @@ class TestSeededRate:
         injector.check("memo.insert")  # not a rate site: must pass
         with pytest.raises(FaultInjectedError):
             injector.check("cover.construct")
+
+
+class TestConcurrency:
+    def test_hit_counters_are_exact_under_contention(self):
+        # 8 threads × 500 checks of a never-firing site: the lock-protected
+        # counter must see every one (no lost updates).
+        import threading
+
+        injector = FaultInjector()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(500):
+                injector.check("memo.insert")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert injector.hits["memo.insert"] == 8 * 500
+
+    def test_rate_draws_depend_only_on_seed_site_and_hit(self):
+        # The rate draw for hit n of a site is a pure function of
+        # (seed, site, n) — interleaving checks of *other* sites between
+        # them cannot shift the schedule (no shared RNG stream).
+        injector_a = FaultInjector(seed=5, rate=0.4, rate_sites=("memo.insert",))
+        injector_b = FaultInjector(seed=5, rate=0.4, rate_sites=("memo.insert",))
+        schedule_a, schedule_b = [], []
+        for n in range(1, 40):
+            try:
+                injector_a.check("memo.insert")
+            except FaultInjectedError:
+                schedule_a.append(n)
+            injector_b.check("cover.construct")  # interleaved, never fires
+            try:
+                injector_b.check("memo.insert")
+            except FaultInjectedError:
+                schedule_b.append(n)
+        assert schedule_a == schedule_b
+        assert schedule_a  # 0.4 over 39 hits: the schedule is non-empty
 
 
 class TestGlobalInstallation:

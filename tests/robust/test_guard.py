@@ -16,8 +16,11 @@ from repro.core.local_eval import evaluate_basic_unary
 from repro.errors import BudgetExceededError, FragmentError, ReproError
 from repro.logic.parser import parse_formula
 from repro.robust import (
+    CircuitBreaker,
     EvaluationBudget,
     FaultInjector,
+    PartialResult,
+    RetryPolicy,
     RobustEvaluator,
     inject_faults,
 )
@@ -204,6 +207,108 @@ class TestBudgets:
                 parse_formula("E(x, y) & E(y, z) & E(z, w)"),
                 ["x", "y", "z", "w"],
             )
+
+
+class TestCircuitBreaker:
+    def test_breaker_trips_and_skips_the_stage(self, grid, degree_term):
+        truth = evaluate_basic_unary(grid, degree_term)
+        engine = RobustEvaluator(breaker=CircuitBreaker(threshold=2))
+        for _ in range(2):
+            with inject_faults(FaultInjector({"cover.construct": 1})):
+                assert engine.evaluate_unary_cl_term(grid, degree_term) == truth
+            assert "main_algorithm" in engine.last_report.failed_stages()
+        # Circuit open: the third call skips the stage outright — no
+        # injector needed, no budget slice paid for the broken stage.
+        assert engine.evaluate_unary_cl_term(grid, degree_term) == truth
+        report = engine.last_report
+        entry = report.stage("main_algorithm")
+        assert entry.status == "skipped"
+        assert "circuit open" in entry.detail
+        assert report.answered_by == "foc1"
+
+    def test_success_resets_the_failure_count(self, grid, degree_term):
+        engine = RobustEvaluator(breaker=CircuitBreaker(threshold=2))
+        with inject_faults(FaultInjector({"cover.construct": 1})):
+            engine.evaluate_unary_cl_term(grid, degree_term)
+        assert engine.breaker.failures("main_algorithm") == 1
+        engine.evaluate_unary_cl_term(grid, degree_term)  # healthy run
+        assert engine.breaker.failures("main_algorithm") == 0
+        with inject_faults(FaultInjector({"cover.construct": 1})):
+            engine.evaluate_unary_cl_term(grid, degree_term)
+        # Non-consecutive failures never trip.
+        assert engine.breaker.state("main_algorithm") == "closed"
+
+    def test_trip_and_skip_metrics(self, grid, degree_term):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        previous = obs.set_metrics(registry)
+        try:
+            engine = RobustEvaluator(breaker=CircuitBreaker(threshold=1))
+            with inject_faults(FaultInjector({"cover.construct": 1})):
+                engine.evaluate_unary_cl_term(grid, degree_term)
+            engine.evaluate_unary_cl_term(grid, degree_term)
+        finally:
+            obs.set_metrics(previous)
+        assert registry.counter("robust.breaker.trip") == 1
+        assert registry.counter("robust.breaker.skipped") == 1
+
+    def test_evaluators_can_share_one_breaker(self, grid, degree_term):
+        breaker = CircuitBreaker(threshold=2)
+        first = RobustEvaluator(breaker=breaker)
+        second = RobustEvaluator(breaker=breaker)
+        for engine in (first, second):
+            with inject_faults(FaultInjector({"cover.construct": 1})):
+                engine.evaluate_unary_cl_term(grid, degree_term)
+        # Two failures across two evaluators pooled into one trip.
+        assert breaker.is_open("main_algorithm")
+
+
+class TestPartialThroughCascade:
+    def test_retry_heals_inside_the_cascade(self, grid, degree_term):
+        truth = evaluate_basic_unary(grid, degree_term)
+        engine = RobustEvaluator(workers=2, retry=RetryPolicy(retries=2))
+        with inject_faults(FaultInjector({"worker.task": 1})) as injector:
+            values = engine.evaluate_unary_cl_term(grid, degree_term)
+        assert values == truth
+        assert injector.fired["worker.task"] == 1
+        report = engine.last_report
+        assert report.answered_by == "main_algorithm"
+        assert report.failed_stages() == []
+        assert not report.is_partial()
+
+    def test_partial_result_surfaces_in_report(self, grid, degree_term):
+        truth = evaluate_basic_unary(grid, degree_term)
+        engine = RobustEvaluator(workers=2, on_shard_failure="salvage")
+        with inject_faults(FaultInjector({"worker.task": 1})):
+            result = engine.evaluate_unary_cl_term(grid, degree_term)
+        assert isinstance(result, PartialResult)
+        report = engine.last_report
+        assert report.answered_by == "main_algorithm"
+        assert report.is_partial()
+        assert report.partial is result
+        entry = report.stage("main_algorithm")
+        assert entry.status == "partial"
+        assert "coverage" in entry.detail
+        assert "partial" in report.summary()
+        # Covered values are exact — salvage drops, never approximates.
+        assert result.value
+        assert all(truth[k] == v for k, v in result.value.items())
+
+    def test_partial_counts_as_success_for_the_breaker(self, grid, degree_term):
+        engine = RobustEvaluator(
+            workers=2,
+            on_shard_failure="salvage",
+            breaker=CircuitBreaker(threshold=1),
+        )
+        with inject_faults(FaultInjector({"worker.task": 1})):
+            engine.evaluate_unary_cl_term(grid, degree_term)
+        # A salvaged partial answer is a degraded success, not a failure.
+        assert engine.breaker.state("main_algorithm") == "closed"
+
+    def test_rejects_unknown_failure_mode(self):
+        with pytest.raises(ValueError, match="on_shard_failure"):
+            RobustEvaluator(on_shard_failure="ignore")
 
 
 class TestReportPlumbing:

@@ -1,0 +1,74 @@
+"""Unit tests for structured partial results (see docs/ROBUSTNESS.md)."""
+
+import pytest
+
+from repro.robust import PartialResult, ShardFailure
+from repro.robust.partial import ON_SHARD_FAILURE_MODES, validate_failure_mode
+
+
+class TestFailureMode:
+    def test_modes(self):
+        assert ON_SHARD_FAILURE_MODES == ("raise", "salvage")
+
+    def test_validate_accepts_and_returns(self):
+        assert validate_failure_mode("raise") == "raise"
+        assert validate_failure_mode("salvage") == "salvage"
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="on_shard_failure"):
+            validate_failure_mode("ignore")
+
+
+class TestShardFailure:
+    def test_summary_names_items_attempts_and_error(self):
+        failure = ShardFailure(
+            shard=2,
+            items=(4, 5),
+            error_type="FaultInjectedError",
+            error="injected fault",
+            attempts=3,
+        )
+        text = failure.summary()
+        assert "shard 2" in text
+        assert "2 item(s)" in text
+        assert "3 attempt(s)" in text
+        assert "FaultInjectedError" in text
+
+
+class TestPartialResult:
+    def _partial(self):
+        return PartialResult(
+            operation="unary_term_values",
+            value={1: 0, 2: 1},
+            failures=[
+                ShardFailure(
+                    shard=1, items=(3, 4), error_type="ReproError", error="x"
+                )
+            ],
+            expected=4,
+            covered=2,
+        )
+
+    def test_coverage_fraction(self):
+        assert self._partial().coverage == pytest.approx(0.5)
+
+    def test_empty_expected_counts_as_full_coverage(self):
+        assert PartialResult("op", value={}).coverage == 1.0
+
+    def test_complete(self):
+        assert not self._partial().complete()
+        assert PartialResult("op", value={}, expected=0, covered=0).complete()
+
+    def test_failed_items_in_shard_order(self):
+        partial = self._partial()
+        partial.failures.append(
+            ShardFailure(shard=3, items=(9,), error_type="E", error="y")
+        )
+        assert partial.failed_items() == [3, 4, 9]
+        assert partial.failed_shards() == [1, 3]
+
+    def test_summary_reports_coverage_and_losses(self):
+        text = self._partial().summary()
+        assert "50.0%" in text
+        assert "(2/4)" in text
+        assert "shard 1" in text

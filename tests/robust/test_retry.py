@@ -1,0 +1,109 @@
+"""Unit tests for the per-shard retry policy (see docs/ROBUSTNESS.md)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, FaultInjectedError, ReproError
+from repro.robust import RetryPolicy
+
+
+class TestConstruction:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.retries == 2
+        assert policy.base_delay == 0.0
+        assert policy.no_retry == (BudgetExceededError,)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestShouldRetry:
+    def test_retries_transient_library_errors(self):
+        policy = RetryPolicy(retries=2)
+        error = FaultInjectedError("worker.task", 1)
+        assert policy.should_retry(error, 1)
+        assert policy.should_retry(error, 2)
+        assert not policy.should_retry(error, 3)
+
+    def test_budget_exhaustion_never_retries(self):
+        # A fresh identical slice would exhaust too; retrying would only
+        # double-charge the parent.
+        policy = RetryPolicy(retries=5)
+        error = BudgetExceededError("dry", reason="steps", site="x", steps=1)
+        assert not policy.should_retry(error, 1)
+
+    def test_programming_errors_never_retry(self):
+        policy = RetryPolicy(retries=5)
+        assert not policy.should_retry(TypeError("bug"), 1)
+        assert not policy.should_retry(KeyboardInterrupt(), 1)
+
+    def test_zero_retries_disables_retrying(self):
+        policy = RetryPolicy(retries=0)
+        assert not policy.should_retry(ReproError("transient"), 1)
+
+    def test_custom_retry_on(self):
+        policy = RetryPolicy(retries=1, retry_on=(OSError,))
+        assert policy.should_retry(OSError("flaky io"), 1)
+        assert not policy.should_retry(ReproError("transient"), 1)
+
+
+class TestBackoff:
+    def test_zero_base_delay_means_immediate(self):
+        policy = RetryPolicy(base_delay=0.0)
+        assert policy.delay(0, 1) == 0.0
+        assert policy.delay(3, 2) == 0.0
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            retries=5, base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.3)  # capped
+        assert policy.delay(0, 4) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_per_shard_and_attempt(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=42)
+        again = RetryPolicy(base_delay=0.1, jitter=0.5, seed=42)
+        assert policy.delay(3, 1) == again.delay(3, 1)
+        # Different shards (and attempts) decorrelate.
+        assert policy.delay(3, 1) != policy.delay(4, 1)
+        assert policy.delay(3, 1) != policy.delay(3, 2)
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(base_delay=0.1, jitter=0.5, seed=1)
+        b = RetryPolicy(base_delay=0.1, jitter=0.5, seed=2)
+        assert a.delay(0, 1) != b.delay(0, 1)
+
+    def test_jitter_never_exceeds_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=1.0
+        )
+        for shard in range(20):
+            assert policy.delay(shard, 1) <= 1.0
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, 0)
+
+    def test_pause_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(
+            base_delay=0.25, jitter=0.0, sleep=slept.append
+        )
+        returned = policy.pause(0, 1)
+        assert slept == [0.25]
+        assert returned == pytest.approx(0.25)
+
+    def test_pause_skips_sleep_for_zero_delay(self):
+        slept = []
+        policy = RetryPolicy(base_delay=0.0, sleep=slept.append)
+        assert policy.pause(0, 1) == 0.0
+        assert slept == []

@@ -283,3 +283,65 @@ class TestParallelSection:
         assert any("per_cluster/n=100" in line for line in lines)
         empty = parallel_table({"cpu_count": 1, "groups": []})
         assert any("no worker-sweep" in line for line in empty)
+
+
+def retry_payload():
+    """A retry-sweep payload like benchmarks/bench_retry.py emits."""
+    payload = raw_payload()
+    for retries, mean in ((0, 0.010), (2, 0.0102)):
+        payload["benchmarks"].append(
+            {
+                "name": f"test_per_cluster_retry_overhead[100-{retries}]",
+                "fullname": "benchmarks/bench_retry.py"
+                f"::test_per_cluster_retry_overhead[100-{retries}]",
+                "group": None,
+                "stats": {
+                    "mean": mean,
+                    "stddev": 0.0001,
+                    "min": mean,
+                    "rounds": 3,
+                },
+                "extra_info": {
+                    "retry_group": "per_cluster/n=100",
+                    "retries": retries,
+                },
+            }
+        )
+    return payload
+
+
+class TestRetrySection:
+    def test_overhead_relative_to_retries_zero(self):
+        report = condense(retry_payload(), quick=True)
+        [group] = report["retry_overhead"]["groups"]
+        assert group["group"] == "per_cluster/n=100"
+        rows = {row["retries"]: row for row in group["rows"]}
+        assert rows[0]["overhead"] is None  # the denominator itself
+        assert abs(rows[2]["overhead"] - 1.02) < 1e-12
+
+    def test_untagged_benchmarks_stay_out(self):
+        report = condense(raw_payload(), quick=True)
+        assert report["retry_overhead"]["groups"] == []
+
+    def test_retry_report_is_valid(self):
+        assert validate_report(condense(retry_payload(), quick=True)) == []
+
+    def test_validator_rejects_negative_retries(self):
+        report = condense(retry_payload(), quick=True)
+        report["retry_overhead"]["groups"][0]["rows"][0]["retries"] = -1
+        assert any("retries" in p for p in validate_report(report))
+
+    def test_validator_requires_retry_section(self):
+        report = condense(retry_payload(), quick=True)
+        del report["retry_overhead"]
+        assert any("retry_overhead" in p for p in validate_report(report))
+
+    def test_table_renders(self):
+        from tools.bench_runner import retry_table
+
+        report = condense(retry_payload(), quick=True)
+        lines = retry_table(report["retry_overhead"])
+        assert "target < 1.05x" in lines[0]
+        assert any("per_cluster/n=100" in line for line in lines)
+        empty = retry_table({"groups": []})
+        assert any("no retry-sweep" in line for line in empty)

@@ -320,6 +320,60 @@ class TestCliRobustness:
         assert result.returncode == 0, result.stderr
         assert result.stdout.strip() == "8"
 
+    def test_retries_flag_heals_a_faulted_run(self, graph_file, capsys):
+        # In-process so the fault injector reaches the engine's pool.
+        import repro.__main__ as cli
+        from repro.robust import FaultInjector, inject_faults
+
+        assert cli.main(["unary", graph_file, "#(y). E(x, y)", "--var", "x"]) == 0
+        serial_out = capsys.readouterr().out
+        with inject_faults(FaultInjector({"worker.task": 1})) as injector:
+            code = cli.main(
+                [
+                    "unary", graph_file, "#(y). E(x, y)", "--var", "x",
+                    "--workers", "2", "--retries", "2",
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == serial_out  # byte-identical after healing
+        assert injector.fired["worker.task"] == 1
+
+    def test_salvage_flag_exits_5_with_partial_output(self, graph_file, capsys):
+        import repro.__main__ as cli
+        from repro.robust import FaultInjector, inject_faults
+
+        assert cli.main(["unary", graph_file, "#(y). E(x, y)", "--var", "x"]) == 0
+        serial_lines = set(capsys.readouterr().out.strip().splitlines())
+        with inject_faults(FaultInjector({"worker.task": 1})):
+            code = cli.main(
+                [
+                    "unary", graph_file, "#(y). E(x, y)", "--var", "x",
+                    "--workers", "2", "--on-shard-failure", "salvage",
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "partial" in captured.err
+        assert "coverage" in captured.err
+        # The covered lines are a strict, exact subset of the full answer.
+        partial_lines = set(captured.out.strip().splitlines())
+        assert partial_lines < serial_lines
+
+    def test_negative_retries_exits_2(self, graph_file):
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y",
+            "--retries", "-1",
+        )
+        assert result.returncode == 2
+
+    def test_bad_failure_mode_rejected_by_argparse(self, graph_file):
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y",
+            "--on-shard-failure", "ignore",
+        )
+        assert result.returncode == 2
+
     def test_internal_error_exits_3_with_one_line(self, monkeypatch, capsys):
         # Simulate a genuine bug behind the CLI surface: no traceback, one
         # line on stderr, exit code 3 (in-process; subprocesses can't be
@@ -355,6 +409,15 @@ class TestCliRobustness:
         assert "must be non-negative" in result.stderr
 
     def test_exit_codes_are_distinct(self):
-        from repro.__main__ import EXIT_BAD_INPUT, EXIT_BUDGET, EXIT_INTERNAL, EXIT_OK
+        from repro.__main__ import (
+            EXIT_BAD_INPUT,
+            EXIT_BUDGET,
+            EXIT_INTERNAL,
+            EXIT_OK,
+            EXIT_PARTIAL,
+        )
 
-        assert len({EXIT_OK, EXIT_BAD_INPUT, EXIT_INTERNAL, EXIT_BUDGET}) == 4
+        assert (
+            len({EXIT_OK, EXIT_BAD_INPUT, EXIT_INTERNAL, EXIT_BUDGET, EXIT_PARTIAL})
+            == 5
+        )

@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr4.json``.
+a machine-readable ``BENCH_pr5.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -7,7 +7,7 @@ attaches to ``extra_info`` (see ``REPRO_BENCH_METRICS``), and condenses
 everything into a small, stable report::
 
     {
-      "schema": "repro-bench/4",
+      "schema": "repro-bench/5",
       "quick": true,
       "benchmarks": [
         {"name": "...", "module": "bench_covers", "mean_s": ..., ...,
@@ -23,7 +23,12 @@ everything into a small, stable report::
                    "groups": [{"group": "per_cluster/n=100",
                                "rows": [{"workers": 1, "mean_s": ...,
                                          "speedup": 1.0}, ...]}]},
-      "baseline_delta": {"file": "BENCH_pr3.json", "common": M,
+      "retry_overhead": {"groups": [{"group": "per_cluster/n=100",
+                                     "rows": [{"retries": 0, "mean_s": ...,
+                                               "overhead": null},
+                                              {"retries": 2, "mean_s": ...,
+                                               "overhead": 1.01}]}]},
+      "baseline_delta": {"file": "BENCH_pr4.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
 
@@ -43,6 +48,13 @@ is the group's workers=1 mean over this row's mean (>1.0 is faster).
 ``cpu_count`` is recorded alongside because thread-backend speedups are
 bounded by the core count (and, on CPython, the GIL): a ~1.0x table on a
 one-core runner is the expected honest result, not a defect.
+
+Schema 5 adds the ``retry_overhead`` section: benchmarks tagged with
+``extra_info["retry_group"]`` and ``extra_info["retries"]``
+(``benchmarks/bench_retry.py``) are grouped, and each row's *overhead* is
+this row's mean over the group's retries=0 mean — the cost of arming the
+retry machinery on a fault-free run, with < 1.05 as the acceptance
+target.
 
 Usage::
 
@@ -72,7 +84,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/4"
+SCHEMA_NAME = "repro-bench/5"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -205,6 +217,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
     total = memo_hits + memo_misses
     plan_total = plan_hits + plan_misses
     parallel = parallel_section(benchmarks)
+    retry_overhead = retry_section(benchmarks)
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -225,6 +238,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
             "execute_s": max(total_wall - total_compile, 0.0),
         },
         "parallel": parallel,
+        "retry_overhead": retry_overhead,
     }
     return report
 
@@ -276,6 +290,59 @@ def parallel_table(parallel: Dict) -> List[str]:
         lines.append(f"  {group['group']:<28} {cells}")
     if len(lines) == 1:
         lines.append("  (no worker-sweep benchmarks in this run)")
+    return lines
+
+
+def retry_section(benchmarks: List[Dict]) -> Dict:
+    """Fold the retry-sweep benchmarks into an overhead table.
+
+    Rows come from benchmarks that tagged ``extra_info`` with
+    ``retry_group`` and ``retries``; each group's retries=0 row is the
+    denominator (overhead = this mean / plain mean, so 1.0 is free and
+    the PR 5 acceptance target is < 1.05 on fault-free runs).
+    """
+    grouped: "Dict[str, List[Dict]]" = {}
+    for bench in benchmarks:
+        extra = bench.get("extra_info") or {}
+        group = extra.get("retry_group")
+        retries = extra.get("retries")
+        if not isinstance(group, str) or not isinstance(retries, int):
+            continue
+        grouped.setdefault(group, []).append(
+            {"retries": retries, "mean_s": bench["mean_s"], "name": bench["name"]}
+        )
+    groups = []
+    for group in sorted(grouped):
+        rows = sorted(grouped[group], key=lambda row: row["retries"])
+        plain = next(
+            (row["mean_s"] for row in rows if row["retries"] == 0), None
+        )
+        for row in rows:
+            row["overhead"] = (
+                row["mean_s"] / plain
+                if plain and row["mean_s"] > 0 and row["retries"] > 0
+                else None
+            )
+        groups.append({"group": group, "rows": rows})
+    return {"groups": groups}
+
+
+def retry_table(retry_overhead: Dict) -> List[str]:
+    """A printable retry-armed vs plain overhead table."""
+    lines = ["retry overhead (armed vs plain, fault-free; target < 1.05x)"]
+    for group in retry_overhead.get("groups", []):
+        cells = ", ".join(
+            f"r={row['retries']}: "
+            + (
+                f"{row['overhead']:.3f}x"
+                if row["overhead"] is not None
+                else f"{row['mean_s'] * 1e3:.3f}ms"
+            )
+            for row in group["rows"]
+        )
+        lines.append(f"  {group['group']:<28} {cells}")
+    if len(lines) == 1:
+        lines.append("  (no retry-sweep benchmarks in this run)")
     return lines
 
 
@@ -482,6 +549,45 @@ def validate_report(report: Dict) -> List[str]:
                     or (isinstance(speedup, (int, float)) and speedup >= 0),
                     f"{where_row}.speedup must be null or non-negative",
                 )
+    retry_overhead = report.get("retry_overhead")
+    check(isinstance(retry_overhead, dict), "retry_overhead must be an object")
+    if isinstance(retry_overhead, dict):
+        groups = retry_overhead.get("groups")
+        check(isinstance(groups, list), "retry_overhead.groups must be a list")
+        for i, group in enumerate(groups or []):
+            where = f"retry_overhead.groups[{i}]"
+            if not isinstance(group, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            check(
+                isinstance(group.get("group"), str) and group["group"],
+                f"{where}.group must be a non-empty string",
+            )
+            rows = group.get("rows")
+            check(
+                isinstance(rows, list) and rows,
+                f"{where}.rows must be a non-empty list",
+            )
+            for j, row in enumerate(rows or []):
+                where_row = f"{where}.rows[{j}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where_row} must be an object")
+                    continue
+                check(
+                    isinstance(row.get("retries"), int) and row["retries"] >= 0,
+                    f"{where_row}.retries must be a non-negative integer",
+                )
+                mean = row.get("mean_s")
+                check(
+                    isinstance(mean, (int, float)) and mean >= 0,
+                    f"{where_row}.mean_s must be a non-negative number",
+                )
+                overhead = row.get("overhead")
+                check(
+                    overhead is None
+                    or (isinstance(overhead, (int, float)) and overhead >= 0),
+                    f"{where_row}.overhead must be null or non-negative",
+                )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -503,7 +609,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr4.json"
+        description="Run the benchmark suites and emit BENCH_pr5.json"
     )
     parser.add_argument(
         "--quick",
@@ -512,15 +618,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr4.json"),
+        default=str(REPO_ROOT / "BENCH_pr5.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr4.json)",
+        help="where to write the report (default: BENCH_pr5.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr3.json"),
+        default=str(REPO_ROOT / "BENCH_pr4.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr3.json; "
+        help="earlier report to diff against (default: BENCH_pr4.json; "
         "skipped silently when the file does not exist)",
     )
     parser.add_argument(
@@ -576,6 +682,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         f"memo hit rate {rate_text}, plan cache hit rate {plan_text}"
     )
     for line in parallel_table(report["parallel"]):
+        print(line)
+    for line in retry_table(report["retry_overhead"]):
         print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):
