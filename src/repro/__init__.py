@@ -28,6 +28,7 @@ __version__ = "1.0.0"
 from .errors import (
     ArityError,
     BudgetExceededError,
+    CheckpointError,
     EvaluationError,
     FaultInjectedError,
     FormulaError,
@@ -36,6 +37,7 @@ from .errors import (
     PredicateError,
     ReproError,
     SignatureError,
+    SuspendedError,
     UniverseError,
 )
 from .structures import (

@@ -32,9 +32,18 @@ fallback cascade (main algorithm → FOC1 engine → brute force).
 ``--on-shard-failure salvage`` returns the completed shards of a partly
 failed parallel run instead of raising.
 
+Preemption (see ``docs/ROBUSTNESS.md``): with ``--checkpoint PATH`` the
+budget becomes a *quantum* — exhaustion suspends the evaluation, writes a
+resumable checkpoint to PATH and exits with code 6 instead of killing the
+run; ``--resume PATH`` restores a previous checkpoint (already-built
+strata, memo contents and completed parallel shards are never recomputed)
+and continues.  ``--report-json PATH`` (robust engine) dumps the
+structured cascade report as JSON.
+
 Exit codes: 0 on success (for ``check``: also when the answer is False —
 the answer is printed, not encoded), 2 on bad input, 3 on an unexpected
-internal error, 4 on budget exhaustion, 5 on a partial (salvaged) result.
+internal error, 4 on budget exhaustion, 5 on a partial (salvaged) result,
+6 on suspension (resumable via ``--resume``).
 """
 
 from __future__ import annotations
@@ -47,7 +56,12 @@ from typing import List, Optional
 from . import obs
 from .core.baseline import BruteForceEvaluator
 from .core.evaluator import Foc1Evaluator
-from .errors import BudgetExceededError, ReproError
+from .errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ReproError,
+    SuspendedError,
+)
 from .io import load_structure
 from .logic.foc1 import assert_foc1, fragment_summary
 from .logic.parser import parse_formula, parse_term
@@ -66,6 +80,13 @@ from .robust import (
     RetryPolicy,
     RobustEvaluator,
 )
+from .robust.checkpoint import (
+    CheckpointSession,
+    checkpoint_session,
+    fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .sparse.measures import sparsity_report
 
 EXIT_OK = 0
@@ -73,6 +94,7 @@ EXIT_BAD_INPUT = 2
 EXIT_INTERNAL = 3
 EXIT_BUDGET = 4
 EXIT_PARTIAL = 5
+EXIT_SUSPENDED = 6
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -188,6 +210,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "shards as a partial result and exits with code 5",
         )
         sub.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            help="preemptible mode: budget exhaustion suspends the "
+            "evaluation, writes a resumable checkpoint to PATH and exits "
+            "with code 6 instead of failing with code 4",
+        )
+        sub.add_argument(
+            "--resume",
+            metavar="PATH",
+            help="resume from the checkpoint at PATH (must match this "
+            "query and structure); implies preemptible mode — a further "
+            "suspension rewrites PATH unless --checkpoint names another",
+        )
+        sub.add_argument(
+            "--report-json",
+            metavar="PATH",
+            dest="report_json",
+            help="write the structured cascade report (stages, breaker "
+            "states, partial coverage, checkpoint info) as JSON to PATH; "
+            "requires --engine robust",
+        )
+        sub.add_argument(
             "--trace",
             action="store_true",
             help="record spans around the pipeline and print a timing "
@@ -211,6 +255,12 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         obs.set_metrics(obs.MetricsRegistry())
     try:
         return _dispatch(args)
+    except SuspendedError as error:
+        # Normally handled (checkpointed) inside _run_eval; reaching this
+        # handler means a preemptible budget suspended outside a
+        # checkpointing context — still a resumable outcome, code 6.
+        print(f"suspended: {error}", file=sys.stderr)
+        return EXIT_SUSPENDED
     except BudgetExceededError as error:
         print(f"budget exhausted: {error}", file=sys.stderr)
         return EXIT_BUDGET
@@ -246,43 +296,109 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "explain":
         return _explain(args)
 
+    return _run_eval(args)
+
+
+def _query_key(args: argparse.Namespace, expression: Expression, structure) -> str:
+    """The checkpoint fingerprint: operation + canonical text + structure."""
+    text = pretty(canonicalise(expression))
+    if args.command == "count":
+        text += f" | vars={','.join(args.vars)}"
+    elif args.command == "unary":
+        text += f" | var={args.var}"
+    return fingerprint(args.command, text, structure)
+
+
+def _run_eval(args: argparse.Namespace) -> int:
+    """The four evaluation subcommands, with optional suspend/resume."""
     structure = load_structure(args.structure)
-    engine = _make_engine(args)
+    engine, budget = _make_engine(args)
 
     if args.command == "check":
-        sentence = parse_formula(args.sentence)
-        return _print_result(engine, engine.model_check(structure, sentence))
-    if args.command == "count":
-        phi = parse_formula(args.formula)
-        return _print_result(engine, engine.count(structure, phi, args.vars))
-    if args.command == "term":
-        t = parse_term(args.term)
-        return _print_result(engine, engine.ground_term_value(structure, t))
-    if args.command == "unary":
-        t = parse_term(args.term)
-        values = engine.unary_term_values(structure, t, args.var)
-        exit_code = EXIT_OK
-        if isinstance(values, PartialResult):
-            print(f"# partial: {values.summary()}", file=sys.stderr)
-            exit_code = EXIT_PARTIAL
-            values = values.value
-        for element in structure.universe_order:
-            if element in values:
-                print(f"{element}\t{values[element]}")
-        _emit_report(engine)
-        return exit_code
-    raise AssertionError("unreachable")
+        expression: Expression = parse_formula(args.sentence)
+    elif args.command == "count":
+        expression = parse_formula(args.formula)
+    else:
+        expression = parse_term(args.term)
+
+    checkpoint_path = getattr(args, "checkpoint", None)
+    resume_path = getattr(args, "resume", None)
+    session: "Optional[CheckpointSession]" = None
+    if checkpoint_path is not None or resume_path is not None:
+        key = _query_key(args, expression, structure)
+        if resume_path is not None:
+            previous = load_checkpoint(resume_path)
+            if previous.query_key != key:
+                raise CheckpointError(
+                    f"checkpoint {resume_path!r} was taken for a different "
+                    "query or structure; refusing to resume"
+                )
+            session = CheckpointSession(resume=previous)
+        else:
+            session = CheckpointSession(
+                operation=args.command, query_key=key
+            )
+
+    def evaluate() -> int:
+        if args.command == "check":
+            return _print_result(
+                engine, engine.model_check(structure, expression), args
+            )
+        if args.command == "count":
+            return _print_result(
+                engine, engine.count(structure, expression, args.vars), args
+            )
+        if args.command == "term":
+            return _print_result(
+                engine, engine.ground_term_value(structure, expression), args
+            )
+        if args.command == "unary":
+            values = engine.unary_term_values(structure, expression, args.var)
+            exit_code = EXIT_OK
+            if isinstance(values, PartialResult):
+                print(f"# partial: {values.summary()}", file=sys.stderr)
+                exit_code = EXIT_PARTIAL
+                values = values.value
+            for element in structure.universe_order:
+                if element in values:
+                    print(f"{element}\t{values[element]}")
+            _emit_report(engine, args)
+            return exit_code
+        raise AssertionError("unreachable")
+
+    if session is None:
+        return evaluate()
+    with checkpoint_session(session):
+        try:
+            return evaluate()
+        except SuspendedError as error:
+            checkpoint = error.checkpoint
+            if checkpoint is None:
+                checkpoint = session.snapshot(
+                    budget.steps if budget is not None else 0
+                )
+                error.checkpoint = checkpoint
+            target = checkpoint_path if checkpoint_path is not None else resume_path
+            save_checkpoint(checkpoint, target)
+            print(f"# suspended: {error}", file=sys.stderr)
+            print(
+                f"# checkpoint written to {target} ({checkpoint.summary()}); "
+                f"resume with --resume {target}",
+                file=sys.stderr,
+            )
+            _emit_report(engine, args, checkpoint=checkpoint)
+            return EXIT_SUSPENDED
 
 
-def _print_result(engine, result) -> int:
+def _print_result(engine, result, args: argparse.Namespace) -> int:
     """Print one scalar answer; a salvaged partial result exits with 5."""
     if isinstance(result, PartialResult):
         print(f"# partial: {result.summary()}", file=sys.stderr)
         print(result.value)
-        _emit_report(engine)
+        _emit_report(engine, args)
         return EXIT_PARTIAL
     print(result)
-    _emit_report(engine)
+    _emit_report(engine, args)
     return EXIT_OK
 
 
@@ -348,10 +464,20 @@ def _explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _emit_report(engine) -> None:
-    """For the robust engine, say on stderr which cascade stage answered."""
+def _emit_report(engine, args: argparse.Namespace, checkpoint=None) -> None:
+    """For the robust engine, say on stderr which cascade stage answered
+    (and dump the structured report when ``--report-json`` asks for it)."""
     if isinstance(engine, RobustEvaluator) and engine.last_report is not None:
         print(f"# {engine.last_report.summary()}", file=sys.stderr)
+        path = getattr(args, "report_json", None)
+        if path is not None:
+            payload = engine.last_report.to_dict(
+                breaker=engine.breaker,
+                checkpoint=checkpoint.to_dict() if checkpoint is not None else None,
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+                handle.write("\n")
     _emit_instruments()
 
 
@@ -371,12 +497,37 @@ def _emit_instruments() -> None:
 
 
 def _make_engine(args: argparse.Namespace):
+    """Build ``(engine, budget)`` after validating the resource flags.
+
+    Nonsensical limits are the caller's mistake (exit 2), not ours: a
+    zero or negative ``--timeout`` / ``--max-steps`` would silently
+    produce a budget that is exhausted before the first step.
+    """
+    timeout = getattr(args, "timeout", None)
+    max_steps = getattr(args, "max_steps", None)
+    if timeout is not None and timeout < 0:
+        raise ReproError(f"--timeout must be non-negative, got {timeout}")
+    if timeout is not None and timeout == 0:
+        raise ReproError(
+            f"--timeout must be a positive number of seconds, got {timeout}"
+        )
+    if max_steps is not None and max_steps < 0:
+        raise ReproError(f"--max-steps must be non-negative, got {max_steps}")
+    if max_steps is not None and max_steps == 0:
+        raise ReproError(
+            f"--max-steps must be a positive integer, got {max_steps}"
+        )
+    preemptible = (
+        getattr(args, "checkpoint", None) is not None
+        or getattr(args, "resume", None) is not None
+    )
     budget = None
-    if args.timeout is not None or args.max_steps is not None:
+    if timeout is not None or max_steps is not None:
         try:
-            budget = EvaluationBudget(deadline=args.timeout, max_steps=args.max_steps)
+            budget = EvaluationBudget(
+                deadline=timeout, max_steps=max_steps, preemptible=preemptible
+            )
         except ValueError as error:
-            # A nonsensical limit is the caller's mistake (exit 2), not ours.
             raise ReproError(str(error)) from None
     check_fragment = not args.no_fragment_check
     workers = getattr(args, "workers", None)
@@ -387,24 +538,31 @@ def _make_engine(args: argparse.Namespace):
         raise ReproError("--retries must be >= 0")
     retry = RetryPolicy(retries=retries) if retries > 0 else None
     on_shard_failure = getattr(args, "on_shard_failure", "raise")
+    if (
+        getattr(args, "report_json", None) is not None
+        and args.engine != "robust"
+    ):
+        raise ReproError("--report-json requires --engine robust")
     if args.engine == "robust":
-        return RobustEvaluator(
+        engine = RobustEvaluator(
             budget=budget,
             check_fragment=check_fragment,
             workers=workers,
             retry=retry,
             on_shard_failure=on_shard_failure,
         )
-    if args.engine == "baseline":
+    elif args.engine == "baseline":
         # The brute-force oracle stays deliberately serial.
-        return BruteForceEvaluator(budget=budget, check_fragment=check_fragment)
-    return Foc1Evaluator(
-        check_fragment=check_fragment,
-        budget=budget,
-        workers=workers,
-        retry=retry,
-        on_shard_failure=on_shard_failure,
-    )
+        engine = BruteForceEvaluator(budget=budget, check_fragment=check_fragment)
+    else:
+        engine = Foc1Evaluator(
+            check_fragment=check_fragment,
+            budget=budget,
+            workers=workers,
+            retry=retry,
+            on_shard_failure=on_shard_failure,
+        )
+    return engine, budget
 
 
 if __name__ == "__main__":

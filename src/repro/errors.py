@@ -108,10 +108,20 @@ class BudgetExceededError(ReproError):
     site:
         Name of the cooperative checkpoint that observed the exhaustion
         (e.g. ``"evaluator.enumerate"``), or ``""`` when unknown.
-    steps:
-        Steps performed before cancellation (partial-progress stat).
+    steps / steps_spent:
+        Steps performed before cancellation (partial-progress stat;
+        ``steps_spent`` is the canonical name, ``steps`` a back-compat
+        alias holding the same number).
     elapsed:
         Seconds elapsed before cancellation (partial-progress stat).
+    deadline_remaining:
+        Wall-clock seconds that were still left when the budget died
+        (``0.0`` when the deadline itself was the limit hit, positive
+        when the step limit fired first, ``None`` with no deadline set).
+    stage:
+        The pipeline stage the budget was serving when it died (e.g. a
+        cascade stage name such as ``"foc1"``), or ``""`` when the budget
+        was not stage-scoped.
     max_steps / deadline:
         The configured limits (``None`` when that limit was unset).
     """
@@ -126,14 +136,81 @@ class BudgetExceededError(ReproError):
         elapsed: float = 0.0,
         max_steps: "int | None" = None,
         deadline: "float | None" = None,
+        deadline_remaining: "float | None" = None,
+        stage: str = "",
     ):
         super().__init__(message)
         self.reason = reason
         self.site = site
         self.steps = steps
+        self.steps_spent = steps
         self.elapsed = elapsed
         self.max_steps = max_steps
         self.deadline = deadline
+        self.deadline_remaining = deadline_remaining
+        self.stage = stage
+
+
+class SuspendedError(ReproError):
+    """A preemptible evaluation exhausted its budget quantum and was
+    *suspended* — not killed.
+
+    Raised instead of :class:`BudgetExceededError` when the governing
+    :class:`~repro.robust.budget.EvaluationBudget` was built with
+    ``preemptible=True`` (sage-engine-style web preemption: the query is
+    suspended and re-queued rather than cancelled).  Deliberately **not**
+    a subclass of :class:`BudgetExceededError`: suspension is a resumable
+    outcome, and handlers that treat budget exhaustion as fatal must not
+    swallow it.
+
+    Attributes mirror :class:`BudgetExceededError` (``reason``, ``site``,
+    ``steps``/``steps_spent``, ``elapsed``, ``max_steps``, ``deadline``,
+    ``deadline_remaining``, ``stage``), plus:
+
+    checkpoint:
+        The :class:`~repro.robust.checkpoint.Checkpoint` capturing the
+        resumable state, attached by the plan executor / checkpoint
+        session as the error propagates (``None`` when no checkpoint
+        session was active).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        site: str = "",
+        steps: int = 0,
+        elapsed: float = 0.0,
+        max_steps: "int | None" = None,
+        deadline: "float | None" = None,
+        deadline_remaining: "float | None" = None,
+        stage: str = "",
+        checkpoint: object = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+        self.steps = steps
+        self.steps_spent = steps
+        self.elapsed = elapsed
+        self.max_steps = max_steps
+        self.deadline = deadline
+        self.deadline_remaining = deadline_remaining
+        self.stage = stage
+        self.checkpoint = checkpoint
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be saved, loaded, or applied.
+
+    Raised for corrupt or truncated checkpoint files, integrity-hash
+    mismatches, format-version mismatches, concurrent saves to the same
+    path, and resume attempts against a different query or structure.
+    Never raised as a *silent partial restore*: a checkpoint either
+    verifies and applies whole, or this error is raised and no state is
+    touched.
+    """
 
 
 class FaultInjectedError(ReproError):

@@ -86,13 +86,14 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
-from ..errors import FaultInjectedError, ReproError
+from ..errors import FaultInjectedError, ReproError, SuspendedError
 from ..obs.metrics import (
     MetricsRegistry,
     active_metrics,
     set_thread_metrics,
 )
 from ..robust.budget import EvaluationBudget
+from ..robust.checkpoint import active_checkpoint_session
 from ..robust.faults import fault_check
 from ..robust.partial import validate_failure_mode
 from ..robust.retry import RetryPolicy
@@ -243,6 +244,8 @@ class WorkerPool:
         retry: "Optional[RetryPolicy]",
         submit: "Optional[Callable[[int], Any]]",
         check_faults: bool,
+        resumed: "Optional[dict]" = None,
+        record: "Optional[Callable[[int, Any], None]]" = None,
     ) -> List[ShardOutcome]:
         """Run ``attempt(index)`` for every shard with retries and fault checks.
 
@@ -255,8 +258,17 @@ class WorkerPool:
         checkpoints run on the calling thread, in index order, which is
         what makes their hit numbering deterministic and
         backend-independent.
+
+        ``resumed`` maps shard indices to values restored from a
+        checkpoint: those shards are never submitted, never attempted and
+        pass no fault checkpoints — they re-execute nothing.  ``record``
+        is called (on this thread, in index order) with every *newly*
+        completed shard's ``(index, value)`` so the active checkpoint
+        session can persist it.
         """
         registry = active_metrics()
+        if resumed is None:
+            resumed = {}
 
         def checked(site: str) -> None:
             if check_faults:
@@ -266,6 +278,8 @@ class WorkerPool:
         pre_error: List[Optional[BaseException]] = [None] * count
         if submit is not None:
             for index in range(count):
+                if index in resumed:
+                    continue
                 try:
                     checked("worker.task")
                 except FaultInjectedError as error:
@@ -280,6 +294,13 @@ class WorkerPool:
 
         outcomes: List[ShardOutcome] = []
         for index in range(count):
+            if index in resumed:
+                outcomes.append(
+                    ShardOutcome(index=index, value=resumed[index], attempts=0)
+                )
+                if registry is not None:
+                    registry.inc("parallel.shard.resumed")
+                continue
             attempts = 1
             value: Any = None
             error: "Optional[BaseException]" = None
@@ -339,6 +360,8 @@ class WorkerPool:
                     registry.inc("parallel.retry.exhausted")
             elif attempts > 1 and registry is not None:
                 registry.inc("parallel.retry.recovered")
+            if error is None and record is not None:
+                record(index, value)
             outcomes.append(
                 ShardOutcome(
                     index=index,
@@ -354,6 +377,13 @@ class WorkerPool:
     def _finalize(
         outcomes: List[ShardOutcome], on_failure: str
     ) -> "List[ShardOutcome] | List[Any]":
+        # Suspension is never a shard-scoped failure: a suspended shard
+        # means the evaluation's budget quantum is spent, so it propagates
+        # even in salvage mode (the completed shards are already in the
+        # checkpoint and the resumed run picks them up for free).
+        for outcome in outcomes:
+            if isinstance(outcome.error, SuspendedError):
+                raise outcome.error
         if on_failure == "salvage":
             return outcomes
         for outcome in outcomes:
@@ -391,9 +421,20 @@ class WorkerPool:
         tasks = list(tasks)
         if not tasks:
             return []
+        session = active_checkpoint_session()
+        if session is not None and not session.on_owner_thread():
+            session = None
+        resumed: dict = {}
+        record: "Optional[Callable[[int, Any], None]]" = None
+        if session is not None:
+            scope = session.next_shard_scope(len(tasks))
+            resumed = session.resumed_shards(scope)
+            record = lambda index, value: session.record_shard(  # noqa: E731
+                scope, index, value
+            )
         workers = min(self.workers, len(tasks))
         serial = workers <= 1 or self.backend == "serial"
-        if serial and retry is None and on_failure == "raise":
+        if serial and retry is None and on_failure == "raise" and session is None:
             # The serial path is the pre-parallel code path: the parent
             # budget is consumed directly (no slicing) and metrics go
             # straight to the active registry.
@@ -406,16 +447,19 @@ class WorkerPool:
             )
 
         if serial:
-            # Same inline semantics, plus the retry loop / salvage
-            # bookkeeping: the parent budget is consumed directly, so
-            # there is nothing to slice or charge back, and the worker
-            # fault sites stay silent (no pool actually fans out).
+            # Same inline semantics, plus the retry loop / salvage /
+            # checkpoint bookkeeping: the parent budget is consumed
+            # directly, so there is nothing to slice or charge back, and
+            # the worker fault sites stay silent (no pool actually fans
+            # out).
             outcomes = self._drive(
                 lambda index: tasks[index](budget),
                 len(tasks),
                 retry,
                 submit=None,
                 check_faults=False,
+                resumed=resumed,
+                record=record,
             )
             return self._finalize(outcomes, on_failure)
 
@@ -444,6 +488,8 @@ class WorkerPool:
                         max_steps=shares[index],
                         check_interval=budget._check_interval,
                         _deadline_at=budget._deadline_at,
+                        preemptible=budget.preemptible,
+                        stage=budget.stage,
                     )
                 )
             started[index] = True
@@ -475,9 +521,12 @@ class WorkerPool:
                 retry,
                 submit=lambda index: executor.submit(attempt, index),
                 check_faults=True,
+                resumed=resumed,
+                record=record,
             )
         for outcome in outcomes:
-            outcome.steps = spent[outcome.index]
+            if outcome.attempts:
+                outcome.steps = spent[outcome.index]
 
         # Deterministic joins: metrics deltas and step charge-back fold in
         # task-index order whether or not a task failed (a failed shard's
@@ -526,6 +575,17 @@ class WorkerPool:
         items = list(items)
         if not items:
             return []
+        session = active_checkpoint_session()
+        if session is not None and not session.on_owner_thread():
+            session = None
+        resumed: dict = {}
+        record: "Optional[Callable[[int, Any], None]]" = None
+        if session is not None:
+            scope = session.next_shard_scope(len(items))
+            resumed = session.resumed_shards(scope)
+            record = lambda index, value: session.record_shard(  # noqa: E731
+                scope, index, value
+            )
         workers = min(self.workers, len(items))
 
         def attempt(index: int) -> R:
@@ -533,7 +593,13 @@ class WorkerPool:
 
         if workers <= 1 or self.backend == "serial":
             outcomes = self._drive(
-                attempt, len(items), retry, submit=None, check_faults=False
+                attempt,
+                len(items),
+                retry,
+                submit=None,
+                check_faults=False,
+                resumed=resumed,
+                record=record,
             )
         elif self.backend == "process":
             with ProcessPoolExecutor(max_workers=workers) as executor:
@@ -546,6 +612,8 @@ class WorkerPool:
                     retry,
                     submit=lambda index: executor.submit(fn, items[index]),
                     check_faults=True,
+                    resumed=resumed,
+                    record=record,
                 )
         else:
             with ThreadPoolExecutor(max_workers=workers) as executor:
@@ -555,5 +623,7 @@ class WorkerPool:
                     retry,
                     submit=lambda index: executor.submit(fn, items[index]),
                     check_faults=True,
+                    resumed=resumed,
+                    record=record,
                 )
         return self._finalize(outcomes, on_failure)

@@ -39,14 +39,21 @@ from .pool import ParallelError, WorkerPool
 
 __all__ = ["run_per_cluster_shards", "run_count_many_shards"]
 
-#: ``(remaining_seconds, max_steps)`` — all a child needs to rebuild a slice.
-_BudgetParams = Optional[Tuple[Optional[float], Optional[int]]]
+#: ``(remaining_seconds, max_steps, preemptible, stage)`` — all a child
+#: needs to rebuild a slice, including the soft-exhaustion mode so a
+#: preemptible parent's shard suspends (resumable) rather than dies.
+_BudgetParams = Optional[Tuple[Optional[float], Optional[int], bool, str]]
 
 
 def _slice_params(slice_budget: "Optional[EvaluationBudget]") -> _BudgetParams:
     if slice_budget is None:
         return None
-    return (slice_budget.remaining_seconds(), slice_budget.remaining_steps())
+    return (
+        slice_budget.remaining_seconds(),
+        slice_budget.remaining_steps(),
+        slice_budget.preemptible,
+        slice_budget.stage,
+    )
 
 
 def _ensure_picklable(obj: object, what: str) -> object:
@@ -89,11 +96,18 @@ def _run_in_child(fn, budget_params: _BudgetParams, want_metrics: bool):
     try:
         # Built after the registry is installed so the budget's captured
         # metrics hook points at the child registry.
+        # Older callers ship the 2-tuple form without the preemption
+        # fields; default those to the non-preemptible mode.
         budget = (
             None
             if budget_params is None
             else EvaluationBudget(
-                deadline=budget_params[0], max_steps=budget_params[1]
+                deadline=budget_params[0],
+                max_steps=budget_params[1],
+                preemptible=(
+                    budget_params[2] if len(budget_params) > 2 else False
+                ),
+                stage=budget_params[3] if len(budget_params) > 3 else "",
             )
         )
         result = fn(budget)
@@ -132,6 +146,11 @@ def _join_shards(
         if outcome.error is None:
             result, steps, snapshot = outcome.value
             outcome.value = result
+            if outcome.attempts == 0:
+                # Restored from a checkpoint: the recording run already
+                # paid (and charged) these steps — charging them again
+                # would make the resumed run re-pay for skipped work.
+                continue
             outcome.steps += steps
             spent += steps
             if registry is not None and snapshot is not None:

@@ -42,10 +42,11 @@ plan, never a caller's object.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..errors import EvaluationError, FragmentError
+from ..errors import EvaluationError, FragmentError, SuspendedError
 from ..logic.predicates import PredicateCollection
 from ..logic.syntax import (
     Add,
@@ -74,6 +75,7 @@ from ..logic.syntax import (
 )
 from ..obs import active_metrics
 from ..robust.budget import EvaluationBudget
+from ..robust.checkpoint import StratumRecord, active_checkpoint_session
 from ..robust.faults import fault_check
 from ..structures.gaifman import distances_from
 from ..structures.signature import RelationSymbol, Signature
@@ -184,11 +186,12 @@ class ExecutionState:
 
     # -- Theorem 6.10 stratification: planned path --------------------------------
 
-    def apply_materialise_step(self, step: MaterialiseStep) -> None:
+    def apply_materialise_step(self, step: MaterialiseStep) -> Set[Tup]:
         """Execute one compiled materialisation step: evaluate the predicate
         atom everywhere and extend the structure by the plan's auxiliary
         relation.  Memos survive (aux relations are <=1-ary: no new Gaifman
-        edges, no change to existing relations)."""
+        edges, no change to existing relations).  Returns the materialised
+        tuples so callers (the checkpoint machinery) can record the stratum."""
         if step.symbol in self.structure.signature:
             raise EvaluationError(
                 f"plan symbol {step.symbol!r} already present; "
@@ -218,6 +221,29 @@ class ExecutionState:
             self.structure,
             Signature([RelationSymbol(step.symbol, step.arity)]),
             {step.symbol: tuples},
+        )
+        return tuples
+
+    def apply_recorded_stratum(
+        self, step: MaterialiseStep, tuples: Iterable[Tup]
+    ) -> None:
+        """Replay a checkpointed stratum: extend the structure by the
+        recorded auxiliary relation without re-querying the predicate
+        oracle and without paying budget ticks (the recording run already
+        paid for this work — that is the whole point of resuming)."""
+        if step.symbol in self.structure.signature:
+            raise EvaluationError(
+                f"plan symbol {step.symbol!r} already present; "
+                "was this plan compiled for a different signature?"
+            )
+        from ..structures.operations import expansion
+
+        if self._metrics is not None:
+            self._metrics.inc("checkpoint.stratum.replayed")
+        self.structure = expansion(
+            self.structure,
+            Signature([RelationSymbol(step.symbol, step.arity)]),
+            {step.symbol: set(tuples)},
         )
 
     # -- Theorem 6.10 stratification: dynamic path --------------------------------
@@ -770,6 +796,66 @@ class ExecutionState:
         for _ in self._assignments(tuple(variables), conjuncts, env):
             yield tuple(env[v] for v in variables)
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def export_memo_snapshot(self) -> List[Tuple]:
+        """Serialise the satisfaction/count memos in an id-free form.
+
+        Memo keys are ``id(node)``-based (see the module docstring), which
+        cannot survive a process boundary; entries are therefore exported
+        keyed by the node's *pretty* text — parser-compatible concrete
+        syntax, so identical text implies identical formula — and re-keyed
+        against fresh nodes on restore.
+        """
+        from ..logic.printer import pretty
+
+        texts: Dict[int, str] = {}
+
+        def text(node_id: int) -> str:
+            cached = texts.get(node_id)
+            if cached is None:
+                cached = pretty(self._pins[node_id])
+                texts[node_id] = cached
+            return cached
+
+        entries: List[Tuple] = []
+        for (node_id, relevant), value in self._holds_memo.items():
+            entries.append(("holds", text(node_id), relevant, value))
+        for (node_id, variables, relevant), value in self._count_memo.items():
+            entries.append(("count", text(node_id), variables, relevant, value))
+        return entries
+
+    def restore_memo_snapshot(
+        self,
+        entries: Iterable[Tuple],
+        nodes_by_pretty: Dict[str, Expression],
+    ) -> int:
+        """Re-key exported memo entries onto this state's live nodes.
+
+        Entries whose text matches no known node are dropped — pure cache
+        loss, never wrong values: identical pretty text means identical
+        formula, and for a fixed structure the memoised value is a function
+        of the formula and its relevant bindings.
+        """
+        restored = 0
+        for entry in entries:
+            node = nodes_by_pretty.get(entry[1])
+            if node is None:
+                continue
+            if entry[0] == "holds":
+                _, _, relevant, value = entry
+                self._holds_memo[(id(node), relevant)] = value
+            elif entry[0] == "count":
+                _, _, variables, relevant, value = entry
+                self._count_memo[(id(node), variables, relevant)] = value
+            else:
+                continue
+            self._pins[id(node)] = node
+            restored += 1
+        if restored and self._metrics is not None:
+            self._metrics.inc("checkpoint.memo.restored", restored)
+        return restored
+
 
 class PlanExecutor:
     """Run one compiled plan against one structure.
@@ -802,42 +888,161 @@ class PlanExecutor:
             plan,
         )
         self._prepared = False
+        # Checkpoint session (preemptible runs only).  Consulted only from
+        # the thread that installed it: pool worker threads run their own
+        # executors un-checkpointed, their progress is captured at shard
+        # granularity by the pool itself.
+        session = active_checkpoint_session()
+        if session is not None and not session.on_owner_thread():
+            session = None
+        self._session = session
+        # The content key for this (structure, plan) pair — computed while
+        # the structure is still un-expanded, so a resumed executor over
+        # the same inputs derives the same key.
+        self._ckpt_key = (
+            self._content_key(structure) if session is not None else ""
+        )
+
+    def _content_key(self, structure: Structure) -> str:
+        """Digest identifying this (structure, plan) execution context.
+
+        Identical key ⇒ extensionally identical structure and identical
+        compiled plan ⇒ any recorded stratum or memo entry restores to
+        exactly the value this executor would recompute.
+        """
+        from ..logic.printer import pretty
+        from ..robust.checkpoint import structure_digest
+
+        hasher = hashlib.sha256()
+        hasher.update(structure_digest(structure).encode())
+        hasher.update(b"|")
+        hasher.update(self.plan.kind.encode())
+        hasher.update(repr(self.plan.options).encode())
+        hasher.update(repr(self.plan.variables).encode())
+        for root in self.plan.roots:
+            hasher.update(pretty(root).encode())
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def _restore_nodes(self) -> Dict[str, Expression]:
+        """Every plan-owned node a memo entry could re-attach to, by text."""
+        from ..logic.printer import pretty
+
+        nodes: Dict[str, Expression] = {}
+
+        def add(node: Expression) -> None:
+            for sub in subexpressions(node):
+                nodes.setdefault(pretty(sub), sub)
+
+        for root in self.plan.roots:
+            add(root)
+        for step in self.plan.counts.values():
+            for attr in ("inner", "left", "right", "overlap", "rewritten"):
+                child = getattr(step, attr, None)
+                if child is not None:
+                    add(child)
+            for gate in getattr(step, "gates", ()):
+                add(gate)
+            for component in getattr(step, "components", ()):
+                # (guards are GuardSpec annotations, not AST nodes — only
+                # the conjuncts can carry memo entries)
+                for conjunct in component.conjuncts:
+                    add(conjunct)
+        return nodes
+
+    def _checkpoint_memos(self) -> None:
+        if self._session is not None:
+            self._session.record_memo(
+                self._ckpt_key, self.state.export_memo_snapshot()
+            )
+
+    def _run(self, thunk):
+        """Run one plan runner, checkpointing memos on the way out —
+        both on success (a later executor in the same run may suspend)
+        and on suspension (the resumed run restores them)."""
+        if self._session is None:
+            return thunk()
+        try:
+            result = thunk()
+        except SuspendedError:
+            self._checkpoint_memos()
+            raise
+        self._checkpoint_memos()
+        return result
 
     def prepare(self) -> None:
-        """Execute the materialisation steps (Theorem 6.10 stages) once."""
+        """Execute the materialisation steps (Theorem 6.10 stages) once.
+
+        Under an active checkpoint session, already-recorded strata are
+        replayed from the checkpoint (no oracle queries, no budget ticks),
+        newly computed strata are recorded, and restored memo entries are
+        re-attached once the structure is fully expanded.
+        """
         if self._prepared:
             return
-        for step in self.plan.steps:
-            self.state.apply_materialise_step(step)
+        session = self._session
+        if session is None:
+            for step in self.plan.steps:
+                self.state.apply_materialise_step(step)
+            self._prepared = True
+            return
+        key = self._ckpt_key
+        resumed = session.resumed_strata(key)
+        for index, step in enumerate(self.plan.steps):
+            record = resumed.get(index)
+            if record is not None and record.symbol == step.symbol:
+                self.state.apply_recorded_stratum(step, record.tuples)
+            else:
+                tuples = self.state.apply_materialise_step(step)
+                session.record_stratum(
+                    key,
+                    StratumRecord(
+                        index, step.symbol, step.arity, tuple(sorted(tuples))
+                    ),
+                )
+        entries = session.resumed_memo(key)
+        if entries:
+            self.state.restore_memo_snapshot(entries, self._restore_nodes())
         self._prepared = True
 
     # -- one runner per plan kind -------------------------------------------------
 
     def model_check(self) -> bool:
-        self.prepare()
-        return self.state.holds(self.plan.roots[0], {})
+        return self._run(
+            lambda: (self.prepare(), self.state.holds(self.plan.roots[0], {}))[1]
+        )
 
     def count_value(self) -> int:
-        self.prepare()
-        return self.state.count(self.plan.variables, self.plan.roots[0], {})
+        return self._run(
+            lambda: (
+                self.prepare(),
+                self.state.count(self.plan.variables, self.plan.roots[0], {}),
+            )[1]
+        )
 
     def ground_term_value(self) -> int:
-        self.prepare()
-        return self.state.term_value(self.plan.roots[0], {})
+        return self._run(
+            lambda: (self.prepare(), self.state.term_value(self.plan.roots[0], {}))[1]
+        )
 
     def unary_term_values(
         self,
         variable: Variable,
         elements: "Optional[Sequence[Element]]" = None,
     ) -> Dict[Element, int]:
-        self.prepare()
-        targets = (
-            list(elements)
-            if elements is not None
-            else list(self.state.structure.universe_order)
-        )
-        root = self.plan.roots[0]
-        return {a: self.state.term_value(root, {variable: a}) for a in targets}
+        def run() -> Dict[Element, int]:
+            self.prepare()
+            targets = (
+                list(elements)
+                if elements is not None
+                else list(self.state.structure.universe_order)
+            )
+            root = self.plan.roots[0]
+            return {
+                a: self.state.term_value(root, {variable: a}) for a in targets
+            }
+
+        return self._run(run)
 
     def solutions(self) -> Iterator[Tuple[Element, ...]]:
         self.prepare()
@@ -846,14 +1051,18 @@ class PlanExecutor:
     def query_rows(self) -> List[Tuple]:
         """Rows of an FOC1(P)-query plan: roots are ``(condition, *head
         terms)``, variables the head variables."""
-        self.prepare()
-        condition = self.plan.roots[0]
-        terms = self.plan.roots[1:]
-        results: List[Tuple] = []
-        for tup in self.state.solutions(self.plan.variables, condition):
-            assignment = dict(zip(self.plan.variables, tup))
-            values = tuple(
-                self.state.term_value(term, assignment) for term in terms
-            )
-            results.append(tup + values)
-        return results
+
+        def run() -> List[Tuple]:
+            self.prepare()
+            condition = self.plan.roots[0]
+            terms = self.plan.roots[1:]
+            results: List[Tuple] = []
+            for tup in self.state.solutions(self.plan.variables, condition):
+                assignment = dict(zip(self.plan.variables, tup))
+                values = tuple(
+                    self.state.term_value(term, assignment) for term in terms
+                )
+                results.append(tup + values)
+            return results
+
+        return self._run(run)

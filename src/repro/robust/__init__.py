@@ -12,21 +12,35 @@ The pieces:
   cascade paying for a persistently failing stage;
 * :mod:`repro.robust.partial` — :class:`PartialResult`, the structured
   salvaged answer (completed shards + coverage fraction);
+* :mod:`repro.robust.checkpoint` — :class:`Checkpoint` and
+  :class:`CheckpointSession`, the suspend/resume machinery behind
+  preemptible budgets (versioned, integrity-hashed, crash-consistent
+  persistence of resumable evaluation state);
 * :mod:`repro.robust.guard` — :class:`RobustEvaluator`, a façade running
   the fallback cascade *main algorithm → FOC1 engine → brute force* with
   per-stage budget slices and a structured :class:`RobustReport`.
 
-``budget``, ``faults``, ``retry``, ``breaker`` and ``partial`` are leaf
-modules (they depend only on :mod:`repro.errors`) so the instrumented
-production modules can import them freely.  ``guard`` sits on top of the
-whole engine stack and is loaded lazily (PEP 562) to keep this package
-importable from inside those low-level modules without an import cycle.
+``budget``, ``faults``, ``retry``, ``breaker``, ``partial`` and
+``checkpoint`` are leaf modules (they depend only on :mod:`repro.errors`
+and each other) so the instrumented production modules can import them
+freely.  ``guard`` sits on top of the whole engine stack and is loaded
+lazily (PEP 562) to keep this package importable from inside those
+low-level modules without an import cycle.
 """
 
 from __future__ import annotations
 
 from .breaker import BreakerOpenError, CircuitBreaker
 from .budget import EvaluationBudget
+from .checkpoint import (
+    Checkpoint,
+    CheckpointSession,
+    StratumRecord,
+    active_checkpoint_session,
+    checkpoint_session,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .faults import (
     FAULT_SITES,
     PARALLEL_FAULT_SITES,
@@ -40,6 +54,8 @@ from .retry import RetryPolicy
 
 __all__ = [
     "BreakerOpenError",
+    "Checkpoint",
+    "CheckpointSession",
     "CircuitBreaker",
     "EvaluationBudget",
     "FAULT_SITES",
@@ -51,9 +67,14 @@ __all__ = [
     "RobustReport",
     "ShardFailure",
     "StageReport",
+    "StratumRecord",
+    "active_checkpoint_session",
     "active_injector",
+    "checkpoint_session",
     "fault_check",
     "inject_faults",
+    "load_checkpoint",
+    "save_checkpoint",
 ]
 
 _GUARD_NAMES = {"RobustEvaluator", "RobustReport", "StageReport"}

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, SuspendedError
 from ..obs import active_metrics
 
 __all__ = ["EvaluationBudget"]
@@ -56,6 +56,19 @@ class EvaluationBudget:
     check_interval:
         How many ticks between wall-clock checks (the step limit is checked
         on every tick).
+    preemptible:
+        Soft-exhaustion mode.  With the default ``False``, exhaustion
+        raises the fatal :class:`~repro.errors.BudgetExceededError`; with
+        ``True`` it raises the *resumable*
+        :class:`~repro.errors.SuspendedError` instead — the budget is a
+        scheduling quantum, and the evaluation is suspended for a later
+        resume (see :mod:`repro.robust.checkpoint`) rather than killed.
+        Slices and splits inherit the mode, so a preemptible pipeline
+        suspends end to end.
+    stage:
+        Optional label naming the pipeline stage this budget serves
+        (e.g. a cascade stage); carried on the raised error so reports
+        and logs can say *where* the budget died.
     """
 
     __slots__ = (
@@ -63,6 +76,8 @@ class EvaluationBudget:
         "max_steps",
         "steps",
         "started_at",
+        "preemptible",
+        "stage",
         "_deadline_at",
         "_check_interval",
         "_countdown",
@@ -75,6 +90,8 @@ class EvaluationBudget:
         max_steps: "Optional[int]" = None,
         check_interval: int = _CHECK_INTERVAL,
         _deadline_at: "Optional[float]" = None,
+        preemptible: bool = False,
+        stage: str = "",
     ):
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be non-negative")
@@ -85,6 +102,8 @@ class EvaluationBudget:
         self.deadline = deadline
         self.max_steps = max_steps
         self.steps = 0
+        self.preemptible = preemptible
+        self.stage = stage
         self.started_at = time.monotonic()
         if _deadline_at is not None:
             self._deadline_at = _deadline_at
@@ -184,6 +203,8 @@ class EvaluationBudget:
             max_steps=child_steps,
             check_interval=self._check_interval,
             _deadline_at=child_deadline_at,
+            preemptible=self.preemptible,
+            stage=self.stage,
         )
 
     def split(self, shards: int) -> "list[EvaluationBudget]":
@@ -212,6 +233,8 @@ class EvaluationBudget:
                 max_steps=child_steps,
                 check_interval=self._check_interval,
                 _deadline_at=self._deadline_at,
+                preemptible=self.preemptible,
+                stage=self.stage,
             )
             for _ in range(shards)
         ]
@@ -222,8 +245,15 @@ class EvaluationBudget:
         Unlike :meth:`tick` this never raises mid-accounting for the
         deadline, only for the step limit — charging is bookkeeping after
         the fact, and the next tick will observe the deadline anyway.
+        Preemptible budgets never raise from ``charge`` at all: charging
+        happens while joining already-finished work (shard results that
+        must not be lost to a mid-merge suspension); the following
+        :meth:`tick` or :meth:`check` observes the overdraft and suspends
+        at a clean boundary.
         """
         self.steps += steps
+        if self.preemptible:
+            return
         if self.max_steps is not None and self.steps > self.max_steps:
             self._exhaust("steps", site)
 
@@ -242,6 +272,25 @@ class EvaluationBudget:
             )
         if site:
             message += f" (at {site})"
+        if self.stage:
+            message += f" (stage {self.stage})"
+        remaining = (
+            None
+            if self._deadline_at is None
+            else max(0.0, self._deadline_at - time.monotonic())
+        )
+        if self.preemptible:
+            raise SuspendedError(
+                "suspended: " + message,
+                reason=reason,
+                site=site,
+                steps=self.steps,
+                elapsed=elapsed,
+                max_steps=self.max_steps,
+                deadline=self.deadline,
+                deadline_remaining=remaining,
+                stage=self.stage,
+            )
         raise BudgetExceededError(
             message,
             reason=reason,
@@ -250,6 +299,8 @@ class EvaluationBudget:
             elapsed=elapsed,
             max_steps=self.max_steps,
             deadline=self.deadline,
+            deadline_remaining=remaining,
+            stage=self.stage,
         )
 
     def __repr__(self) -> str:

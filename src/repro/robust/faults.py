@@ -62,6 +62,8 @@ FAULT_SITES = (
     "worker.task",
     "worker.join",
     "shard.result",
+    "checkpoint.save",
+    "checkpoint.restore",
 )
 
 #: The parallel-layer sites, checked by :class:`~repro.parallel.WorkerPool`

@@ -42,7 +42,7 @@ from ..core.clterms import BasicClTerm
 from ..core.evaluator import Foc1Evaluator
 from ..core.main_algorithm import MainAlgorithmStats, evaluate_unary_main_algorithm
 from ..core.query import Foc1Query
-from ..errors import BudgetExceededError, ReproError
+from ..errors import BudgetExceededError, ReproError, SuspendedError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Formula, Term, Variable
 from ..obs import active_metrics, span
@@ -51,6 +51,7 @@ from ..plan.cache import PlanCache
 from ..structures.structure import Element, Structure
 from .breaker import CircuitBreaker
 from .budget import EvaluationBudget
+from .checkpoint import active_checkpoint_session
 from .partial import PartialResult, validate_failure_mode
 from .retry import RetryPolicy
 
@@ -82,7 +83,22 @@ class StageReport:
             return f"{self.stage}: partial ({self.detail})"
         if self.status == "failed":
             return f"{self.stage}: failed [{self.error_type}] {self.error}"
+        if self.status == "suspended":
+            return f"{self.stage}: suspended ({self.detail})"
         return f"{self.stage}: skipped ({self.detail})"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe view of this stage outcome (for ``--report-json``)."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "detail": self.detail,
+            "error_type": self.error_type,
+            "error": self.error,
+            "elapsed": self.elapsed,
+            "steps": self.steps,
+            "metrics": dict(self.metrics) if self.metrics else None,
+        }
 
 
 @dataclass
@@ -126,6 +142,54 @@ class RobustReport:
             head += f" (partial, coverage {self.partial.coverage:.1%})"
         parts = "; ".join(s.summary() for s in self.stages)
         return f"{head} ({parts})"
+
+    def to_dict(
+        self,
+        breaker: "Optional[CircuitBreaker]" = None,
+        checkpoint: "Optional[Dict[str, object]]" = None,
+    ) -> Dict[str, object]:
+        """JSON-safe view of the whole report (for ``--report-json``).
+
+        ``breaker`` adds per-stage circuit states; ``checkpoint`` attaches
+        suspension/resume info (as produced by ``Checkpoint.to_dict``).
+        """
+        partial = None
+        if self.partial is not None:
+            partial = {
+                "coverage": self.partial.coverage,
+                "covered": self.partial.covered,
+                "expected": self.partial.expected,
+                "failures": [
+                    {
+                        "shard": f.shard,
+                        "items": len(f.items),
+                        "error_type": f.error_type,
+                        "error": f.error,
+                        "attempts": f.attempts,
+                    }
+                    for f in self.partial.failures
+                ],
+            }
+        breakers = None
+        if breaker is not None:
+            breakers = {
+                s.stage: {
+                    "state": breaker.state(s.stage),
+                    "consecutive_failures": breaker.failures(s.stage),
+                }
+                for s in self.stages
+            }
+        return {
+            "schema": "repro-robust-report/1",
+            "operation": self.operation,
+            "answered_by": self.answered_by,
+            "elapsed": self.elapsed,
+            "steps": self.steps,
+            "stages": [s.to_dict() for s in self.stages],
+            "partial": partial,
+            "breakers": breakers,
+            "checkpoint": checkpoint,
+        }
 
 
 # A stage is (name, thunk) where thunk(budget) computes the exact answer,
@@ -412,7 +476,38 @@ class RobustEvaluator:
         runnable_left = sum(1 for _, fn, _ in stages if fn is not None)
         registry = active_metrics()
 
+        # Resuming a suspended cascade: re-enter the stage the previous
+        # quantum was suspended in.  Earlier stages already had their
+        # outcome (failed or skipped) decided in that quantum — re-running
+        # them would re-pay known failures — so they are recorded as
+        # resume-skips without a budget slice or a breaker update.
+        session = active_checkpoint_session()
+        if session is not None and not session.on_owner_thread():
+            session = None
+        resume_past: set = set()
+        if session is not None:
+            resume_stage = session.consume_resume_stage()
+            stage_names = [name for name, _, _ in stages]
+            if resume_stage in stage_names:
+                resume_past = set(stage_names[: stage_names.index(resume_stage)])
+
         for name, fn, skip_reason in stages:
+            if fn is not None and name in resume_past:
+                runnable_left -= 1
+                if registry is not None:
+                    registry.inc(f"robust.stage.{name}.skipped")
+                    registry.inc("robust.resume.skipped")
+                report.stages.append(
+                    StageReport(
+                        name,
+                        "skipped",
+                        detail=(
+                            "resumed: outcome decided before the previous "
+                            "suspension"
+                        ),
+                    )
+                )
+                continue
             if fn is None:
                 if registry is not None:
                     registry.inc(f"robust.stage.{name}.skipped")
@@ -453,6 +548,10 @@ class RobustEvaluator:
                 continue
 
             stage_budget = self._slice_for(runnable_left)
+            if stage_budget is not None:
+                stage_budget.stage = name
+            if session is not None:
+                session.record_stage(name)
             runnable_left -= 1
             stage_started = time.monotonic()
             entry = StageReport(name, "failed")
@@ -460,6 +559,33 @@ class RobustEvaluator:
             try:
                 with span(f"robust.stage.{name}"):
                     answer = fn(stage_budget)
+            except SuspendedError as error:
+                # Suspension is the quantum boundary of a preemptible run,
+                # not a stage failure: the breaker must not trip (the stage
+                # will resume, not fall back) and the cascade re-raises
+                # after finalising the report for this quantum.
+                entry.status = "suspended"
+                entry.detail = str(error)
+                entry.elapsed = time.monotonic() - stage_started
+                if stage_budget is not None:
+                    entry.steps = stage_budget.steps
+                    self._charge_parent(stage_budget.steps, name)
+                if registry is not None:
+                    entry.metrics = {
+                        key: value - before.get(key, 0)
+                        for key, value in registry.counters.items()
+                        if value != before.get(key, 0)
+                    }
+                    registry.inc(f"robust.stage.{name}.suspended")
+                report.stages.append(entry)
+                report.elapsed = time.monotonic() - started
+                report.steps = (
+                    self.budget.steps
+                    if self.budget is not None
+                    else sum(s.steps for s in report.stages)
+                )
+                self.last_report = report
+                raise
             except self.catch as error:
                 entry.status = "failed"
                 entry.error_type = type(error).__name__

@@ -38,7 +38,7 @@ import random
 import time
 from typing import Callable, Tuple
 
-from ..errors import BudgetExceededError, ReproError
+from ..errors import BudgetExceededError, ReproError, SuspendedError
 
 __all__ = ["RetryPolicy"]
 
@@ -70,7 +70,10 @@ class RetryPolicy:
         Exception types eligible for retry.
     no_retry:
         Exception types never retried even when matched by ``retry_on``
-        (default: :class:`BudgetExceededError`; see the module docstring).
+        (default: :class:`BudgetExceededError` and
+        :class:`~repro.errors.SuspendedError` — a suspension is not a
+        failure, it is the quantum boundary of a preemptible run; see the
+        module docstring).
     sleep:
         The sleep hook (default :func:`time.sleep`); tests inject a
         recorder here.
@@ -97,7 +100,7 @@ class RetryPolicy:
         jitter: float = 0.1,
         seed: int = 0,
         retry_on: Tuple[type, ...] = (ReproError,),
-        no_retry: Tuple[type, ...] = (BudgetExceededError,),
+        no_retry: Tuple[type, ...] = (BudgetExceededError, SuspendedError),
         sleep: "Callable[[float], None]" = time.sleep,
     ):
         if retries < 0:

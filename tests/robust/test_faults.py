@@ -22,6 +22,8 @@ class TestRegistry:
             "worker.task",
             "worker.join",
             "shard.result",
+            "checkpoint.save",
+            "checkpoint.restore",
         )
 
     def test_parallel_sites_are_registered(self):

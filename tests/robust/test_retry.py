@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.errors import BudgetExceededError, FaultInjectedError, ReproError
+from repro.errors import (
+    BudgetExceededError,
+    FaultInjectedError,
+    ReproError,
+    SuspendedError,
+)
 from repro.robust import RetryPolicy
 
 
@@ -11,7 +16,7 @@ class TestConstruction:
         policy = RetryPolicy()
         assert policy.retries == 2
         assert policy.base_delay == 0.0
-        assert policy.no_retry == (BudgetExceededError,)
+        assert policy.no_retry == (BudgetExceededError, SuspendedError)
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):

@@ -1,6 +1,7 @@
 """Tests for structure I/O and the command-line interface."""
 
 import json
+import os
 import subprocess
 import sys
 
@@ -421,3 +422,192 @@ class TestCliRobustness:
             len({EXIT_OK, EXIT_BAD_INPUT, EXIT_INTERNAL, EXIT_BUDGET, EXIT_PARTIAL})
             == 5
         )
+
+
+class TestCliPreemption:
+    """Suspend/resume contract: exit 6, checkpoint on disk, identical
+    output after resume; --report-json schema; budget-flag validation."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        target = tmp_path / "graph.txt"
+        target.write_text("1 2\n2 3\n3 4\n4 1\n1 3\n2 4\n")
+        return str(target)
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+
+    QUERY = ("count", "E(x, y) & E(y, z)", "--vars", "x", "y", "z")
+
+    def _query(self, graph_file, *extra):
+        cmd, formula, *rest = self.QUERY
+        return self._run(cmd, graph_file, formula, *rest, *extra)
+
+    def test_suspend_exits_6_and_writes_checkpoint(self, graph_file, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        result = self._query(
+            graph_file, "--max-steps", "10", "--checkpoint", ckpt
+        )
+        assert result.returncode == 6, result.stderr
+        assert result.stdout == ""  # no half answer on stdout
+        assert "# suspended:" in result.stderr
+        assert f"--resume {ckpt}" in result.stderr
+        assert os.path.exists(ckpt)
+
+    def test_resume_completes_with_identical_output(self, graph_file, tmp_path):
+        expected = self._query(graph_file)
+        assert expected.returncode == 0, expected.stderr
+        ckpt = str(tmp_path / "run.ckpt")
+        first = self._query(
+            graph_file, "--max-steps", "10", "--checkpoint", ckpt
+        )
+        assert first.returncode == 6, first.stderr
+        resumed = self._query(
+            graph_file, "--max-steps", "100000", "--resume", ckpt
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == expected.stdout
+
+    def test_repeated_quantum_suspensions_still_converge(
+        self, graph_file, tmp_path
+    ):
+        # Resume under the SAME tiny quantum: each round suspends again and
+        # rewrites the checkpoint until the restored state carries the run
+        # over the line — the multi-quantum CLI path of the differential
+        # suite.  The quantum doubles only if a round records no progress.
+        expected = self._query(graph_file)
+        ckpt = str(tmp_path / "run.ckpt")
+        quantum = 10
+        result = self._query(
+            graph_file, "--max-steps", str(quantum), "--checkpoint", ckpt
+        )
+        assert result.returncode == 6, result.stderr
+        suspensions = 1
+        for _ in range(40):
+            result = self._query(
+                graph_file, "--max-steps", str(quantum), "--resume", ckpt
+            )
+            if result.returncode == 0:
+                break
+            assert result.returncode == 6, result.stderr
+            suspensions += 1
+            quantum *= 2
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == expected.stdout
+        assert suspensions >= 2
+
+    def test_resume_against_different_query_is_rejected(
+        self, graph_file, tmp_path
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        first = self._query(
+            graph_file, "--max-steps", "10", "--checkpoint", ckpt
+        )
+        assert first.returncode == 6, first.stderr
+        other = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y",
+            "--resume", ckpt,
+        )
+        assert other.returncode == 2, other.stderr
+        assert "different query or structure" in other.stderr
+
+    def test_resume_from_corrupt_checkpoint_exits_2(self, graph_file, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        ckpt.write_text("this is not a checkpoint\n")
+        result = self._query(graph_file, "--resume", str(ckpt))
+        assert result.returncode == 2, result.stderr
+        assert "error:" in result.stderr
+        assert "not a checkpoint" in result.stderr
+
+    @pytest.mark.parametrize(
+        "flags", [("--timeout", "0"), ("--max-steps", "0")]
+    )
+    def test_zero_limits_are_bad_input(self, graph_file, flags):
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y", *flags
+        )
+        assert result.returncode == 2, result.stderr
+        assert "must be a positive" in result.stderr
+
+    def test_zero_limits_rejected_in_process(self, graph_file, capsys):
+        import repro.__main__ as cli
+
+        code = cli.main(
+            ["count", graph_file, "E(x, y)", "--vars", "x", "y",
+             "--max-steps", "0"]
+        )
+        assert code == 2
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_report_json_requires_robust_engine(self, graph_file, tmp_path):
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y",
+            "--report-json", str(tmp_path / "r.json"),
+        )
+        assert result.returncode == 2, result.stderr
+        assert "--report-json requires --engine robust" in result.stderr
+
+    def test_report_json_schema(self, graph_file, tmp_path):
+        path = tmp_path / "report.json"
+        result = self._run(
+            "count", graph_file, "E(x, y)", "--vars", "x", "y",
+            "--engine", "robust", "--report-json", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro-robust-report/1"
+        assert report["operation"] == "count"
+        assert report["answered_by"] == "foc1"
+        assert report["partial"] is None
+        assert report["checkpoint"] is None
+        stages = {s["stage"]: s for s in report["stages"]}
+        assert set(stages) == {"main_algorithm", "foc1", "baseline"}
+        assert stages["foc1"]["status"] == "ok"
+        assert report["breakers"]["foc1"]["state"] == "closed"
+        assert report["breakers"]["foc1"]["consecutive_failures"] == 0
+
+    def test_report_json_records_suspension_checkpoint(
+        self, graph_file, tmp_path
+    ):
+        path = tmp_path / "report.json"
+        ckpt = str(tmp_path / "run.ckpt")
+        result = self._query(
+            graph_file, "--engine", "robust", "--max-steps", "10",
+            "--checkpoint", ckpt, "--report-json", str(path),
+        )
+        assert result.returncode == 6, result.stderr
+        report = json.loads(path.read_text())
+        assert report["answered_by"] is None
+        info = report["checkpoint"]
+        assert info is not None
+        assert info["operation"] == "count"
+        assert info["suspensions"] == 1
+        assert info["steps_spent"] > 0
+        stages = {s["stage"]: s for s in report["stages"]}
+        assert stages["foc1"]["status"] == "suspended"
+
+    def test_six_exit_codes_are_distinct(self):
+        from repro.__main__ import (
+            EXIT_BAD_INPUT,
+            EXIT_BUDGET,
+            EXIT_INTERNAL,
+            EXIT_OK,
+            EXIT_PARTIAL,
+            EXIT_SUSPENDED,
+        )
+
+        codes = {
+            EXIT_OK,
+            EXIT_BAD_INPUT,
+            EXIT_INTERNAL,
+            EXIT_BUDGET,
+            EXIT_PARTIAL,
+            EXIT_SUSPENDED,
+        }
+        assert len(codes) == 6
+        assert EXIT_SUSPENDED == 6

@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr5.json``.
+a machine-readable ``BENCH_pr6.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -7,7 +7,7 @@ attaches to ``extra_info`` (see ``REPRO_BENCH_METRICS``), and condenses
 everything into a small, stable report::
 
     {
-      "schema": "repro-bench/5",
+      "schema": "repro-bench/6",
       "quick": true,
       "benchmarks": [
         {"name": "...", "module": "bench_covers", "mean_s": ..., ...,
@@ -28,6 +28,15 @@ everything into a small, stable report::
                                                "overhead": null},
                                               {"retries": 2, "mean_s": ...,
                                                "overhead": 1.01}]}]},
+      "resume_overhead": {"groups": [{"group": "unary/n=100",
+                                      "rows": [{"mode": "uninterrupted",
+                                                "mean_s": ..., "steps": S,
+                                                "overhead": null,
+                                                "wall_overhead": null},
+                                               {"mode": "resumed",
+                                                "mean_s": ..., "steps": S2,
+                                                "overhead": 1.002,
+                                                "wall_overhead": 1.31}]}]},
       "baseline_delta": {"file": "BENCH_pr4.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
@@ -55,6 +64,18 @@ Schema 5 adds the ``retry_overhead`` section: benchmarks tagged with
 this row's mean over the group's retries=0 mean — the cost of arming the
 retry machinery on a fault-free run, with < 1.05 as the acceptance
 target.
+
+Schema 6 adds the ``resume_overhead`` section: benchmarks tagged with
+``extra_info["preempt_group"]`` and ``extra_info["mode"]``
+(``benchmarks/bench_preempt.py``) are grouped, and each ``resumed`` row's
+*overhead* is its ``extra_info["steps"]`` (engine steps across both
+quanta) over the group's ``uninterrupted`` steps — the evaluation work
+re-done because of the suspension.  The target is <= 1.05x: restored
+strata/memo state must make the second quantum skip what the first one
+paid for.  ``wall_overhead`` (resumed mean over uninterrupted mean) is
+reported alongside; it additionally includes the constant checkpoint
+export/save/load/restore cost, so it exceeds the step ratio on small
+workloads.
 
 Usage::
 
@@ -84,7 +105,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/5"
+SCHEMA_NAME = "repro-bench/6"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -218,6 +239,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
     plan_total = plan_hits + plan_misses
     parallel = parallel_section(benchmarks)
     retry_overhead = retry_section(benchmarks)
+    resume_overhead = resume_section(benchmarks)
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -239,6 +261,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
         },
         "parallel": parallel,
         "retry_overhead": retry_overhead,
+        "resume_overhead": resume_overhead,
     }
     return report
 
@@ -343,6 +366,70 @@ def retry_table(retry_overhead: Dict) -> List[str]:
         lines.append(f"  {group['group']:<28} {cells}")
     if len(lines) == 1:
         lines.append("  (no retry-sweep benchmarks in this run)")
+    return lines
+
+
+def resume_section(benchmarks: List[Dict]) -> Dict:
+    """Fold the preemption benchmarks into a resume-overhead table.
+
+    Rows come from benchmarks that tagged ``extra_info`` with
+    ``preempt_group`` and ``mode`` (``"uninterrupted"`` or ``"resumed"``);
+    each group's uninterrupted row is the denominator.  ``overhead`` is
+    the step ratio (resumed steps / uninterrupted steps — the PR 6
+    acceptance target is <= 1.05x); ``wall_overhead`` is the wall-clock
+    ratio, which also carries the constant checkpoint I/O cost.
+    """
+    grouped: "Dict[str, List[Dict]]" = {}
+    for bench in benchmarks:
+        extra = bench.get("extra_info") or {}
+        group = extra.get("preempt_group")
+        mode = extra.get("mode")
+        if not isinstance(group, str) or mode not in (
+            "uninterrupted",
+            "resumed",
+        ):
+            continue
+        row = {"mode": mode, "mean_s": bench["mean_s"], "name": bench["name"]}
+        steps = extra.get("steps")
+        if isinstance(steps, int):
+            row["steps"] = steps
+        grouped.setdefault(group, []).append(row)
+    groups = []
+    for group in sorted(grouped):
+        rows = sorted(grouped[group], key=lambda row: row["mode"], reverse=True)
+        plain = next(
+            (r for r in rows if r["mode"] == "uninterrupted"), None
+        )
+        for row in rows:
+            row["overhead"] = None
+            row["wall_overhead"] = None
+            if row["mode"] != "resumed" or plain is None:
+                continue
+            base_steps = plain.get("steps")
+            if base_steps and isinstance(row.get("steps"), int):
+                row["overhead"] = row["steps"] / base_steps
+            if plain["mean_s"] > 0 and row["mean_s"] > 0:
+                row["wall_overhead"] = row["mean_s"] / plain["mean_s"]
+        groups.append({"group": group, "rows": rows})
+    return {"groups": groups}
+
+
+def resume_table(resume_overhead: Dict) -> List[str]:
+    """A printable resumed-vs-uninterrupted overhead table."""
+    lines = ["resume overhead (re-done steps after suspend; target <= 1.05x)"]
+    for group in resume_overhead.get("groups", []):
+        cells = []
+        for row in group["rows"]:
+            if row.get("overhead") is not None:
+                cell = f"{row['mode']}: {row['overhead']:.3f}x steps"
+                if row.get("wall_overhead") is not None:
+                    cell += f" ({row['wall_overhead']:.2f}x wall)"
+            else:
+                cell = f"{row['mode']}: {row['mean_s'] * 1e3:.3f}ms"
+            cells.append(cell)
+        lines.append(f"  {group['group']:<28} {', '.join(cells)}")
+    if len(lines) == 1:
+        lines.append("  (no preemption benchmarks in this run)")
     return lines
 
 
@@ -588,6 +675,56 @@ def validate_report(report: Dict) -> List[str]:
                     or (isinstance(overhead, (int, float)) and overhead >= 0),
                     f"{where_row}.overhead must be null or non-negative",
                 )
+    resume_overhead = report.get("resume_overhead")
+    check(isinstance(resume_overhead, dict), "resume_overhead must be an object")
+    if isinstance(resume_overhead, dict):
+        groups = resume_overhead.get("groups")
+        check(isinstance(groups, list), "resume_overhead.groups must be a list")
+        for i, group in enumerate(groups or []):
+            where = f"resume_overhead.groups[{i}]"
+            if not isinstance(group, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            check(
+                isinstance(group.get("group"), str) and group["group"],
+                f"{where}.group must be a non-empty string",
+            )
+            rows = group.get("rows")
+            check(
+                isinstance(rows, list) and rows,
+                f"{where}.rows must be a non-empty list",
+            )
+            for j, row in enumerate(rows or []):
+                where_row = f"{where}.rows[{j}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where_row} must be an object")
+                    continue
+                check(
+                    row.get("mode") in ("uninterrupted", "resumed"),
+                    f"{where_row}.mode must be 'uninterrupted' or 'resumed'",
+                )
+                mean = row.get("mean_s")
+                check(
+                    isinstance(mean, (int, float)) and mean >= 0,
+                    f"{where_row}.mean_s must be a non-negative number",
+                )
+                overhead = row.get("overhead")
+                check(
+                    overhead is None
+                    or (isinstance(overhead, (int, float)) and overhead >= 0),
+                    f"{where_row}.overhead must be null or non-negative",
+                )
+                wall = row.get("wall_overhead")
+                check(
+                    wall is None
+                    or (isinstance(wall, (int, float)) and wall >= 0),
+                    f"{where_row}.wall_overhead must be null or non-negative",
+                )
+                steps = row.get("steps")
+                check(
+                    steps is None or (isinstance(steps, int) and steps >= 0),
+                    f"{where_row}.steps must be null or a non-negative integer",
+                )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -609,7 +746,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr5.json"
+        description="Run the benchmark suites and emit BENCH_pr6.json"
     )
     parser.add_argument(
         "--quick",
@@ -618,15 +755,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr5.json"),
+        default=str(REPO_ROOT / "BENCH_pr6.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr5.json)",
+        help="where to write the report (default: BENCH_pr6.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr4.json"),
+        default=str(REPO_ROOT / "BENCH_pr5.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr4.json; "
+        help="earlier report to diff against (default: BENCH_pr5.json; "
         "skipped silently when the file does not exist)",
     )
     parser.add_argument(
@@ -684,6 +821,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     for line in parallel_table(report["parallel"]):
         print(line)
     for line in retry_table(report["retry_overhead"]):
+        print(line)
+    for line in resume_table(report["resume_overhead"]):
         print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):
