@@ -1,0 +1,74 @@
+"""E16 — cost-based routing vs the fixed cascade (docs/ARCHITECTURE.md,
+cost layer).
+
+Each parameter point runs the same mixed query workload through a
+``route="auto"`` and a ``route="cascade"`` :class:`RobustEvaluator`.  Both
+rows tag ``extra_info`` with a shared ``routing_group`` plus their
+``engine_mode``; ``tools/bench_runner.py`` folds matching groups into the
+report's ``routing`` section — the auto/cascade mean ratio per group, the
+per-engine route share, the mispick rate (``cost.route.mispick`` over
+``cost.route.auto``) and the predicted-vs-actual cost error distribution
+(the ``cost.predict.error`` histogram), all harvested from the metrics
+snapshot the conftest attaches per benchmark.
+
+The acceptance shape (ISSUE 7): auto's mean must not exceed cascade's on
+these common workloads, and the quick-suite mispick rate stays <= 10%.
+"""
+
+import pytest
+
+from repro.logic.parser import parse_formula, parse_term
+from repro.robust.guard import RobustEvaluator
+from repro.sparse.classes import nearly_square_grid
+
+#: Quick mode (REPRO_BENCH_QUICK=1) keeps only n <= 100.
+SIZES = (64, 400)
+
+MODES = ("auto", "cascade")
+
+#: The mixed workload: one count, one model check, one unary term — the
+#: three operation kinds the router prices differently.
+COUNT_PHI = "E(x, y) & E(y, z)"
+CHECK_PHI = "forall x. exists y. E(x, y)"
+UNARY_TERM = "#(y). E(x, y)"
+
+
+def _workload(engine, structure):
+    count = engine.count(structure, parse_formula(COUNT_PHI), ["x", "y", "z"])
+    holds = engine.model_check(structure, parse_formula(CHECK_PHI))
+    values = engine.unary_term_values(structure, parse_term(UNARY_TERM), "x")
+    return count, holds, values
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("n", SIZES)
+def test_routing_mixed_workload(benchmark, n, mode):
+    structure = nearly_square_grid(n)
+    engine = RobustEvaluator(route=mode)
+
+    result = benchmark(_workload, engine, structure)
+
+    # Parity: routing is reorder-only, answers match the fixed cascade.
+    reference = _workload(RobustEvaluator(route="cascade"), structure)
+    assert result[0] == reference[0]
+    assert result[1] == reference[1]
+    assert list(result[2].items()) == list(reference[2].items())
+
+    benchmark.extra_info["routing_group"] = f"mixed/n={structure.order()}"
+    benchmark.extra_info["engine_mode"] = mode
+    benchmark.extra_info["order"] = structure.order()
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("n", SIZES)
+def test_routing_count_only(benchmark, n, mode):
+    structure = nearly_square_grid(n)
+    phi = parse_formula("exists y. E(x, y)")
+    engine = RobustEvaluator(route=mode)
+
+    count = benchmark(engine.count, structure, phi, ["x"])
+
+    assert count == RobustEvaluator(route="cascade").count(structure, phi, ["x"])
+    benchmark.extra_info["routing_group"] = f"count/n={structure.order()}"
+    benchmark.extra_info["engine_mode"] = mode
+    benchmark.extra_info["order"] = structure.order()

@@ -27,7 +27,10 @@ Structures come from ``.json`` files (see :mod:`repro.io`) or edge lists.
 
 Resource governance (see ``docs/ROBUSTNESS.md``): ``--timeout`` and
 ``--max-steps`` bound the evaluation; ``--engine robust`` runs the
-fallback cascade (main algorithm → FOC1 engine → brute force).
+fallback cascade (main algorithm → FOC1 engine → brute force) in fixed
+order, and ``--engine auto`` lets the cost model reorder the cascade to
+try the predicted-cheapest stage first (see ``docs/ARCHITECTURE.md``,
+cost layer).
 ``--retries`` retries failed parallel shards with deterministic backoff;
 ``--on-shard-failure salvage`` returns the completed shards of a partly
 failed parallel run instead of raising.
@@ -37,8 +40,8 @@ budget becomes a *quantum* — exhaustion suspends the evaluation, writes a
 resumable checkpoint to PATH and exits with code 6 instead of killing the
 run; ``--resume PATH`` restores a previous checkpoint (already-built
 strata, memo contents and completed parallel shards are never recomputed)
-and continues.  ``--report-json PATH`` (robust engine) dumps the
-structured cascade report as JSON.
+and continues.  ``--report-json PATH`` (robust/auto engines) dumps the
+structured cascade report, including the routing decision, as JSON.
 
 Exit codes: 0 on success (for ``check``: also when the answer is False —
 the answer is printed, not encoded), 2 on bad input, 3 on an unexpected
@@ -169,10 +172,12 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("foc1", "robust", "baseline"),
+            choices=("foc1", "robust", "auto", "baseline"),
             default="foc1",
             help="evaluation engine: the FOC1 engine (default), the robust "
-            "fallback cascade, or the brute-force baseline",
+            "fallback cascade in fixed order, 'auto' (the cascade with "
+            "cost-based routing picking the predicted-cheapest stage "
+            "first), or the brute-force baseline",
         )
         sub.add_argument(
             "--timeout",
@@ -228,8 +233,8 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             dest="report_json",
             help="write the structured cascade report (stages, breaker "
-            "states, partial coverage, checkpoint info) as JSON to PATH; "
-            "requires --engine robust",
+            "states, partial coverage, checkpoint info, routing decision) "
+            "as JSON to PATH; requires --engine robust or auto",
         )
         sub.add_argument(
             "--trace",
@@ -540,16 +545,17 @@ def _make_engine(args: argparse.Namespace):
     on_shard_failure = getattr(args, "on_shard_failure", "raise")
     if (
         getattr(args, "report_json", None) is not None
-        and args.engine != "robust"
+        and args.engine not in ("robust", "auto")
     ):
-        raise ReproError("--report-json requires --engine robust")
-    if args.engine == "robust":
+        raise ReproError("--report-json requires --engine robust or auto")
+    if args.engine in ("robust", "auto"):
         engine = RobustEvaluator(
             budget=budget,
             check_fragment=check_fragment,
             workers=workers,
             retry=retry,
             on_shard_failure=on_shard_failure,
+            route="auto" if args.engine == "auto" else "cascade",
         )
     elif args.engine == "baseline":
         # The brute-force oracle stays deliberately serial.

@@ -154,28 +154,48 @@ def _basic_unary_shard(
     if balls is None:
         balls = _BallCache(structure, term.link_distance)
     metrics = active_metrics()
+    # Hot path: resolve the per-tuple instrumentation hooks once and keep
+    # the uninstrumented loop free of per-tuple `is not None` tests.
+    tick = budget.tick if budget is not None else None
+    inc = metrics.inc if metrics is not None else None
     values: Dict[Element, int] = {}
     for element in targets:
         total = 0
-        for tup in pattern_tuples(
+        tuples = pattern_tuples(
             structure, element, term.width, term.edges, term.link_distance, balls
-        ):
-            if budget is not None:
-                budget.tick("cover.tuple")
-            if metrics is not None:
-                metrics.inc("cover_eval.tuple")
-            if _holds_in_cluster(
-                structure,
-                cover,
-                psi,
-                term.variables,
-                tup,
-                term.link_distance,
-                predicates,
-                check_well_defined,
-                budget,
-            ):
-                total += 1
+        )
+        if tick is None and inc is None:
+            for tup in tuples:
+                if _holds_in_cluster(
+                    structure,
+                    cover,
+                    psi,
+                    term.variables,
+                    tup,
+                    term.link_distance,
+                    predicates,
+                    check_well_defined,
+                    budget,
+                ):
+                    total += 1
+        else:
+            for tup in tuples:
+                if tick is not None:
+                    tick("cover.tuple")
+                if inc is not None:
+                    inc("cover_eval.tuple")
+                if _holds_in_cluster(
+                    structure,
+                    cover,
+                    psi,
+                    term.variables,
+                    tup,
+                    term.link_distance,
+                    predicates,
+                    check_well_defined,
+                    budget,
+                ):
+                    total += 1
         values[element] = total
     return values
 
@@ -409,6 +429,9 @@ def _cluster_shard_values(
     index range reproduces the serial loop's member order exactly.
     """
     metrics = active_metrics()
+    tick = budget.tick if budget is not None else None
+    inc = metrics.inc if metrics is not None else None
+    instrumented = tick is not None or inc is not None
     values: Dict[Element, int] = {}
     for index in indices:
         members = cover.members_with_cluster(index)
@@ -418,17 +441,33 @@ def _cluster_shard_values(
         balls = _BallCache(local, term.link_distance)
         for element in members:
             total = 0
-            for tup in pattern_tuples(
+            tuples = pattern_tuples(
                 local, element, term.width, term.edges, term.link_distance, balls
-            ):
-                if budget is not None:
-                    budget.tick("cover.tuple")
-                if metrics is not None:
-                    metrics.inc("cover_eval.tuple")
-                if satisfies(
-                    local, psi, dict(zip(term.variables, tup)), predicates, budget
-                ):
-                    total += 1
+            )
+            if not instrumented:
+                for tup in tuples:
+                    if satisfies(
+                        local,
+                        psi,
+                        dict(zip(term.variables, tup)),
+                        predicates,
+                        budget,
+                    ):
+                        total += 1
+            else:
+                for tup in tuples:
+                    if tick is not None:
+                        tick("cover.tuple")
+                    if inc is not None:
+                        inc("cover_eval.tuple")
+                    if satisfies(
+                        local,
+                        psi,
+                        dict(zip(term.variables, tup)),
+                        predicates,
+                        budget,
+                    ):
+                        total += 1
             values[element] = total
     return values
 

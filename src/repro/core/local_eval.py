@@ -174,24 +174,42 @@ def evaluate_basic_unary(
     targets = list(elements) if elements is not None else list(structure.universe_order)
     balls = _BallCache(structure, term.link_distance)
     quantifier_free = _is_quantifier_free(term.psi)
+    # Resolve the per-tuple budget hook once: the inner loop is the hot
+    # path, and even a repeated `is not None` test per tuple is measurable,
+    # so the instrumented and plain loops are kept as separate paths.
+    tick = budget.tick if budget is not None else None
+    check_locally = evaluate_psi_locally and not quantifier_free
     values: Dict[Element, int] = {}
     for element in targets:
         total = 0
-        for tup in pattern_tuples(
+        tuples = pattern_tuples(
             structure, element, term.width, term.edges, term.link_distance, balls
-        ):
-            if budget is not None:
-                budget.tick("local.tuple")
-            if _psi_holds(
-                structure,
-                term.psi,
-                term.variables,
-                tup,
-                term.psi_radius,
-                predicates,
-                evaluate_psi_locally and not quantifier_free,
-            ):
-                total += 1
+        )
+        if tick is None:
+            for tup in tuples:
+                if _psi_holds(
+                    structure,
+                    term.psi,
+                    term.variables,
+                    tup,
+                    term.psi_radius,
+                    predicates,
+                    check_locally,
+                ):
+                    total += 1
+        else:
+            for tup in tuples:
+                tick("local.tuple")
+                if _psi_holds(
+                    structure,
+                    term.psi,
+                    term.variables,
+                    tup,
+                    term.psi_radius,
+                    predicates,
+                    check_locally,
+                ):
+                    total += 1
         values[element] = total
     return values
 

@@ -1,0 +1,41 @@
+"""Cost-based engine selection: statistics, estimation, routing.
+
+See docs/ARCHITECTURE.md (cost layer) for the full picture.  Public
+surface:
+
+* :func:`~repro.cost.stats.structure_stats` /
+  :class:`~repro.cost.stats.StructureStats` — cached per-structure
+  statistics under the Structure cache contract;
+* :class:`~repro.cost.model.CostModel` /
+  :class:`~repro.cost.model.CardinalityEstimator` /
+  :class:`~repro.cost.model.CardBound` /
+  :class:`~repro.cost.model.CardinalityLattice` — cardinality bounds and
+  per-engine cost estimates over the compiled plan IR;
+* :class:`~repro.cost.router.EngineRouter` /
+  :class:`~repro.cost.router.RouteDecision` — the advisory routing layer
+  the :class:`~repro.robust.guard.RobustEvaluator` consults in
+  ``route="auto"`` mode.
+"""
+
+from .model import (
+    CardBound,
+    CardinalityEstimator,
+    CardinalityLattice,
+    CostModel,
+    EngineCost,
+)
+from .router import EngineRouter, RouteDecision
+from .stats import DegreeSummary, StructureStats, structure_stats
+
+__all__ = [
+    "CardBound",
+    "CardinalityEstimator",
+    "CardinalityLattice",
+    "CostModel",
+    "DegreeSummary",
+    "EngineCost",
+    "EngineRouter",
+    "RouteDecision",
+    "StructureStats",
+    "structure_stats",
+]

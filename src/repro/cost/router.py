@@ -1,0 +1,267 @@
+"""Cost-based engine routing for the robust cascade.
+
+:class:`EngineRouter` predicts, per query, which cascade stage will
+answer cheapest (via :class:`~repro.cost.model.CostModel`) and tells the
+:class:`~repro.robust.guard.RobustEvaluator` to try that stage first.
+Routing is *advisory and safe by construction*:
+
+* it only ever reorders the runnable stages — every stage stays in the
+  cascade, so a mispick costs one budget slice, never correctness;
+* a decision is taken only when the predicted winner beats the stage the
+  fixed cascade would try first by a decisive margin
+  (:attr:`EngineRouter.margin`) *and* the confidence score clears
+  :attr:`EngineRouter.threshold`; otherwise the untouched cascade order
+  runs and the decision is recorded as a fallback;
+* any estimation failure (missing plan, out-of-fragment input, arbitrary
+  model errors) degrades to the fixed cascade, counted under
+  ``cost.route.error``.
+
+Confidence combines the separation between the best and second-best
+predicted costs with the provenance of that separation: an interval
+proof from the :class:`~repro.cost.model.CardinalityLattice` yields
+confidence 1.0, a pure estimate order is shrunk toward the separation
+ratio.  Observed stage timings feed an EWMA log-error per engine back
+into the model (``calibration``), so predictions track the machine the
+process actually runs on; predicted-vs-actual error lands in the
+``cost.predict.error`` histogram and mispicks (the routed-first stage
+failed and a later stage answered) in ``cost.route.mispick``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import active_metrics
+from .model import CostModel, EngineCost
+
+__all__ = ["EngineRouter", "RouteDecision"]
+
+#: Work units per second assumed before any calibration has been observed.
+_UNITS_PER_SECOND = 2e6
+
+
+@dataclass
+class RouteDecision:
+    """One routing outcome, attached to the RobustReport."""
+
+    operation: str
+    chosen: str
+    #: "auto" — the cascade was reordered to try ``chosen`` first;
+    #: "cascade" — low confidence / weak margin, fixed order ran.
+    mode: str
+    confidence: float
+    #: Predicted abstract work units per runnable engine.
+    predicted: Dict[str, float] = field(default_factory=dict)
+    #: True when the winner's interval provably undercut the runner-up.
+    provable: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chosen": self.chosen,
+            "mode": self.mode,
+            "confidence": round(self.confidence, 4),
+            "provable": self.provable,
+            "predicted": {k: v for k, v in sorted(self.predicted.items())},
+            "reason": self.reason,
+        }
+
+
+class EngineRouter:
+    """Predicts the cheapest cascade stage and learns from the outcomes.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum confidence for a reorder; below it the decision records
+        ``mode="cascade"`` and the fixed order runs.
+    margin:
+        The winner must be predicted at most ``margin`` times the cost of
+        the stage the fixed cascade would run first.  At the default 0.5
+        a reorder needs a 2x predicted advantage — small or ambiguous
+        inputs therefore keep the (well-tested) cascade order.
+    alpha:
+        EWMA weight for the calibration update from each observed stage.
+    """
+
+    def __init__(
+        self, threshold: float = 0.6, margin: float = 0.5, alpha: float = 0.3
+    ):
+        self.threshold = threshold
+        self.margin = margin
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        #: engine -> EWMA of log(actual_units / predicted_units).
+        self._log_error: Dict[str, float] = {}
+
+    # -- prediction -----------------------------------------------------------
+
+    def calibration(self) -> Dict[str, float]:
+        """Relative per-engine correction factors.
+
+        Routing only ever *compares* engines, so the shared component of
+        the log-error — the units-per-second guess being off for this
+        machine — is removed (mean-centred) before exponentiating.
+        Otherwise the first observed engine would carry the whole unit
+        mismatch and look arbitrarily slow against unobserved ones.
+        """
+        with self._lock:
+            if not self._log_error:
+                return {}
+            centre = sum(self._log_error.values()) / len(self._log_error)
+            return {
+                engine: math.exp(err - centre)
+                for engine, err in self._log_error.items()
+            }
+
+    def route(
+        self,
+        operation: str,
+        runnable: Sequence[str],
+        structure,
+        plan=None,
+        expressions: Sequence = (),
+        variables: Sequence = (),
+        cl_term=None,
+    ) -> Optional[RouteDecision]:
+        """Predict costs for the runnable stages; None when nothing can be
+        estimated (callers then run the untouched cascade)."""
+        metrics = active_metrics()
+        runnable = [name for name in runnable]
+        if len(runnable) < 2 or structure is None:
+            return None
+        from .stats import structure_stats
+
+        stats = structure_stats(structure)
+        model = CostModel(stats, self.calibration())
+        costs: Dict[str, EngineCost] = {}
+        for name in runnable:
+            cost = self._estimate(name, model, plan, expressions, variables, cl_term)
+            if cost is not None:
+                costs[name] = cost
+        if len(costs) < 2:
+            return None
+
+        ranked: List[EngineCost] = sorted(
+            costs.values(), key=lambda c: (c.estimate, c.engine)
+        )
+        best, second = ranked[0], ranked[1]
+        order, provable = model.lattice.compare(
+            f"cost.{best.engine}", f"cost.{second.engine}"
+        )
+        provable = provable and order == "lt"
+        if provable:
+            confidence = 1.0
+        elif second.estimate > 0:
+            separation = 1.0 - best.estimate / second.estimate
+            # Heuristic-only separations never claim full confidence.
+            confidence = max(0.0, min(0.95, separation))
+        else:
+            confidence = 0.0
+
+        # The stage the fixed cascade would run first, among those we could
+        # price: the reorder must decisively beat *it*, not the runner-up.
+        cascade_first = next(name for name in runnable if name in costs)
+        incumbent = costs[cascade_first]
+        decisive = (
+            best.engine != cascade_first
+            and incumbent.estimate > 0
+            and best.estimate <= self.margin * incumbent.estimate
+        )
+
+        if best.engine == cascade_first:
+            mode = "auto"
+            chosen = best.engine
+            reason = f"cascade-first {chosen} already predicted cheapest"
+        elif decisive and confidence >= self.threshold:
+            mode = "auto"
+            chosen = best.engine
+            reason = (
+                f"{chosen} predicted {best.estimate:.3g} vs "
+                f"{incumbent.estimate:.3g} for {cascade_first}"
+            )
+        else:
+            mode = "cascade"
+            chosen = cascade_first
+            reason = (
+                f"confidence {confidence:.2f} / margin not met; "
+                "fixed cascade order"
+            )
+
+        decision = RouteDecision(
+            operation=operation,
+            chosen=chosen,
+            mode=mode,
+            confidence=confidence,
+            predicted={name: cost.estimate for name, cost in costs.items()},
+            provable=provable,
+            reason=reason,
+        )
+        if metrics is not None:
+            metrics.inc(f"cost.route.engine.{chosen}")
+            metrics.inc(
+                "cost.route.auto" if mode == "auto" else "cost.route.fallback"
+            )
+            metrics.observe("cost.route.confidence", confidence)
+        return decision
+
+    def _estimate(
+        self, name: str, model: CostModel, plan, expressions, variables, cl_term
+    ) -> Optional[EngineCost]:
+        try:
+            if name == "foc1":
+                if plan is None:
+                    return None
+                return model.foc1_cost(plan)
+            if name == "baseline":
+                if not expressions:
+                    return None
+                return model.baseline_cost(expressions, variables)
+            if name == "main_algorithm":
+                if cl_term is None:
+                    return None
+                return model.main_algorithm_cost(cl_term)
+        except Exception:
+            metrics = active_metrics()
+            if metrics is not None:
+                metrics.inc("cost.route.error")
+            return None
+        return None
+
+    # -- feedback -------------------------------------------------------------
+
+    def observe(
+        self,
+        decision: RouteDecision,
+        answered_by: Optional[str],
+        elapsed: float,
+    ) -> None:
+        """Learn from one finished cascade run: update calibration for the
+        answering engine and count mispicks."""
+        metrics = active_metrics()
+        if (
+            answered_by is not None
+            and decision.mode == "auto"
+            and answered_by != decision.chosen
+        ):
+            if metrics is not None:
+                metrics.inc("cost.route.mispick")
+        if answered_by is None:
+            return
+        predicted = decision.predicted.get(answered_by)
+        if not predicted or predicted <= 0 or elapsed < 0:
+            return
+        actual_units = max(1.0, elapsed * _UNITS_PER_SECOND)
+        log_error = math.log(actual_units / predicted)
+        with self._lock:
+            previous = self._log_error.get(answered_by)
+            self._log_error[answered_by] = (
+                log_error
+                if previous is None
+                else (1.0 - self.alpha) * previous + self.alpha * log_error
+            )
+        if metrics is not None:
+            metrics.observe("cost.predict.error", abs(log_error))

@@ -26,11 +26,23 @@ live here and only here.
 
 Memo lifetime contract
 ----------------------
-Every memo table keys on ``id(node)`` (identity is far cheaper than
-hashing a deep AST on every lookup).  That is only sound while the node
-object stays alive: CPython recycles ids, so a memo entry that outlives
-its node can alias a *different* node created later.  The state therefore
-pins every memoised node in ``_pins`` (id -> node) and the two are only
+The satisfaction/count memos key on *alpha-canonical text*: the node is
+canonicalised (:func:`~repro.plan.normalise.canonicalise` — bound
+variables renamed ``_b0, _b1, ...``, free variables untouched) and
+pretty-printed, so alpha-equivalent subterms share one entry — e.g.
+``#(y). E(x, y)`` and ``#(z). E(x, z)`` hit the same count cell.  The
+canonical text itself is expensive to compute, so it is cached per
+``id(node)`` in ``_canon_memo`` (and per ``(id(body), variables)`` in
+``_count_key_memo``), and the rewrite nodes the dynamic paths fabricate —
+``Not(inner)`` for a Forall, the ``And`` overlap of an Or — are cached
+per ``id`` too (``_forall_memo`` / ``_overlap_memo``), so re-evaluating
+a quantifier never mints fresh AST nodes whose ids would defeat every
+id-keyed cache.
+
+The id-keyed caches are only sound while the node object stays alive:
+CPython recycles ids, so an entry that outlives its node can alias a
+*different* node created later.  The state therefore pins every node that
+enters an id-keyed memo in ``_pins`` (id -> node) and the two are only
 ever dropped **together**, via :meth:`_reset_memos`.  States themselves
 are scoped to one public engine call (facades create fresh states per
 call and hold no reference afterwards), so repeated queries do not
@@ -90,7 +102,8 @@ from .ir import (
     MaterialiseStep,
     QueryPlan,
 )
-from .normalise import flatten_conjuncts, replace_atoms
+from ..logic.printer import pretty
+from .normalise import canonicalise, flatten_conjuncts, replace_atoms
 
 __all__ = ["ExecutionState", "PlanExecutor"]
 
@@ -127,6 +140,14 @@ class ExecutionState:
         self._pins: Dict[int, Expression] = {}
         self._free_sorted_memo: Dict[int, Tuple[Variable, ...]] = {}
         self._conjunct_memo: Dict[int, List[Formula]] = {}
+        # Alpha-canonical memo-key texts, cached per node identity (the
+        # canonicalise + pretty walk is O(|node|); the id lookup is O(1)).
+        self._canon_memo: Dict[int, str] = {}
+        self._count_key_memo: Dict[Tuple[int, Tuple[Variable, ...]], str] = {}
+        # Rewrite nodes the dynamic paths fabricate, cached per source
+        # node so repeated evaluation reuses one object (and its memos).
+        self._forall_memo: Dict[int, Not] = {}
+        self._overlap_memo: Dict[int, And] = {}
         self._ball_caches: Dict[int, Dict[Element, FrozenSet[Element]]] = {}
         self._aux_counter = itertools.count()
 
@@ -142,6 +163,10 @@ class ExecutionState:
         self._free_memo.clear()
         self._free_sorted_memo.clear()
         self._conjunct_memo.clear()
+        self._canon_memo.clear()
+        self._count_key_memo.clear()
+        self._forall_memo.clear()
+        self._overlap_memo.clear()
         self._ball_caches.clear()
         self._pins.clear()
 
@@ -172,6 +197,53 @@ class ExecutionState:
             cached = flatten_conjuncts(formula)
             self._conjunct_memo[key] = cached
             self._pins[key] = formula
+        return cached
+
+    def _canon_key(self, node: Expression) -> str:
+        """The node's alpha-canonical text — the satisfaction-memo key.
+
+        Canonicalisation preserves free-variable names and renames bound
+        variables in traversal order, so two nodes share a key iff they
+        are alpha-equivalent — which, for a fixed structure and fixed
+        relevant bindings, implies the same memoised value.
+        """
+        key = id(node)
+        cached = self._canon_memo.get(key)
+        if cached is None:
+            # Canonical text is a pure function of the (immutable) node,
+            # so it can live on the node itself: plan-owned nodes are
+            # shared by every session executing the cached plan, and the
+            # attribute spares each new session the canonicalise walk.
+            cached = getattr(node, "_canon_cache", None)
+            if cached is None:
+                cached = pretty(canonicalise(node))
+                object.__setattr__(node, "_canon_cache", cached)
+            self._canon_memo[key] = cached
+            self._pins[key] = node
+        return cached
+
+    def _count_canon_key(
+        self, variables: Tuple[Variable, ...], body: Formula
+    ) -> str:
+        """Canonical text of ``#(variables). body`` — the count-memo key.
+
+        Wrapping in a CountTerm before canonicalising folds the counted
+        variables into the binder renaming, so ``#(y). E(x, y)`` and
+        ``#(z). E(x, z)`` share one key.
+        """
+        key = (id(body), variables)
+        cached = self._count_key_memo.get(key)
+        if cached is None:
+            by_vars = getattr(body, "_count_canon_cache", None)
+            if by_vars is None:
+                by_vars = {}
+                object.__setattr__(body, "_count_canon_cache", by_vars)
+            cached = by_vars.get(variables)
+            if cached is None:
+                cached = pretty(canonicalise(CountTerm(variables, body)))
+                by_vars[variables] = cached
+            self._count_key_memo[key] = cached
+            self._pins[id(body)] = body
         return cached
 
     def ball(self, element: Element, distance: int) -> FrozenSet[Element]:
@@ -363,7 +435,7 @@ class ExecutionState:
                 if v in env
             )
         )
-        key = (id(body), variables, relevant)
+        key = (self._count_canon_key(variables, body), relevant)
         cached = self._count_memo.get(key)
         if cached is None:
             if self.budget is not None:
@@ -373,7 +445,6 @@ class ExecutionState:
             cached = self._count(variables, body, env)
             fault_check("memo.insert")
             self._count_memo[key] = cached
-            self._pins[id(body)] = body
         elif self._metrics is not None:
             self._metrics.inc("evaluator.count.memo.hit")
         return cached
@@ -402,7 +473,11 @@ class ExecutionState:
         if isinstance(body, Not):
             return n**k - self.count(variables, body.inner, env)
         if isinstance(body, Or):
-            both = And(body.left, body.right)
+            both = self._overlap_memo.get(id(body))
+            if both is None:
+                both = And(body.left, body.right)
+                self._overlap_memo[id(body)] = both
+                self._pins[id(body)] = body
             return (
                 self.count(variables, body.left, env)
                 + self.count(variables, body.right, env)
@@ -699,7 +774,7 @@ class ExecutionState:
         relevant = tuple(
             (v, env[v]) for v in self.free_sorted(formula) if v in env
         )
-        key = (id(formula), relevant)
+        key = (self._canon_key(formula), relevant)
         cached = self._holds_memo.get(key)
         if cached is None:
             if self.budget is not None:
@@ -709,7 +784,6 @@ class ExecutionState:
             cached = self._holds(formula, env)
             fault_check("memo.insert")
             self._holds_memo[key] = cached
-            self._pins[id(formula)] = formula
         elif self._metrics is not None:
             self._metrics.inc("evaluator.holds.memo.hit")
         return cached
@@ -754,9 +828,12 @@ class ExecutionState:
                 body = body.inner
             return self._exists_block(tuple(prefix), body, env)
         if isinstance(formula, Forall):
-            return not self._exists_block(
-                (formula.variable,), Not(formula.inner), env
-            )
+            negated = self._forall_memo.get(id(formula))
+            if negated is None:
+                negated = Not(formula.inner)
+                self._forall_memo[id(formula)] = negated
+                self._pins[id(formula)] = formula
+            return not self._exists_block((formula.variable,), negated, env)
         if isinstance(formula, PredicateAtom):
             # Inline evaluation: reached only for atoms outside FOC1 (more
             # than one joint free variable) when fragment checking is off.
@@ -801,56 +878,56 @@ class ExecutionState:
     def export_memo_snapshot(self) -> List[Tuple]:
         """Serialise the satisfaction/count memos in an id-free form.
 
-        Memo keys are ``id(node)``-based (see the module docstring), which
-        cannot survive a process boundary; entries are therefore exported
-        keyed by the node's *pretty* text — parser-compatible concrete
-        syntax, so identical text implies identical formula — and re-keyed
-        against fresh nodes on restore.
+        Memo keys are already alpha-canonical pretty text (see the module
+        docstring), which survives a process boundary as-is: identical
+        text implies alpha-equivalent formula, and for a fixed structure
+        the memoised value is a function of the formula and its relevant
+        bindings.  Entries are exported verbatim.
         """
-        from ..logic.printer import pretty
-
-        texts: Dict[int, str] = {}
-
-        def text(node_id: int) -> str:
-            cached = texts.get(node_id)
-            if cached is None:
-                cached = pretty(self._pins[node_id])
-                texts[node_id] = cached
-            return cached
-
         entries: List[Tuple] = []
-        for (node_id, relevant), value in self._holds_memo.items():
-            entries.append(("holds", text(node_id), relevant, value))
-        for (node_id, variables, relevant), value in self._count_memo.items():
-            entries.append(("count", text(node_id), variables, relevant, value))
+        for (text, relevant), value in self._holds_memo.items():
+            entries.append(("holds", text, relevant, value))
+        for (text, relevant), value in self._count_memo.items():
+            entries.append(("count", text, relevant, value))
         return entries
 
     def restore_memo_snapshot(
         self,
         entries: Iterable[Tuple],
-        nodes_by_pretty: Dict[str, Expression],
+        nodes_by_text: Dict[str, Expression],
     ) -> int:
-        """Re-key exported memo entries onto this state's live nodes.
+        """Install exported memo entries into this state's memos.
 
-        Entries whose text matches no known node are dropped — pure cache
-        loss, never wrong values: identical pretty text means identical
-        formula, and for a fixed structure the memoised value is a function
-        of the formula and its relevant bindings.
+        Text keys are self-contained, so entries install directly; when
+        the text names a node this plan owns (``nodes_by_text`` maps both
+        plain-pretty and canonical texts), the entry is re-keyed through
+        the live node's canonical key instead — this also upgrades
+        snapshots written before keys were alpha-canonical.  Legacy count
+        entries (5-tuples carrying the counted variables separately) only
+        restore via a matching node, since their text lacks the binder.
         """
         restored = 0
         for entry in entries:
-            node = nodes_by_pretty.get(entry[1])
-            if node is None:
-                continue
-            if entry[0] == "holds":
+            kind, text = entry[0], entry[1]
+            node = nodes_by_text.get(text)
+            if kind == "holds":
                 _, _, relevant, value = entry
-                self._holds_memo[(id(node), relevant)] = value
-            elif entry[0] == "count":
+                key = text if node is None else self._canon_key(node)
+                self._holds_memo[(key, relevant)] = value
+            elif kind == "count" and len(entry) == 4:
+                # Count texts fold the counted variables into the binder
+                # and are already canonical — install verbatim (a plain
+                # formula node could not stand in for a count key).
+                _, _, relevant, value = entry
+                self._count_memo[(text, relevant)] = value
+            elif kind == "count" and len(entry) == 5:
                 _, _, variables, relevant, value = entry
-                self._count_memo[(id(node), variables, relevant)] = value
+                if node is None:
+                    continue
+                key = self._count_canon_key(variables, node)
+                self._count_memo[(key, relevant)] = value
             else:
                 continue
-            self._pins[id(node)] = node
             restored += 1
         if restored and self._metrics is not None:
             self._metrics.inc("checkpoint.memo.restored", restored)
@@ -925,7 +1002,12 @@ class PlanExecutor:
         return hasher.hexdigest()
 
     def _restore_nodes(self) -> Dict[str, Expression]:
-        """Every plan-owned node a memo entry could re-attach to, by text."""
+        """Every plan-owned node a memo entry could re-attach to, by text.
+
+        Each node registers under both its plain pretty text (matches
+        legacy snapshots written before memo keys were alpha-canonical)
+        and its canonical text (matches current snapshots).
+        """
         from ..logic.printer import pretty
 
         nodes: Dict[str, Expression] = {}
@@ -933,6 +1015,7 @@ class PlanExecutor:
         def add(node: Expression) -> None:
             for sub in subexpressions(node):
                 nodes.setdefault(pretty(sub), sub)
+                nodes.setdefault(pretty(canonicalise(sub)), sub)
 
         for root in self.plan.roots:
             add(root)

@@ -42,12 +42,16 @@ from ..core.clterms import BasicClTerm
 from ..core.evaluator import Foc1Evaluator
 from ..core.main_algorithm import MainAlgorithmStats, evaluate_unary_main_algorithm
 from ..core.query import Foc1Query
+from ..cost.router import EngineRouter, RouteDecision
 from ..errors import BudgetExceededError, ReproError, SuspendedError
 from ..logic.predicates import PredicateCollection, standard_collection
-from ..logic.syntax import Formula, Term, Variable
+from ..logic.syntax import Expression, Formula, Term, Variable
 from ..obs import active_metrics, span
 from ..parallel import resolve_workers
-from ..plan.cache import PlanCache
+from ..plan.cache import PlanCache, default_plan_cache
+from ..plan.compiler import compile_plan
+from ..plan.ir import PlanOptions, QueryPlan
+from ..plan.normalise import canonicalise
 from ..structures.structure import Element, Structure
 from .breaker import CircuitBreaker
 from .budget import EvaluationBudget
@@ -113,6 +117,9 @@ class RobustReport:
     #: The salvaged :class:`~repro.robust.partial.PartialResult` when the
     #: answering stage lost shards (``None`` for complete answers).
     partial: "Optional[PartialResult]" = None
+    #: The :class:`~repro.cost.router.RouteDecision` taken for this run
+    #: (``None`` in ``route="cascade"`` mode or when nothing was estimable).
+    routing: "Optional[RouteDecision]" = None
 
     def stage(self, name: str) -> StageReport:
         for entry in self.stages:
@@ -189,6 +196,7 @@ class RobustReport:
             "partial": partial,
             "breakers": breakers,
             "checkpoint": checkpoint,
+            "routing": self.routing.to_dict() if self.routing else None,
         }
 
 
@@ -253,6 +261,22 @@ class RobustEvaluator:
         :meth:`CircuitBreaker.reset` closes the circuit.  Defaults to a
         fresh ``CircuitBreaker(threshold=3)`` per evaluator; share one
         instance across evaluators to pool their failure counts.
+    route:
+        ``"auto"`` (default) consults the :class:`~repro.cost.router.
+        EngineRouter` per query and tries the predicted-cheapest stage
+        first when the prediction is decisive (see the router's margin and
+        confidence thresholds); ``"cascade"`` always runs the fixed
+        ``STAGES`` order.  Routing only ever *reorders* the runnable
+        stages — every stage remains available as a fallback, so answers
+        are identical in both modes; the decision taken is recorded in
+        :attr:`RobustReport.routing`.  Preemptible (checkpoint-session)
+        runs always use the fixed order, so a resumed cascade replays the
+        stage sequence its first quantum recorded.
+    router:
+        The :class:`~repro.cost.router.EngineRouter` instance to consult
+        in ``route="auto"`` mode.  Share one across evaluators to pool
+        their calibration (observed predicted-vs-actual corrections).
+        Defaults to a fresh router per evaluator.
     """
 
     def __init__(
@@ -268,7 +292,13 @@ class RobustEvaluator:
         retry: "Optional[RetryPolicy]" = None,
         on_shard_failure: str = "raise",
         breaker: "Optional[CircuitBreaker]" = None,
+        route: str = "auto",
+        router: "Optional[EngineRouter]" = None,
     ):
+        if route not in ("auto", "cascade"):
+            raise ReproError(
+                f"route must be 'auto' or 'cascade', got {route!r}"
+            )
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
         self.check_fragment = check_fragment
@@ -280,6 +310,8 @@ class RobustEvaluator:
         self.retry = retry
         self.on_shard_failure = validate_failure_mode(on_shard_failure)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.route = route
+        self.router = router if router is not None else EngineRouter()
         self.last_report: "Optional[RobustReport]" = None
 
     # -- engine-API mirror -----------------------------------------------------
@@ -292,6 +324,9 @@ class RobustEvaluator:
                 ("foc1", lambda b: self._foc1(b).model_check(structure, sentence), ""),
                 ("baseline", lambda b: self._baseline(b).model_check(structure, sentence), ""),
             ],
+            route_info=self._route_info(
+                structure, "model_check", (sentence,), ()
+            ),
         )
 
     def count(
@@ -304,6 +339,9 @@ class RobustEvaluator:
                 ("foc1", lambda b: self._foc1(b).count(structure, formula, variables), ""),
                 ("baseline", lambda b: self._baseline(b).count(structure, formula, variables), ""),
             ],
+            route_info=self._route_info(
+                structure, "count", (formula,), tuple(variables)
+            ),
         )
 
     def count_many(
@@ -338,6 +376,13 @@ class RobustEvaluator:
                     "",
                 ),
             ],
+            # Route on the first structure as the batch's representative.
+            route_info=self._route_info(
+                structures[0] if structures else None,
+                "count",
+                (formula,),
+                tuple(variables),
+            ),
         )
 
     def ground_term_value(self, structure: Structure, term: Term) -> int:
@@ -348,6 +393,9 @@ class RobustEvaluator:
                 ("foc1", lambda b: self._foc1(b).ground_term_value(structure, term), ""),
                 ("baseline", lambda b: self._baseline(b).ground_term_value(structure, term), ""),
             ],
+            route_info=self._route_info(
+                structure, "ground_term", (term,), ()
+            ),
         )
 
     def unary_term_values(
@@ -376,6 +424,9 @@ class RobustEvaluator:
                     "",
                 ),
             ],
+            route_info=self._route_info(
+                structure, "unary_term", (term,), (variable,)
+            ),
         )
 
     def evaluate_query(self, structure: Structure, query: Foc1Query) -> List[Tuple]:
@@ -386,6 +437,12 @@ class RobustEvaluator:
                 ("foc1", lambda b: self._foc1(b).evaluate_query(structure, query), ""),
                 ("baseline", lambda b: self._baseline(b).evaluate_query(structure, query), ""),
             ],
+            route_info=self._route_info(
+                structure,
+                "query",
+                (query.condition, *query.head_terms),
+                tuple(query.head_variables),
+            ),
         )
 
     # -- the full three-stage cascade ------------------------------------------
@@ -440,6 +497,13 @@ class RobustEvaluator:
                 ("foc1", foc1_stage, ""),
                 ("baseline", baseline_stage, ""),
             ],
+            route_info=self._route_info(
+                structure,
+                "unary_term",
+                (term.count_term(),),
+                (free,),
+                cl_term=term,
+            ),
         )
 
     # -- machinery -------------------------------------------------------------
@@ -468,7 +532,96 @@ class RobustEvaluator:
     def _not_applicable(name: str) -> _Stage:
         return (name, None, "not applicable to this operation")
 
-    def _run(self, operation: str, stages: List[_Stage]):
+    # -- routing ----------------------------------------------------------------
+
+    def _route_info(
+        self,
+        structure: "Optional[Structure]",
+        plan_kind: str,
+        expressions: Tuple[Expression, ...],
+        variables: Tuple[Variable, ...],
+        cl_term: "Optional[BasicClTerm]" = None,
+    ) -> "Optional[Dict[str, object]]":
+        """The inputs :meth:`_run` needs to consult the router, or ``None``
+        when routing is off or nothing is routable."""
+        if self.route != "auto" or structure is None:
+            return None
+        return {
+            "structure": structure,
+            "plan_kind": plan_kind,
+            "expressions": expressions,
+            "variables": variables,
+            "cl_term": cl_term,
+        }
+
+    def _plan_for_routing(
+        self,
+        kind: str,
+        expressions: Tuple[Expression, ...],
+        variables: Tuple[Variable, ...],
+        structure: Structure,
+    ) -> "Optional[QueryPlan]":
+        """Fetch/compile the plan the foc1 stage would use, through the
+        same cache key it builds, so routing never compiles twice.  Any
+        failure (out-of-fragment input, unknown relations) returns None —
+        the router then prices foc1 as un-estimable and falls back."""
+        try:
+            options = PlanOptions(True, True)
+            canon = tuple(canonicalise(e) for e in expressions)
+            cache = (
+                self.plan_cache
+                if self.plan_cache is not None
+                else default_plan_cache()
+            )
+            key = (kind, canon, tuple(variables), structure.signature, options)
+            return cache.get_or_compile(
+                key,
+                lambda: compile_plan(
+                    kind, canon, tuple(variables), structure.signature, options
+                ),
+            )
+        except Exception:
+            return None
+
+    def _route_decision(
+        self, operation: str, stages: List[_Stage], info: Dict[str, object]
+    ) -> "Optional[RouteDecision]":
+        runnable = [name for name, fn, _ in stages if fn is not None]
+        structure = info["structure"]
+        plan = self._plan_for_routing(
+            info["plan_kind"],  # type: ignore[arg-type]
+            info["expressions"],  # type: ignore[arg-type]
+            info["variables"],  # type: ignore[arg-type]
+            structure,  # type: ignore[arg-type]
+        )
+        try:
+            return self.router.route(
+                operation,
+                runnable,
+                structure,
+                plan=plan,
+                expressions=info["expressions"],  # type: ignore[arg-type]
+                variables=info["variables"],  # type: ignore[arg-type]
+                cl_term=info["cl_term"],
+            )
+        except Exception:
+            registry = active_metrics()
+            if registry is not None:
+                registry.inc("cost.route.error")
+            return None
+
+    @staticmethod
+    def _reordered(stages: List[_Stage], chosen: str) -> List[_Stage]:
+        first = [s for s in stages if s[0] == chosen]
+        rest = [s for s in stages if s[0] != chosen]
+        return first + rest
+
+    def _run(
+        self,
+        operation: str,
+        stages: List[_Stage],
+        route_info: "Optional[Dict[str, object]]" = None,
+    ):
         report = RobustReport(operation=operation)
         started = time.monotonic()
         answer: object = None
@@ -491,7 +644,18 @@ class RobustEvaluator:
             if resume_stage in stage_names:
                 resume_past = set(stage_names[: stage_names.index(resume_stage)])
 
-        for name, fn, skip_reason in stages:
+        # Cost-based routing: try the predicted-cheapest stage first.
+        # Never under a checkpoint session — a resumed cascade must replay
+        # the exact stage order its first quantum recorded.
+        decision: "Optional[RouteDecision]" = None
+        execution = stages
+        if route_info is not None and session is None:
+            decision = self._route_decision(operation, stages, route_info)
+            if decision is not None and decision.mode == "auto":
+                execution = self._reordered(stages, decision.chosen)
+        report.routing = decision
+
+        for name, fn, skip_reason in execution:
             if fn is not None and name in resume_past:
                 runnable_left -= 1
                 if registry is not None:
@@ -623,10 +787,27 @@ class RobustEvaluator:
                 self._charge_parent(stage_budget.steps, name)
             report.stages.append(entry)
 
+        # Reports always list stages in the canonical STAGES order, whatever
+        # order routing actually ran them in (the per-stage details record
+        # the outcomes; the routing decision records the order's cause).
+        canonical = {name: i for i, (name, _, _) in enumerate(stages)}
+        report.stages.sort(key=lambda s: canonical.get(s.stage, len(canonical)))
+
         report.elapsed = time.monotonic() - started
         report.steps = self.budget.steps if self.budget is not None else sum(
             s.steps for s in report.stages
         )
+        if decision is not None:
+            answered_elapsed = 0.0
+            if report.answered_by is not None:
+                try:
+                    answered_elapsed = report.stage(report.answered_by).elapsed
+                except KeyError:
+                    pass
+            try:
+                self.router.observe(decision, report.answered_by, answered_elapsed)
+            except Exception:
+                pass
         self.last_report = report
 
         if report.answered_by is None:

@@ -60,6 +60,7 @@ class Structure:
         "_adjacency",
         "_indexes",
         "_size",
+        "_stats",
     )
 
     def __init__(
@@ -107,6 +108,10 @@ class Structure:
         self._adjacency: "Dict[Element, FrozenSet[Element]] | None" = None
         self._indexes: Dict[Tuple[str, int], Dict[Element, Tuple[Tup, ...]]] = {}
         self._size = len(universe_order) + sum(len(rel) for rel in resolved.values())
+        # Cached cost-model statistics (repro.cost.stats.StructureStats).
+        # Opaque to this module: built and read through structure_stats(),
+        # derived duck-typed in with_tuple(), dropped by invalidate_caches().
+        self._stats: "object | None" = None
 
     @staticmethod
     def _resolve_symbol(signature: Signature, key: object) -> RelationSymbol:
@@ -193,7 +198,8 @@ class Structure:
         return self._indexes[cache_key]
 
     def invalidate_caches(self) -> None:
-        """Drop all lazily derived data (adjacency, per-position indexes).
+        """Drop all lazily derived data (adjacency, per-position indexes,
+        cost-model statistics).
 
         The public API never needs this — structures are immutable and the
         caches are therefore always consistent.  It exists for code that
@@ -204,6 +210,7 @@ class Structure:
         """
         self._adjacency = None
         self._indexes.clear()
+        self._stats = None
 
     # -- derivation (copy-on-write updates) --------------------------------------
 
@@ -274,6 +281,15 @@ class Structure:
                     derived._adjacency = adjacency
             elif len(distinct) < 2:
                 derived._adjacency = self._adjacency
+        # Statistics follow the same copy-on-write discipline as the other
+        # caches: the parent's stay untouched, the derived structure gets an
+        # incrementally adjusted copy (duck-typed so this module stays free
+        # of a repro.cost import).
+        derived._stats = (
+            self._stats.derive(symbol.name, present, derived)
+            if self._stats is not None
+            else None
+        )
         return derived
 
     # -- equality is extensional -----------------------------------------------

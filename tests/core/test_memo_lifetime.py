@@ -55,8 +55,31 @@ class TestPinsStayInSyncWithMemos:
         session = _session(path_graph(6))
         phi = parse_formula("E(x, y)")
         session.count(("y",), phi, {"x": 1})
-        assert any(key[0] == id(phi) for key in session._count_memo)
+        # Memo keys are canonical text; the key-text cache maps the node.
+        assert (id(phi), ("y",)) in session._count_key_memo
+        assert session._count_memo
         assert id(phi) in session._pins
+
+    def test_count_memo_keys_are_alpha_canonical(self):
+        """Alpha-variants of the same count share one memo entry."""
+        session = _session(path_graph(6))
+        first = parse_formula("E(x, y)")
+        second = parse_formula("E(x, z)")
+        session.count(("y",), first, {"x": 1})
+        session.count(("z",), second, {"x": 1})
+        assert len(session._count_memo) == 1
+
+    def test_holds_memo_keys_are_alpha_canonical(self):
+        """Bound-variable renamings of the same sentence share one entry."""
+        session = _session(path_graph(6))
+        first = parse_formula("exists y. E(x, y)")
+        second = parse_formula("exists w. E(x, w)")
+        session.holds(first, {"x": 1})
+        entries = len(session._holds_memo)
+        # The alpha-variant is a pure memo hit: no new entries appear.
+        session.holds(second, {"x": 1})
+        assert len(session._holds_memo) == entries
+        assert ("exists _b0. E(x, _b0)", (("x", 1),)) in session._holds_memo
 
     def test_holds_memo_pins_its_formula(self):
         session = _session(path_graph(6))
@@ -76,6 +99,10 @@ class TestPinsStayInSyncWithMemos:
         assert not session._conjunct_memo
         assert not session._holds_memo
         assert not session._count_memo
+        assert not session._canon_memo
+        assert not session._count_key_memo
+        assert not session._forall_memo
+        assert not session._overlap_memo
 
     def test_pinned_node_survives_caller_dropping_it(self):
         """The id-recycling scenario: the caller drops its reference, the

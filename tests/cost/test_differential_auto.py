@@ -1,0 +1,138 @@
+"""Seeded differential tests: ``--engine auto`` answers are byte-identical
+to the fixed cascade.
+
+Routing is reorder-only — every stage stays in the cascade — so for any
+input the auto-routed evaluator must return exactly what the fixed-order
+evaluator returns, on every parallel backend and worker count.  Plain
+``random.Random(seed)`` so each case is a fixed, individually re-runnable
+pytest id (same idiom as tests/parallel/test_differential_parallel.py).
+"""
+
+import random
+
+import pytest
+
+from repro.logic.parser import parse_formula, parse_term
+from repro.robust.guard import RobustEvaluator
+from repro.structures.builders import graph_structure
+
+SEEDS = range(30)
+
+FORMULAS = (
+    ("E(x, y)", ["x", "y"]),
+    ("exists y. E(x, y)", ["x"]),
+    ("E(x, y) & E(y, z)", ["x", "y", "z"]),
+)
+
+
+def _random_graph(rng: random.Random, max_n: int = 12):
+    n = rng.randint(2, max_n)
+    vertices = list(range(1, n + 1))
+    pairs = [(u, v) for u in vertices for v in vertices if u < v]
+    edges = [pair for pair in pairs if rng.random() < 0.3]
+    return graph_structure(vertices, edges)
+
+
+def _engines(**kwargs):
+    return (
+        RobustEvaluator(route="auto", **kwargs),
+        RobustEvaluator(route="cascade", **kwargs),
+    )
+
+
+class TestAutoMatchesCascade:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_count_identical(self, seed):
+        rng = random.Random(8000 + seed)
+        structure = _random_graph(rng)
+        text, variables = FORMULAS[seed % len(FORMULAS)]
+        phi = parse_formula(text)
+        auto, cascade = _engines()
+        assert auto.count(structure, phi, variables) == cascade.count(
+            structure, phi, variables
+        )
+        assert auto.last_report.answered_by == cascade.last_report.answered_by
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unary_term_values_identical(self, seed):
+        rng = random.Random(8100 + seed)
+        structure = _random_graph(rng)
+        term = parse_term("#(y). E(x, y)")
+        auto, cascade = _engines()
+        left = auto.unary_term_values(structure, term, "x")
+        right = cascade.unary_term_values(structure, term, "x")
+        # Byte-identical: same values AND same dict insertion order.
+        assert list(left.items()) == list(right.items())
+
+    @pytest.mark.parametrize("seed", (0, 9, 17, 26))
+    def test_model_check_identical(self, seed):
+        rng = random.Random(8200 + seed)
+        structure = _random_graph(rng)
+        phi = parse_formula("forall x. exists y. E(x, y)")
+        auto, cascade = _engines()
+        assert auto.model_check(structure, phi) == cascade.model_check(
+            structure, phi
+        )
+
+
+class TestBackendsAndWorkers:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    @pytest.mark.parametrize("backend", ("thread",))
+    @pytest.mark.parametrize("seed", (3, 14, 25))
+    def test_thread_backend_parity(self, seed, backend, workers):
+        rng = random.Random(8300 + seed)
+        structure = _random_graph(rng)
+        term = parse_term("#(y). E(x, y)")
+        auto, cascade = _engines(workers=workers, parallel_backend=backend)
+        left = auto.unary_term_values(structure, term, "x")
+        right = cascade.unary_term_values(structure, term, "x")
+        assert list(left.items()) == list(right.items())
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_process_backend_parity(self, workers):
+        # Process pools are expensive to spin up: one seed per worker count.
+        rng = random.Random(8400 + workers)
+        structure = _random_graph(rng, max_n=8)
+        phi = parse_formula("E(x, y)")
+        auto, cascade = _engines(workers=workers, parallel_backend="process")
+        assert auto.count(structure, phi, ["x", "y"]) == cascade.count(
+            structure, phi, ["x", "y"]
+        )
+
+    def test_serial_matches_workers(self):
+        rng = random.Random(8500)
+        structure = _random_graph(rng)
+        term = parse_term("#(y). E(x, y)")
+        serial, _ = _engines(workers=1)
+        threaded, _ = _engines(workers=4)
+        left = serial.unary_term_values(structure, term, "x")
+        right = threaded.unary_term_values(structure, term, "x")
+        assert list(left.items()) == list(right.items())
+
+
+class TestRoutingReportContract:
+    def test_auto_reports_routing_cascade_does_not(self):
+        rng = random.Random(8600)
+        structure = _random_graph(rng)
+        phi = parse_formula("E(x, y)")
+        auto, cascade = _engines()
+        auto.count(structure, phi, ["x", "y"])
+        cascade.count(structure, phi, ["x", "y"])
+        assert auto.last_report.routing is not None
+        assert cascade.last_report.routing is None
+        payload = auto.last_report.to_dict()
+        assert payload["routing"]["chosen"] in ("main_algorithm", "foc1", "baseline")
+
+    def test_report_stage_order_is_canonical_even_when_reordered(self):
+        rng = random.Random(8601)
+        structure = _random_graph(rng)
+        phi = parse_formula("E(x, y)")
+        auto, _ = _engines()
+        auto.count(structure, phi, ["x", "y"])
+        names = [stage.stage for stage in auto.last_report.stages]
+        canonical = [
+            name
+            for name in ("main_algorithm", "foc1", "baseline")
+            if name in names
+        ]
+        assert names == canonical

@@ -1,0 +1,137 @@
+"""Tests for :mod:`repro.cost.stats` — the Structure cache contract leg.
+
+The load-bearing property (ISSUE 7 satellite): the router must never read
+stale cardinalities.  ``invalidate_caches()`` drops the statistics,
+``with_tuple()`` derives them incrementally, and ``structure_stats``
+serves the cached object only for the structure it was built from.
+"""
+
+from repro.cost import StructureStats, structure_stats
+from repro.cost.router import EngineRouter
+from repro.robust.guard import RobustEvaluator
+from repro.logic.parser import parse_formula
+from repro.structures.builders import graph_structure, path_graph
+
+
+class TestCaching:
+    def test_second_call_reuses_cached_stats(self):
+        structure = path_graph(5)
+        first = structure_stats(structure)
+        assert structure_stats(structure) is first
+
+    def test_eager_parts_match_structure(self):
+        structure = path_graph(5)
+        stats = structure_stats(structure)
+        assert stats.order == 5
+        assert stats.relation_card("E") == 8  # 4 undirected edges, both ways
+        assert stats.size == structure.size()
+
+    def test_unknown_relation_counts_as_empty(self):
+        stats = structure_stats(path_graph(4))
+        assert stats.relation_card("Paux__0") == 0
+        assert stats.index_fanout("Paux__0") == 0.0
+
+    def test_invalidate_caches_drops_stats(self):
+        structure = path_graph(5)
+        first = structure_stats(structure)
+        structure.invalidate_caches()
+        assert structure._stats is None
+        rebuilt = structure_stats(structure)
+        assert rebuilt is not first
+        assert rebuilt.relation_cards == first.relation_cards
+
+    def test_lazy_parts(self):
+        stats = structure_stats(path_graph(4))
+        degree = stats.degree()
+        assert degree.max == 2
+        assert degree.histogram == {1: 2, 2: 2}
+        assert stats.component_count() == 1
+        two_parts = graph_structure([1, 2, 3, 4], [(1, 2), (3, 4)])
+        assert structure_stats(two_parts).component_count() == 2
+
+    def test_ball_size_estimate_monotone_and_capped(self):
+        stats = structure_stats(path_graph(6))
+        sizes = [stats.ball_size_estimate(r) for r in range(0, 8)]
+        assert sizes[0] == 1.0
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+        assert all(size <= stats.order for size in sizes)
+
+
+class TestCopyOnWriteDerivation:
+    def test_with_tuple_derives_incrementally(self):
+        structure = path_graph(4)
+        base = structure_stats(structure)
+        derived = structure.with_tuple("E", (1, 3))
+        stats = structure_stats(derived)
+        assert isinstance(stats, StructureStats)
+        assert stats is not base
+        assert stats.relation_card("E") == base.relation_card("E") + 1
+        assert stats.size == base.size + 1
+        # The parent's stats are untouched.
+        assert structure_stats(structure).relation_card("E") == base.relation_card("E")
+
+    def test_with_tuple_removal(self):
+        structure = path_graph(4)
+        base = structure_stats(structure)
+        derived = structure.with_tuple("E", (2, 3), present=False)
+        assert structure_stats(derived).relation_card("E") == base.relation_card("E") - 1
+
+    def test_without_parent_stats_derived_builds_fresh(self):
+        structure = path_graph(4)
+        assert structure._stats is None
+        derived = structure.with_tuple("E", (1, 3))
+        assert derived._stats is None
+        assert structure_stats(derived).relation_card("E") == 7
+
+    def test_lazy_parts_rebuilt_from_derived_adjacency(self):
+        structure = graph_structure([1, 2, 3, 4], [(1, 2), (3, 4)])
+        base = structure_stats(structure)
+        assert base.component_count() == 2
+        # Bridge the components; the derived degree/component summaries
+        # must come from the derived adjacency, not the parent's.
+        bridged = structure.with_tuple("E", (2, 3)).with_tuple("E", (3, 2))
+        assert structure_stats(bridged).component_count() == 1
+
+
+class TestRouterSeesFreshCardinalities:
+    """ISSUE 7 regression: route, mutate incrementally, route again —
+    the second decision must be priced against the updated statistics."""
+
+    def test_routing_after_incremental_mutation(self):
+        structure = path_graph(6)
+        router = EngineRouter()
+        engine = RobustEvaluator(route="auto", router=router)
+        phi = parse_formula("E(x, y)")
+
+        assert engine.count(structure, phi, ["x", "y"]) == 10
+        first = engine.last_report.routing
+        assert first is not None
+
+        mutated = structure
+        for v in range(2, 6):
+            mutated = mutated.with_tuple("E", (1, v + 1)).with_tuple(
+                "E", (v + 1, 1)
+            )
+        expected = len(mutated.relation("E"))
+        assert engine.count(mutated, phi, ["x", "y"]) == expected
+        second = engine.last_report.routing
+        assert second is not None
+
+        # The mutated structure's stats reflect the delta exactly...
+        assert structure_stats(mutated).relation_card("E") == expected
+        # ...and the router priced the second run against them: counting a
+        # single positive atom is exact, so foc1's predicted work strictly
+        # grows with the relation.
+        assert second.predicted["foc1"] > first.predicted["foc1"]
+
+    def test_routing_after_in_place_mutation(self):
+        structure = path_graph(6)
+        stats = structure_stats(structure)
+        assert stats.relation_card("E") == 10
+        symbol = next(s for s in structure._relations if s.name == "E")
+        structure._relations[symbol] = structure._relations[symbol] | {
+            (1, 3),
+            (3, 1),
+        }
+        structure.invalidate_caches()
+        assert structure_stats(structure).relation_card("E") == 12
