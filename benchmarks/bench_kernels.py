@@ -1,0 +1,176 @@
+"""E17 — columnar id-space kernels vs the element-space reference oracle.
+
+The ISSUE 8 refactor rewrote the local-evaluation hot paths (pattern
+walks, D-ball exploration, the sparse-cover greedy) onto interned-id
+kernels (:mod:`repro.structures.columnar`); the pre-columnar set-based
+implementations survive verbatim in :mod:`repro.core.reference`.  Each
+parameter point here runs *both* implementations on the same structure
+and asserts byte-identical answers, so the speedup column can never be
+bought with a semantics change.
+
+Both rows of a pair tag ``extra_info`` with a shared ``kernel_group``
+plus their ``impl`` (``"columnar"`` or ``"reference"``);
+``tools/bench_runner.py`` folds matching groups into the report's
+``kernels`` section — the columnar/reference mean ratio per group
+(acceptance: <= 1.0, i.e. the refactor pays for itself) and the peak-RSS
+reading per row (``resource.getrusage``; ru_maxrss is process-monotonic,
+so the per-group delta is ordering-dependent and reported as context,
+not as a gate).
+
+Representation caches are warmed outside the timed region on both sides
+(``structure.adjacency()`` for the reference, ``structure.columnar()``
+for the kernels): the engine builds each once per structure, so the
+steady-state evaluation loop is the honest comparison.
+"""
+
+import resource
+
+import pytest
+
+from repro.core.clterms import BasicClTerm
+from repro.core.local_eval import evaluate_basic_unary
+from repro.core.reference import (
+    reference_ball,
+    reference_distances_from,
+    reference_evaluate_basic_unary,
+)
+from repro.logic.syntax import And, Atom, Eq, Not
+from repro.sparse.classes import nearly_square_grid
+from repro.sparse.covers import sparse_cover
+from repro.structures.gaifman import ball
+
+#: Quick mode (REPRO_BENCH_QUICK=1) keeps only n <= 100.
+SIZES = (64, 400)
+
+IMPLS = ("columnar", "reference")
+
+
+def _term() -> BasicClTerm:
+    """A width-2 linked pattern with a local psi — exercises the compiled
+    pattern plans, the bitset membership tests and the ball cache."""
+    return BasicClTerm(
+        ("y1", "y2"),
+        And(Atom("E", ("y1", "y2")), Not(Eq("y1", "y2"))),
+        psi_radius=1,
+        link_distance=2,
+        edges=((1, 2),),
+        unary=True,
+    )
+
+
+def _warm(structure) -> None:
+    structure.adjacency()
+    structure.columnar()
+
+
+def _tag(benchmark, structure, group: str, impl: str) -> None:
+    benchmark.extra_info["kernel_group"] = f"{group}/n={structure.order()}"
+    benchmark.extra_info["impl"] = impl
+    benchmark.extra_info["order"] = structure.order()
+    benchmark.extra_info["peak_rss_kb"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@pytest.mark.parametrize("n", SIZES)
+def test_kernel_unary_counts(benchmark, n, impl):
+    structure = nearly_square_grid(n)
+    term = _term()
+    _warm(structure)
+    fn = (
+        evaluate_basic_unary
+        if impl == "columnar"
+        else reference_evaluate_basic_unary
+    )
+    other = (
+        reference_evaluate_basic_unary
+        if impl == "columnar"
+        else evaluate_basic_unary
+    )
+
+    result = benchmark(fn, structure, term)
+
+    reference = other(structure, term)
+    assert result == reference
+    assert list(result) == list(reference)  # same insertion order
+    _tag(benchmark, structure, "unary", impl)
+
+
+def _columnar_ball_sweep(structure, radius):
+    return sum(
+        len(ball(structure, (element,), radius))
+        for element in structure.universe_order
+    )
+
+
+def _reference_ball_sweep(structure, radius):
+    return sum(
+        len(reference_ball(structure, [element], radius))
+        for element in structure.universe_order
+    )
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@pytest.mark.parametrize("n", SIZES)
+def test_kernel_ball_sweep(benchmark, n, impl):
+    """Every element's 2-ball — the Remark 6.3 exploration primitive."""
+    structure = nearly_square_grid(n)
+    _warm(structure)
+    fn = _columnar_ball_sweep if impl == "columnar" else _reference_ball_sweep
+
+    total = benchmark(fn, structure, 2)
+
+    assert total == _reference_ball_sweep(structure, 2)
+    _tag(benchmark, structure, "balls", impl)
+
+
+def _reference_sparse_cover(structure, radius):
+    """The pre-columnar greedy construction over the reference BFS."""
+    centres = []
+    closest = {}
+    for element in structure.universe_order:
+        if element in closest and closest[element][0] <= radius:
+            continue
+        index = len(centres)
+        centres.append(element)
+        for covered, dist in reference_distances_from(
+            structure, [element], radius
+        ).items():
+            best = closest.get(covered)
+            if best is None or dist < best[0]:
+                closest[covered] = (dist, index)
+    clusters = tuple(
+        reference_ball(structure, [centre], 2 * radius) for centre in centres
+    )
+    assignment = {
+        element: closest[element][1] for element in structure.universe_order
+    }
+    return clusters, assignment, tuple(centres)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@pytest.mark.parametrize("n", SIZES)
+def test_kernel_sparse_cover(benchmark, n, impl):
+    structure = nearly_square_grid(n)
+    radius = 2
+    _warm(structure)
+
+    if impl == "columnar":
+        cover = benchmark(sparse_cover, structure, radius)
+        clusters, assignment, centres = _reference_sparse_cover(
+            structure, radius
+        )
+        assert cover.clusters == clusters
+        assert cover.assignment == assignment
+        assert list(cover.assignment) == list(assignment)
+        assert cover.centres == centres
+    else:
+        clusters, assignment, centres = benchmark(
+            _reference_sparse_cover, structure, radius
+        )
+        cover = sparse_cover(structure, radius)
+        assert cover.clusters == clusters
+        assert cover.assignment == assignment
+        assert cover.centres == centres
+    _tag(benchmark, structure, "cover", impl)

@@ -24,7 +24,7 @@ from ..logic.semantics import satisfies
 from ..logic.syntax import Formula, Variable
 from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
-from ..structures.gaifman import distances_from, neighbourhood
+from ..structures.gaifman import neighbourhood
 from ..structures.structure import Element, Structure
 from .clterms import BasicClTerm, ClPolynomial, Edges
 
@@ -36,23 +36,44 @@ def _is_quantifier_free(formula: Formula) -> bool:
 
 
 class _BallCache:
-    """Memoised D-balls (as frozensets) for one structure and one distance."""
+    """Memoised D-balls for one structure and one distance, in id space.
 
-    __slots__ = ("structure", "distance", "_cache", "_metrics")
+    The pattern walk consumes :meth:`ball_ids` (sorted interned ids — the
+    candidate stream) and :meth:`bitset` (the O(1) membership side of the
+    exactness checks); both are memoised per element id.  Calling the
+    cache with an *element* keeps the historical frozenset-of-elements
+    contract for external callers.
+
+    Per-call state only (no shared scratch buffers), so one cache may be
+    handed to pattern walks running on any thread — though shards of the
+    parallel paths still build their own to keep the memo contention-free.
+    """
+
+    __slots__ = (
+        "structure",
+        "distance",
+        "kernel",
+        "interner",
+        "_ids",
+        "_bitsets",
+        "_metrics",
+    )
 
     def __init__(self, structure: Structure, distance: int):
         self.structure = structure
         self.distance = distance
-        self._cache: Dict[Element, FrozenSet[Element]] = {}
+        self.kernel = structure.columnar()
+        self.interner = self.kernel.interner
+        self._ids: Dict[int, List[int]] = {}
+        self._bitsets: Dict[int, int] = {}
         self._metrics = active_metrics()
 
-    def __call__(self, element: Element) -> FrozenSet[Element]:
-        cached = self._cache.get(element)
+    def ball_ids(self, eid: int) -> List[int]:
+        """Sorted ids of ``N_D(eid)`` (memoised)."""
+        cached = self._ids.get(eid)
         if cached is None:
-            cached = frozenset(
-                distances_from(self.structure, [element], self.distance)
-            )
-            self._cache[element] = cached
+            cached = self.kernel.ball_ids((eid,), self.distance)
+            self._ids[eid] = cached
             if self._metrics is not None:
                 self._metrics.inc("local.ball.expansion")
                 self._metrics.inc("local.ball.memo.miss")
@@ -60,6 +81,20 @@ class _BallCache:
         elif self._metrics is not None:
             self._metrics.inc("local.ball.memo.hit")
         return cached
+
+    def bitset(self, eid: int) -> int:
+        """``N_D(eid)`` as an int bitset (memoised)."""
+        cached = self._bitsets.get(eid)
+        if cached is None:
+            cached = self.kernel.bitset(self.ball_ids(eid))
+            self._bitsets[eid] = cached
+        return cached
+
+    def __call__(self, element: Element) -> FrozenSet[Element]:
+        elements = self.interner.elements
+        return frozenset(
+            elements[i] for i in self.ball_ids(self.interner.id_of(element))
+        )
 
 
 #: Compile-once cache for pattern walk orders: the BFS placement order
@@ -106,6 +141,44 @@ def pattern_order(k: int, edges: Edges) -> Tuple[Tuple[int, int], ...]:
 _pattern_order = pattern_order
 
 
+#: Compiled pattern plans: per (k, edges), the BFS placement steps with the
+#: exactness checks pre-resolved.  A step is ``(position, parent, checks)``
+#: where ``checks`` lists ``(other_position, expected)`` pairs — ``expected``
+#: is the edge-set membership that used to be recomputed per candidate per
+#: placed position (and ``set(edges)`` itself rebuilt per invocation).  The
+#: parent position is omitted from the checks: the candidate is drawn from
+#: the parent's D-ball and parent-position is a pattern edge by BFS-order
+#: construction, so that check is always satisfied.
+_PATTERN_PLANS: Dict[
+    Tuple[int, Edges], Tuple[Tuple[int, int, Tuple[Tuple[int, bool], ...]], ...]
+] = {}
+
+
+def pattern_plan(
+    k: int, edges: Edges
+) -> Tuple[Tuple[int, int, Tuple[Tuple[int, bool], ...]], ...]:
+    """The compiled walk plan for one pattern graph, cached for the process."""
+    key = (k, edges)
+    cached = _PATTERN_PLANS.get(key)
+    if cached is not None:
+        return cached
+    order = pattern_order(k, edges)
+    edge_set = set(edges)
+    steps: List[Tuple[int, int, Tuple[Tuple[int, bool], ...]]] = []
+    placed_order = [1]
+    for position, parent in order:
+        checks = tuple(
+            (other, (min(other, position), max(other, position)) in edge_set)
+            for other in placed_order
+            if other != parent
+        )
+        steps.append((position, parent, checks))
+        placed_order.append(position)
+    result = tuple(steps)
+    _PATTERN_PLANS[key] = result
+    return result
+
+
 def pattern_tuples(
     structure: Structure,
     first: Element,
@@ -119,36 +192,47 @@ def pattern_tuples(
     edges mean ``dist <= D`` and non-edges ``dist > D``.
 
     Tuples may repeat elements (a repeated element forces a pattern edge,
-    which the exactness check enforces automatically).
+    which the exactness check enforces automatically).  The walk runs
+    entirely in id space — candidates stream from sorted ball-id arrays and
+    each exactness check is one bitset probe — converting back to elements
+    only as tuples are yielded.  The same tuples come out as from the
+    set-based reference walk (``repro.core.reference``), in sorted-id
+    rather than hash order.
     """
     if k == 1:
         yield (first,)
         return
     balls = ball_cache if ball_cache is not None else _BallCache(structure, link_distance)
-    order = pattern_order(k, edges)
-    edge_set = set(edges)
+    plan = pattern_plan(k, edges)
+    elements = balls.interner.elements
+    last_step = len(plan) - 1
 
-    placed: Dict[int, Element] = {1: first}
+    placed_ids = [0] * (k + 1)  # 1-based positions
+    placed_ids[1] = balls.interner.id_of(first)
 
     def extend(step: int) -> Iterator[Tuple[Element, ...]]:
-        if step == len(order):
-            yield tuple(placed[i] for i in range(1, k + 1))
+        position, parent, checks = plan[step]
+        tests = [
+            (balls.bitset(placed_ids[other]), expected)
+            for other, expected in checks
+        ]
+        candidates = balls.ball_ids(placed_ids[parent])
+        if step == last_step:
+            for candidate in candidates:
+                for bs, expected in tests:
+                    if ((bs >> candidate) & 1) != expected:
+                        break
+                else:
+                    placed_ids[position] = candidate
+                    yield tuple(elements[placed_ids[i]] for i in range(1, k + 1))
             return
-        position, parent = order[step]
-        for candidate in balls(placed[parent]):
-            # exactness check against every already placed position
-            ok = True
-            for other, value in placed.items():
-                expected = (min(other, position), max(other, position)) in edge_set
-                actual = candidate in balls(value)
-                if expected != actual:
-                    ok = False
+        for candidate in candidates:
+            for bs, expected in tests:
+                if ((bs >> candidate) & 1) != expected:
                     break
-            if not ok:
-                continue
-            placed[position] = candidate
-            yield from extend(step + 1)
-            del placed[position]
+            else:
+                placed_ids[position] = candidate
+                yield from extend(step + 1)
 
     yield from extend(0)
 

@@ -1,0 +1,171 @@
+"""Set-based reference implementations of the local-evaluation hot paths.
+
+The columnar refactor rewrote :mod:`repro.core.local_eval` (and the BFS
+primitives under it) onto interned-id kernels.  This module preserves the
+original element-space implementations verbatim as a *reference oracle*:
+the differential tests (``tests/core/test_differential_columnar.py``) and
+the kernel benchmarks (``benchmarks/bench_kernels.py``) run both and
+assert byte-identical results.
+
+Nothing here is used by the engine itself — it exists so the
+representation refactor stays falsifiable.  The code intentionally
+mirrors the pre-columnar implementations, including their reliance on
+:meth:`Structure.adjacency` (the dict-of-frozensets Gaifman graph) and
+per-call ``set(edges)`` rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..errors import UniverseError
+from ..logic.predicates import PredicateCollection
+from ..logic.semantics import satisfies
+from ..structures.gaifman import induced
+from ..structures.structure import Element, Structure
+from .clterms import BasicClTerm, Edges
+from .local_eval import _is_quantifier_free, pattern_order
+
+__all__ = [
+    "reference_distances_from",
+    "reference_ball",
+    "ReferenceBallCache",
+    "reference_pattern_tuples",
+    "reference_evaluate_basic_unary",
+]
+
+
+def reference_distances_from(
+    structure: Structure,
+    sources: Iterable[Element],
+    radius: "float | None" = None,
+) -> Dict[Element, int]:
+    """Multi-source BFS over the dict adjacency (the pre-columnar
+    ``gaifman.distances_from``)."""
+    adjacency = structure.adjacency()
+    dist: Dict[Element, int] = {}
+    frontier = deque()
+    for source in sources:
+        if source not in structure:
+            raise UniverseError(f"{source!r} is not a universe element")
+        if source not in dist:
+            dist[source] = 0
+            frontier.append(source)
+    while frontier:
+        node = frontier.popleft()
+        d = dist[node]
+        if radius is not None and d >= radius:
+            continue
+        for neighbour in adjacency[node]:
+            if neighbour not in dist:
+                dist[neighbour] = d + 1
+                frontier.append(neighbour)
+    return dist
+
+
+def reference_ball(
+    structure: Structure, centres: Iterable[Element], radius: int
+) -> FrozenSet[Element]:
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return frozenset(reference_distances_from(structure, centres, radius))
+
+
+class ReferenceBallCache:
+    """The pre-columnar ``_BallCache``: element-keyed frozenset D-balls."""
+
+    __slots__ = ("structure", "distance", "_cache")
+
+    def __init__(self, structure: Structure, distance: int):
+        self.structure = structure
+        self.distance = distance
+        self._cache: Dict[Element, FrozenSet[Element]] = {}
+
+    def __call__(self, element: Element) -> FrozenSet[Element]:
+        cached = self._cache.get(element)
+        if cached is None:
+            cached = frozenset(
+                reference_distances_from(self.structure, [element], self.distance)
+            )
+            self._cache[element] = cached
+        return cached
+
+
+def reference_pattern_tuples(
+    structure: Structure,
+    first: Element,
+    k: int,
+    edges: Edges,
+    link_distance: int,
+    ball_cache: "Optional[ReferenceBallCache]" = None,
+) -> Iterator[Tuple[Element, ...]]:
+    """The pre-columnar pattern walk: per-candidate frozenset membership
+    tests and a per-invocation ``set(edges)`` rebuild."""
+    if k == 1:
+        yield (first,)
+        return
+    balls = (
+        ball_cache
+        if ball_cache is not None
+        else ReferenceBallCache(structure, link_distance)
+    )
+    order = pattern_order(k, edges)
+    edge_set = set(edges)
+
+    placed: Dict[int, Element] = {1: first}
+
+    def extend(step: int) -> Iterator[Tuple[Element, ...]]:
+        if step == len(order):
+            yield tuple(placed[i] for i in range(1, k + 1))
+            return
+        position, parent = order[step]
+        for candidate in balls(placed[parent]):
+            ok = True
+            for other, value in placed.items():
+                expected = (min(other, position), max(other, position)) in edge_set
+                actual = candidate in balls(value)
+                if expected != actual:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            placed[position] = candidate
+            yield from extend(step + 1)
+            del placed[position]
+
+    yield from extend(0)
+
+
+def reference_evaluate_basic_unary(
+    structure: Structure,
+    term: BasicClTerm,
+    elements: "Optional[Sequence[Element]]" = None,
+    predicates: "Optional[PredicateCollection]" = None,
+    evaluate_psi_locally: bool = True,
+) -> Dict[Element, int]:
+    """``u^A[a]`` by the pre-columnar ball-exploration loop."""
+    targets = (
+        list(elements) if elements is not None else list(structure.universe_order)
+    )
+    balls = ReferenceBallCache(structure, term.link_distance)
+    quantifier_free = _is_quantifier_free(term.psi)
+    check_locally = evaluate_psi_locally and not quantifier_free
+    values: Dict[Element, int] = {}
+    for element in targets:
+        total = 0
+        for tup in reference_pattern_tuples(
+            structure, element, term.width, term.edges, term.link_distance, balls
+        ):
+            assignment = dict(zip(term.variables, tup))
+            if check_locally:
+                local = induced(
+                    structure, reference_ball(structure, tup, term.psi_radius)
+                )
+                holds = satisfies(local, term.psi, assignment, predicates)
+            else:
+                holds = satisfies(structure, term.psi, assignment, predicates)
+            if holds:
+                total += 1
+        values[element] = total
+    return values

@@ -68,7 +68,15 @@ class StructureStats:
     actually needs them.
     """
 
-    __slots__ = ("order", "size", "relation_cards", "_structure", "_degree", "_components")
+    __slots__ = (
+        "order",
+        "size",
+        "relation_cards",
+        "_structure",
+        "_degree",
+        "_components",
+        "_distinct",
+    )
 
     def __init__(
         self,
@@ -83,6 +91,7 @@ class StructureStats:
         self._structure = structure
         self._degree: Optional[DegreeSummary] = None
         self._components: Optional[int] = None
+        self._distinct: Dict[str, tuple] = {}
 
     @classmethod
     def from_structure(cls, structure: Structure) -> "StructureStats":
@@ -103,6 +112,26 @@ class StructureStats:
         if self._degree is None:
             self._degree = DegreeSummary.from_structure(self._structure)
         return self._degree
+
+    def distinct_per_column(self, name: str) -> tuple:
+        """Distinct-value count per position of a relation, read off the
+        columnar per-position indexes (no relation rescan; the index is
+        shared with every other consumer of the columnar view).  Lazy per
+        relation; empty tuple for unknown symbols (see
+        :meth:`relation_card`).  Like the degree/component summaries this
+        is *not* carried across :meth:`derive` — a derived structure's
+        counts are rebuilt against its own relations, keeping the
+        ``cost.stats.derived`` fast path honest."""
+        cached = self._distinct.get(name)
+        if cached is None:
+            if name not in self._structure.signature:
+                return ()
+            cached = self._structure.columnar().distinct_per_column(name)
+            self._distinct[name] = cached
+            metrics = active_metrics()
+            if metrics is not None:
+                metrics.inc("cost.stats.distinct.build")
+        return cached
 
     def component_count(self) -> int:
         """Number of connected components of the Gaifman graph."""

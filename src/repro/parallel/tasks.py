@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import pickle
 import traceback
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import MetricsRegistry, active_metrics, set_thread_metrics
@@ -184,7 +185,7 @@ def _per_cluster_task(payload: tuple):
 
     return _run_in_child(
         lambda budget: _cluster_shard_values(
-            structure, cover, term, psi, indices, predicates, budget
+            structure, cover, term, psi, list(indices), predicates, budget
         ),
         params,
         metrics,
@@ -214,13 +215,18 @@ def run_per_cluster_shards(
     slices = (
         budget.split(len(shards)) if budget is not None else [None] * len(shards)
     )
+    # Cluster indices ship as array('q') — a flat memory copy instead of a
+    # per-int pickle op.  Together with Structure/NeighbourhoodCover
+    # shipping only their defining data (their __getstate__ drops derived
+    # caches), this keeps per-shard payloads close to the raw relation
+    # content.
     payloads = [
         (
             structure,
             cover,
             term,
             psi,
-            list(chunk),
+            array("q", chunk),
             predicates,
             _slice_params(slices[i]),
             want_metrics,

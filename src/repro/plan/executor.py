@@ -89,7 +89,7 @@ from ..obs import active_metrics
 from ..robust.budget import EvaluationBudget
 from ..robust.checkpoint import StratumRecord, active_checkpoint_session
 from ..robust.faults import fault_check
-from ..structures.gaifman import distances_from
+from ..structures.gaifman import ball as gaifman_ball
 from ..structures.signature import RelationSymbol, Signature
 from ..structures.structure import Element, Structure, Tup
 from .ir import (
@@ -250,7 +250,10 @@ class ExecutionState:
         cache = self._ball_caches.setdefault(distance, {})
         cached = cache.get(element)
         if cached is None:
-            cached = frozenset(distances_from(self.structure, [element], distance))
+            # gaifman.ball picks the backend adaptively: the columnar BFS
+            # kernel on a settled structure, the incrementally maintained
+            # dict adjacency mid-update-sequence (see structures/gaifman.py).
+            cached = gaifman_ball(self.structure, (element,), distance)
             cache[element] = cached
             if self._metrics is not None:
                 self._metrics.inc("evaluator.ball.expansion")

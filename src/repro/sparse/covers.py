@@ -27,7 +27,8 @@ from ..errors import ReproError
 from ..obs import active_metrics, traced
 from ..robust.budget import EvaluationBudget
 from ..robust.faults import fault_check
-from ..structures.gaifman import ball, distances_from, induced, radius_of_set
+from ..structures.columnar import bitset_of
+from ..structures.gaifman import ball, induced, radius_of_set
 from ..structures.structure import Element, Structure
 
 
@@ -73,18 +74,62 @@ class NeighbourhoodCover:
         """All ``a`` with ``X(a)`` = cluster ``index`` (the Q-sets of 8.2)."""
         return self._members_by_cluster.get(index, ())
 
+    @cached_property
+    def _cluster_bitsets(self) -> Tuple[int, ...]:
+        # Each cluster as an int bitset over the structure's interned ids:
+        # the s-covering test ``N_s(a-bar) ⊆ X`` becomes ``needed & ~X == 0``,
+        # a few machine words per cluster instead of a frozenset-subset walk.
+        # Built once, lazily — the per-tuple cover checks of cover_eval hit
+        # this for every counted tuple.
+        kernel = self.structure.columnar()
+        id_of = kernel.interner._ids
+        n = kernel.n
+        return tuple(
+            bitset_of((id_of[element] for element in cluster), n)
+            for cluster in self.clusters
+        )
+
+    def _needed_bitset(self, elements: Sequence[Element], s: int) -> int:
+        if s < 0:
+            raise ValueError("radius must be non-negative")
+        kernel = self.structure.columnar()
+        interner = kernel.interner
+        return kernel.ball_bitset(interner.ids(elements), s)
+
     def covers_tuple(self, index: int, elements: Sequence[Element], s: int) -> bool:
         """Whether cluster ``index`` s-covers the tuple: ``N_s(a-bar) ⊆ X``."""
-        return ball(self.structure, elements, s) <= self.clusters[index]
+        return self._needed_bitset(elements, s) & ~self._cluster_bitsets[index] == 0
 
     def clusters_s_covering(self, elements: Sequence[Element], s: int) -> List[int]:
         """Indices of all clusters that s-cover the tuple."""
-        needed = ball(self.structure, elements, s)
+        needed = self._needed_bitset(elements, s)
         return [
             index
-            for index, cluster in enumerate(self.clusters)
-            if needed <= cluster
+            for index, cluster in enumerate(self._cluster_bitsets)
+            if needed & ~cluster == 0
         ]
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self):
+        """Ship only the defining fields — the lazily built member groups
+        and cluster bitsets rebuild on the receiving side, keeping
+        process-backend payloads compact."""
+        return (
+            self.structure,
+            self.radius,
+            self.clusters,
+            self.assignment,
+            self.centres,
+        )
+
+    def __setstate__(self, state) -> None:
+        structure, radius, clusters, assignment, centres = state
+        object.__setattr__(self, "structure", structure)
+        object.__setattr__(self, "radius", radius)
+        object.__setattr__(self, "clusters", clusters)
+        object.__setattr__(self, "assignment", assignment)
+        object.__setattr__(self, "centres", centres)
 
     # -- statistics -------------------------------------------------------------
 
@@ -204,30 +249,37 @@ def sparse_cover(
         # Each element's 0-ball is itself; one singleton cluster per element.
         return trivial_cover(structure, 0)
 
-    centres: List[Element] = []
-    closest_centre: Dict[Element, Tuple[int, int]] = {}
-    for element in structure.universe_order:
+    # Id-space construction: universe order *is* id order, so scanning ids
+    # 0..n-1 reproduces the original greedy scan element for element; the
+    # closest-centre map becomes two flat arrays (-1 = not yet dominated).
+    kernel = structure.columnar()
+    elements = kernel.interner.elements
+    n = kernel.n
+    best_dist = [-1] * n
+    centre_of = [-1] * n
+    centre_ids: List[int] = []
+    for eid in range(n):
         if budget is not None:
             budget.tick("cover.scan")
-        if element in closest_centre and closest_centre[element][0] <= radius:
+        if 0 <= best_dist[eid] <= radius:
             continue
-        centre_index = len(centres)
-        centres.append(element)
-        reach = distances_from(structure, [element], radius)
-        for covered, dist in reach.items():
-            best = closest_centre.get(covered)
-            if best is None or dist < best[0]:
-                closest_centre[covered] = (dist, centre_index)
+        centre_index = len(centre_ids)
+        centre_ids.append(eid)
+        ids, dists = kernel.distances((eid,), radius)
+        for covered, dist in zip(ids, dists):
+            current = best_dist[covered]
+            if current == -1 or dist < current:
+                best_dist[covered] = dist
+                centre_of[covered] = centre_index
 
     clusters = tuple(
-        ball(structure, [centre], 2 * radius) for centre in centres
+        frozenset(elements[i] for i in kernel.ball_ids((centre,), 2 * radius))
+        for centre in centre_ids
     )
-    assignment = {
-        element: closest_centre[element][1]
-        for element in structure.universe_order
-    }
+    assignment = {elements[i]: centre_of[i] for i in range(n)}
+    centres = tuple(elements[centre] for centre in centre_ids)
     _record_cover_metrics(clusters)
-    return NeighbourhoodCover(structure, radius, clusters, assignment, tuple(centres))
+    return NeighbourhoodCover(structure, radius, clusters, assignment, centres)
 
 
 def cover_statistics(cover: NeighbourhoodCover) -> Dict[str, float]:

@@ -8,6 +8,15 @@ disjoint unions the paper's constructions are built from.
 
 from .signature import GRAPH_SIGNATURE, RelationSymbol, Signature
 from .structure import Element, Structure, Tup
+from .interning import ElementInterner
+from .columnar import (
+    ColumnarRelation,
+    ColumnarStructure,
+    bitset_ids,
+    bitset_of,
+    intersect_sorted,
+    union_sorted,
+)
 from .gaifman import (
     ball,
     connected_components,
@@ -53,6 +62,13 @@ __all__ = [
     "Element",
     "Structure",
     "Tup",
+    "ElementInterner",
+    "ColumnarRelation",
+    "ColumnarStructure",
+    "bitset_ids",
+    "bitset_of",
+    "intersect_sorted",
+    "union_sorted",
     "ball",
     "connected_components",
     "connectivity_graph",

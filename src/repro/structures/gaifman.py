@@ -4,8 +4,24 @@ The Gaifman graph ``G_A`` of a structure ``A`` has the universe as vertices
 and an edge between distinct ``a, b`` iff they co-occur in some tuple of some
 relation.  All locality notions of the paper (r-balls ``N_r(a)``,
 r-neighbourhood substructures, r-connectivity of tuples, the graphs
-``G_{a-bar,r}``) are defined through it; this module implements them with
-plain BFS over the cached adjacency of :class:`~repro.structures.structure.Structure`.
+``G_{a-bar,r}``) are defined through it.
+
+Two interchangeable backends implement the BFS primitives:
+
+* the original dict-of-frozensets adjacency of
+  :meth:`Structure.adjacency`, and
+* the CSR int-array kernels of :class:`~repro.structures.columnar.
+  ColumnarStructure` (:meth:`Structure.columnar`), which avoid per-node
+  hashing and allocate nothing per visited element.
+
+The choice is adaptive (:func:`_kernel_view`): when a structure already
+carries an incrementally maintained dict adjacency but no columnar view —
+the :meth:`Structure.with_tuple` update pattern, where rebuilding CSR
+arrays per derived structure would forfeit the incremental sharing — the
+dict backend is used; in every other case the kernels win.  Both compute
+the same sets; only iteration order of returned dicts may differ (callers
+relying on order use the sorted universe-order guarantees documented per
+function).
 
 Distances are returned as non-negative integers, with ``math.inf`` standing
 for "no path" exactly as the paper's ``dist = infinity`` convention.
@@ -21,12 +37,39 @@ from ..errors import UniverseError
 from .structure import Element, Structure
 
 
+def _kernel_view(structure: Structure):
+    """The columnar view when it is the cheaper backend, else ``None``.
+
+    See the module docstring: ``None`` exactly when a dict adjacency is
+    already cached but no columnar view has been built yet.
+    """
+    if structure._adjacency is not None and structure._columnar is None:
+        return None
+    return structure.columnar()
+
+
+def _source_ids(interner, sources: Iterable[Element]) -> List[int]:
+    id_of = interner._ids
+    ids: List[int] = []
+    for source in sources:
+        i = id_of.get(source)
+        if i is None:
+            raise UniverseError(f"{source!r} is not a universe element")
+        ids.append(i)
+    return ids
+
+
 def distance(structure: Structure, source: Element, target: Element) -> float:
     """``dist_A(a, b)``: length of a shortest Gaifman-graph path, or ``inf``."""
     if source not in structure or target not in structure:
         raise UniverseError("distance endpoints must be universe elements")
     if source == target:
         return 0
+    kernel = _kernel_view(structure)
+    if kernel is not None:
+        id_of = kernel.interner._ids
+        d = kernel.distance_between(id_of[source], id_of[target])
+        return math.inf if d is None else d
     adjacency = structure.adjacency()
     seen = {source}
     frontier = deque([(source, 0)])
@@ -48,8 +91,15 @@ def distances_from(
 
     Returns a dict mapping each element within ``radius`` (all reachable
     elements when ``radius`` is ``None``) to its distance from the *closest*
-    source — the paper's ``dist_A(a-bar, b) = min_i dist(a_i, b)``.
+    source — the paper's ``dist_A(a-bar, b) = min_i dist(a_i, b)``.  The
+    dict iterates in BFS discovery order; callers must not rely on the
+    order beyond "sources first, then by increasing distance".
     """
+    kernel = _kernel_view(structure)
+    if kernel is not None:
+        ids, dists = kernel.distances(_source_ids(kernel.interner, sources), radius)
+        elements = kernel.interner.elements
+        return {elements[i]: d for i, d in zip(ids, dists)}
     adjacency = structure.adjacency()
     dist: Dict[Element, int] = {}
     frontier = deque()
@@ -87,6 +137,12 @@ def ball(structure: Structure, centres: Iterable[Element], radius: int) -> Froze
     """``N_r(a-bar)``: the set of elements at distance <= radius from the tuple."""
     if radius < 0:
         raise ValueError("radius must be non-negative")
+    kernel = _kernel_view(structure)
+    if kernel is not None:
+        interner = kernel.interner
+        ids = kernel.ball_ids(_source_ids(interner, centres), radius)
+        elements = interner.elements
+        return frozenset(elements[i] for i in ids)
     return frozenset(distances_from(structure, centres, radius))
 
 
@@ -94,18 +150,23 @@ def neighbourhood(
     structure: Structure, centres: Iterable[Element], radius: int
 ) -> Structure:
     """The r-neighbourhood substructure ``A[N_r(a-bar)]``."""
-    return induced(structure, ball(structure, centres, radius))
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    kernel = _kernel_view(structure)
+    if kernel is None:
+        return induced(structure, ball(structure, centres, radius))
+    interner = kernel.interner
+    ids = kernel.ball_ids(_source_ids(interner, centres), radius)
+    elements = interner.elements
+    # ball_ids returns sorted ids, and sorted ids *are* universe order —
+    # the ordered element list is direct, skipping induced()'s O(|A|)
+    # universe scan per ball.
+    ordered = [elements[i] for i in ids]
+    return _induced_ordered(structure, ordered, set(ordered))
 
 
 def induced(structure: Structure, elements: Iterable[Element]) -> Structure:
-    """The induced substructure ``A[B]`` on a non-empty ``B`` (subset of A).
-
-    For small ``B`` the relevant tuples are gathered through the structure's
-    per-position indexes (cost proportional to the tuples touching ``B``)
-    rather than by scanning whole relations — the difference between
-    O(|B| * degree) and O(||A||) per extraction, which matters when callers
-    carve thousands of neighbourhood balls out of one big structure.
-    """
+    """The induced substructure ``A[B]`` on a non-empty ``B`` (subset of A)."""
     chosen = set(elements)
     if not chosen:
         raise UniverseError("cannot induce a substructure on the empty set")
@@ -113,6 +174,20 @@ def induced(structure: Structure, elements: Iterable[Element]) -> Structure:
         if element not in structure:
             raise UniverseError(f"{element!r} is not a universe element")
     ordered = [a for a in structure.universe_order if a in chosen]
+    return _induced_ordered(structure, ordered, chosen)
+
+
+def _induced_ordered(
+    structure: Structure, ordered: List[Element], chosen: Set[Element]
+) -> Structure:
+    """``A[B]`` from a pre-validated, universe-ordered element list.
+
+    For small ``B`` the relevant tuples are gathered through the structure's
+    per-position indexes (cost proportional to the tuples touching ``B``)
+    rather than by scanning whole relations — the difference between
+    O(|B| * degree) and O(||A||) per extraction, which matters when callers
+    carve thousands of neighbourhood balls out of one big structure.
+    """
     small = len(chosen) * 4 < structure.order()
     relations = {}
     for symbol, rel in structure.relations().items():
@@ -133,11 +208,31 @@ def induced(structure: Structure, elements: Iterable[Element]) -> Structure:
 
 def connected_components(structure: Structure) -> List[FrozenSet[Element]]:
     """Connected components of the Gaifman graph, in deterministic order."""
+    kernel = _kernel_view(structure)
+    if kernel is not None:
+        elements = kernel.interner.elements
+        seen = bytearray(kernel.n)
+        components: List[FrozenSet[Element]] = []
+        for start in range(kernel.n):
+            if seen[start]:
+                continue
+            seen[start] = 1
+            component = [start]
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in kernel.neighbours(node):
+                    if not seen[neighbour]:
+                        seen[neighbour] = 1
+                        component.append(neighbour)
+                        frontier.append(neighbour)
+            components.append(frozenset(elements[i] for i in component))
+        return components
     adjacency = structure.adjacency()
-    seen: Set[Element] = set()
-    components: List[FrozenSet[Element]] = []
+    seen_set: Set[Element] = set()
+    components = []
     for start in structure.universe_order:
-        if start in seen:
+        if start in seen_set:
             continue
         component = {start}
         frontier = deque([start])
@@ -147,7 +242,7 @@ def connected_components(structure: Structure) -> List[FrozenSet[Element]]:
                 if neighbour not in component:
                     component.add(neighbour)
                     frontier.append(neighbour)
-        seen |= component
+        seen_set |= component
         components.append(frozenset(component))
     return components
 

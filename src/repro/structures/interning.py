@@ -1,0 +1,106 @@
+"""Interned element ids: the dense integer domain of the columnar layer.
+
+Universe elements are arbitrary hashable Python objects (Section 2 places
+no constraint beyond finiteness), which makes every hot-path set operation
+pay object hashing and pointer chasing.  :class:`ElementInterner` maps the
+universe onto dense ids ``0..n-1`` *in universe order* — the structure's
+deterministic first-occurrence order — so that
+
+* sorting ids reproduces universe order (no cross-type comparisons even
+  on mixed ``str``/``tuple``/``int`` universes),
+* sets of elements become sorted ``array('q')`` runs or int bitsets
+  (:mod:`repro.structures.columnar`), and
+* an id is a direct index into :attr:`ElementInterner.elements` for the
+  conversion back at result boundaries.
+
+Id stability across updates: :meth:`~repro.structures.structure.Structure.
+with_tuple` never changes the universe, so a derived structure *shares*
+its parent's interner object — ids stay stable along arbitrarily long
+derivation chains, and ball/cluster data keyed by id remains meaningful
+across them.  The interner is therefore the one piece of derived data
+that :meth:`~repro.structures.structure.Structure.invalidate_caches`
+does **not** drop: even in-place mutation (which that method exists to
+absolve) can only touch ``_relations``, never the universe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..errors import UniverseError
+from .signature import RelationSymbol  # noqa: F401  (re-export convenience)
+
+Element = object
+
+
+class ElementInterner:
+    """A bijection between a finite universe and dense ids ``0..n-1``.
+
+    Ids follow first occurrence in the supplied iterable (duplicates
+    collapse onto the first occurrence's id), matching the
+    universe-order convention of :class:`~repro.structures.structure.
+    Structure` exactly.
+    """
+
+    __slots__ = ("elements", "_ids")
+
+    def __init__(self, universe: Iterable[Element]):
+        elements: List[Element] = []
+        ids: Dict[Element, int] = {}
+        for element in universe:
+            if element not in ids:
+                ids[element] = len(elements)
+                elements.append(element)
+        if not elements:
+            raise UniverseError("cannot intern an empty universe")
+        #: Element of each id, id-indexable: ``elements[i]`` inverts ``id_of``.
+        self.elements: Tuple[Element, ...] = tuple(elements)
+        self._ids = ids
+
+    @property
+    def n(self) -> int:
+        return len(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._ids
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.elements)
+
+    def id_of(self, element: Element) -> int:
+        """The dense id of a universe element.
+
+        Raises :class:`~repro.errors.UniverseError` for foreign elements —
+        the same contract the element-space API enforces at its edges.
+        """
+        try:
+            return self._ids[element]
+        except KeyError:
+            raise UniverseError(
+                f"{element!r} is not a universe element"
+            ) from None
+
+    def get(self, element: Element) -> "int | None":
+        """``id_of`` without the raise: ``None`` for foreign elements."""
+        return self._ids.get(element)
+
+    def ids(self, elements: Iterable[Element]) -> List[int]:
+        """Intern a batch, preserving input order (duplicates preserved)."""
+        ids = self._ids
+        try:
+            return [ids[element] for element in elements]
+        except KeyError as missing:
+            raise UniverseError(
+                f"{missing.args[0]!r} is not a universe element"
+            ) from None
+
+    def elements_of(self, ids: Iterable[int]) -> List[Element]:
+        """Convert ids back to elements, preserving input order."""
+        elements = self.elements
+        return [elements[i] for i in ids]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ElementInterner(n={len(self.elements)})"

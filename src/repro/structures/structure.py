@@ -61,6 +61,8 @@ class Structure:
         "_indexes",
         "_size",
         "_stats",
+        "_interner",
+        "_columnar",
     )
 
     def __init__(
@@ -112,6 +114,13 @@ class Structure:
         # Opaque to this module: built and read through structure_stats(),
         # derived duck-typed in with_tuple(), dropped by invalidate_caches().
         self._stats: "object | None" = None
+        # Interned-id layer (repro.structures.interning / .columnar), lazy.
+        # The interner depends only on the universe and is therefore shared
+        # with derived structures and kept across invalidate_caches(); the
+        # columnar view depends on the relations and follows the same
+        # lifecycle as adjacency/indexes/stats.
+        self._interner: "object | None" = None
+        self._columnar: "object | None" = None
 
     @staticmethod
     def _resolve_symbol(signature: Signature, key: object) -> RelationSymbol:
@@ -197,20 +206,42 @@ class Structure:
             self._indexes[cache_key] = {v: tuple(ts) for v, ts in built.items()}
         return self._indexes[cache_key]
 
+    def interner(self):
+        """The structure's :class:`~repro.structures.interning.ElementInterner`
+        (lazy; shared with structures derived via :meth:`with_tuple`, since
+        the universe — and hence the id space — is identical)."""
+        if self._interner is None:
+            from .interning import ElementInterner
+
+            self._interner = ElementInterner(self._universe_order)
+        return self._interner
+
+    def columnar(self):
+        """The structure's :class:`~repro.structures.columnar.
+        ColumnarStructure` — the id-space view the kernel-backed evaluation
+        paths run on.  Lazy, cached, dropped by :meth:`invalidate_caches`."""
+        if self._columnar is None:
+            from .columnar import ColumnarStructure
+
+            self._columnar = ColumnarStructure(self)
+        return self._columnar
+
     def invalidate_caches(self) -> None:
         """Drop all lazily derived data (adjacency, per-position indexes,
-        cost-model statistics).
+        cost-model statistics, the columnar view).
 
         The public API never needs this — structures are immutable and the
         caches are therefore always consistent.  It exists for code that
         mutates ``_relations`` in place (test fixtures, instrumentation):
         after any such mutation the caches are stale and *must* be dropped,
         or :meth:`adjacency` / :meth:`index` will answer for the old
-        relational content.
+        relational content.  The interner survives: in-place mutation can
+        only touch ``_relations``, never the universe it is built from.
         """
         self._adjacency = None
         self._indexes.clear()
         self._stats = None
+        self._columnar = None
 
     # -- derivation (copy-on-write updates) --------------------------------------
 
@@ -290,7 +321,41 @@ class Structure:
             if self._stats is not None
             else None
         )
+        # Same universe, same id space: the interner is shared, keeping ids
+        # stable along derivation chains.  The columnar view follows the
+        # adjacency policy above: extended incrementally on insertion,
+        # reset (rebuilt lazily) on deletion.
+        derived._interner = self._interner
+        derived._columnar = (
+            self._columnar.derive_insert(derived, symbol, tup)
+            if present and self._columnar is not None
+            else None
+        )
         return derived
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the defining data (signature, ordered universe,
+        relations) — derived caches are rebuilt lazily on the receiving
+        side.  This keeps process-backend payloads compact: adjacency,
+        indexes and columnar arrays never cross the pipe."""
+        return (self._signature, self._universe_order, self._relations)
+
+    def __setstate__(self, state):
+        signature, universe_order, relations = state
+        self._signature = signature
+        self._universe_order = universe_order
+        self._universe = frozenset(universe_order)
+        self._relations = relations
+        self._adjacency = None
+        self._indexes = {}
+        self._size = len(universe_order) + sum(
+            len(rel) for rel in relations.values()
+        )
+        self._stats = None
+        self._interner = None
+        self._columnar = None
 
     # -- equality is extensional -----------------------------------------------
 

@@ -135,3 +135,61 @@ class TestRouterSeesFreshCardinalities:
         }
         structure.invalidate_caches()
         assert structure_stats(structure).relation_card("E") == 12
+
+
+class TestDistinctPerColumn:
+    """ISSUE 8 satellite: distinct-per-column comes off the columnar
+    per-position indexes, and the ``cost.stats.derived`` fast path never
+    serves a parent's counts for a derived structure."""
+
+    def test_counts_match_relation_content(self):
+        structure = graph_structure([1, 2, 3, 4], [(1, 2), (1, 3), (1, 4)])
+        stats = structure_stats(structure)
+        # Symmetric closure: {(1,v), (v,1)} — every vertex appears in both
+        # columns, so both positions have 4 distinct values.
+        assert stats.distinct_per_column("E") == (4, 4)
+        directed = graph_structure([1, 2, 3, 4], [(1, 2), (1, 3), (1, 4)])
+        sym = next(s for s in directed._relations if s.name == "E")
+        directed._relations[sym] = frozenset({(1, 2), (1, 3), (1, 4)})
+        directed.invalidate_caches()
+        assert structure_stats(directed).distinct_per_column("E") == (1, 3)
+
+    def test_shares_the_columnar_index(self):
+        structure = path_graph(5)
+        stats = structure_stats(structure)
+        counts = stats.distinct_per_column("E")
+        relation = structure.columnar().relation("E")
+        assert counts == tuple(
+            len(relation.index(p)) for p in range(relation.arity)
+        )
+        # Memoised per relation on the stats object.
+        assert stats.distinct_per_column("E") is counts
+
+    def test_unknown_symbol_is_empty(self):
+        stats = structure_stats(path_graph(3))
+        assert stats.distinct_per_column("Paux__0") == ()
+
+    def test_derived_stats_rebuild_distinct_counts(self):
+        """The regression guard for the derive() fast path: after a
+        with_tuple delta the derived stats' distinct counts must reflect
+        the derived relations, never the parent's cached tuple."""
+        structure = graph_structure([1, 2, 3, 4], [(1, 2)])
+        base = structure_stats(structure)
+        assert base.distinct_per_column("E") == (2, 2)
+        derived = structure.with_tuple("E", (3, 4))
+        derived_stats = structure_stats(derived)
+        # Derived incrementally (not rebuilt from scratch)...
+        assert derived_stats.relation_card("E") == base.relation_card("E") + 1
+        # ...but the distinct counts come from the derived structure.
+        assert derived_stats.distinct_per_column("E") == (3, 3)
+        # Parent's cached counts are untouched.
+        assert base.distinct_per_column("E") == (2, 2)
+
+    def test_invalidate_caches_drops_distinct_counts(self):
+        structure = path_graph(4)
+        stats = structure_stats(structure)
+        assert stats.distinct_per_column("E") == (4, 4)
+        sym = next(s for s in structure._relations if s.name == "E")
+        structure._relations[sym] = frozenset({(1, 2), (2, 1)})
+        structure.invalidate_caches()
+        assert structure_stats(structure).distinct_per_column("E") == (2, 2)

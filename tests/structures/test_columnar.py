@@ -1,0 +1,199 @@
+"""Columnar kernels against the element-space ground truth: CSR adjacency,
+BFS balls/distances, bitsets, sorted-array kernels, per-position indexes."""
+
+import math
+import random
+from array import array
+
+import pytest
+
+from repro.errors import ArityError
+from repro.structures import (
+    Signature,
+    Structure,
+    bitset_ids,
+    bitset_of,
+    intersect_sorted,
+    union_sorted,
+)
+from repro.structures.builders import (
+    complete_graph,
+    graph_structure,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.structures.gaifman import distances_from
+
+
+def _random_graph(seed: int, n: int = 14) -> Structure:
+    rng = random.Random(seed)
+    vertices = list(range(1, n + 1))
+    edges = [
+        (u, v) for u in vertices for v in vertices if u < v and rng.random() < 0.18
+    ]
+    return graph_structure(vertices, edges)
+
+
+class TestSortedArrayKernels:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_intersect_matches_set_intersection(self, seed):
+        rng = random.Random(seed)
+        a = sorted(rng.sample(range(200), rng.randint(0, 60)))
+        b = sorted(rng.sample(range(200), rng.randint(0, 60)))
+        got = list(intersect_sorted(array("q", a), array("q", b)))
+        assert got == sorted(set(a) & set(b))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_union_matches_set_union(self, seed):
+        rng = random.Random(seed)
+        a = sorted(rng.sample(range(200), rng.randint(0, 60)))
+        b = sorted(rng.sample(range(200), rng.randint(0, 60)))
+        got = list(union_sorted(array("q", a), array("q", b)))
+        assert got == sorted(set(a) | set(b))
+
+    def test_intersect_disjoint_and_nested_runs(self):
+        assert list(intersect_sorted([1, 2, 3], [10, 20])) == []
+        assert list(intersect_sorted([5], list(range(100)))) == [5]
+        assert list(intersect_sorted([], [1, 2])) == []
+
+    def test_bitset_roundtrip(self):
+        ids = [0, 3, 17, 63, 64, 100]
+        bs = bitset_of(ids, 101)
+        assert bitset_ids(bs) == ids
+        assert bitset_of([], 10) == 0
+        assert bitset_ids(0) == []
+
+    def test_bitset_membership_and_subset(self):
+        a = bitset_of([1, 2, 5], 8)
+        b = bitset_of([1, 2, 5, 7], 8)
+        assert (a >> 5) & 1 == 1
+        assert (a >> 3) & 1 == 0
+        assert a & ~b == 0  # a subset of b
+        assert b & ~a != 0
+
+
+class TestColumnarAdjacency:
+    @pytest.mark.parametrize(
+        "structure",
+        [
+            path_graph(9),
+            grid_graph(3, 4),
+            complete_graph(5),
+            star_graph(6),
+            _random_graph(0),
+            _random_graph(1),
+        ],
+        ids=["path", "grid", "clique", "star", "rand0", "rand1"],
+    )
+    def test_csr_matches_dict_adjacency(self, structure):
+        kernel = structure.columnar()
+        interner = kernel.interner
+        adjacency = structure.adjacency()
+        for element in structure.universe_order:
+            eid = interner.id_of(element)
+            got = {interner.elements[i] for i in kernel.neighbours(eid)}
+            assert got == set(adjacency[element])
+            assert kernel.degree(eid) == len(adjacency[element])
+
+    def test_higher_arity_tuples_induce_clique_edges(self):
+        sig = Signature.of(T=3)
+        structure = Structure(
+            sig, [1, 2, 3, 4], {"T": [(1, 2, 3), (4, 4, 4)]}
+        )
+        kernel = structure.columnar()
+        interner = kernel.interner
+        assert set(kernel.neighbours(interner.id_of(1))) == {
+            interner.id_of(2),
+            interner.id_of(3),
+        }
+        # Singleton-support tuples contribute no Gaifman edges.
+        assert list(kernel.neighbours(interner.id_of(4))) == []
+
+
+class TestBallKernels:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3])
+    def test_ball_ids_matches_bfs(self, seed, radius):
+        structure = _random_graph(seed)
+        kernel = structure.columnar()
+        interner = kernel.interner
+        for element in structure.universe_order:
+            reference = set(distances_from(structure, [element], radius))
+            ids = kernel.ball_ids((interner.id_of(element),), radius)
+            assert ids == sorted(ids)
+            assert {interner.elements[i] for i in ids} == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_source_distances_match(self, seed):
+        structure = _random_graph(seed)
+        kernel = structure.columnar()
+        interner = kernel.interner
+        sources = structure.universe_order[:3]
+        reference = distances_from(structure, sources)
+        ids, dists = kernel.distances(interner.ids(sources))
+        got = {interner.elements[i]: d for i, d in zip(ids, dists)}
+        assert got == reference
+
+    def test_distance_between_matches_reference(self):
+        structure = grid_graph(3, 3)
+        kernel = structure.columnar()
+        interner = kernel.interner
+        from repro.structures.gaifman import distance
+
+        for a in structure.universe_order:
+            for b in structure.universe_order:
+                want = distance(structure, a, b)
+                got = kernel.distance_between(interner.id_of(a), interner.id_of(b))
+                assert (math.inf if got is None else got) == want
+
+    def test_disconnected_ball_stays_in_component(self):
+        structure = graph_structure([1, 2, 3, 4], [(1, 2)])
+        kernel = structure.columnar()
+        ids = kernel.ball_ids((kernel.interner.id_of(3),), 5)
+        assert [kernel.interner.elements[i] for i in ids] == [3]
+
+
+class TestColumnarRelations:
+    def test_rows_sorted_and_columns_aligned(self):
+        structure = graph_structure([3, 1, 2], [(3, 1), (2, 3)])
+        relation = structure.columnar().relation("E")
+        rows = [relation.row(i) for i in range(relation.row_count)]
+        assert rows == sorted(rows)
+        assert relation.arity == 2
+        assert relation.row_count == 4
+
+    def test_index_groups_rows_by_id(self):
+        structure = star_graph(4)
+        kernel = structure.columnar()
+        relation = kernel.relation("E")
+        centre = kernel.interner.id_of(0)
+        index = relation.index(0)
+        assert len(index[centre]) == 4
+        for row_idx in index[centre]:
+            assert relation.columns[0][row_idx] == centre
+        assert list(index) == sorted(index)
+
+    def test_index_position_out_of_range(self):
+        structure = path_graph(3)
+        with pytest.raises(ArityError):
+            structure.columnar().relation("E").index(2)
+
+    def test_distinct_per_column(self):
+        sig = Signature.of(R=2)
+        structure = Structure(
+            sig,
+            ["a", "b", "c"],
+            {"R": [("a", "a"), ("a", "b"), ("a", "c")]},
+        )
+        kernel = structure.columnar()
+        assert kernel.distinct_per_column("R") == (1, 3)
+        assert kernel.relation("R").distinct_count(0) == 1
+
+    def test_empty_relation(self):
+        sig = Signature.of(R=2)
+        structure = Structure(sig, [1, 2], {})
+        relation = structure.columnar().relation("R")
+        assert relation.row_count == 0
+        assert relation.index(0) == {}
+        assert structure.columnar().distinct_per_column("R") == (0, 0)

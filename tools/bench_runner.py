@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr7.json``.
+a machine-readable ``BENCH_pr8.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -45,6 +45,12 @@ everything into a small, stable report::
                   "decisions": D, "auto": A, "fallback": F,
                   "mispicks": M, "mispick_rate": 0.0,
                   "predict_error": {"count": ..., "mean": ..., "max": ...}},
+      "kernels": {"groups": [{"group": "unary/n=100",
+                              "rows": [{"impl": "reference", "mean_s": ...},
+                                       {"impl": "columnar", "mean_s": ...,
+                                        "vs_reference": 0.6,
+                                        "peak_rss_kb": ...}],
+                              "rss_delta_kb": ...}]},
       "baseline_delta": {"file": "BENCH_pr4.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
@@ -98,6 +104,18 @@ split into reorders vs fallbacks (``cost.route.auto`` /
 predicted-vs-actual cost error distribution (the ``cost.predict.error``
 histogram of |log(actual/predicted)|).
 
+Schema 8 adds the ``kernels`` section: benchmarks tagged with
+``extra_info["kernel_group"]`` and ``extra_info["impl"]``
+(``benchmarks/bench_kernels.py``) are grouped, and each ``columnar``
+row's *vs_reference* is its mean over the group's ``reference`` mean —
+the ISSUE 8 acceptance target is <= 1.0 (the id-space kernels must not
+be slower than the preserved element-space implementations they
+replaced; both sides assert byte-identical answers in the bench itself).
+Each row also carries ``peak_rss_kb`` (``resource.getrusage``'s
+ru_maxrss after the row ran) and the group reports ``rss_delta_kb``
+(columnar minus reference).  ru_maxrss is process-monotonic, so the
+delta depends on execution order and is context, not a gate.
+
 Usage::
 
     python tools/bench_runner.py --quick              # smoke pass (seconds)
@@ -126,7 +144,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/7"
+SCHEMA_NAME = "repro-bench/8"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -262,6 +280,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
     retry_overhead = retry_section(benchmarks)
     resume_overhead = resume_section(benchmarks)
     routing = routing_section(benchmarks)
+    kernels = kernel_section(benchmarks)
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -285,6 +304,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
         "retry_overhead": retry_overhead,
         "resume_overhead": resume_overhead,
         "routing": routing,
+        "kernels": kernels,
     }
     return report
 
@@ -572,6 +592,73 @@ def routing_table(routing: Dict) -> List[str]:
     )
     if share:
         lines.append(f"  route share: {share}")
+    return lines
+
+
+def kernel_section(benchmarks: List[Dict]) -> Dict:
+    """Fold the kernel-parity benchmarks into a columnar-vs-reference table.
+
+    Rows come from benchmarks that tagged ``extra_info`` with
+    ``kernel_group`` and ``impl`` (``"columnar"`` or ``"reference"``);
+    each group's reference row is the denominator (``vs_reference`` =
+    columnar mean over reference mean — <= 1.0 means the id-space
+    kernels pay for themselves).  ``peak_rss_kb`` is copied through per
+    row and ``rss_delta_kb`` (columnar minus reference) is reported per
+    group; ru_maxrss is process-monotonic, so the delta is
+    ordering-dependent context, not a gate.
+    """
+    grouped: "Dict[str, List[Dict]]" = {}
+    for bench in benchmarks:
+        extra = bench.get("extra_info") or {}
+        group = extra.get("kernel_group")
+        impl = extra.get("impl")
+        if not isinstance(group, str) or impl not in ("columnar", "reference"):
+            continue
+        row = {"impl": impl, "mean_s": bench["mean_s"], "name": bench["name"]}
+        rss = extra.get("peak_rss_kb")
+        if isinstance(rss, int):
+            row["peak_rss_kb"] = rss
+        grouped.setdefault(group, []).append(row)
+    groups = []
+    for group in sorted(grouped):
+        rows = sorted(grouped[group], key=lambda row: row["impl"])
+        reference = next(
+            (row for row in rows if row["impl"] == "reference"), None
+        )
+        rss_delta = None
+        for row in rows:
+            row["vs_reference"] = None
+            if row["impl"] != "columnar" or reference is None:
+                continue
+            if reference["mean_s"] > 0 and row["mean_s"] > 0:
+                row["vs_reference"] = row["mean_s"] / reference["mean_s"]
+            if "peak_rss_kb" in row and "peak_rss_kb" in reference:
+                rss_delta = row["peak_rss_kb"] - reference["peak_rss_kb"]
+        groups.append(
+            {"group": group, "rows": rows, "rss_delta_kb": rss_delta}
+        )
+    return {"groups": groups}
+
+
+def kernel_table(kernels: Dict) -> List[str]:
+    """A printable columnar-vs-reference kernel table."""
+    lines = ["kernels (columnar vs element-space reference; target <= 1.00x)"]
+    for group in kernels.get("groups", []):
+        cells = ", ".join(
+            f"{row['impl']}: "
+            + (
+                f"{row['vs_reference']:.3f}x"
+                if row.get("vs_reference") is not None
+                else f"{row['mean_s'] * 1e3:.3f}ms"
+            )
+            for row in group["rows"]
+        )
+        delta = group.get("rss_delta_kb")
+        if delta is not None:
+            cells += f" (rss delta {delta:+d}kB)"
+        lines.append(f"  {group['group']:<28} {cells}")
+    if len(lines) == 1:
+        lines.append("  (no kernel-parity benchmarks in this run)")
     return lines
 
 
@@ -927,6 +1014,56 @@ def validate_report(report: Dict) -> List[str]:
         )
         error = routing.get("predict_error")
         check(isinstance(error, dict), "routing.predict_error must be an object")
+    kernels = report.get("kernels")
+    check(isinstance(kernels, dict), "kernels must be an object")
+    if isinstance(kernels, dict):
+        groups = kernels.get("groups")
+        check(isinstance(groups, list), "kernels.groups must be a list")
+        for i, group in enumerate(groups or []):
+            where = f"kernels.groups[{i}]"
+            if not isinstance(group, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            check(
+                isinstance(group.get("group"), str) and group["group"],
+                f"{where}.group must be a non-empty string",
+            )
+            rss_delta = group.get("rss_delta_kb")
+            check(
+                rss_delta is None or isinstance(rss_delta, int),
+                f"{where}.rss_delta_kb must be null or an integer",
+            )
+            rows = group.get("rows")
+            check(
+                isinstance(rows, list) and rows,
+                f"{where}.rows must be a non-empty list",
+            )
+            for j, row in enumerate(rows or []):
+                where_row = f"{where}.rows[{j}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where_row} must be an object")
+                    continue
+                check(
+                    row.get("impl") in ("columnar", "reference"),
+                    f"{where_row}.impl must be 'columnar' or 'reference'",
+                )
+                mean = row.get("mean_s")
+                check(
+                    isinstance(mean, (int, float)) and mean >= 0,
+                    f"{where_row}.mean_s must be a non-negative number",
+                )
+                ratio = row.get("vs_reference")
+                check(
+                    ratio is None
+                    or (isinstance(ratio, (int, float)) and ratio >= 0),
+                    f"{where_row}.vs_reference must be null or non-negative",
+                )
+                rss = row.get("peak_rss_kb")
+                check(
+                    rss is None or (isinstance(rss, int) and rss >= 0),
+                    f"{where_row}.peak_rss_kb must be null or a "
+                    "non-negative integer",
+                )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -948,7 +1085,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr7.json"
+        description="Run the benchmark suites and emit BENCH_pr8.json"
     )
     parser.add_argument(
         "--quick",
@@ -957,15 +1094,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr7.json"),
+        default=str(REPO_ROOT / "BENCH_pr8.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr7.json)",
+        help="where to write the report (default: BENCH_pr8.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr6.json"),
+        default=str(REPO_ROOT / "BENCH_pr7.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr6.json; "
+        help="earlier report to diff against (default: BENCH_pr7.json; "
         "skipped silently when the file does not exist)",
     )
     parser.add_argument(
@@ -1034,6 +1171,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     for line in resume_table(report["resume_overhead"]):
         print(line)
     for line in routing_table(report["routing"]):
+        print(line)
+    for line in kernel_table(report["kernels"]):
         print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):
