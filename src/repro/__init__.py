@@ -116,6 +116,7 @@ from .sparse import (
     sparse_cover,
     trivial_cover,
 )
+from .approx import ApproxEvaluator, ApproxResult, SamplePlan, plan_samples
 from .db import Database, Schema, Table, group_by_count, join_group_count, total_counts
 from .io import FormatError, load_structure, save_structure
 from .robust import (

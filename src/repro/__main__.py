@@ -35,6 +35,14 @@ cost layer).
 ``--on-shard-failure salvage`` returns the completed shards of a partly
 failed parallel run instead of raising.
 
+Approximation (see ``docs/ENGINES.md``): ``--engine approx`` answers
+``count``/``term`` with a seeded (1±ε, δ) sampling estimate —
+``--epsilon/--delta/--seed`` control the target and reproducibility, the
+estimate prints with an ``# approximate:`` stderr marker and
+``--report-json`` emits ``"approximate": true``.  With the cascade
+engines, ``--approx-fallback`` adds the sampler as a last exact-failure
+fallback stage.
+
 Preemption (see ``docs/ROBUSTNESS.md``): with ``--checkpoint PATH`` the
 budget becomes a *quantum* — exhaustion suspends the evaluation, writes a
 resumable checkpoint to PATH and exits with code 6 instead of killing the
@@ -57,6 +65,8 @@ import sys
 from typing import List, Optional
 
 from . import obs
+from .approx.evaluator import ApproxEvaluator
+from .approx.result import ApproxResult
 from .core.baseline import BruteForceEvaluator
 from .core.evaluator import Foc1Evaluator
 from .errors import (
@@ -172,12 +182,47 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("foc1", "robust", "auto", "baseline"),
+            choices=("foc1", "robust", "auto", "baseline", "approx"),
             default="foc1",
             help="evaluation engine: the FOC1 engine (default), the robust "
             "fallback cascade in fixed order, 'auto' (the cascade with "
             "cost-based routing picking the predicted-cheapest stage "
-            "first), or the brute-force baseline",
+            "first), the brute-force baseline, or 'approx' — seeded "
+            "(1±eps, delta) sampling for count/term (the answer is an "
+            "estimate, marked as such on stderr and in --report-json)",
+        )
+        sub.add_argument(
+            "--epsilon",
+            type=float,
+            default=0.1,
+            metavar="EPS",
+            help="relative accuracy target for the approx engine/stage "
+            "(default: 0.1)",
+        )
+        sub.add_argument(
+            "--delta",
+            type=float,
+            default=0.05,
+            metavar="DELTA",
+            help="failure probability for the approx engine/stage "
+            "(default: 0.05)",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            metavar="N",
+            help="reproducibility seed for the approx engine/stage: "
+            "identical (query, structure, seed, eps, delta) inputs give "
+            "byte-identical estimates (default: 0)",
+        )
+        sub.add_argument(
+            "--approx-fallback",
+            action="store_true",
+            help="with --engine robust/auto: add the sampling tier as a "
+            "last cascade stage for count/term (auto routing may lead "
+            "with it only when every exact stage is predicted to blow "
+            "the budget); the report then carries approximate=true",
         )
         sub.add_argument(
             "--timeout",
@@ -402,6 +447,21 @@ def _print_result(engine, result, args: argparse.Namespace) -> int:
         print(result.value)
         _emit_report(engine, args)
         return EXIT_PARTIAL
+    if isinstance(result, ApproxResult):
+        # An estimate never prints as a bare exact-looking count without
+        # its marker: the rounded value goes to stdout, the interval and
+        # reproducibility tuple to stderr.
+        print(f"# approximate: {result.summary()}", file=sys.stderr)
+        print(result.value)
+        path = getattr(args, "report_json", None)
+        if path is not None and not isinstance(engine, RobustEvaluator):
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    result.to_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        _emit_report(engine, args)
+        return EXIT_OK
     print(result)
     _emit_report(engine, args)
     return EXIT_OK
@@ -460,11 +520,13 @@ def _explain(args: argparse.Namespace) -> int:
     )
     print(plan.explain())
     stats = cache.stats()
+    rate = stats["hit_rate"]
+    rate_text = f"{rate:.2f}" if rate is not None else "n/a"
     print(
         "plan cache: "
         f"size={stats['size']}/{stats['capacity']} "
         f"hits={stats['hits']} misses={stats['misses']} "
-        f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.2f}"
+        f"evictions={stats['evictions']} hit_rate={rate_text}"
     )
     return 0
 
@@ -545,9 +607,21 @@ def _make_engine(args: argparse.Namespace):
     on_shard_failure = getattr(args, "on_shard_failure", "raise")
     if (
         getattr(args, "report_json", None) is not None
-        and args.engine not in ("robust", "auto")
+        and args.engine not in ("robust", "auto", "approx")
     ):
-        raise ReproError("--report-json requires --engine robust or auto")
+        raise ReproError(
+            "--report-json requires --engine robust, auto or approx"
+        )
+    if args.engine == "approx" and args.command not in ("count", "term"):
+        raise ReproError(
+            "--engine approx evaluates counts and ground counting terms "
+            "only (use --engine robust --approx-fallback elsewhere)"
+        )
+    if getattr(args, "approx_fallback", False) and args.engine not in (
+        "robust",
+        "auto",
+    ):
+        raise ReproError("--approx-fallback requires --engine robust or auto")
     if args.engine in ("robust", "auto"):
         engine = RobustEvaluator(
             budget=budget,
@@ -556,6 +630,19 @@ def _make_engine(args: argparse.Namespace):
             retry=retry,
             on_shard_failure=on_shard_failure,
             route="auto" if args.engine == "auto" else "cascade",
+            approx=getattr(args, "approx_fallback", False),
+            epsilon=getattr(args, "epsilon", 0.1),
+            delta=getattr(args, "delta", 0.05),
+            approx_seed=getattr(args, "seed", 0),
+        )
+    elif args.engine == "approx":
+        # Sampling works on all of FOC(P): no fragment check to apply.
+        engine = ApproxEvaluator(
+            budget=budget,
+            epsilon=getattr(args, "epsilon", 0.1),
+            delta=getattr(args, "delta", 0.05),
+            seed=getattr(args, "seed", 0),
+            workers=workers,
         )
     elif args.engine == "baseline":
         # The brute-force oracle stays deliberately serial.

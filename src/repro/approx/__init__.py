@@ -1,0 +1,22 @@
+"""Sampling-based approximate counting with ``(1 +- epsilon, delta)`` guarantees.
+
+The escape hatch for inputs where every exact engine blows up (dense
+graphs, Section 4 hardness): a seeded Monte-Carlo estimator over the
+assignment space, planned by Hoeffding / median-of-means bounds and
+returning an :class:`ApproxResult` that is explicitly marked
+approximate.  See ``docs/ENGINES.md`` for the tier's contract.
+"""
+
+from .evaluator import ApproxEvaluator, sample_blocks
+from .planner import DEFAULT_MAX_SAMPLES, DEFAULT_MIN_DENSITY, SamplePlan, plan_samples
+from .result import ApproxResult
+
+__all__ = [
+    "ApproxEvaluator",
+    "ApproxResult",
+    "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_MIN_DENSITY",
+    "SamplePlan",
+    "plan_samples",
+    "sample_blocks",
+]

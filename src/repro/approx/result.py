@@ -1,0 +1,86 @@
+"""The value type of the approximate tier: an estimate that says so.
+
+Every exact engine in this repository returns plain integers; the
+sampler returns an :class:`ApproxResult` instead, so an approximate
+answer can never be silently mistaken for an exact one.  The result
+carries the point estimate, a post-hoc Hoeffding confidence interval
+(computed from the samples actually drawn, with no density assumption —
+honest even when the plan's relative target leaned on a heuristic
+floor), the ``(epsilon, delta)`` the run was planned for, and the full
+reproducibility tuple: seed, samples, hits, method.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ApproxResult"]
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """One sampling-based count estimate with its uncertainty.
+
+    ``estimate`` is ``space * hits / samples`` (Hoeffding method) or the
+    median of the per-block estimates (median-of-means); ``value`` is
+    the same number rounded to the nearest integer for callers that
+    need a count-shaped answer.  ``ci_low``/``ci_high`` bound the true
+    count with probability at least ``1 - delta`` given the samples
+    actually drawn.  Identical ``(query, structure, seed, epsilon,
+    delta)`` inputs yield byte-identical results.
+    """
+
+    estimate: float
+    value: int
+    ci_low: float
+    ci_high: float
+    epsilon: float
+    delta: float
+    seed: int
+    samples: int
+    hits: int
+    space: float
+    method: str
+    truncated: bool
+    provable: bool
+    elapsed: float = 0.0
+
+    def ci_width(self) -> float:
+        return self.ci_high - self.ci_low
+
+    def relative_error_vs(self, exact: int) -> float:
+        """Observed relative error against a known exact count."""
+        if exact == 0:
+            return 0.0 if self.estimate == 0 else math.inf
+        return abs(self.estimate - exact) / exact
+
+    def summary(self) -> str:
+        tail = " (truncated)" if self.truncated else ""
+        return (
+            f"~{self.estimate:.6g} in [{self.ci_low:.6g}, {self.ci_high:.6g}] "
+            f"(eps={self.epsilon}, delta={self.delta}, seed={self.seed}, "
+            f"{self.hits}/{self.samples} hits, {self.method}){tail}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe view (for ``--report-json``); always marked approximate."""
+        return {
+            "schema": "repro-approx-result/1",
+            "approximate": True,
+            "estimate": self.estimate,
+            "value": self.value,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "seed": self.seed,
+            "samples": self.samples,
+            "hits": self.hits,
+            "space": self.space,
+            "method": self.method,
+            "truncated": self.truncated,
+            "provable": self.provable,
+            "elapsed": self.elapsed,
+        }

@@ -95,6 +95,9 @@ _FOC1_SETUP = 32.0
 #: Fixed overhead (evaluator construction, validation) for the brute force.
 _BASELINE_SETUP = 16.0
 
+#: Fixed overhead (sample planning, RNG setup) for the approximate tier.
+_APPROX_SETUP = 32.0
+
 #: Cover construction cost per element per radius unit, plus merge factor.
 _COVER_BUILD_UNIT = 2.0
 
@@ -592,6 +595,55 @@ class CostModel:
         if isinstance(node, PredicateAtom):
             cost += sum(self._brute_cost(t, n) for t in node.terms)
         return _clip(cost)
+
+    # -- approx: sampling with planned sample counts ---------------------------
+
+    def approx_cost(
+        self,
+        expressions: Sequence[Expression],
+        variables: Sequence[Variable],
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+    ) -> EngineCost:
+        """Predicted work of the sampling tier: planned samples times the
+        per-sample satisfaction check (one Definition 3.1 recursion *per
+        assignment*, no outer enumeration — that is the whole point).
+
+        Unlike every exact engine, this cost does not grow with the
+        assignment space ``n^k`` beyond the (logarithmic-in-δ) sample
+        plan, which is what makes it the bounded-cost stage the router
+        can fall back to on dense inputs.
+        """
+        from ..approx.planner import plan_samples
+
+        n = float(self.stats.order)
+        counted = tuple(variables)
+        space = _clip(max(1.0, n ** len(counted)))
+        body = expressions[0] if expressions else None
+        bound = None
+        if body is not None and isinstance(body, Formula):
+            try:
+                bound = self.estimator.count_bound(counted, body)
+            except Exception:
+                bound = None
+        plan = plan_samples(space, epsilon, delta, bound=bound)
+        per_sample = max(
+            1.0,
+            sum(self._brute_cost(e, n) for e in expressions) or 1.0,
+        )
+        total = _APPROX_SETUP + plan.samples * per_sample
+        # Sample count and per-sample node walk are both known up front,
+        # so the interval is tight: this stage cannot blow up.
+        cost_bound = CardBound.ranged(
+            _APPROX_SETUP, _clip(total * 2.0), _clip(total)
+        )
+        cost = EngineCost(
+            "approx",
+            self._calibrated("approx", cost_bound),
+            f"{plan.samples} planned samples",
+        )
+        self.lattice.record("cost.approx", cost.bound)
+        return cost
 
     # -- main algorithm: cover + per-cluster walk -----------------------------
 

@@ -224,6 +224,10 @@ class EngineRouter:
                 if cl_term is None:
                     return None
                 return model.main_algorithm_cost(cl_term)
+            if name == "approx":
+                if not expressions:
+                    return None
+                return model.approx_cost(expressions, variables)
         except Exception:
             metrics = active_metrics()
             if metrics is not None:

@@ -38,7 +38,11 @@ from ..robust.budget import EvaluationBudget
 from ..robust.retry import RetryPolicy
 from .pool import ParallelError, WorkerPool
 
-__all__ = ["run_per_cluster_shards", "run_count_many_shards"]
+__all__ = [
+    "run_per_cluster_shards",
+    "run_count_many_shards",
+    "run_approx_shards",
+]
 
 #: ``(remaining_seconds, max_steps, preemptible, stage)`` — all a child
 #: needs to rebuild a slice, including the soft-exhaustion mode so a
@@ -294,3 +298,85 @@ def run_count_many_shards(
     return _join_shards(
         pool, _count_many_task, payloads, budget, retry=retry, salvage=salvage
     )
+
+
+# ---------------------------------------------------------------------------
+# Approximate counting (sampling blocks)
+# ---------------------------------------------------------------------------
+
+
+def _approx_block_task(payload: tuple):
+    (
+        structure,
+        formula,
+        variables,
+        predicates,
+        seed,
+        blocks,
+        sizes,
+        params,
+        metrics,
+    ) = payload
+    from ..approx.evaluator import sample_blocks
+
+    specs = list(zip(blocks, sizes))
+    return _run_in_child(
+        lambda budget: sample_blocks(
+            structure, formula, tuple(variables), predicates, seed, specs, budget
+        ),
+        params,
+        metrics,
+    )
+
+
+def run_approx_shards(
+    pool: WorkerPool,
+    structure,
+    formula,
+    variables: Sequence,
+    predicates,
+    seed: int,
+    block_specs: Sequence[Tuple[int, int]],
+    budget: "Optional[EvaluationBudget]",
+    retry: "Optional[RetryPolicy]" = None,
+) -> List[Tuple[int, int, int]]:
+    """Fan sampling blocks out across the pool for the approx tier.
+
+    Each shard gets a contiguous chunk of ``(block_index, sample_count)``
+    specs; every block owns its own seeded RNG stream, so the flattened
+    ``(block, hits, count)`` list — re-sorted by block index — is
+    identical to a serial run regardless of backend or worker count.
+    """
+    from .pool import shard
+
+    if pool.backend == "process":
+        _ensure_picklable(predicates, "the predicate collection")
+    shards = [chunk for chunk in shard(list(block_specs), pool.workers) if chunk]
+    want_metrics = active_metrics() is not None
+    slices = (
+        budget.split(len(shards)) if budget is not None else [None] * len(shards)
+    )
+    # Block indices and sizes ship as array('q') pairs — flat memory
+    # copies, same idiom as the per-cluster index shards.
+    payloads = [
+        (
+            structure,
+            formula,
+            tuple(variables),
+            predicates,
+            seed,
+            array("q", [b for b, _ in chunk]),
+            array("q", [c for _, c in chunk]),
+            _slice_params(slices[i]),
+            want_metrics,
+        )
+        for i, chunk in enumerate(shards)
+    ]
+    joined = _join_shards(
+        pool, _approx_block_task, payloads, budget, retry=retry
+    )
+    merged: List[Tuple[int, int, int]] = []
+    for part in joined:
+        merged.extend(part)
+    merged.sort()
+    return merged

@@ -17,7 +17,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Hashable
 
-from ..obs.metrics import active_metrics
+from ..obs.metrics import active_metrics, hit_rate
 from .ir import QueryPlan
 
 __all__ = ["PlanCache", "default_plan_cache"]
@@ -90,14 +90,15 @@ class PlanCache:
 
     def stats(self) -> dict:
         with self._lock:
-            total = self.hits + self.misses
             return {
                 "size": len(self._plans),
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
-                "hit_rate": (self.hits / total) if total else 0.0,
+                # None (not 0.0) before any traffic: a cold cache has no
+                # hit rate, and reporting zero would read as "all misses".
+                "hit_rate": hit_rate(self.hits, self.misses),
             }
 
     def clear(self) -> None:

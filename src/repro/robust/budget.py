@@ -19,6 +19,11 @@ Design notes
 * ``tick()`` is called extremely often; the step-limit comparison is a
   single integer compare, and the wall clock is consulted only every
   ``check_interval`` ticks (default 64) to keep the common path cheap.
+  The interval *adapts downward*: when a wall-clock check observes that
+  more than 10% of the deadline's remaining time went by since the last
+  check, the interval halves (floor 1), so slow-tick workloads — one
+  approx sample can hide a full ball computation — cannot overshoot the
+  deadline by a whole 64-tick stride of expensive iterations.
 * Budgets are *shareable*: pass the same object to nested engines and the
   whole pipeline draws from one pool.
 * :meth:`slice` carves a fraction of the *remaining* budget into a child
@@ -39,6 +44,11 @@ __all__ = ["EvaluationBudget"]
 
 _CHECK_INTERVAL = 64
 
+#: A wall-clock check that finds more than this fraction of the
+#: remaining deadline consumed since the previous check halves the
+#: check interval — ticks are running slow, so look at the clock sooner.
+_ADAPT_THRESHOLD = 0.10
+
 
 class EvaluationBudget:
     """A wall-clock + step budget consumed cooperatively during evaluation.
@@ -54,8 +64,12 @@ class EvaluationBudget:
         guarded enumeration, one memo-table miss, one brute-force
         assignment, one cover cluster processed, ...
     check_interval:
-        How many ticks between wall-clock checks (the step limit is checked
-        on every tick).
+        *Initial* number of ticks between wall-clock checks (the step
+        limit is checked on every tick).  The interval halves — down to
+        a floor of 1 — every time a check observes more than 10% of the
+        remaining deadline consumed since the previous check, so budgets
+        ticking through expensive iterations converge on checking the
+        clock (nearly) every tick as the deadline approaches.
     preemptible:
         Soft-exhaustion mode.  With the default ``False``, exhaustion
         raises the fatal :class:`~repro.errors.BudgetExceededError`; with
@@ -81,6 +95,7 @@ class EvaluationBudget:
         "_deadline_at",
         "_check_interval",
         "_countdown",
+        "_last_check_at",
         "_metrics",
     )
 
@@ -113,6 +128,7 @@ class EvaluationBudget:
             )
         self._check_interval = check_interval
         self._countdown = check_interval
+        self._last_check_at = self.started_at
         # Captured once per budget: tick() is the hottest checkpoint in the
         # codebase, so the disabled path must stay one load + one compare.
         self._metrics = active_metrics()
@@ -132,12 +148,23 @@ class EvaluationBudget:
             self._exhaust("steps", site)
         self._countdown -= 1
         if self._countdown <= 0:
+            if self._deadline_at is not None:
+                now = time.monotonic()
+                # Adapt: if this stride of ticks burned >10% of the time
+                # the deadline had left at the previous check, the ticks
+                # are slow — halve the stride before resetting it.
+                remaining_then = self._deadline_at - self._last_check_at
+                if (
+                    self._check_interval > 1
+                    and remaining_then > 0.0
+                    and now - self._last_check_at
+                    > _ADAPT_THRESHOLD * remaining_then
+                ):
+                    self._check_interval //= 2
+                self._last_check_at = now
+                if now > self._deadline_at:
+                    self._exhaust("deadline", site)
             self._countdown = self._check_interval
-            if (
-                self._deadline_at is not None
-                and time.monotonic() > self._deadline_at
-            ):
-                self._exhaust("deadline", site)
 
     # -- queries ---------------------------------------------------------------
 

@@ -19,8 +19,17 @@ genuine defect — answer anyway, exactly, by a simpler path.
    (:class:`~repro.core.baseline.BruteForceEvaluator`); exact on all of
    FOC(P), including formulas outside the FOC1 fragment.
 
-Every stage computes the *exact* answer when it completes, so the cascade
-never trades correctness for availability — only speed.  Each stage runs
+With ``approx=True`` an optional fourth stage joins counting operations:
+the sampling tier (:class:`~repro.approx.evaluator.ApproxEvaluator`),
+last in the fixed order — a bounded-cost answer of last resort — and
+allowed to *lead* only when ``route="auto"`` predicts every exact stage
+blowing past the remaining budget.  An approx answer is an
+:class:`~repro.approx.result.ApproxResult` (never a bare int) and the
+report carries ``approximate=True``, so an estimate can never be
+mistaken for an exact count.
+
+Every exact stage computes the *exact* answer when it completes, so the
+cascade never trades correctness for availability — only speed.  Each stage runs
 under a slice of the shared :class:`~repro.robust.budget.EvaluationBudget`
 (an even split of whatever remains), so one runaway stage cannot starve
 its fallbacks; if every stage fails and the overall budget is exhausted,
@@ -41,8 +50,9 @@ from ..core.baseline import BruteForceEvaluator
 from ..core.clterms import BasicClTerm
 from ..core.evaluator import Foc1Evaluator
 from ..core.main_algorithm import MainAlgorithmStats, evaluate_unary_main_algorithm
+from ..approx.result import ApproxResult
 from ..core.query import Foc1Query
-from ..cost.router import EngineRouter, RouteDecision
+from ..cost.router import _UNITS_PER_SECOND, EngineRouter, RouteDecision
 from ..errors import BudgetExceededError, ReproError, SuspendedError
 from ..logic.predicates import PredicateCollection, standard_collection
 from ..logic.syntax import Expression, Formula, Term, Variable
@@ -61,8 +71,13 @@ from .retry import RetryPolicy
 
 __all__ = ["RobustEvaluator", "RobustReport", "StageReport", "STAGES"]
 
-#: Cascade order.
+#: Cascade order (the optional ``approx`` stage, when enabled, runs last).
 STAGES = ("main_algorithm", "foc1", "baseline")
+
+#: Abstract work units treated as affordable when no deadline bounds the
+#: run: without a clock to blow, only a truly astronomical exact
+#: prediction justifies leading with an estimate.
+_AFFORDABLE_NO_DEADLINE = 5e7
 
 
 @dataclass
@@ -120,6 +135,9 @@ class RobustReport:
     #: The :class:`~repro.cost.router.RouteDecision` taken for this run
     #: (``None`` in ``route="cascade"`` mode or when nothing was estimable).
     routing: "Optional[RouteDecision]" = None
+    #: True when the answering stage was the sampling tier — the answer
+    #: is an :class:`~repro.approx.result.ApproxResult`, not an exact count.
+    approximate: bool = False
 
     def stage(self, name: str) -> StageReport:
         for entry in self.stages:
@@ -197,6 +215,7 @@ class RobustReport:
             "breakers": breakers,
             "checkpoint": checkpoint,
             "routing": self.routing.to_dict() if self.routing else None,
+            "approximate": self.approximate,
         }
 
 
@@ -277,6 +296,19 @@ class RobustEvaluator:
         in ``route="auto"`` mode.  Share one across evaluators to pool
         their calibration (observed predicted-vs-actual corrections).
         Defaults to a fresh router per evaluator.
+    approx:
+        Opt-in fourth cascade stage for :meth:`count` and ground counting
+        terms: the sampling tier (:class:`~repro.approx.evaluator.
+        ApproxEvaluator`).  Off by default — the default cascade stays
+        exactly the three exact stages.  When enabled it runs *last* in
+        the fixed order, and ``route="auto"`` may promote it to first
+        only when every exact stage's predicted cost exceeds what the
+        remaining budget can afford.  Its answer is an
+        :class:`~repro.approx.result.ApproxResult` and sets
+        :attr:`RobustReport.approximate`.
+    epsilon / delta / approx_seed:
+        The ``(1 +- epsilon, delta)`` target and reproducibility seed for
+        the approx stage (ignored unless ``approx=True``).
     """
 
     def __init__(
@@ -294,11 +326,16 @@ class RobustEvaluator:
         breaker: "Optional[CircuitBreaker]" = None,
         route: str = "auto",
         router: "Optional[EngineRouter]" = None,
+        approx: bool = False,
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        approx_seed: int = 0,
     ):
         if route not in ("auto", "cascade"):
             raise ReproError(
                 f"route must be 'auto' or 'cascade', got {route!r}"
             )
+        self._default_predicates = predicates is None
         self.predicates = predicates if predicates is not None else standard_collection()
         self.budget = budget
         self.check_fragment = check_fragment
@@ -312,6 +349,10 @@ class RobustEvaluator:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.route = route
         self.router = router if router is not None else EngineRouter()
+        self.approx = approx
+        self.epsilon = epsilon
+        self.delta = delta
+        self.approx_seed = approx_seed
         self.last_report: "Optional[RobustReport]" = None
 
     # -- engine-API mirror -----------------------------------------------------
@@ -332,13 +373,22 @@ class RobustEvaluator:
     def count(
         self, structure: Structure, formula: Formula, variables: Sequence[Variable]
     ) -> int:
+        stages: List[_Stage] = [
+            self._not_applicable("main_algorithm"),
+            ("foc1", lambda b: self._foc1(b).count(structure, formula, variables), ""),
+            ("baseline", lambda b: self._baseline(b).count(structure, formula, variables), ""),
+        ]
+        if self.approx:
+            stages.append(
+                (
+                    "approx",
+                    lambda b: self._approx(b).count(structure, formula, variables),
+                    "",
+                )
+            )
         return self._run(
             "count",
-            [
-                self._not_applicable("main_algorithm"),
-                ("foc1", lambda b: self._foc1(b).count(structure, formula, variables), ""),
-                ("baseline", lambda b: self._baseline(b).count(structure, formula, variables), ""),
-            ],
+            stages,
             route_info=self._route_info(
                 structure, "count", (formula,), tuple(variables)
             ),
@@ -386,13 +436,29 @@ class RobustEvaluator:
         )
 
     def ground_term_value(self, structure: Structure, term: Term) -> int:
+        stages: List[_Stage] = [
+            self._not_applicable("main_algorithm"),
+            ("foc1", lambda b: self._foc1(b).ground_term_value(structure, term), ""),
+            ("baseline", lambda b: self._baseline(b).ground_term_value(structure, term), ""),
+        ]
+        if self.approx:
+            from ..logic.syntax import CountTerm
+
+            if isinstance(term, CountTerm):
+                stages.append(
+                    (
+                        "approx",
+                        lambda b: self._approx(b).ground_term_value(structure, term),
+                        "",
+                    )
+                )
+            else:
+                stages.append(
+                    ("approx", None, "only counting terms can be sampled")
+                )
         return self._run(
             "ground_term_value",
-            [
-                self._not_applicable("main_algorithm"),
-                ("foc1", lambda b: self._foc1(b).ground_term_value(structure, term), ""),
-                ("baseline", lambda b: self._baseline(b).ground_term_value(structure, term), ""),
-            ],
+            stages,
             route_info=self._route_info(
                 structure, "ground_term", (term,), ()
             ),
@@ -528,6 +594,21 @@ class RobustEvaluator:
             predicates=self.predicates, budget=budget, check_fragment=False
         )
 
+    def _approx(self, budget: "Optional[EvaluationBudget]"):
+        from ..approx.evaluator import ApproxEvaluator
+
+        # A defaulted collection ships as None so the process backend can
+        # rebuild it child-side (closures do not pickle).
+        return ApproxEvaluator(
+            predicates=None if self._default_predicates else self.predicates,
+            budget=budget,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            seed=self.approx_seed,
+            workers=self.workers,
+            parallel_backend=self.parallel_backend,
+        )
+
     @staticmethod
     def _not_applicable(name: str) -> _Stage:
         return (name, None, "not applicable to this operation")
@@ -616,6 +697,24 @@ class RobustEvaluator:
         rest = [s for s in stages if s[0] != chosen]
         return first + rest
 
+    def _exact_blowup(self, decision: RouteDecision) -> bool:
+        """True when every *priced* exact stage is predicted to exceed
+        what the remaining budget can afford — the only condition under
+        which routing may put the sampling stage first."""
+        exact = [
+            units
+            for name, units in decision.predicted.items()
+            if name != "approx"
+        ]
+        if not exact:
+            return True
+        affordable = _AFFORDABLE_NO_DEADLINE
+        if self.budget is not None:
+            remaining = self.budget.remaining_seconds()
+            if remaining is not None:
+                affordable = remaining * _UNITS_PER_SECOND
+        return min(exact) > affordable
+
     def _run(
         self,
         operation: str,
@@ -651,6 +750,27 @@ class RobustEvaluator:
         execution = stages
         if route_info is not None and session is None:
             decision = self._route_decision(operation, stages, route_info)
+            if (
+                decision is not None
+                and decision.mode == "auto"
+                and decision.chosen == "approx"
+                and not self._exact_blowup(decision)
+            ):
+                # An estimate may lead only when exactness is predicted
+                # unaffordable; otherwise the exact cascade runs (approx
+                # stays available as the last fallback).
+                decision.mode = "cascade"
+                decision.chosen = next(
+                    (
+                        name
+                        for name, fn, _ in stages
+                        if fn is not None and name != "approx"
+                    ),
+                    decision.chosen,
+                )
+                decision.reason += (
+                    "; approx withheld: an exact stage is predicted affordable"
+                )
             if decision is not None and decision.mode == "auto":
                 execution = self._reordered(stages, decision.chosen)
         report.routing = decision
@@ -770,6 +890,15 @@ class RobustEvaluator:
                     report.partial = answer
                     if registry is not None:
                         registry.inc("robust.salvage.partial")
+                elif isinstance(answer, ApproxResult):
+                    # The sampling stage answered: the caller gets the
+                    # full ApproxResult (never a bare int) and the report
+                    # is marked so downstream serialisation says so.
+                    entry.status = "ok"
+                    entry.detail = answer.summary()
+                    report.approximate = True
+                    if registry is not None:
+                        registry.inc("robust.approx.answered")
                 else:
                     entry.status = "ok"
                 report.answered_by = name

@@ -1,0 +1,124 @@
+"""The approximate tier's differential gate (ISSUE 9).
+
+Thirty seeded dense graphs, each small enough that brute-force
+enumeration still terminates, are counted both exactly
+(:func:`repro.logic.semantics.count_solutions`) and through the sampler.
+The gate asserts two things:
+
+* **accuracy** — the observed relative error stays within the planned
+  ``epsilon`` at (better than) the promised confidence: with
+  ``delta = 0.05`` per seed, more than 2 misses out of 30 would already
+  be a < 1% probability event under the Hoeffding guarantee, and in
+  practice the bound's slack means zero misses;
+* **seed stability** — the same seed produces byte-identical results
+  (modulo wall-clock ``elapsed``) on the serial, thread, and process
+  backends at any worker count, because the estimate folds fixed seeded
+  blocks in block order.
+
+``REPRO_APPROX_QUICK=1`` trims the sweep to its first 8 seeds so CI's
+``approx-smoke`` job finishes in seconds; the full matrix runs by
+default.
+"""
+
+import os
+
+import pytest
+
+from repro.approx import ApproxEvaluator
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import count_solutions
+from repro.sparse.classes import dense_random_graph
+
+EPSILON = 0.1
+DELTA = 0.05
+
+#: Per-seed miss allowance for the accuracy sweep: P(miss) <= delta per
+#: seed, so 3+ misses in 30 runs has probability < 1% even at the bound.
+MAX_MISSES = 2
+
+FULL_SEEDS = tuple(range(30))
+QUICK_SEEDS = FULL_SEEDS[:8]
+
+
+def _seeds():
+    if os.environ.get("REPRO_APPROX_QUICK", "") == "1":
+        return QUICK_SEEDS
+    return FULL_SEEDS
+
+
+def _structure(seed):
+    # n in 14..16 keeps exact enumeration trivial (n^2 assignments)
+    # while the G(n, 1/2) edge set stays genuinely dense.
+    return dense_random_graph(14 + seed % 3, probability=0.5, seed=seed)
+
+
+def _approx(structure, phi, variables, seed, **kwargs):
+    engine = ApproxEvaluator(
+        epsilon=EPSILON, delta=DELTA, seed=seed, **kwargs
+    )
+    return engine.count(structure, phi, variables)
+
+
+def _result_key(result):
+    payload = result.to_dict()
+    payload.pop("elapsed")
+    return payload
+
+
+def test_accuracy_against_exact_counts():
+    phi = parse_formula("E(x, y)")
+    misses = []
+    for seed in _seeds():
+        structure = _structure(seed)
+        exact = count_solutions(structure, phi, ["x", "y"])
+        result = _approx(structure, phi, ["x", "y"], seed)
+        if result.relative_error_vs(exact) > EPSILON:
+            misses.append((seed, exact, result.estimate))
+    assert len(misses) <= MAX_MISSES, (
+        f"{len(misses)} of {len(_seeds())} seeds exceeded "
+        f"eps={EPSILON}: {misses}"
+    )
+
+
+def test_confidence_interval_covers_the_truth():
+    phi = parse_formula("E(x, y) & E(y, z)")
+    misses = []
+    for seed in _seeds():
+        structure = _structure(seed)
+        exact = count_solutions(structure, phi, ["x", "y", "z"])
+        result = _approx(structure, phi, ["x", "y", "z"], seed)
+        if not result.ci_low <= exact <= result.ci_high:
+            misses.append((seed, exact, result.ci_low, result.ci_high))
+    assert len(misses) <= MAX_MISSES, (
+        f"{len(misses)} of {len(_seeds())} intervals missed the exact "
+        f"count: {misses}"
+    )
+
+
+def test_same_seed_same_estimate_across_runs():
+    phi = parse_formula("E(x, y)")
+    for seed in _seeds()[:4]:
+        structure = _structure(seed)
+        first = _approx(structure, phi, ["x", "y"], seed)
+        second = _approx(structure, phi, ["x", "y"], seed)
+        assert _result_key(first) == _result_key(second)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_seed_stability_across_backends(backend):
+    phi = parse_formula("E(x, y)")
+    seeds = _seeds()[:2] if backend == "process" else _seeds()[:4]
+    for seed in seeds:
+        structure = _structure(seed)
+        serial = _approx(structure, phi, ["x", "y"], seed, workers=1)
+        parallel = _approx(
+            structure,
+            phi,
+            ["x", "y"],
+            seed,
+            workers=2,
+            parallel_backend=backend,
+        )
+        assert _result_key(serial) == _result_key(parallel), (
+            f"seed {seed} diverged on the {backend} backend"
+        )

@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.approx.planner`: sample-size math, floors,
+truncation, and input validation."""
+
+import math
+
+import pytest
+
+from repro.approx import (
+    DEFAULT_MAX_SAMPLES,
+    DEFAULT_MIN_DENSITY,
+    SamplePlan,
+    plan_samples,
+)
+from repro.errors import ReproError
+
+
+class _Bound:
+    def __init__(self, lower):
+        self.lower = lower
+
+
+class TestHoeffdingPlans:
+    def test_heuristic_floor_sizes_the_run(self):
+        plan = plan_samples(10_000.0, 0.1, 0.05)
+        # floor = min_density * space = 500, eps_add = 0.005.
+        assert plan.floor == DEFAULT_MIN_DENSITY * 10_000.0
+        assert plan.additive_epsilon() == pytest.approx(0.005)
+        wanted = math.ceil(math.log(2 / 0.05) / (2 * 0.005**2))
+        assert plan.samples == wanted
+        assert not plan.provable
+        assert not plan.truncated
+        assert plan.blocks == 1
+
+    def test_provable_lower_bound_tightens_the_plan(self):
+        loose = plan_samples(10_000.0, 0.1, 0.05)
+        tight = plan_samples(10_000.0, 0.1, 0.05, bound=_Bound(5_000.0))
+        assert tight.provable
+        assert tight.floor == 5_000.0
+        assert tight.samples < loose.samples
+
+    def test_floor_never_exceeds_space(self):
+        plan = plan_samples(100.0, 0.1, 0.05, bound=_Bound(1e9))
+        assert plan.floor == 100.0
+        assert plan.provable
+
+    def test_tiny_plans_round_up_to_minimum(self):
+        plan = plan_samples(100.0, 10.0, 0.05, bound=_Bound(100.0))
+        assert plan.samples == 32
+
+    def test_truncation_is_announced(self):
+        plan = plan_samples(1e12, 0.01, 0.01, min_density=1e-6)
+        assert plan.truncated
+        assert plan.samples == DEFAULT_MAX_SAMPLES
+
+    def test_none_lower_is_heuristic(self):
+        plan = plan_samples(10_000.0, 0.1, 0.05, bound=_Bound(None))
+        assert not plan.provable
+        assert plan.floor == DEFAULT_MIN_DENSITY * 10_000.0
+
+
+class TestMedianOfMeans:
+    def test_whole_blocks(self):
+        plan = plan_samples(
+            10_000.0, 0.5, 0.05, bound=_Bound(5_000.0), method="median_of_means"
+        )
+        assert plan.method == "median_of_means"
+        assert plan.blocks == math.ceil(8 * math.log(1 / 0.05))
+        assert plan.samples % plan.blocks == 0
+
+    def test_truncated_mom_still_has_whole_blocks(self):
+        plan = plan_samples(
+            1e12, 0.01, 0.01, min_density=1e-6, method="median_of_means"
+        )
+        assert plan.truncated
+        assert plan.samples <= DEFAULT_MAX_SAMPLES
+        assert plan.samples % plan.blocks == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"delta": 0.0},
+            {"delta": 1.0},
+            {"min_density": 0.0},
+            {"min_density": 1.5},
+            {"max_samples": 8},
+            {"method": "guessing"},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        base = {"space": 100.0, "epsilon": 0.1, "delta": 0.05}
+        base.update(kwargs)
+        with pytest.raises(ReproError):
+            plan_samples(**base)
+
+    def test_space_below_one_raises(self):
+        with pytest.raises(ReproError):
+            plan_samples(0.0, 0.1, 0.05)
+
+    def test_plan_is_frozen(self):
+        plan = plan_samples(100.0, 0.1, 0.05)
+        assert isinstance(plan, SamplePlan)
+        with pytest.raises(Exception):
+            plan.samples = 1

@@ -52,6 +52,29 @@ class TestMetricsRegistry:
         assert hit_rate(1, 0) == 1.0
         assert hit_rate(0, 4) == 0.0
 
+    def test_zero_traffic_snapshot_survives_every_formatter(self):
+        """ISSUE 9: a fresh registry's ratios must reach every consumer as
+        None (rendered "n/a"), never as 0.0 or a TypeError."""
+        import json
+
+        from repro.plan.cache import PlanCache
+        from tools.bench_runner import condense, validate_report
+
+        registry = MetricsRegistry()
+        assert registry.memo_hit_rate() is None
+        # The snapshot is JSON-safe without any rate key to mis-format.
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert "memo_hit_rate" not in snapshot["counters"]
+        # A cold plan cache reports no rate rather than "all misses".
+        assert PlanCache().stats()["hit_rate"] is None
+        # The bench runner folds a zero-traffic payload into a valid
+        # report whose totals carry null rates.
+        report = condense({"benchmarks": []}, quick=True)
+        assert validate_report(report) == []
+        assert report["totals"]["memo_hit_rate"] is None
+        assert report["totals"]["plan_cache_hit_rate"] is None
+
     def test_merge(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.inc("c", 1)

@@ -42,7 +42,8 @@ class TestPlanCache:
 
     def test_stats_shape_and_hit_rate(self):
         cache = PlanCache(capacity=8)
-        assert cache.stats()["hit_rate"] == 0.0
+        # No traffic yet: no rate, not "all misses".
+        assert cache.stats()["hit_rate"] is None
         cache.get_or_compile("k", _compile("E(x, x)"))
         cache.get_or_compile("k", _compile("E(x, x)"))
         stats = cache.stats()

@@ -112,6 +112,73 @@ class TestDeadline:
         assert budget.remaining_seconds() == 0.0
 
 
+class _FakeTime:
+    """A controllable stand-in for the ``time`` module inside budget.py."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def monotonic(self):
+        return self.now
+
+
+class TestAdaptiveCheckInterval:
+    """ISSUE 9 bugfix: slow-tick workloads must not overshoot the deadline
+    by a whole 64-tick stride of expensive iterations."""
+
+    def _slow_tick_run(self, monkeypatch, per_tick):
+        clock = _FakeTime()
+        monkeypatch.setattr("repro.robust.budget.time", clock)
+        budget = EvaluationBudget(deadline=1.0)
+        ticks = 0
+        with pytest.raises(BudgetExceededError) as info:
+            while True:
+                clock.now += per_tick
+                budget.tick("slow.site")
+                ticks += 1
+        assert info.value.reason == "deadline"
+        return budget, ticks, clock
+
+    def test_slow_ticks_shrink_the_interval(self, monkeypatch):
+        # 2ms per tick against a 1s deadline: the first 64-tick stride
+        # alone burns 12.8% of the deadline, so the interval must halve
+        # and keep halving as the deadline approaches.
+        budget, ticks, clock = self._slow_tick_run(monkeypatch, 0.002)
+        # The stride converges all the way to checking every tick.
+        assert budget._check_interval == 1
+        # A fixed 64-stride only looks at the clock on tick multiples of
+        # 64 and would run through tick 512 (1.024s elapsed); adapting
+        # must stop earlier than that full-stride overshoot.
+        assert ticks < 512
+        overshoot = clock.now - 1000.0 - 1.0
+        assert overshoot < 64 * 0.002
+
+    def test_fast_ticks_keep_the_wide_interval(self, monkeypatch):
+        # 1us per tick: no 64-tick stride ever burns 10% of the deadline,
+        # so the cheap wide stride survives the whole run.
+        clock = _FakeTime()
+        monkeypatch.setattr("repro.robust.budget.time", clock)
+        budget = EvaluationBudget(deadline=1.0)
+        for _ in range(10_000):
+            clock.now += 1e-6
+            budget.tick()
+        assert budget._check_interval == 64
+
+    def test_catastrophic_ticks_exhaust_at_the_first_check(self, monkeypatch):
+        # Half the deadline per tick: the very first wall-clock check both
+        # halves the stride and raises — overshoot is bounded by the
+        # initial 64-tick stride, never by a widened one.
+        budget, ticks, _ = self._slow_tick_run(monkeypatch, 0.5)
+        assert ticks + 1 == 64
+        assert budget._check_interval == 32
+
+    def test_no_deadline_never_adapts(self):
+        budget = EvaluationBudget(max_steps=10_000)
+        for _ in range(1_000):
+            budget.tick()
+        assert budget._check_interval == 64
+
+
 class TestSlicing:
     def test_slice_fraction_of_remaining_steps(self):
         budget = EvaluationBudget(max_steps=100)

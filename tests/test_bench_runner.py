@@ -450,3 +450,87 @@ class TestRoutingGate:
         assert _routing_gate(report, 0.1) == 1  # 12.5% > 10%
         # No decisions at all: trivially passing.
         assert _routing_gate(condense(raw_payload(), quick=True), 0.1) == 0
+
+
+def approx_payload(relative_error=0.03):
+    """An exact-vs-approx payload like benchmarks/bench_approx.py emits."""
+    payload = raw_payload()
+    for mode, mean in (("exact", 0.020), ("approx", 0.008)):
+        extra = {"approx_group": "dense/n=40", "engine_mode": mode}
+        if mode == "approx":
+            extra["relative_error"] = relative_error
+            extra["epsilon"] = 0.1
+            extra["samples"] = 1500
+        payload["benchmarks"].append(
+            {
+                "name": f"test_approx_vs_exact_dense[40-{mode}]",
+                "fullname": "benchmarks/bench_approx.py"
+                f"::test_approx_vs_exact_dense[40-{mode}]",
+                "group": None,
+                "stats": {
+                    "mean": mean,
+                    "stddev": 0.0001,
+                    "min": mean,
+                    "rounds": 3,
+                },
+                "extra_info": extra,
+            }
+        )
+    return payload
+
+
+class TestApproxSection:
+    def test_approx_vs_exact_ratio_and_error_passthrough(self):
+        report = condense(approx_payload(), quick=True)
+        approx = report["approx"]
+        [group] = approx["groups"]
+        assert group["group"] == "dense/n=40"
+        rows = {row["mode"]: row for row in group["rows"]}
+        assert rows["exact"]["vs_exact"] is None
+        assert abs(rows["approx"]["vs_exact"] - 0.4) < 1e-12
+        assert rows["approx"]["relative_error"] == 0.03
+        assert rows["approx"]["epsilon"] == 0.1
+        assert rows["approx"]["samples"] == 1500
+        assert approx["max_relative_error"] == 0.03
+        assert approx["within_epsilon"] is True
+
+    def test_error_above_epsilon_flips_the_flag(self):
+        approx = condense(approx_payload(relative_error=0.2), quick=True)[
+            "approx"
+        ]
+        assert approx["max_relative_error"] == 0.2
+        assert approx["within_epsilon"] is False
+
+    def test_untagged_benchmarks_stay_out(self):
+        report = condense(raw_payload(), quick=True)
+        assert report["approx"]["groups"] == []
+        assert report["approx"]["max_relative_error"] is None
+        assert report["approx"]["within_epsilon"] is True  # vacuously
+
+    def test_approx_report_is_valid(self):
+        assert validate_report(condense(approx_payload(), quick=True)) == []
+
+    def test_validator_rejects_bad_mode(self):
+        report = condense(approx_payload(), quick=True)
+        report["approx"]["groups"][0]["rows"][0]["mode"] = "guessed"
+        assert any("mode" in p for p in validate_report(report))
+
+    def test_validator_rejects_negative_error(self):
+        report = condense(approx_payload(), quick=True)
+        report["approx"]["groups"][0]["rows"][1]["relative_error"] = -0.1
+        assert any("relative_error" in p for p in validate_report(report))
+
+    def test_validator_requires_approx_section(self):
+        report = condense(approx_payload(), quick=True)
+        del report["approx"]
+        assert any("approx" in p for p in validate_report(report))
+
+    def test_table_renders(self):
+        from tools.bench_runner import approx_table
+
+        report = condense(approx_payload(), quick=True)
+        lines = approx_table(report["approx"])
+        assert any("dense/n=40" in line for line in lines)
+        assert any("max relative error" in line for line in lines)
+        empty = approx_table({"groups": []})
+        assert any("no sampling-tier" in line for line in empty)

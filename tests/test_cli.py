@@ -611,3 +611,102 @@ class TestCliPreemption:
         }
         assert len(codes) == 6
         assert EXIT_SUSPENDED == 6
+
+
+class TestCliApprox:
+    """``--engine approx``: seeded estimates with an explicit marker."""
+
+    @pytest.fixture
+    def dense_file(self, tmp_path):
+        # Complete graph on 8 vertices: dense enough that sampling hits
+        # often, small enough that the exact count (8*7*7 = 392 for the
+        # path-of-length-2 query) is easy to cross-check.
+        lines = [
+            f"{u} {v}" for u in range(8) for v in range(u + 1, 8)
+        ]
+        target = tmp_path / "dense.txt"
+        target.write_text("\n".join(lines) + "\n")
+        return str(target)
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+
+    def test_count_emits_estimate_with_marker(self, dense_file):
+        result = self._run(
+            "count", dense_file, "E(x, y) & E(y, z)",
+            "--vars", "x", "y", "z",
+            "--engine", "approx", "--epsilon", "0.1", "--seed", "0",
+        )
+        assert result.returncode == 0, result.stderr
+        value = int(result.stdout.strip())
+        # Exact count is 392; eps=0.1 with delta=0.05 keeps the
+        # estimate comfortably inside +-20% on this input.
+        assert 300 <= value <= 480
+        assert "# approximate:" in result.stderr
+
+    def test_term_accepts_ground_counting_terms(self, dense_file):
+        result = self._run(
+            "term", dense_file, "#(x, y). E(x, y)",
+            "--engine", "approx", "--seed", "3",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "# approximate:" in result.stderr
+        int(result.stdout.strip())
+
+    def test_same_seed_same_output(self, dense_file):
+        args = (
+            "count", dense_file, "E(x, y)", "--vars", "x", "y",
+            "--engine", "approx", "--seed", "7",
+        )
+        first = self._run(*args)
+        second = self._run(*args)
+        assert first.returncode == second.returncode == 0
+        assert first.stdout == second.stdout
+
+    def test_report_json_is_flagged_approximate(self, dense_file, tmp_path):
+        path = tmp_path / "report.json"
+        result = self._run(
+            "count", dense_file, "E(x, y)", "--vars", "x", "y",
+            "--engine", "approx", "--seed", "1",
+            "--report-json", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro-approx-result/1"
+        assert report["approximate"] is True
+        assert report["seed"] == 1
+        assert report["epsilon"] == 0.1
+
+    def test_check_rejects_the_approx_engine(self, dense_file):
+        result = self._run(
+            "check", dense_file, "exists x. E(x, x)", "--engine", "approx"
+        )
+        assert result.returncode == 2
+        assert "count" in result.stderr
+
+    def test_fallback_requires_a_cascade_engine(self, dense_file):
+        result = self._run(
+            "count", dense_file, "E(x, y)", "--vars", "x", "y",
+            "--approx-fallback",
+        )
+        assert result.returncode == 2
+        assert "robust" in result.stderr
+
+    def test_robust_fallback_report_carries_the_flag(self, dense_file, tmp_path):
+        path = tmp_path / "report.json"
+        result = self._run(
+            "count", dense_file, "E(x, y)", "--vars", "x", "y",
+            "--engine", "robust", "--approx-fallback",
+            "--report-json", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(path.read_text())
+        # Plenty of budget: an exact stage answers, and the report says
+        # so explicitly even with the sampler armed.
+        assert report["approximate"] is False
+        assert "approx" in [s["stage"] for s in report["stages"]]

@@ -63,3 +63,59 @@ class TestSummarizer:
             timeout=60,
         )
         assert result.returncode == 2
+
+
+class TestSeededRngChecker:
+    """tools/check_seeded_rng.py — the determinism lint (ISSUE 9)."""
+
+    def test_library_tree_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(TOOLS / "check_seeded_rng.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_flags_module_level_draws(self, tmp_path):
+        from tools.check_seeded_rng import check_source
+
+        bad = (
+            "import random\n"
+            "import random as rnd\n"
+            "from random import randint\n"
+            "x = random.random()\n"
+            "random.shuffle([1, 2])\n"
+            "y = rnd.choice([1, 2])\n"
+            "random.seed(0)\n"
+        )
+        problems = check_source(bad, "bad.py")
+        lines = [line for line, _ in problems]
+        assert lines == [3, 4, 5, 6, 7]
+        assert all("random.Random" in message for _, message in problems)
+
+    def test_allows_seeded_instances(self):
+        from tools.check_seeded_rng import check_source
+
+        good = (
+            "import random\n"
+            "from random import Random\n"
+            "rng = random.Random(7)\n"
+            "value = rng.random() + Random(9).randint(0, 3)\n"
+            "class Crashy(random.Random):\n"
+            "    pass\n"
+        )
+        assert check_source(good, "good.py") == []
+
+    def test_cli_rejects_a_bad_file(self, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text("import random\nrandom.random()\n")
+        result = subprocess.run(
+            [sys.executable, str(TOOLS / "check_seeded_rng.py"), str(bad)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "module.py:2" in result.stderr
+        assert "unseeded-RNG" in result.stderr

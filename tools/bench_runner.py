@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr8.json``.
+a machine-readable ``BENCH_pr9.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -51,6 +51,15 @@ everything into a small, stable report::
                                         "vs_reference": 0.6,
                                         "peak_rss_kb": ...}],
                               "rss_delta_kb": ...}]},
+      "approx": {"groups": [{"group": "dense/n=40",
+                             "rows": [{"mode": "exact", "mean_s": ...},
+                                      {"mode": "approx", "mean_s": ...,
+                                       "vs_exact": 0.4,
+                                       "relative_error": 0.03,
+                                       "epsilon": 0.1,
+                                       "samples": 1500}]}],
+                 "max_relative_error": 0.03,
+                 "within_epsilon": true},
       "baseline_delta": {"file": "BENCH_pr4.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
@@ -116,6 +125,18 @@ ru_maxrss after the row ran) and the group reports ``rss_delta_kb``
 (columnar minus reference).  ru_maxrss is process-monotonic, so the
 delta depends on execution order and is context, not a gate.
 
+Schema 9 adds the ``approx`` section: benchmarks tagged with
+``extra_info["approx_group"]`` and ``extra_info["engine_mode"]``
+(``benchmarks/bench_approx.py``) are grouped, and each ``approx`` row's
+*vs_exact* is its mean over the group's ``exact`` mean — the
+approx-vs-exact latency ratio at a size where brute force still
+terminates.  Approx rows additionally carry the observed
+``relative_error`` of the sampled estimate against the exact count, the
+``epsilon`` the run was planned for, and the ``samples`` drawn; the
+section-level ``max_relative_error`` and ``within_epsilon`` flag feed the
+ISSUE 9 acceptance gate (observed error <= epsilon on every
+feasible-exact bench).
+
 Usage::
 
     python tools/bench_runner.py --quick              # smoke pass (seconds)
@@ -144,7 +165,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/8"
+SCHEMA_NAME = "repro-bench/9"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -281,6 +302,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
     resume_overhead = resume_section(benchmarks)
     routing = routing_section(benchmarks)
     kernels = kernel_section(benchmarks)
+    approx = approx_section(benchmarks)
     report = {
         "schema": SCHEMA_NAME,
         "quick": quick,
@@ -305,6 +327,7 @@ def condense(raw: Dict, quick: bool) -> Dict:
         "resume_overhead": resume_overhead,
         "routing": routing,
         "kernels": kernels,
+        "approx": approx,
     }
     return report
 
@@ -659,6 +682,110 @@ def kernel_table(kernels: Dict) -> List[str]:
         lines.append(f"  {group['group']:<28} {cells}")
     if len(lines) == 1:
         lines.append("  (no kernel-parity benchmarks in this run)")
+    return lines
+
+
+def approx_section(benchmarks: List[Dict]) -> Dict:
+    """Fold the sampling-tier benchmarks into an approx-vs-exact table.
+
+    Rows come from benchmarks that tagged ``extra_info`` with
+    ``approx_group`` and ``engine_mode`` (``"exact"`` or ``"approx"``);
+    each group's exact row is the denominator (``vs_exact`` = approx mean
+    over exact mean).  Approx rows copy through the observed
+    ``relative_error`` against the exact count plus the planned
+    ``epsilon`` and ``samples`` drawn; ``max_relative_error`` is the
+    worst observed error across groups and ``within_epsilon`` is the
+    acceptance flag — every observed error stayed at or below its row's
+    epsilon (vacuously true with no approx rows, null when an approx row
+    carried no measurable error).
+    """
+    grouped: "Dict[str, List[Dict]]" = {}
+    for bench in benchmarks:
+        extra = bench.get("extra_info") or {}
+        group = extra.get("approx_group")
+        mode = extra.get("engine_mode")
+        if not isinstance(group, str) or mode not in ("exact", "approx"):
+            continue
+        row = {"mode": mode, "mean_s": bench["mean_s"], "name": bench["name"]}
+        if mode == "approx":
+            for key in ("relative_error", "epsilon"):
+                value = extra.get(key)
+                if isinstance(value, (int, float)):
+                    row[key] = float(value)
+            samples = extra.get("samples")
+            if isinstance(samples, int):
+                row["samples"] = samples
+        grouped.setdefault(group, []).append(row)
+    groups = []
+    max_error: "Optional[float]" = None
+    missing_error = False
+    violated = False
+    for group in sorted(grouped):
+        rows = sorted(grouped[group], key=lambda row: row["mode"])
+        exact = next(
+            (row["mean_s"] for row in rows if row["mode"] == "exact"), None
+        )
+        for row in rows:
+            row["vs_exact"] = (
+                row["mean_s"] / exact
+                if row["mode"] == "approx" and exact and row["mean_s"] > 0
+                else None
+            )
+            if row["mode"] != "approx":
+                continue
+            error = row.get("relative_error")
+            epsilon = row.get("epsilon")
+            if error is None:
+                missing_error = True
+                continue
+            if max_error is None or error > max_error:
+                max_error = error
+            if epsilon is not None and error > epsilon:
+                violated = True
+        groups.append({"group": group, "rows": rows})
+    within: "Optional[bool]"
+    if violated:
+        within = False
+    elif missing_error:
+        within = None
+    else:
+        within = True
+    return {
+        "groups": groups,
+        "max_relative_error": max_error,
+        "within_epsilon": within,
+    }
+
+
+def approx_table(approx: Dict) -> List[str]:
+    """A printable approx-vs-exact sampling-tier table."""
+    lines = ["approx (sampling vs exact count; observed error target <= eps)"]
+    for group in approx.get("groups", []):
+        cells = []
+        for row in group["rows"]:
+            if row.get("vs_exact") is not None:
+                cell = f"{row['mode']}: {row['vs_exact']:.3f}x"
+            else:
+                cell = f"{row['mode']}: {row['mean_s'] * 1e3:.3f}ms"
+            error = row.get("relative_error")
+            if error is not None:
+                eps = row.get("epsilon")
+                eps_text = f"{eps:g}" if eps is not None else "?"
+                cell += f" (err {error:.1%} vs eps {eps_text})"
+            cells.append(cell)
+        lines.append(f"  {group['group']:<28} {', '.join(cells)}")
+    if len(lines) == 1:
+        lines.append("  (no sampling-tier benchmarks in this run)")
+        return lines
+    max_error = approx.get("max_relative_error")
+    within = approx.get("within_epsilon")
+    error_text = f"{max_error:.1%}" if max_error is not None else "n/a"
+    within_text = (
+        "yes" if within is True else "NO" if within is False else "n/a"
+    )
+    lines.append(
+        f"  max relative error {error_text}, within epsilon: {within_text}"
+    )
     return lines
 
 
@@ -1064,6 +1191,76 @@ def validate_report(report: Dict) -> List[str]:
                     f"{where_row}.peak_rss_kb must be null or a "
                     "non-negative integer",
                 )
+    approx = report.get("approx")
+    check(isinstance(approx, dict), "approx must be an object")
+    if isinstance(approx, dict):
+        groups = approx.get("groups")
+        check(isinstance(groups, list), "approx.groups must be a list")
+        for i, group in enumerate(groups or []):
+            where = f"approx.groups[{i}]"
+            if not isinstance(group, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            check(
+                isinstance(group.get("group"), str) and group["group"],
+                f"{where}.group must be a non-empty string",
+            )
+            rows = group.get("rows")
+            check(
+                isinstance(rows, list) and rows,
+                f"{where}.rows must be a non-empty list",
+            )
+            for j, row in enumerate(rows or []):
+                where_row = f"{where}.rows[{j}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where_row} must be an object")
+                    continue
+                check(
+                    row.get("mode") in ("exact", "approx"),
+                    f"{where_row}.mode must be 'exact' or 'approx'",
+                )
+                mean = row.get("mean_s")
+                check(
+                    isinstance(mean, (int, float)) and mean >= 0,
+                    f"{where_row}.mean_s must be a non-negative number",
+                )
+                ratio = row.get("vs_exact")
+                check(
+                    ratio is None
+                    or (isinstance(ratio, (int, float)) and ratio >= 0),
+                    f"{where_row}.vs_exact must be null or non-negative",
+                )
+                error = row.get("relative_error")
+                check(
+                    error is None
+                    or (isinstance(error, (int, float)) and error >= 0),
+                    f"{where_row}.relative_error must be null or "
+                    "non-negative",
+                )
+                epsilon = row.get("epsilon")
+                check(
+                    epsilon is None
+                    or (isinstance(epsilon, (int, float)) and epsilon > 0),
+                    f"{where_row}.epsilon must be null or positive",
+                )
+                samples = row.get("samples")
+                check(
+                    samples is None
+                    or (isinstance(samples, int) and samples >= 0),
+                    f"{where_row}.samples must be null or a "
+                    "non-negative integer",
+                )
+        max_error = approx.get("max_relative_error")
+        check(
+            max_error is None
+            or (isinstance(max_error, (int, float)) and max_error >= 0),
+            "approx.max_relative_error must be null or non-negative",
+        )
+        within = approx.get("within_epsilon")
+        check(
+            within is None or isinstance(within, bool),
+            "approx.within_epsilon must be null or a boolean",
+        )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -1085,7 +1282,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr8.json"
+        description="Run the benchmark suites and emit BENCH_pr9.json"
     )
     parser.add_argument(
         "--quick",
@@ -1094,15 +1291,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr8.json"),
+        default=str(REPO_ROOT / "BENCH_pr9.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr8.json)",
+        help="where to write the report (default: BENCH_pr9.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr7.json"),
+        default=str(REPO_ROOT / "BENCH_pr8.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr7.json; "
+        help="earlier report to diff against (default: BENCH_pr8.json; "
         "skipped silently when the file does not exist)",
     )
     parser.add_argument(
@@ -1173,6 +1370,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     for line in routing_table(report["routing"]):
         print(line)
     for line in kernel_table(report["kernels"]):
+        print(line)
+    for line in approx_table(report["approx"]):
         print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):

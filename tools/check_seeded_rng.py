@@ -1,0 +1,113 @@
+"""Lint: every random draw in ``src/repro`` must come from a seeded
+``random.Random`` instance.
+
+The determinism contract (docs/ENGINES.md, approx tier; ISSUE 9) says
+identical ``(query, structure, seed, epsilon, delta)`` inputs yield
+byte-identical results on any backend.  One call into the *module-level*
+``random`` API — ``random.random()``, ``random.randint(...)``,
+``random.shuffle(...)`` — silently breaks that: those functions share a
+process-global generator whose state depends on import order, other
+callers, and worker scheduling.  This checker walks the AST of every
+library module and rejects any use of the module-level API; constructing
+``random.Random(seed)`` (or subclassing it) is the one allowed touch
+point.
+
+Usage::
+
+    python tools/check_seeded_rng.py            # lints src/repro
+    python tools/check_seeded_rng.py PATH ...   # lints specific trees
+
+Exit status 0 when clean, 1 with ``file:line: message`` diagnostics
+otherwise.  Pure stdlib, AST-only (nothing is imported or executed), so
+CI can run it before the test matrix.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The only attribute of the ``random`` module library code may touch.
+ALLOWED_ATTRS = frozenset({"Random"})
+
+
+def check_source(source: str, filename: str) -> List[Tuple[int, str]]:
+    """Return ``(line, message)`` pairs for banned uses of ``random``."""
+    tree = ast.parse(source, filename=filename)
+    problems: List[Tuple[int, str]] = []
+    #: Local names the module-level generator hides behind (``import
+    #: random``, ``import random as rnd``).
+    module_aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    module_aliases.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module != "random" or node.level:
+                continue
+            for alias in node.names:
+                if alias.name not in ALLOWED_ATTRS:
+                    problems.append(
+                        (
+                            node.lineno,
+                            f"from random import {alias.name} uses the "
+                            "process-global generator; construct "
+                            "random.Random(seed) instead",
+                        )
+                    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Name) or value.id not in module_aliases:
+            continue
+        if node.attr in ALLOWED_ATTRS:
+            continue
+        problems.append(
+            (
+                node.lineno,
+                f"random.{node.attr} draws from the process-global "
+                "generator; use an explicit random.Random(seed)",
+            )
+        )
+    return sorted(problems)
+
+
+def iter_sources(roots: List[Path]) -> Iterator[Path]:
+    for root in roots:
+        if root.is_file():
+            yield root
+        else:
+            yield from sorted(root.rglob("*.py"))
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    roots = (
+        [Path(arg) for arg in argv]
+        if argv
+        else [REPO_ROOT / "src" / "repro"]
+    )
+    failures = 0
+    for path in iter_sources(roots):
+        problems = check_source(path.read_text(encoding="utf-8"), str(path))
+        for line, message in problems:
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            print(f"{shown}:{line}: {message}", file=sys.stderr)
+        failures += len(problems)
+    if failures:
+        print(f"{failures} unseeded-RNG use(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
