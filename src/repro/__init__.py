@@ -26,6 +26,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from .errors import (
+    AdmissionError,
     ArityError,
     BudgetExceededError,
     CheckpointError,

@@ -51,10 +51,19 @@ strata, memo contents and completed parallel shards are never recomputed)
 and continues.  ``--report-json PATH`` (robust/auto engines) dumps the
 structured cascade report, including the routing decision, as JSON.
 
+Serving (see ``docs/SERVING.md``): ``python -m repro serve STRUCTURE
+WORKLOAD.jsonl`` replays a JSONL workload of tenant-attributed requests
+through the multi-tenant :class:`~repro.serve.QueryService` — admission
+control, fair-share scheduling and preemptible quanta included — and
+emits one JSON line per request plus a summary on stderr.
+
 Exit codes: 0 on success (for ``check``: also when the answer is False —
 the answer is printed, not encoded), 2 on bad input, 3 on an unexpected
 internal error, 4 on budget exhaustion, 5 on a partial (salvaged) result,
-6 on suspension (resumable via ``--resume``).
+6 on suspension (resumable via ``--resume``), 130 on interrupt (SIGINT /
+SIGTERM; with an active ``--checkpoint``/``--resume`` session the
+interrupt instead writes a final checkpoint and exits with 6 — the
+interrupted work is resumable, not lost).
 """
 
 from __future__ import annotations
@@ -108,6 +117,8 @@ EXIT_INTERNAL = 3
 EXIT_BUDGET = 4
 EXIT_PARTIAL = 5
 EXIT_SUSPENDED = 6
+#: The conventional "terminated by SIGINT" shell code (128 + 2).
+EXIT_INTERRUPTED = 130
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -172,6 +183,135 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-guards",
         action="store_true",
         help="compile without guard annotations (plain scans)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="replay a JSONL workload through the multi-tenant "
+        "preemptible query service (admission control, fair-share "
+        "scheduling, optional degradation; see docs/SERVING.md)",
+    )
+    serve.add_argument("structure")
+    serve.add_argument(
+        "workload",
+        help="JSONL file: one request object per line, e.g. "
+        '{"tenant": "a", "op": "count", "query": "E(x, y)", '
+        '"vars": ["x", "y"], "id": "r1"}',
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent quantum slots (default: 2)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="closed-loop client coroutines replaying the workload "
+        "(default: 4; raise beyond the quotas to force load shedding)",
+    )
+    serve.add_argument(
+        "--quantum-steps",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="preemptible budget quantum per dispatch (default: 20000)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="compatible count requests merged per dispatch "
+        "(default: 8; 1 disables batching)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-tenant in-flight quota, queued + running (default: 8)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=6,
+        metavar="N",
+        help="per-tenant waiting-queue bound (default: 6)",
+    )
+    serve.add_argument(
+        "--step-quota",
+        type=int,
+        metavar="N",
+        help="per-tenant step quota per accounting window "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-total-inflight",
+        type=int,
+        metavar="N",
+        help="global in-flight ceiling (default: serve workers x 8)",
+    )
+    serve.add_argument(
+        "--degrade-cost",
+        type=float,
+        metavar="STEPS",
+        help="predicted exact cost above which count-only requests "
+        "degrade to the sampling tier (default: never)",
+    )
+    serve.add_argument(
+        "--degrade-saturation",
+        type=float,
+        metavar="LEVEL",
+        help="smoothed saturation level (1.0 = at capacity) above which "
+        "count-only requests degrade to the sampling tier "
+        "(default: never)",
+    )
+    serve.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.1,
+        metavar="EPS",
+        help="accuracy target for degraded answers (default: 0.1)",
+    )
+    serve.add_argument(
+        "--delta",
+        type=float,
+        default=0.05,
+        metavar="DELTA",
+        help="failure probability for degraded answers (default: 0.05)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=int,
+        metavar="QUANTA",
+        help="on shutdown, grant each in-flight query at most this many "
+        "further quanta before handing back a suspended response with "
+        "its checkpoint (default: run everything to completion)",
+    )
+    serve.add_argument(
+        "--eval-workers",
+        type=int,
+        metavar="N",
+        help="per-quantum engine parallelism (default: REPRO_WORKERS)",
+    )
+    serve.add_argument(
+        "--no-fragment-check",
+        action="store_true",
+        help="allow full FOC(P) requests",
+    )
+    serve.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write per-request JSONL here instead of stdout",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record serve.* counters and print a snapshot to stderr",
     )
 
     for sub in (check, count, term, unary):
@@ -296,6 +436,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM interrupt like SIGINT (same graceful-exit path).
+
+    Service managers send SIGTERM; mapping it onto
+    :class:`KeyboardInterrupt` routes both signals through one handler —
+    checkpoint-and-exit-6 under an active session, one-line
+    ``interrupted`` + 130 otherwise.  Only the main thread may install
+    signal handlers; embedded callers (tests, servers) skip silently.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError):  # pragma: no cover — exotic platforms
+        pass
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     args = _build_parser().parse_args(argv)
     obs.configure_from_env()
@@ -303,6 +467,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         obs.set_tracer(obs.Tracer())
     if getattr(args, "metrics", False) and obs.active_metrics() is None:
         obs.set_metrics(obs.MetricsRegistry())
+    _install_sigterm_handler()
     try:
         return _dispatch(args)
     except SuspendedError as error:
@@ -318,7 +483,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_BAD_INPUT
     except KeyboardInterrupt:
-        raise
+        # Graceful interrupt: never a raw traceback.  (When a checkpoint
+        # session is active, _run_eval already converted the interrupt
+        # into a saved checkpoint and exit code 6 before we get here.)
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except Exception as error:  # noqa: BLE001 — last-resort CLI guard
         # Never a raw traceback: one line, distinct exit code, so shell
         # callers can tell "our bug" (3) from "your input" (2) or "too
@@ -345,6 +514,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "explain":
         return _explain(args)
+
+    if args.command == "serve":
+        return _serve(args)
 
     return _run_eval(args)
 
@@ -438,6 +610,23 @@ def _run_eval(args: argparse.Namespace) -> int:
             )
             _emit_report(engine, args, checkpoint=checkpoint)
             return EXIT_SUSPENDED
+        except KeyboardInterrupt:
+            # SIGINT/SIGTERM with an active session: the operator asked
+            # us to stop, not to lose the work — snapshot whatever the
+            # session has recorded so far (restored state only ever
+            # skips work) and exit resumable, like a suspension.
+            checkpoint = session.snapshot(
+                budget.steps if budget is not None else 0
+            )
+            target = checkpoint_path if checkpoint_path is not None else resume_path
+            save_checkpoint(checkpoint, target)
+            print("# interrupted: saving checkpoint", file=sys.stderr)
+            print(
+                f"# checkpoint written to {target} ({checkpoint.summary()}); "
+                f"resume with --resume {target}",
+                file=sys.stderr,
+            )
+            return EXIT_SUSPENDED
 
 
 def _print_result(engine, result, args: argparse.Namespace) -> int:
@@ -529,6 +718,155 @@ def _explain(args: argparse.Namespace) -> int:
         f"evictions={stats['evictions']} hit_rate={rate_text}"
     )
     return 0
+
+
+def _load_workload(path: str, structure) -> list:
+    """Parse a JSONL workload file into :class:`QueryRequest` objects."""
+    from .serve import QueryRequest
+
+    requests = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"workload line {lineno}: invalid JSON ({error})"
+                ) from None
+            if not isinstance(raw, dict) or "query" not in raw:
+                raise ReproError(
+                    f"workload line {lineno}: expected an object with a "
+                    "'query' field"
+                )
+            requests.append(
+                QueryRequest(
+                    tenant=str(raw.get("tenant", "default")),
+                    operation=str(raw.get("op", raw.get("operation", "count"))),
+                    structure=structure,
+                    expression=str(raw["query"]),
+                    variables=tuple(raw.get("vars", ())),
+                    variable=str(raw.get("var", "")),
+                    request_id=str(raw.get("id", lineno)),
+                    seed=int(raw.get("seed", 0)),
+                )
+            )
+    if not requests:
+        raise ReproError(f"workload {path!r} contains no requests")
+    return requests
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Replay a JSONL workload through the multi-tenant query service."""
+    import asyncio
+
+    from .errors import AdmissionError
+    from .serve import QueryService, TenantQuota
+
+    structure = load_structure(args.structure)
+    requests = _load_workload(args.workload, structure)
+    try:
+        quota = TenantQuota(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            step_quota=args.step_quota,
+        )
+        service = QueryService(
+            workers=args.serve_workers,
+            eval_workers=args.eval_workers,
+            quantum_steps=args.quantum_steps,
+            quota=quota,
+            max_total_inflight=args.max_total_inflight,
+            batch_max=args.batch_max,
+            degrade_cost_threshold=args.degrade_cost,
+            degrade_saturation=args.degrade_saturation,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            check_fragment=not args.no_fragment_check,
+            metrics=obs.active_metrics(),
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    if args.clients < 1:
+        raise ReproError("--clients must be a positive integer")
+
+    async def run() -> list:
+        results: list = [None] * len(requests)
+        cursor = 0
+
+        async def client() -> None:
+            nonlocal cursor
+            while cursor < len(requests):
+                index = cursor
+                cursor += 1
+                try:
+                    results[index] = await service.submit(requests[index])
+                except (AdmissionError, ReproError) as error:
+                    results[index] = error
+
+        await service.start()
+        try:
+            await asyncio.gather(
+                *(client() for _ in range(min(args.clients, len(requests))))
+            )
+        finally:
+            await service.drain(grace=args.drain_grace)
+        return results
+
+    results = asyncio.run(run())
+
+    lines = []
+    shed = errors = 0
+    for request, outcome in zip(requests, results):
+        if isinstance(outcome, AdmissionError):
+            shed += 1
+            lines.append(
+                {
+                    "schema": "repro-serve-response/1",
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                    "operation": request.operation,
+                    "status": "shed",
+                    "reason": outcome.reason,
+                }
+            )
+        elif isinstance(outcome, Exception):
+            errors += 1
+            lines.append(
+                {
+                    "schema": "repro-serve-response/1",
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                    "operation": request.operation,
+                    "status": "error",
+                    "error": str(outcome),
+                }
+            )
+        else:
+            lines.append(outcome.to_dict())
+    payload = "\n".join(json.dumps(line, sort_keys=True) for line in lines)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+
+    stats = service.stats()
+    summary = {
+        "requests": len(requests),
+        "completed": stats["completed"],
+        "shed": shed,
+        "errors": errors,
+        "resumes": stats["resumes"],
+        "degraded": stats["degraded"],
+        "drain_suspended": stats["drain_suspended"],
+        "orphaned_checkpoints": stats["orphaned_checkpoints"],
+    }
+    print(f"# serve {json.dumps(summary, sort_keys=True)}", file=sys.stderr)
+    _emit_instruments()
+    return EXIT_PARTIAL if errors else EXIT_OK
 
 
 def _emit_report(engine, args: argparse.Namespace, checkpoint=None) -> None:

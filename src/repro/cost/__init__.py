@@ -25,6 +25,7 @@ from .model import (
     EngineCost,
 )
 from .router import EngineRouter, RouteDecision
+from .saturation import SaturationTracker
 from .stats import DegreeSummary, StructureStats, structure_stats
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "EngineCost",
     "EngineRouter",
     "RouteDecision",
+    "SaturationTracker",
     "StructureStats",
     "structure_stats",
 ]

@@ -213,6 +213,31 @@ class CheckpointError(ReproError):
     """
 
 
+class AdmissionError(ReproError):
+    """A query service refused to enqueue a request (typed load shedding).
+
+    Raised by the :mod:`repro.serve` admission controller instead of
+    letting an overloaded service queue without bound: a rejected request
+    fails *immediately*, with a machine-readable reason, rather than
+    timing out by silence.  Never raised for admitted work — once a
+    request is admitted it completes or is suspended/resumed, not killed.
+
+    Attributes
+    ----------
+    reason:
+        The quota that rejected the request: ``"queue_full"``,
+        ``"concurrency"``, ``"steps"``, ``"saturated"`` or ``"draining"``
+        (mirrors the ``serve.shed.<reason>`` counter that was bumped).
+    tenant:
+        The tenant whose request was shed.
+    """
+
+    def __init__(self, message: str, *, reason: str = "", tenant: str = ""):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+
+
 class FaultInjectedError(ReproError):
     """A deliberately injected fault fired (testing/chaos machinery only).
 

@@ -36,6 +36,7 @@ from .metrics import (
     collect_metrics,
     hit_rate,
     observe,
+    reset_thread_metrics,
     set_metrics,
     set_thread_metrics,
     thread_metrics,
@@ -62,6 +63,7 @@ __all__ = [
     "configure_from_env",
     "hit_rate",
     "observe",
+    "reset_thread_metrics",
     "set_metrics",
     "set_thread_metrics",
     "set_tracer",

@@ -281,6 +281,23 @@ def set_thread_metrics(
     return previous
 
 
+def reset_thread_metrics() -> "Optional[MetricsRegistry]":
+    """Unconditionally clear this thread's override; returns what was set.
+
+    The hygiene hook for *reused* threads: a pooled executor thread (an
+    asyncio ``run_in_executor`` pool, the :mod:`repro.serve` quantum
+    pool) outlives the task that installed an override, and a leaked
+    override would silently redirect every later task's counters — and
+    every :class:`~repro.plan.cache.PlanCache` hit/miss recorded through
+    :func:`active_metrics` — into a dead registry from a finished
+    session.  Call this on task entry (defence against an earlier leak)
+    and on task completion (never leak yourself).
+    """
+    previous = getattr(_THREAD_OVERRIDE, "registry", None)
+    _THREAD_OVERRIDE.registry = None
+    return previous
+
+
 @contextmanager
 def thread_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Scope a thread-local registry override to a ``with`` block."""

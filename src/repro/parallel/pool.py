@@ -499,15 +499,18 @@ class WorkerPool:
                 if workspace is None:
                     return tasks[index](task_budget)
                 previous = set_thread_metrics(workspace)
-                if task_budget is not None:
-                    # The slice captured the parent thread's registry at
-                    # construction; rebind so its ticks land in the
-                    # worker's private registry instead of contending on
-                    # the parent's.
-                    task_budget._metrics = workspace
                 try:
+                    if task_budget is not None:
+                        # The slice captured the parent thread's registry
+                        # at construction; rebind so its ticks land in the
+                        # worker's private registry instead of contending
+                        # on the parent's.
+                        task_budget._metrics = workspace
                     return tasks[index](task_budget)
                 finally:
+                    # Restore inside one finally that covers everything
+                    # after the install: an override left behind on a
+                    # reused thread would swallow later sessions' metrics.
                     set_thread_metrics(previous)
             finally:
                 # Every attempt's work — failed or not — is accounted.

@@ -470,26 +470,35 @@ class CheckpointSession:
         )
 
 
-_ACTIVE: "Optional[CheckpointSession]" = None
+# The installed session is *thread-local*: a multi-tenant server (see
+# repro.serve) runs one preemptible quantum per executor thread, each
+# under its own session, and those recorders must not see each other.
+# Engine worker threads spawned *inside* a quantum still bypass the
+# session — they find no thread-local entry, exactly as they previously
+# failed the ``on_owner_thread()`` check against a process-global slot —
+# so shard-granularity recording by the owning pool is unchanged.
+_ACTIVE = threading.local()
 
 
 def active_checkpoint_session() -> "Optional[CheckpointSession]":
-    """The installed session, if any (a single load when none is)."""
-    return _ACTIVE
+    """The calling thread's installed session, if any."""
+    return getattr(_ACTIVE, "session", None)
 
 
 @contextmanager
 def checkpoint_session(session: CheckpointSession) -> Iterator[CheckpointSession]:
-    """Install ``session`` for the duration of the ``with`` block.
+    """Install ``session`` on this thread for the ``with`` block.
 
-    Sessions do not nest: two overlapping recorders would interleave
-    their scope counters and corrupt both checkpoints.
+    Sessions do not nest (per thread): two overlapping recorders would
+    interleave their scope counters and corrupt both checkpoints.
+    Distinct threads may each run their own session concurrently — that
+    is how the :mod:`repro.serve` scheduler preempts many queries at
+    once.
     """
-    global _ACTIVE
-    if _ACTIVE is not None:
+    if getattr(_ACTIVE, "session", None) is not None:
         raise RuntimeError("a CheckpointSession is already active")
-    _ACTIVE = session
+    _ACTIVE.session = session
     try:
         yield session
     finally:
-        _ACTIVE = None
+        _ACTIVE.session = None

@@ -1,0 +1,220 @@
+"""Admission control: bounded queues and typed load shedding.
+
+An overloaded service has exactly two honest options per request: run it
+(eventually, fairly) or refuse it *now* with a machine-readable reason.
+Unbounded queueing — the dishonest third option — converts overload
+into unbounded latency and memory, so the controller bounds everything:
+
+* per-tenant **waiting queue** depth (``max_queue``),
+* per-tenant **in-flight** requests, queued plus running
+  (``max_inflight``),
+* per-tenant **step quota** per accounting window (``step_quota``) —
+  the deficit-round-robin scheduler already guarantees *fair* progress,
+  the quota additionally caps a tenant's absolute spend,
+* a **global in-flight** ceiling (``max_total_inflight``), and
+* a **drain** switch that refuses everything during shutdown.
+
+Every refusal raises :class:`~repro.errors.AdmissionError` with
+``reason`` set and bumps the matching ``serve.shed.<reason>`` counter
+(catalogue in ``docs/OBSERVABILITY.md``).  Admitted work is tracked
+until :meth:`AdmissionController.release`, and step spend is charged
+back per quantum so the quota meters actual work, not guesses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import AdmissionError
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "TenantQuota"]
+
+#: The shed reasons, in the order the controller checks them.
+SHED_REASONS = ("draining", "saturated", "concurrency", "queue_full", "steps")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_inflight`` bounds queued + running requests, ``max_queue``
+    bounds the waiting portion, and ``step_quota`` (``None`` = no cap)
+    bounds total evaluation steps charged per accounting window —
+    :meth:`AdmissionController.refill` opens the next window.
+    """
+
+    max_inflight: int = 8
+    max_queue: int = 6
+    step_quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.step_quota is not None and self.step_quota < 1:
+            raise ValueError("step_quota must be positive when set")
+
+
+class AdmissionController:
+    """Tracks in-flight work per tenant and decides admit vs shed.
+
+    Thread-safe (one lock) so sheds and releases can be counted from
+    the event loop and quantum threads alike; all checks in
+    :meth:`admit` happen under the lock, so the bounds are exact, not
+    racy estimates.
+    """
+
+    def __init__(
+        self,
+        quota: TenantQuota = TenantQuota(),
+        per_tenant: "Optional[Dict[str, TenantQuota]]" = None,
+        max_total_inflight: "Optional[int]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        if max_total_inflight is not None and max_total_inflight < 1:
+            raise ValueError("max_total_inflight must be positive when set")
+        self.default_quota = quota
+        self.per_tenant = dict(per_tenant or {})
+        self.max_total_inflight = max_total_inflight
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._queued: Dict[str, int] = {}
+        self._running: Dict[str, int] = {}
+        self._steps_spent: Dict[str, int] = {}
+        self._admitted = 0
+        self._shed: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        self.draining = False
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.per_tenant.get(tenant, self.default_quota)
+
+    # -- the admit / run / release lifecycle ---------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request into ``tenant``'s queue, or shed it.
+
+        Raises :class:`~repro.errors.AdmissionError` with the first
+        violated bound as ``reason``; on success the request is counted
+        as queued until :meth:`start` moves it to running.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            if self.draining:
+                self._reject(
+                    tenant,
+                    "draining",
+                    "service is draining and admits no new work",
+                )
+            total = sum(self._queued.values()) + sum(self._running.values())
+            if (
+                self.max_total_inflight is not None
+                and total >= self.max_total_inflight
+            ):
+                self._reject(
+                    tenant,
+                    "saturated",
+                    f"service at global in-flight ceiling "
+                    f"({self.max_total_inflight})",
+                )
+            queued = self._queued.get(tenant, 0)
+            running = self._running.get(tenant, 0)
+            if queued + running >= quota.max_inflight:
+                self._reject(
+                    tenant,
+                    "concurrency",
+                    f"tenant at in-flight quota ({quota.max_inflight})",
+                )
+            if queued >= quota.max_queue:
+                self._reject(
+                    tenant,
+                    "queue_full",
+                    f"tenant queue full ({quota.max_queue} waiting)",
+                )
+            if (
+                quota.step_quota is not None
+                and self._steps_spent.get(tenant, 0) >= quota.step_quota
+            ):
+                self._reject(
+                    tenant,
+                    "steps",
+                    f"tenant exhausted its step quota "
+                    f"({quota.step_quota} per window)",
+                )
+            self._queued[tenant] = queued + 1
+            self._admitted += 1
+            if self._metrics is not None:
+                self._metrics.inc("serve.admitted")
+                self._metrics.inc(f"serve.tenant.{tenant}.admitted")
+
+    def _reject(self, tenant: str, reason: str, detail: str) -> None:
+        self._shed[reason] = self._shed.get(reason, 0) + 1
+        if self._metrics is not None:
+            self._metrics.inc(f"serve.shed.{reason}")
+            self._metrics.inc(f"serve.tenant.{tenant}.shed")
+        raise AdmissionError(
+            f"request shed for tenant {tenant!r}: {detail}",
+            reason=reason,
+            tenant=tenant,
+        )
+
+    def start(self, tenant: str) -> None:
+        """A queued request was dispatched into a quantum."""
+        with self._lock:
+            self._queued[tenant] = max(0, self._queued.get(tenant, 0) - 1)
+            self._running[tenant] = self._running.get(tenant, 0) + 1
+
+    def requeue(self, tenant: str) -> None:
+        """A running request was preempted and went back to the queue."""
+        with self._lock:
+            self._running[tenant] = max(0, self._running.get(tenant, 0) - 1)
+            self._queued[tenant] = self._queued.get(tenant, 0) + 1
+
+    def release(self, tenant: str) -> None:
+        """A running request reached a terminal outcome."""
+        with self._lock:
+            self._running[tenant] = max(0, self._running.get(tenant, 0) - 1)
+            if self._metrics is not None:
+                self._metrics.inc(f"serve.tenant.{tenant}.completed")
+
+    def charge_steps(self, tenant: str, steps: int) -> None:
+        """Charge evaluation steps against ``tenant``'s window quota."""
+        if steps <= 0:
+            return
+        with self._lock:
+            self._steps_spent[tenant] = (
+                self._steps_spent.get(tenant, 0) + steps
+            )
+
+    def refill(self, tenant: "Optional[str]" = None) -> None:
+        """Open a new accounting window (all tenants, or just one)."""
+        with self._lock:
+            if tenant is None:
+                self._steps_spent.clear()
+            else:
+                self._steps_spent.pop(tenant, None)
+
+    # -- introspection --------------------------------------------------------
+
+    def inflight(self, tenant: "Optional[str]" = None) -> int:
+        with self._lock:
+            if tenant is None:
+                return sum(self._queued.values()) + sum(
+                    self._running.values()
+                )
+            return self._queued.get(tenant, 0) + self._running.get(tenant, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "shed": dict(self._shed),
+                "shed_total": sum(self._shed.values()),
+                "queued": dict(self._queued),
+                "running": dict(self._running),
+                "steps_spent": dict(self._steps_spent),
+                "draining": self.draining,
+            }

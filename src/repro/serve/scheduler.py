@@ -1,0 +1,170 @@
+"""Fair-share scheduling: deficit round-robin over per-tenant queues.
+
+The service runs every admitted query one *preemptible budget quantum*
+at a time, so the scheduling currency is evaluation steps, not wall
+time.  Deficit round-robin (Shreedhar & Varghese) fits exactly: each
+tenant holds a step *deficit* that grows by one quantum's worth per
+round and shrinks by the steps its queries actually spend, so a tenant
+whose queries are ten times heavier gets one dispatch for every ten a
+light tenant gets — one heavy tenant cannot starve the rest, and an
+idle tenant accumulates no credit (its deficit resets when its queue
+empties, the classic anti-burst rule).
+
+The scheduler is a pure data structure: every method is called from the
+service's event loop thread only, so it needs no locking, and its
+decisions depend only on the push/credit sequence — deterministic for a
+deterministic submission schedule.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["DeficitRoundRobin"]
+
+
+class DeficitRoundRobin:
+    """Step-metered DRR across tenants; FIFO within a tenant."""
+
+    def __init__(self, quantum: int) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be a positive step count")
+        self.quantum = quantum
+        #: Active tenants in round order (OrderedDict as a ring buffer).
+        self._queues: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self._deficit: Dict[str, int] = {}
+
+    # -- enqueue --------------------------------------------------------------
+
+    def push(self, tenant: str, job: Any) -> None:
+        """Append ``job`` to ``tenant``'s queue (joining the round if new)."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[tenant] = queue
+            self._deficit.setdefault(tenant, 0)
+        queue.append(job)
+
+    def push_front(self, tenant: str, job: Any) -> None:
+        """Re-queue a preempted job at the *head* of its tenant's queue.
+
+        A suspended query resumes before the tenant's younger queries:
+        its deficit charge already paid for the dispatch, and FIFO
+        within a tenant keeps per-tenant latency predictable.
+        """
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[tenant] = queue
+            self._deficit.setdefault(tenant, 0)
+        queue.appendleft(job)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def next(self) -> "Optional[Tuple[str, Any]]":
+        """Pop the next ``(tenant, job)`` to dispatch, or ``None`` if idle.
+
+        Visits tenants in round order; a visited tenant earns one
+        ``quantum`` of deficit and serves queries while its deficit
+        stays positive, paying one quantum per dispatch up front
+        (:meth:`credit` refunds the unspent part when the quantum
+        returns).  A tenant whose queue empties leaves the round and
+        forfeits its deficit.
+        """
+        rounds = len(self._queues)
+        for _ in range(rounds):
+            tenant, queue = next(iter(self._queues.items()))
+            if not queue:
+                # Queue drained since the last visit: drop from the
+                # round, forfeit credit (anti-burst).
+                del self._queues[tenant]
+                self._deficit.pop(tenant, None)
+                continue
+            if self._deficit[tenant] <= 0:
+                self._deficit[tenant] += self.quantum
+            if self._deficit[tenant] > 0:
+                job = queue.popleft()
+                self._deficit[tenant] -= self.quantum
+                if not queue:
+                    del self._queues[tenant]
+                    self._deficit.pop(tenant, None)
+                elif self._deficit[tenant] <= 0:
+                    self._queues.move_to_end(tenant)
+                # A tenant whose refunds left it genuinely in credit
+                # keeps the floor (classic DRR: serve within the earned
+                # quantum) — its cheap queries cost their true weight.
+                return tenant, job
+            self._queues.move_to_end(tenant)
+        return None
+
+    def credit(self, tenant: str, unspent: int) -> None:
+        """Refund the unspent part of a dispatched quantum.
+
+        The dispatch charged a full quantum; a query that suspended (or
+        finished) after ``spent`` steps refunds ``quantum - spent``, so
+        light queries cost their true weight.  Refunds for tenants that
+        have left the round are dropped — deficits never outlive the
+        backlog that earned them.
+        """
+        if unspent <= 0 or tenant not in self._queues:
+            return
+        self._deficit[tenant] = self._deficit.get(tenant, 0) + min(
+            unspent, self.quantum
+        )
+
+    def charge(self, tenant: str, steps: int) -> None:
+        """Charge extra steps (beyond the dispatch quantum) to ``tenant``.
+
+        Used for batched work attributed to tenants whose member jobs
+        were collected without a dispatch of their own.
+        """
+        if steps <= 0 or tenant not in self._queues:
+            return
+        self._deficit[tenant] = self._deficit.get(tenant, 0) - steps
+
+    # -- batch collection -----------------------------------------------------
+
+    def collect(self, match, limit: int) -> List[Tuple[str, Any]]:
+        """Remove and return up to ``limit`` queued jobs with ``match(job)``.
+
+        Scans tenants in round order, heads first — the jobs most about
+        to be dispatched anyway — so batching never *delays* anything
+        it collects.  Tenants whose queues empty leave the round.
+        """
+        collected: List[Tuple[str, Any]] = []
+        if limit <= 0:
+            return collected
+        for tenant in list(self._queues.keys()):
+            queue = self._queues[tenant]
+            kept: Deque[Any] = deque()
+            while queue and len(collected) < limit:
+                job = queue.popleft()
+                if match(job):
+                    collected.append((tenant, job))
+                else:
+                    kept.append(job)
+            kept.extend(queue)
+            if kept:
+                self._queues[tenant] = kept
+            else:
+                del self._queues[tenant]
+                self._deficit.pop(tenant, None)
+            if len(collected) >= limit:
+                break
+        return collected
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pending(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        return len(queue) if queue is not None else 0
+
+    def tenants(self) -> Iterator[str]:
+        return iter(self._queues.keys())
+
+    def deficit(self, tenant: str) -> int:
+        return self._deficit.get(tenant, 0)

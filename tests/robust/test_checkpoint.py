@@ -345,3 +345,36 @@ class TestActiveSession:
         t.start()
         t.join()
         assert seen == [False]
+
+    def test_concurrent_sessions_are_thread_local(self):
+        # The multi-tenant service runs one checkpoint session per
+        # executor thread; installs must never bleed across threads or
+        # into the coordinating thread (serve regression, ISSUE #10).
+        import threading
+
+        barrier = threading.Barrier(2)
+        observed = {}
+
+        def worker(name):
+            session = CheckpointSession(operation="count", query_key=name)
+            with checkpoint_session(session):
+                barrier.wait()  # both sessions active simultaneously
+                observed[name] = active_checkpoint_session() is session
+                barrier.wait()
+            observed[name + ".cleared"] = active_checkpoint_session() is None
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert observed == {
+            "a": True,
+            "b": True,
+            "a.cleared": True,
+            "b.cleared": True,
+        }
+        assert active_checkpoint_session() is None

@@ -1,0 +1,190 @@
+"""Admission controller unit tests: bounds, typed sheds, lifecycle.
+
+The overload contract (docs/SERVING.md): every refusal is an immediate
+:class:`~repro.errors.AdmissionError` with a machine-readable ``reason``
+matching a ``serve.shed.<reason>`` counter — never an unbounded queue,
+never a silent drop.
+"""
+
+import pytest
+
+from repro.errors import AdmissionError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import AdmissionController, TenantQuota
+from repro.serve.admission import SHED_REASONS
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.max_inflight == 8
+        assert quota.max_queue == 6
+        assert quota.step_quota is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_inflight": -2},
+            {"max_queue": -1},
+            {"step_quota": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+    def test_zero_queue_is_legal(self):
+        # max_queue=0 is the "shed everything" configuration: every
+        # admit passes through the queued state first.
+        assert TenantQuota(max_queue=0).max_queue == 0
+
+    def test_controller_rejects_bad_global_ceiling(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_total_inflight=0)
+
+
+class TestShedReasons:
+    def test_admission_error_is_typed_and_a_repro_error(self):
+        controller = AdmissionController(TenantQuota(max_queue=0))
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert isinstance(info.value, ReproError)
+        assert info.value.reason == "queue_full"
+        assert info.value.tenant == "a"
+
+    def test_queue_full(self):
+        controller = AdmissionController(TenantQuota(max_inflight=4, max_queue=1))
+        controller.admit("a")
+        with pytest.raises(AdmissionError, match="queue full") as info:
+            controller.admit("a")
+        assert info.value.reason == "queue_full"
+
+    def test_concurrency(self):
+        controller = AdmissionController(TenantQuota(max_inflight=2, max_queue=5))
+        controller.admit("a")
+        controller.admit("a")
+        controller.start("a")
+        controller.start("a")
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "concurrency"
+
+    def test_saturated_global_ceiling_spans_tenants(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=8, max_queue=8), max_total_inflight=2
+        )
+        controller.admit("a")
+        controller.admit("b")
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("c")
+        assert info.value.reason == "saturated"
+
+    def test_draining_refuses_everything_first(self):
+        # Draining outranks every other reason, even for a tenant that
+        # would also be over quota.
+        controller = AdmissionController(TenantQuota(max_queue=0))
+        controller.draining = True
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "draining"
+
+    def test_step_quota_and_refill(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=8, max_queue=8, step_quota=100)
+        )
+        controller.charge_steps("a", 100)
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "steps"
+        controller.refill("a")
+        controller.admit("a")  # new window, admitted again
+
+    def test_step_quota_is_per_tenant(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=8, max_queue=8, step_quota=50)
+        )
+        controller.charge_steps("heavy", 999)
+        controller.admit("light")  # unaffected
+
+    def test_every_reason_has_a_counter_slot(self):
+        snapshot = AdmissionController().snapshot()
+        assert set(snapshot["shed"]) == set(SHED_REASONS)
+
+
+class TestLifecycle:
+    def test_admit_start_release_counts(self):
+        controller = AdmissionController()
+        controller.admit("a")
+        assert controller.inflight("a") == 1
+        assert controller.snapshot()["queued"]["a"] == 1
+        controller.start("a")
+        assert controller.inflight("a") == 1
+        assert controller.snapshot()["running"]["a"] == 1
+        controller.release("a")
+        assert controller.inflight("a") == 0
+
+    def test_requeue_moves_running_back_to_queued(self):
+        controller = AdmissionController()
+        controller.admit("a")
+        controller.start("a")
+        controller.requeue("a")
+        snapshot = controller.snapshot()
+        assert snapshot["queued"]["a"] == 1
+        assert snapshot["running"]["a"] == 0
+
+    def test_requeued_request_still_holds_its_inflight_slot(self):
+        # A preempted request is not a new admission: it keeps its slot,
+        # so the tenant's quota is unchanged by suspend/resume cycles.
+        controller = AdmissionController(TenantQuota(max_inflight=1, max_queue=1))
+        controller.admit("a")
+        controller.start("a")
+        controller.requeue("a")
+        with pytest.raises(AdmissionError):
+            controller.admit("a")
+
+    def test_per_tenant_quota_override(self):
+        controller = AdmissionController(
+            TenantQuota(max_inflight=1, max_queue=0),
+            per_tenant={"vip": TenantQuota(max_inflight=8, max_queue=8)},
+        )
+        controller.admit("vip")
+        controller.admit("vip")
+        with pytest.raises(AdmissionError):
+            controller.admit("basic")
+
+    def test_charge_steps_ignores_nonpositive(self):
+        controller = AdmissionController()
+        controller.charge_steps("a", 0)
+        controller.charge_steps("a", -5)
+        assert controller.snapshot()["steps_spent"] == {}
+
+
+class TestMetrics:
+    def test_counters_track_admits_and_sheds(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(
+            TenantQuota(max_inflight=4, max_queue=1), metrics=registry
+        )
+        controller.admit("a")
+        with pytest.raises(AdmissionError):
+            controller.admit("a")
+        controller.start("a")
+        controller.release("a")
+        assert registry.counter("serve.admitted") == 1
+        assert registry.counter("serve.shed.queue_full") == 1
+        assert registry.counter("serve.tenant.a.admitted") == 1
+        assert registry.counter("serve.tenant.a.shed") == 1
+        assert registry.counter("serve.tenant.a.completed") == 1
+
+    def test_snapshot_aggregates(self):
+        controller = AdmissionController(TenantQuota(max_inflight=4, max_queue=1))
+        controller.admit("a")
+        for _ in range(3):
+            with pytest.raises(AdmissionError):
+                controller.admit("a")
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == 1
+        assert snapshot["shed_total"] == 3
+        assert snapshot["shed"]["queue_full"] == 3
+        assert snapshot["draining"] is False

@@ -1,0 +1,175 @@
+"""Deficit-round-robin scheduler unit tests.
+
+The scheduling currency is evaluation steps: each visited tenant earns
+one quantum of deficit per round and pays one quantum per dispatch, so
+step-heavy tenants are dispatched proportionally less often — fair
+share without wall-clock measurement.
+"""
+
+import pytest
+
+from repro.serve import DeficitRoundRobin
+
+
+def drain(drr, limit=50):
+    """Pop until idle (None can interleave while a tenant is in debt)."""
+    order = []
+    for _ in range(limit):
+        picked = drr.next()
+        if picked is not None:
+            order.append(picked)
+        elif len(drr) == 0:
+            break
+    return order
+
+
+class TestBasics:
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(0)
+
+    def test_empty_scheduler_is_idle(self):
+        drr = DeficitRoundRobin(100)
+        assert drr.next() is None
+        assert len(drr) == 0
+
+    def test_fifo_within_a_tenant(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.push("a", "a2")
+        drr.push("a", "a3")
+        assert [job for _, job in drain(drr)] == ["a1", "a2", "a3"]
+
+    def test_round_robin_across_tenants(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.push("a", "a2")
+        drr.push("b", "b1")
+        drr.push("b", "b2")
+        jobs = [job for _, job in drain(drr)]
+        assert jobs == ["a1", "b1", "a2", "b2"]
+
+    def test_push_front_resumes_before_younger_work(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "young")
+        drr.push_front("a", "resumed")
+        assert drr.next()[1] == "resumed"
+
+    def test_introspection(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.push("b", "b1")
+        drr.push("b", "b2")
+        assert len(drr) == 3
+        assert drr.pending("b") == 2
+        assert drr.pending("missing") == 0
+        assert list(drr.tenants()) == ["a", "b"]
+        assert drr.deficit("a") == 0
+
+
+class TestDeficitAccounting:
+    def test_heavy_tenant_yields_to_light_tenants(self):
+        # After 'a' overspends by three quanta, 'b' drains its whole
+        # queue before 'a' earns its way back to positive deficit.
+        quantum = 100
+        drr = DeficitRoundRobin(quantum)
+        for job in ("a1", "a2"):
+            drr.push("a", job)
+        for job in ("b1", "b2"):
+            drr.push("b", job)
+        assert drr.next()[1] == "a1"
+        drr.charge("a", 3 * quantum)
+        jobs = [job for _, job in drain(drr)]
+        assert jobs == ["b1", "b2", "a2"]
+
+    def test_debt_makes_next_return_none_until_earned_back(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.push("a", "a2")
+        assert drr.next()[1] == "a1"
+        drr.charge("a", 250)
+        # One visit per next() call earns one quantum; two come up empty.
+        assert drr.next() is None
+        assert drr.next() is None
+        assert drr.next()[1] == "a2"
+
+    def test_credit_refunds_unspent_quantum(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.push("a", "a2")
+        drr.next()  # pays one quantum for a1, deficit back to 0
+        drr.credit("a", 60)  # a1 only spent 40 of its 100
+        assert drr.deficit("a") == 60
+        assert drr.next()[1] == "a2"  # the credit covers the dispatch
+
+    def test_credit_is_capped_at_one_quantum(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.credit("a", 10_000)
+        assert drr.deficit("a") == 100
+
+    def test_credit_for_departed_tenant_is_dropped(self):
+        # Anti-burst: deficits never outlive the backlog that earned them.
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "a1")
+        drr.next()  # queue empties, 'a' leaves the round
+        drr.credit("a", 50)
+        assert drr.deficit("a") == 0
+        drr.push("a", "a2")
+        assert drr.deficit("a") == 0
+
+    def test_charge_for_departed_tenant_is_dropped(self):
+        drr = DeficitRoundRobin(100)
+        drr.charge("ghost", 500)
+        drr.push("ghost", "g1")
+        assert drr.next()[1] == "g1"  # no inherited debt
+
+
+class TestCollect:
+    def test_collects_matching_heads_up_to_limit(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "c1")
+        drr.push("a", "x1")
+        drr.push("a", "c2")
+        drr.push("b", "c3")
+        collected = drr.collect(lambda job: job.startswith("c"), limit=2)
+        assert collected == [("a", "c1"), ("a", "c2")]
+        # The non-matching job keeps its place; 'b' was never reached.
+        assert drr.pending("a") == 1
+        assert drr.pending("b") == 1
+
+    def test_collect_spans_tenants(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "c1")
+        drr.push("b", "c2")
+        collected = drr.collect(lambda job: True, limit=8)
+        assert collected == [("a", "c1"), ("b", "c2")]
+        assert len(drr) == 0
+
+    def test_emptied_tenant_leaves_the_round(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "c1")
+        drr.collect(lambda job: True, limit=1)
+        assert list(drr.tenants()) == []
+        assert drr.deficit("a") == 0
+
+    def test_zero_limit_collects_nothing(self):
+        drr = DeficitRoundRobin(100)
+        drr.push("a", "c1")
+        assert drr.collect(lambda job: True, limit=0) == []
+        assert len(drr) == 1
+
+
+class TestDeterminism:
+    def test_same_push_sequence_same_dispatch_order(self):
+        def run():
+            drr = DeficitRoundRobin(70)
+            for tenant, job in [
+                ("a", "a1"), ("b", "b1"), ("a", "a2"), ("c", "c1"),
+                ("b", "b2"), ("c", "c2"), ("a", "a3"),
+            ]:
+                drr.push(tenant, job)
+            drr.charge("a", 140)
+            return drain(drr)
+
+        assert run() == run()

@@ -710,3 +710,280 @@ class TestCliApprox:
         # so explicitly even with the sampler armed.
         assert report["approximate"] is False
         assert "approx" in [s["stage"] for s in report["stages"]]
+
+
+class TestCliInterrupt:
+    """Graceful interrupt contract: SIGINT/SIGTERM never dump a
+    traceback — one line + exit 130, or checkpoint + exit 6 when a
+    checkpoint session is active."""
+
+    @pytest.fixture
+    def heavy_file(self, tmp_path):
+        # K30 through the brute-force engine: ~6s of main-thread
+        # evaluation, a wide window to land a signal mid-run.
+        lines = [
+            f"{u} {v}" for u in range(1, 31) for v in range(u + 1, 31)
+        ]
+        target = tmp_path / "k30.txt"
+        target.write_text("\n".join(lines) + "\n")
+        return str(target)
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        target = tmp_path / "graph.txt"
+        target.write_text("1 2\n2 3\n3 4\n4 1\n")
+        return str(target)
+
+    HEAVY_QUERY = (
+        "E(x, y) & E(y, z) & E(z, w)",
+        "--vars", "x", "y", "z", "w",
+        "--engine", "baseline",
+    )
+
+    def _interrupt_mid_run(self, *args):
+        import signal
+        import time
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(1.5)  # past startup, well before the ~6s run ends
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        return proc.returncode, out, err
+
+    def test_sigterm_exits_130_with_one_line(self, heavy_file):
+        code, out, err = self._interrupt_mid_run(
+            "count", heavy_file, *self.HEAVY_QUERY
+        )
+        assert code == 130, err
+        assert out == ""  # no half answer
+        assert err.strip() == "interrupted"
+        assert "Traceback" not in err
+
+    def test_sigterm_with_checkpoint_saves_and_exits_6(
+        self, heavy_file, tmp_path
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        code, out, err = self._interrupt_mid_run(
+            "count", heavy_file, *self.HEAVY_QUERY, "--checkpoint", ckpt
+        )
+        assert code == 6, err
+        assert out == ""
+        assert "# interrupted: saving checkpoint" in err
+        assert f"--resume {ckpt}" in err
+        assert "Traceback" not in err
+        assert os.path.exists(ckpt)
+
+    def test_keyboard_interrupt_exits_130_in_process(
+        self, monkeypatch, capsys
+    ):
+        import repro.__main__ as cli
+
+        def interrupt(path):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "load_structure", interrupt)
+        code = cli.main(["info", "whatever.txt"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert captured.err.strip() == "interrupted"
+        assert "Traceback" not in captured.err
+
+    def test_keyboard_interrupt_with_checkpoint_exits_6_in_process(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        import repro.__main__ as cli
+        from repro.core.evaluator import Foc1Evaluator
+
+        def interrupt(self, structure, expression, variables):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Foc1Evaluator, "count", interrupt)
+        ckpt = str(tmp_path / "run.ckpt")
+        code = cli.main(
+            ["count", graph_file, "E(x, y)", "--vars", "x", "y",
+             "--checkpoint", ckpt]
+        )
+        captured = capsys.readouterr()
+        assert code == 6
+        assert "# interrupted: saving checkpoint" in captured.err
+        assert os.path.exists(ckpt)
+
+    def test_seven_exit_codes_are_distinct(self):
+        from repro.__main__ import (
+            EXIT_BAD_INPUT,
+            EXIT_BUDGET,
+            EXIT_INTERNAL,
+            EXIT_INTERRUPTED,
+            EXIT_OK,
+            EXIT_PARTIAL,
+            EXIT_SUSPENDED,
+        )
+
+        codes = {
+            EXIT_OK,
+            EXIT_BAD_INPUT,
+            EXIT_INTERNAL,
+            EXIT_BUDGET,
+            EXIT_PARTIAL,
+            EXIT_SUSPENDED,
+            EXIT_INTERRUPTED,
+        }
+        assert len(codes) == 7
+        assert EXIT_INTERRUPTED == 130  # 128 + SIGINT, shell convention
+
+
+class TestCliServe:
+    """`serve` replays a JSONL workload through the multi-tenant
+    service: JSONL responses, typed shed records, `# serve` summary."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        # K4: count E(x, y) = 12, term #(x, y). E(x, y) = 12.
+        target = tmp_path / "graph.txt"
+        target.write_text("1 2\n2 3\n3 4\n4 1\n1 3\n2 4\n")
+        return str(target)
+
+    def _workload(self, tmp_path, lines):
+        target = tmp_path / "workload.jsonl"
+        target.write_text(
+            "\n".join(
+                line if isinstance(line, str) else json.dumps(line)
+                for line in lines
+            )
+            + "\n"
+        )
+        return str(target)
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "serve", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+
+    def test_end_to_end_values(self, graph_file, tmp_path):
+        workload = self._workload(
+            tmp_path,
+            [
+                {"tenant": "a", "op": "count", "query": "E(x, y)",
+                 "vars": ["x", "y"], "id": "c1"},
+                {"tenant": "b", "op": "term",
+                 "query": "#(x, y). E(x, y)", "id": "t1"},
+                {"tenant": "a", "op": "check",
+                 "query": "forall x. @geq1(#(y). E(x, y))", "id": "k1"},
+            ],
+        )
+        result = self._run(graph_file, workload)
+        assert result.returncode == 0, result.stderr
+        responses = {
+            line["request_id"]: line
+            for line in map(json.loads, result.stdout.strip().splitlines())
+        }
+        assert responses["c1"]["value"] == 12
+        assert responses["t1"]["value"] == 12
+        assert responses["k1"]["value"] is True
+        assert all(r["status"] == "ok" for r in responses.values())
+        assert all(r["approximate"] is False for r in responses.values())
+        assert '"# serve' not in result.stdout
+        summary = json.loads(
+            next(
+                line for line in result.stderr.splitlines()
+                if line.startswith("# serve ")
+            )[len("# serve "):]
+        )
+        assert summary["requests"] == 3
+        assert summary["completed"] == 3
+        assert summary["orphaned_checkpoints"] == 0
+
+    def test_output_flag_writes_jsonl_file(self, graph_file, tmp_path):
+        workload = self._workload(
+            tmp_path,
+            [{"op": "count", "query": "E(x, y)", "vars": ["x", "y"],
+              "id": "c1"}],
+        )
+        out_path = tmp_path / "responses.jsonl"
+        result = self._run(graph_file, workload, "--output", str(out_path))
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == ""
+        lines = [
+            json.loads(line)
+            for line in out_path.read_text().strip().splitlines()
+        ]
+        assert lines[0]["value"] == 12
+        assert lines[0]["schema"] == "repro-serve-response/1"
+
+    def test_overload_sheds_typed_records(self, graph_file, tmp_path):
+        workload = self._workload(
+            tmp_path,
+            [
+                {"tenant": "t", "op": "count", "query": "E(x, y)",
+                 "vars": ["x", "y"], "id": f"r{i}"}
+                for i in range(6)
+            ],
+        )
+        # One quantum slot, zero queue, six eager clients: everything
+        # past the running request sheds with a machine-readable reason.
+        result = self._run(
+            graph_file, workload,
+            "--serve-workers", "1", "--max-queue", "0", "--clients", "6",
+        )
+        assert result.returncode == 0, result.stderr
+        lines = [
+            json.loads(line)
+            for line in result.stdout.strip().splitlines()
+        ]
+        shed = [line for line in lines if line["status"] == "shed"]
+        assert shed, "zero queue must shed under concurrent clients"
+        assert all(line["reason"] == "queue_full" for line in shed)
+        assert "killed" not in result.stderr  # shed, never killed
+
+    def test_metrics_flag_prints_serve_counters(self, graph_file, tmp_path):
+        workload = self._workload(
+            tmp_path,
+            [{"op": "count", "query": "E(x, y)", "vars": ["x", "y"],
+              "id": "c1"}],
+        )
+        result = self._run(graph_file, workload, "--metrics")
+        assert result.returncode == 0, result.stderr
+        metrics_line = next(
+            line for line in result.stderr.splitlines()
+            if line.startswith("# metrics ")
+        )
+        snapshot = json.loads(metrics_line[len("# metrics "):])
+        assert snapshot["counters"]["serve.admitted"] == 1
+        assert snapshot["counters"]["serve.completed"] == 1
+
+    def test_invalid_json_line_exits_2(self, graph_file, tmp_path):
+        workload = self._workload(tmp_path, ["this is not json"])
+        result = self._run(graph_file, workload)
+        assert result.returncode == 2, result.stderr
+        assert "workload line 1" in result.stderr
+        assert "invalid JSON" in result.stderr
+
+    def test_missing_query_field_exits_2(self, graph_file, tmp_path):
+        workload = self._workload(tmp_path, [{"op": "count"}])
+        result = self._run(graph_file, workload)
+        assert result.returncode == 2, result.stderr
+        assert "'query' field" in result.stderr
+
+    def test_empty_workload_exits_2(self, graph_file, tmp_path):
+        workload = self._workload(tmp_path, ["# only a comment"])
+        result = self._run(graph_file, workload)
+        assert result.returncode == 2, result.stderr
+        assert "contains no requests" in result.stderr
+
+    def test_bad_quota_flags_exit_2(self, graph_file, tmp_path):
+        workload = self._workload(
+            tmp_path,
+            [{"op": "count", "query": "E(x, y)", "vars": ["x", "y"]}],
+        )
+        result = self._run(graph_file, workload, "--max-inflight", "0")
+        assert result.returncode == 2, result.stderr
+        result = self._run(graph_file, workload, "--clients", "0")
+        assert result.returncode == 2, result.stderr

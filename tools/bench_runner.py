@@ -1,5 +1,5 @@
 """Headless benchmark runner: execute the ``benchmarks/`` suites and emit
-a machine-readable ``BENCH_pr9.json``.
+a machine-readable ``BENCH_pr10.json``.
 
 The runner drives pytest-benchmark as a subprocess, harvests its raw JSON
 plus the per-benchmark engine metrics that ``benchmarks/conftest.py``
@@ -60,6 +60,14 @@ everything into a small, stable report::
                                        "samples": 1500}]}],
                  "max_relative_error": 0.03,
                  "within_epsilon": true},
+      "service": {"schema": "repro-load/1", "quick": true,
+                  "scenarios": [{"mix": "uniform", "offered": ...,
+                                 "completed": ..., "shed": {...},
+                                 "killed": 0, "resumes": ...,
+                                 "degraded": ...,
+                                 "latency_p50_s": ..., "latency_p99_s": ...,
+                                 "throughput_rps": ...}, ...],
+                  "totals": {...}},
       "baseline_delta": {"file": "BENCH_pr4.json", "common": M,
                          "speedup_geomean": ..., "rows": [...]}
     }
@@ -137,6 +145,17 @@ section-level ``max_relative_error`` and ``within_epsilon`` flag feed the
 ISSUE 9 acceptance gate (observed error <= epsilon on every
 feasible-exact bench).
 
+Schema 10 adds the ``service`` section: the runner invokes
+``tools/load_runner.py`` (``--quick`` in quick mode) and embeds its
+``repro-load/1`` report — per tenant-mix scenario (uniform, zipf, hot)
+the offered/admitted/completed request counts, the typed shed breakdown
+and shed rate, the killed count (must be 0: admitted work is suspended
+and resumed, never killed), preemption resumes, degraded (approximate)
+answer counts, latency p50/p99 and throughput.  The section is skipped
+for ``-k``-filtered runs and with ``--no-service``; when present it must
+gate-pass (zero killed, zero orphaned checkpoints, exact answers equal
+to the unloaded serial run).
+
 Usage::
 
     python tools/bench_runner.py --quick              # smoke pass (seconds)
@@ -165,7 +184,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA_NAME = "repro-bench/9"
+SCHEMA_NAME = "repro-bench/10"
 
 #: Extra pytest flags for --quick: one round per benchmark, warmup off.
 QUICK_FLAGS = (
@@ -789,6 +808,73 @@ def approx_table(approx: Dict) -> List[str]:
     return lines
 
 
+def service_section(quick: bool) -> Dict:
+    """Run ``tools/load_runner.py`` and return its ``repro-load/1`` report.
+
+    The load harness is a separate process so its asyncio event loop,
+    signal handling and metrics registry cannot leak into the benchmark
+    process.  Gate failures (killed queries, orphaned checkpoints,
+    mismatched answers) surface as a non-zero exit and raise here — a
+    bench report must never embed a failing service run.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
+        out_path = Path(tmp) / "load.json"
+        command = [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "load_runner.py"),
+            "--output",
+            str(out_path),
+        ]
+        if quick:
+            command.append("--quick")
+        completed = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        if completed.returncode != 0:
+            sys.stderr.write(completed.stdout)
+            raise RuntimeError(
+                f"load_runner exited with code {completed.returncode}"
+            )
+        return json.loads(out_path.read_text())
+
+
+def service_table(service: Dict) -> List[str]:
+    """A printable multi-tenant load table (one row per mix scenario)."""
+    lines = ["service (multi-tenant load; killed must be 0)"]
+    for row in service.get("scenarios", []):
+        shed = sum((row.get("shed") or {}).values())
+        p50 = row.get("latency_p50_s")
+        p99 = row.get("latency_p99_s")
+        latency = (
+            f"p50 {p50 * 1e3:.1f}ms p99 {p99 * 1e3:.1f}ms"
+            if p50 is not None and p99 is not None
+            else "no completions"
+        )
+        lines.append(
+            f"  {row.get('mix', '?'):<10} offered {row.get('offered', 0):>4} "
+            f"completed {row.get('completed', 0):>4} "
+            f"shed {shed:>4} ({row.get('shed_rate', 0.0):.0%}) "
+            f"killed {row.get('killed', 0)} "
+            f"resumes {row.get('resumes', 0):>3} "
+            f"degraded {row.get('degraded', 0):>3} {latency}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no load scenarios in this run)")
+        return lines
+    totals = service.get("totals") or {}
+    lines.append(
+        f"  totals: {totals.get('completed', 0)}/{totals.get('offered', 0)} "
+        f"completed, {totals.get('shed', 0)} shed (typed), "
+        f"{totals.get('killed', 0)} killed, "
+        f"answers_ok={totals.get('answers_ok')}"
+    )
+    return lines
+
+
 # ---------------------------------------------------------------------------
 # Baseline comparison
 # ---------------------------------------------------------------------------
@@ -1261,6 +1347,82 @@ def validate_report(report: Dict) -> List[str]:
             within is None or isinstance(within, bool),
             "approx.within_epsilon must be null or a boolean",
         )
+    service = report.get("service")
+    if service is not None:
+        check(isinstance(service, dict), "service must be an object")
+        if isinstance(service, dict):
+            check(
+                service.get("schema") == "repro-load/1",
+                "service.schema must be 'repro-load/1'",
+            )
+            scenarios = service.get("scenarios")
+            check(
+                isinstance(scenarios, list) and scenarios,
+                "service.scenarios must be a non-empty list",
+            )
+            for i, row in enumerate(scenarios or []):
+                where = f"service.scenarios[{i}]"
+                if not isinstance(row, dict):
+                    problems.append(f"{where} must be an object")
+                    continue
+                check(
+                    isinstance(row.get("mix"), str) and row["mix"],
+                    f"{where}.mix must be a non-empty string",
+                )
+                for key in (
+                    "offered",
+                    "admitted",
+                    "completed",
+                    "killed",
+                    "errors",
+                    "resumes",
+                    "degraded",
+                    "orphaned_checkpoints",
+                ):
+                    value = row.get(key)
+                    check(
+                        isinstance(value, int) and value >= 0,
+                        f"{where}.{key} must be a non-negative integer",
+                    )
+                check(
+                    row.get("killed") == 0,
+                    f"{where}.killed must be 0 (suspend, never kill)",
+                )
+                shed = row.get("shed")
+                check(isinstance(shed, dict), f"{where}.shed must be an object")
+                if isinstance(shed, dict):
+                    for reason, count in shed.items():
+                        check(
+                            isinstance(count, int) and count >= 0,
+                            f"{where}.shed[{reason!r}] must be a "
+                            "non-negative integer",
+                        )
+                rate = row.get("shed_rate")
+                check(
+                    isinstance(rate, (int, float)) and 0 <= rate <= 1,
+                    f"{where}.shed_rate must be in [0, 1]",
+                )
+                for key in ("latency_p50_s", "latency_p99_s", "throughput_rps"):
+                    value = row.get(key)
+                    check(
+                        value is None
+                        or (isinstance(value, (int, float)) and value >= 0),
+                        f"{where}.{key} must be null or non-negative",
+                    )
+            service_totals = service.get("totals")
+            check(
+                isinstance(service_totals, dict),
+                "service.totals must be an object",
+            )
+            if isinstance(service_totals, dict):
+                check(
+                    service_totals.get("killed") == 0,
+                    "service.totals.killed must be 0",
+                )
+                check(
+                    service_totals.get("answers_ok") is True,
+                    "service.totals.answers_ok must be true",
+                )
     delta = report.get("baseline_delta")
     if delta is not None:
         check(isinstance(delta, dict), "baseline_delta must be an object")
@@ -1282,7 +1444,7 @@ def validate_report(report: Dict) -> List[str]:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suites and emit BENCH_pr9.json"
+        description="Run the benchmark suites and emit BENCH_pr10.json"
     )
     parser.add_argument(
         "--quick",
@@ -1291,16 +1453,22 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_pr9.json"),
+        default=str(REPO_ROOT / "BENCH_pr10.json"),
         metavar="FILE",
-        help="where to write the report (default: BENCH_pr9.json)",
+        help="where to write the report (default: BENCH_pr10.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_pr8.json"),
+        default=str(REPO_ROOT / "BENCH_pr9.json"),
         metavar="FILE",
-        help="earlier report to diff against (default: BENCH_pr8.json; "
+        help="earlier report to diff against (default: BENCH_pr9.json; "
         "skipped silently when the file does not exist)",
+    )
+    parser.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the multi-tenant load harness (the 'service' section); "
+        "-k filtered runs skip it automatically",
     )
     parser.add_argument(
         "--routing-gate",
@@ -1336,6 +1504,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         return _routing_gate(report, args.routing_gate)
 
     report = run_benchmarks(quick=args.quick, select=args.select)
+    if not args.no_service and not args.select:
+        report["service"] = service_section(quick=args.quick)
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is not None and baseline_path.exists():
         baseline = json.loads(baseline_path.read_text())
@@ -1373,6 +1543,9 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         print(line)
     for line in approx_table(report["approx"]):
         print(line)
+    if "service" in report:
+        for line in service_table(report["service"]):
+            print(line)
     if "baseline_delta" in report:
         for line in delta_table(report["baseline_delta"]):
             print(line)
